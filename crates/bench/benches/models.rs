@@ -1,0 +1,80 @@
+//! Criterion benches behind Table II's cost rows: training time per model
+//! family, per-sample prediction time, and the RF tree-count ablation
+//! (the paper argues RF's parallel training scales benignly with trees).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcshap_core::pipeline::{build_design, PipelineConfig};
+use drcshap_forest::{RandomForestTrainer, RusBoostTrainer};
+use drcshap_ml::{Classifier, Dataset, StandardScaler, Trainer};
+use drcshap_netlist::suite;
+use drcshap_nn::NnTrainer;
+use drcshap_svm::SvmTrainer;
+use std::hint::black_box;
+
+/// One real pipeline dataset (fft_1, small scale), standardized.
+fn bench_dataset() -> Dataset {
+    let config = PipelineConfig { scale: 0.3, ..Default::default() };
+    let bundle = build_design(&suite::spec("fft_1").unwrap(), &config);
+    let data = bundle.to_dataset();
+    StandardScaler::fit(&data).transform(&data)
+}
+
+fn train_benches(c: &mut Criterion) {
+    let data = bench_dataset();
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    group.bench_function("rf_60_trees", |b| {
+        let t = RandomForestTrainer { n_trees: 60, ..Default::default() };
+        b.iter(|| black_box(t.fit(&data, 1)));
+    });
+    group.bench_function("rusboost_40", |b| {
+        let t = RusBoostTrainer { n_iterations: 40, ..Default::default() };
+        b.iter(|| black_box(t.fit(&data, 1)));
+    });
+    group.bench_function("svm_rbf", |b| {
+        let t = SvmTrainer { max_samples: Some(600), max_sweeps: 15, ..Default::default() };
+        b.iter(|| black_box(t.fit(&data, 1)));
+    });
+    group.bench_function("nn1_40", |b| {
+        let t = NnTrainer { hidden: vec![40], epochs: 10, ..Default::default() };
+        b.iter(|| black_box(t.fit(&data, 1)));
+    });
+    group.bench_function("nn2_40_10", |b| {
+        let t = NnTrainer { hidden: vec![40, 10], epochs: 10, ..Default::default() };
+        b.iter(|| black_box(t.fit(&data, 1)));
+    });
+    group.finish();
+}
+
+fn predict_benches(c: &mut Criterion) {
+    let data = bench_dataset();
+    let probe = data.row(data.n_samples() / 2).to_vec();
+    let mut group = c.benchmark_group("predict_per_sample");
+    let rf = RandomForestTrainer { n_trees: 100, ..Default::default() }.fit(&data, 1);
+    group.bench_function("rf_100_trees", |b| b.iter(|| black_box(rf.score(&probe))));
+    let rus = RusBoostTrainer { n_iterations: 40, ..Default::default() }.fit(&data, 1);
+    group.bench_function("rusboost_40", |b| b.iter(|| black_box(rus.score(&probe))));
+    let svm =
+        SvmTrainer { max_samples: Some(600), max_sweeps: 15, ..Default::default() }.fit(&data, 1);
+    group.bench_function("svm_rbf", |b| b.iter(|| black_box(svm.score(&probe))));
+    let nn = NnTrainer { hidden: vec![40], epochs: 5, ..Default::default() }.fit(&data, 1);
+    group.bench_function("nn1_40", |b| b.iter(|| black_box(nn.score(&probe))));
+    group.finish();
+}
+
+/// Ablation: RF training cost scaling with tree count.
+fn rf_tree_sweep(c: &mut Criterion) {
+    let data = bench_dataset();
+    let mut group = c.benchmark_group("rf_tree_sweep");
+    group.sample_size(10);
+    for n_trees in [25usize, 50, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, &n| {
+            let t = RandomForestTrainer { n_trees: n, ..Default::default() };
+            b.iter(|| black_box(t.fit(&data, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, train_benches, predict_benches, rf_tree_sweep);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the data-acquisition substrates (paper Fig. 1
+//! pipeline stages): placement, global routing, DRC labelling and
+//! 387-feature extraction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcshap_drc::{run_drc, DrcConfig};
+use drcshap_features::extract_design;
+use drcshap_netlist::{suite, synth, Design};
+use drcshap_place::place;
+use drcshap_route::{route_design, RouteConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn placed_design() -> Design {
+    let spec = suite::spec("fft_1").unwrap().scaled(0.4);
+    let mut d = Design::new(spec);
+    let mut rng = ChaCha8Rng::seed_from_u64(d.spec.seed());
+    synth::generate_cells(&mut d, &mut rng);
+    place(&mut d, &mut rng);
+    synth::generate_nets(&mut d, &mut rng);
+    d
+}
+
+fn substrate_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("place_fft_1", |b| {
+        let spec = suite::spec("fft_1").unwrap().scaled(0.4);
+        b.iter(|| {
+            let mut d = Design::new(spec.clone());
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            synth::generate_cells(&mut d, &mut rng);
+            black_box(place(&mut d, &mut rng))
+        });
+    });
+
+    let design = placed_design();
+    group.bench_function("global_route_fft_1", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            black_box(route_design(&design, &RouteConfig::default(), &mut rng))
+        });
+    });
+
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let route = route_design(&design, &RouteConfig::default(), &mut rng);
+    group.bench_function("drc_oracle_fft_1", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            black_box(run_drc(&design, &route, &DrcConfig::default(), &mut rng))
+        });
+    });
+
+    group.bench_function("extract_387_features_fft_1", |b| {
+        b.iter(|| black_box(extract_design(&design, &route)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, substrate_benches);
+criterion_main!(benches);

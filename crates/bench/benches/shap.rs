@@ -1,0 +1,64 @@
+//! Criterion benches for §III-C / §IV-B: the SHAP tree explainer's
+//! per-sample runtime (paper: 1.4 s/sample in Python) and the ablation
+//! against sampling-based estimation (the "approximations by sampling" the
+//! paper rejects as slow and inexact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcshap_core::pipeline::{build_design, PipelineConfig};
+use drcshap_forest::{RandomForest, RandomForestTrainer};
+use drcshap_ml::{Dataset, Trainer};
+use drcshap_netlist::suite;
+use drcshap_shap::{explain_forest, sampling, tree_shap};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn forest_and_probe(n_trees: usize) -> (RandomForest, Vec<f32>, Dataset) {
+    let config = PipelineConfig { scale: 0.3, ..Default::default() };
+    let bundle = build_design(&suite::spec("fft_1").unwrap(), &config);
+    let data = bundle.to_dataset();
+    let rf = RandomForestTrainer { n_trees, ..Default::default() }.fit(&data, 1);
+    let probe = data.row(data.n_samples() / 3).to_vec();
+    (rf, probe, data)
+}
+
+/// Per-sample explanation time vs forest size (the paper's 1.4 s/sample row).
+fn tree_explainer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_shap_per_sample");
+    for n_trees in [25usize, 100, 500] {
+        let (rf, probe, _) = forest_and_probe(n_trees);
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, _| {
+            b.iter(|| black_box(explain_forest(&rf, &probe)));
+        });
+    }
+    group.finish();
+}
+
+/// One tree, isolated (the O(leaves · depth²) kernel itself).
+fn single_tree(c: &mut Criterion) {
+    let (rf, probe, _) = forest_and_probe(50);
+    c.bench_function("tree_shap_single_tree", |b| {
+        b.iter(|| black_box(tree_shap(&rf.trees()[0], &probe)));
+    });
+}
+
+/// Ablation: exact tree explainer vs permutation sampling at increasing
+/// permutation budgets — sampling needs many model evaluations to approach
+/// what the tree explainer computes exactly.
+fn sampling_ablation(c: &mut Criterion) {
+    let (rf, probe, _) = forest_and_probe(25);
+    let mut group = c.benchmark_group("sampling_shap");
+    group.sample_size(10);
+    for perms in [1usize, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(perms), &perms, |b, &p| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(3);
+                black_box(sampling::sampling_shap(&rf, &probe, p, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tree_explainer, single_tree, sampling_ablation);
+criterion_main!(benches);

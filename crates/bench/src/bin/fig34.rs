@@ -1,0 +1,139 @@
+//! Regenerates **Fig. 3 / Fig. 4** of the paper: example DRC hotspots with
+//! their SHAP tree-explainer force plots, the actual DRC errors found at
+//! each hotspot, and a consistency verdict (the paper validates its three
+//! examples by comparing explanations with the routed layout; here the
+//! oracle's injected causes make the check mechanical).
+//!
+//! The model is trained with the paper's protocol: the explained design's
+//! group is excluded from training.
+//!
+//! ```text
+//! cargo run --release -p drcshap-bench --bin fig34
+//! ```
+
+use std::time::Instant;
+
+use drcshap_bench::env_pipeline;
+use drcshap_core::explain::Explainer;
+use drcshap_core::pipeline::{build_suite, DesignBundle};
+use drcshap_forest::RandomForestTrainer;
+use drcshap_geom::GcellId;
+use drcshap_netlist::suite;
+use drcshap_route::{render_heatmap, HeatSource};
+use drcshap_shap::ForceOptions;
+
+/// Fig. 3-style view: the congestion heatmap cropped around a hotspot, with
+/// actual DRC-error cells overlaid as `X`.
+fn render_fig3_crop(bundle: &DesignBundle, center: GcellId, source: HeatSource) -> String {
+    let full = render_heatmap(&bundle.route.congestion, source, |g| {
+        bundle.report.labels[bundle.design.grid.index_of(g)]
+    });
+    let (nx, ny) = bundle.design.grid.dims();
+    let radius = 10u32;
+    let (x0, x1) = (center.x.saturating_sub(radius), (center.x + radius + 1).min(nx));
+    let (y0, y1) = (center.y.saturating_sub(radius), (center.y + radius + 1).min(ny));
+    let mut out = String::new();
+    let lines: Vec<&str> = full.lines().collect();
+    out.push_str(lines[0]); // legend
+    out.push('\n');
+    // Rows render north-first: row index 1 + (ny - 1 - y).
+    for y in (y0..y1).rev() {
+        let row = lines[1 + (ny - 1 - y) as usize];
+        let slice: String = row.chars().skip(x0 as usize).take((x1 - x0) as usize).collect();
+        out.push_str(&slice);
+        if y == center.y {
+            out.push_str("   <- hotspot row");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let config = env_pipeline();
+    // The paper's examples come from des_perf_1 (group 4) and
+    // matrix_mult_a (mult_a, group 2). Train on everything else; explain
+    // hotspots in those two.
+    let explained = ["des_perf_1", "mult_a"];
+    let explained_groups: Vec<u8> = explained
+        .iter()
+        .map(|n| suite::spec(n).unwrap().group)
+        .collect();
+    let specs = suite::all_specs();
+    eprintln!("building the suite at scale {}...", config.scale);
+    let bundles = build_suite(&specs, &config);
+
+    let train_bundles: Vec<_> = bundles
+        .iter()
+        .filter(|b| !explained_groups.contains(&b.design.spec.group))
+        .cloned()
+        .collect();
+    eprintln!("training the RF on {} designs...", train_bundles.len());
+    let trainer = RandomForestTrainer {
+        n_trees: if std::env::var("DRCSHAP_FULL").is_ok() { 500 } else { 100 },
+        ..Default::default()
+    };
+    let explainer = Explainer::train(&train_bundles, &trainer, 42);
+
+    let options = ForceOptions { top_k: 8, bar_width: 24 };
+    let mut shap_seconds = Vec::new();
+    let mut printed_interactions = false;
+    for name in explained {
+        let bundle = bundles
+            .iter()
+            .find(|b| b.design.spec.name == name)
+            .expect("design in suite");
+        if bundle.report.num_hotspots() == 0 {
+            println!("== {name}: no hotspots at this scale, skipping\n");
+            continue;
+        }
+        println!("==== example hotspots from {name} ====\n");
+        let t0 = Instant::now();
+        let cases = explainer.select_cases(bundle, if name == "des_perf_1" { 2 } else { 1 });
+        for case in &cases {
+            let t1 = Instant::now();
+            // Re-explain to time a single explanation in isolation.
+            let idx = bundle.design.grid.index_of(case.gcell);
+            let _ = explainer.explain_gcell(bundle, idx);
+            shap_seconds.push(t1.elapsed().as_secs_f64());
+
+            println!("{}", render_fig3_crop(bundle, case.gcell, HeatSource::AllMetals));
+            println!("{}", explainer.render(case, &options));
+            let violations = bundle.report.violations_in(&bundle.design.grid, case.gcell);
+            println!("actual DRC errors in this g-cell (not visible at prediction time):");
+            for v in &violations {
+                println!("  - {v}");
+            }
+            let verdict = explainer.validate_case(case, bundle);
+            println!(
+                "explanation vs. actual errors: {}\n",
+                if verdict { "CONSISTENT" } else { "inconsistent" }
+            );
+            if !printed_interactions {
+                // SHAP interaction values for the first example (an
+                // extension beyond the paper; see DESIGN.md §4).
+                println!("{}", explainer.render_interactions(case, 5));
+                printed_interactions = true;
+            }
+        }
+        let _ = t0;
+    }
+
+    // Design-level triage of everything the model flags (extension beyond
+    // the paper's three examples).
+    if let Some(bundle) = bundles.iter().find(|b| b.design.spec.name == "des_perf_1") {
+        // Threshold chosen near the paper's FPR=0.5% operating region for
+        // small-scale runs; raise it at larger DRCSHAP_SCALE.
+        println!("{}", explainer.triage(bundle, 0.12, 100).render());
+    }
+
+    if !shap_seconds.is_empty() {
+        let mean = shap_seconds.iter().sum::<f64>() / shap_seconds.len() as f64;
+        println!(
+            "SHAP tree explainer runtime: {:.4} s/sample over {} samples \
+             (paper reports 1.4 s/sample with the Python shap package)",
+            mean,
+            shap_seconds.len()
+        );
+    }
+}

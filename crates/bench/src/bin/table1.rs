@@ -1,0 +1,62 @@
+//! Regenerates **Table I** of the paper: per-design statistics of the
+//! (synthetic) suite — g-cell count, DRC hotspot count, macro count, cell
+//! count and layout size — next to the published numbers.
+//!
+//! ```text
+//! cargo run --release -p drcshap-bench --bin table1
+//! ```
+
+use drcshap_bench::env_pipeline;
+use drcshap_core::pipeline::build_suite;
+use drcshap_netlist::suite;
+
+fn main() {
+    let config = env_pipeline();
+    println!(
+        "Table I reproduction at scale {} (paper numbers in parentheses)\n",
+        config.scale
+    );
+    println!(
+        "{:<12} {:>18} {:>18} {:>8} {:>14} {:>16}",
+        "Design", "# G-cells", "# DRC hotspots", "# Macros", "# Cells (k)", "Layout (um)"
+    );
+
+    let specs = suite::all_specs();
+    let bundles = build_suite(&specs, &config);
+    for group in 1..=5u8 {
+        let in_group: Vec<_> = bundles
+            .iter()
+            .filter(|b| b.design.spec.group == group)
+            .collect();
+        let gcells: usize = in_group.iter().map(|b| b.design.grid.num_cells()).sum();
+        let hotspots: usize = in_group.iter().map(|b| b.report.num_hotspots()).sum();
+        let t1_g: u32 = in_group.iter().map(|b| b.design.spec.table1.gcells).sum();
+        let t1_h: u32 = in_group.iter().map(|b| b.design.spec.table1.hotspots).sum();
+        println!(
+            "Group {group:<6} {gcells:>10} ({t1_g:>5}) {hotspots:>10} ({t1_h:>5})"
+        );
+        for b in in_group {
+            let spec = &b.design.spec;
+            let die = b.design.die;
+            println!(
+                "{:<12} {:>10} ({:>5}) {:>10} ({:>5}) {:>8} {:>8.1} ({:>5.1}) {:>7.0}x{:<7.0}",
+                spec.name,
+                b.design.grid.num_cells(),
+                spec.table1.gcells,
+                b.report.num_hotspots(),
+                spec.table1.hotspots,
+                b.design.netlist.num_macros(),
+                b.design.netlist.num_cells() as f64 / 1e3,
+                spec.table1.cells_k,
+                die.width() as f64 / 1e3,
+                die.height() as f64 / 1e3,
+            );
+        }
+    }
+    let total_hot: usize = bundles.iter().map(|b| b.report.num_hotspots()).sum();
+    let total_cells: usize = bundles.iter().map(|b| b.design.grid.num_cells()).sum();
+    println!(
+        "\nTotal: {total_cells} g-cells, {total_hot} hotspots ({:.2}% positive rate)",
+        100.0 * total_hot as f64 / total_cells as f64
+    );
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Table II** of the paper: the five-family model comparison
+//! under the grouped protocol — `TPR*`, `Prec*`, `A_prc` per design,
+//! averages, winning-design counts, model complexity and train/predict
+//! times — next to the paper's published averages.
+//!
+//! ```text
+//! # default: quick budget, 1/16-size dataset
+//! cargo run --release -p drcshap-bench --bin table2
+//! # paper-scale run
+//! DRCSHAP_FULL=1 DRCSHAP_BUDGET=paper cargo run --release -p drcshap-bench --bin table2
+//! # a subset of model families
+//! DRCSHAP_MODELS=rf,svm cargo run --release -p drcshap-bench --bin table2
+//! ```
+
+use drcshap_bench::{env_budget, env_families, env_pipeline, paper_table2_averages, paper_table2_wins};
+use drcshap_core::eval::{evaluate_models, EvalConfig};
+use drcshap_core::pipeline::build_suite;
+use drcshap_netlist::suite;
+
+fn main() {
+    let config = env_pipeline();
+    let families = env_families();
+    let budget = env_budget();
+    eprintln!(
+        "building the 14-design suite at scale {} (budget {budget:?}, {} families)...",
+        config.scale,
+        families.len()
+    );
+    let specs = suite::all_specs();
+    let bundles = build_suite(&specs, &config);
+    let positives: usize = bundles.iter().map(|b| b.report.num_hotspots()).sum();
+    let samples: usize = bundles.iter().map(|b| b.design.grid.num_cells()).sum();
+    eprintln!("dataset: {samples} samples, {positives} hotspots; training...");
+
+    let table = evaluate_models(
+        &bundles,
+        &EvalConfig { families: families.clone(), budget, seed: 42 },
+    );
+    println!("{}", table.render());
+
+    println!("\nPaper Table II averages for reference (TPR*, Prec*, A_prc | wins):");
+    for family in &families {
+        let (t, p, a) = paper_table2_averages(*family);
+        let (wt, wp, wa) = paper_table2_wins(*family);
+        let s = table.summary(*family);
+        println!(
+            "{:<14} paper: {t:.4} {p:.4} {a:.4} | {wt} {wp} {wa}    measured: {}",
+            family.display_name(),
+            s.map_or("-".to_owned(), |s| format!(
+                "{:.4} {:.4} {:.4} | {} {} {}",
+                s.avg_tpr, s.avg_prec, s.avg_auprc, s.wins_tpr, s.wins_prec, s.wins_auprc
+            ))
+        );
+    }
+}

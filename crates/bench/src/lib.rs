@@ -1,0 +1,93 @@
+#![warn(missing_docs)]
+//! Shared harness utilities for the table/figure regeneration binaries and
+//! Criterion benches: environment-driven configuration and the paper's
+//! published numbers for side-by-side reporting.
+//!
+//! Environment knobs (shared by all binaries):
+//!
+//! - `DRCSHAP_SCALE` — linear design scale in `(0, 1]` (default 0.25);
+//! - `DRCSHAP_FULL=1` — paper scale (overrides `DRCSHAP_SCALE`);
+//! - `DRCSHAP_BUDGET` — `quick` (default) or `paper` training budgets;
+//! - `DRCSHAP_MODELS` — comma-separated subset of `svm,rus,nn1,nn2,rf`
+//!   (default: all five).
+
+use drcshap_core::pipeline::PipelineConfig;
+use drcshap_core::zoo::{ModelBudget, ModelFamily};
+
+/// Reads the pipeline configuration from the environment.
+pub fn env_pipeline() -> PipelineConfig {
+    PipelineConfig::from_env()
+}
+
+/// Reads the training budget from `DRCSHAP_BUDGET`.
+pub fn env_budget() -> ModelBudget {
+    match std::env::var("DRCSHAP_BUDGET").as_deref() {
+        Ok("paper") => ModelBudget::Paper,
+        _ => ModelBudget::Quick,
+    }
+}
+
+/// Reads the model-family subset from `DRCSHAP_MODELS`.
+///
+/// # Panics
+///
+/// Panics on an unrecognized family token.
+pub fn env_families() -> Vec<ModelFamily> {
+    match std::env::var("DRCSHAP_MODELS") {
+        Err(_) => ModelFamily::ALL.to_vec(),
+        Ok(s) => s
+            .split(',')
+            .map(|tok| match tok.trim().to_ascii_lowercase().as_str() {
+                "svm" | "svm-rbf" => ModelFamily::SvmRbf,
+                "rus" | "rusboost" => ModelFamily::RusBoost,
+                "nn1" | "nn-1" => ModelFamily::Nn1,
+                "nn2" | "nn-2" => ModelFamily::Nn2,
+                "rf" => ModelFamily::Rf,
+                other => panic!("unknown model family {other:?} in DRCSHAP_MODELS"),
+            })
+            .collect(),
+    }
+}
+
+/// The paper's Table II per-family averages `(TPR*, Prec*, A_prc)` for
+/// side-by-side reporting.
+pub fn paper_table2_averages(family: ModelFamily) -> (f64, f64, f64) {
+    match family {
+        ModelFamily::SvmRbf => (0.4502, 0.4941, 0.4699),
+        ModelFamily::RusBoost => (0.3705, 0.4189, 0.4086),
+        ModelFamily::Nn1 => (0.2776, 0.3925, 0.3559),
+        ModelFamily::Nn2 => (0.2981, 0.4123, 0.3519),
+        ModelFamily::Rf => (0.5058, 0.5200, 0.5691),
+    }
+}
+
+/// The paper's Table II winning-design counts `(TPR*, Prec*, A_prc)`.
+pub fn paper_table2_wins(family: ModelFamily) -> (usize, usize, usize) {
+    match family {
+        ModelFamily::SvmRbf => (6, 6, 3),
+        ModelFamily::RusBoost => (2, 1, 0),
+        ModelFamily::Nn1 => (0, 0, 0),
+        ModelFamily::Nn2 => (1, 0, 0),
+        ModelFamily::Rf => (7, 7, 9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rf_leads_on_every_average() {
+        let (rf_t, rf_p, rf_a) = paper_table2_averages(ModelFamily::Rf);
+        for f in [ModelFamily::SvmRbf, ModelFamily::RusBoost, ModelFamily::Nn1, ModelFamily::Nn2] {
+            let (t, p, a) = paper_table2_averages(f);
+            assert!(rf_t > t && rf_p > p && rf_a > a);
+        }
+    }
+
+    #[test]
+    fn default_families_are_all_five() {
+        std::env::remove_var("DRCSHAP_MODELS");
+        assert_eq!(env_families().len(), 5);
+    }
+}

@@ -1,0 +1,189 @@
+//! The routability fix loop the paper's introduction motivates: predict DRC
+//! hotspots at the global-routing stage, pick the worst offenders, rip up
+//! and reroute the traffic crossing them ([`drcshap_route::reroute_around`]),
+//! re-extract features, and re-predict — all without detailed routing.
+//!
+//! Each iteration produces a real (legal) new global-routing state, so the
+//! recorded risk trajectory reflects what the router can actually deliver,
+//! not a synthetic congestion edit.
+
+use drcshap_features::extract_design;
+use drcshap_geom::GcellId;
+use drcshap_route::{reroute_around, RouteConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::explain::Explainer;
+use crate::pipeline::DesignBundle;
+
+/// Per-iteration record of the fix loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixIteration {
+    /// Cells predicted at or above the threshold *before* this iteration's
+    /// reroute.
+    pub predicted_hotspots: usize,
+    /// Mean predicted probability over those cells.
+    pub mean_risk: f64,
+    /// Connections ripped up and rerouted.
+    pub rerouted_conns: usize,
+    /// Total edge overflow after the reroute.
+    pub edge_overflow: f64,
+}
+
+/// The outcome of a [`run_fix_loop`] call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixLoopReport {
+    /// One record per executed iteration.
+    pub iterations: Vec<FixIteration>,
+    /// Predicted hotspots remaining after the final reroute.
+    pub remaining_hotspots: usize,
+    /// Mean predicted probability over the remaining hotspots (0 if none).
+    pub remaining_mean_risk: f64,
+}
+
+impl FixLoopReport {
+    /// Renders the risk trajectory as a small table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:>5} {:>12} {:>10} {:>10} {:>12}\n",
+            "iter", "predicted", "mean p", "rerouted", "overflow"
+        );
+        for (k, it) in self.iterations.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>5} {:>12} {:>10.3} {:>10} {:>12.1}\n",
+                k, it.predicted_hotspots, it.mean_risk, it.rerouted_conns, it.edge_overflow
+            ));
+        }
+        out.push_str(&format!(
+            "final {:>12} {:>10.3}\n",
+            self.remaining_hotspots, self.remaining_mean_risk
+        ));
+        out
+    }
+}
+
+/// Predicted hotspots of the bundle's current state: `(grid index, p)` for
+/// every cell scoring at or above `threshold`, strongest first.
+fn predicted_hotspots(explainer: &Explainer, bundle: &DesignBundle, threshold: f64) -> Vec<(usize, f64)> {
+    let mut hits: Vec<(usize, f64)> = (0..bundle.features.n_samples())
+        .map(|i| (i, explainer.forest().predict_proba(bundle.features.row(i))))
+        .filter(|&(_, p)| p >= threshold)
+        .collect();
+    hits.sort_by(|a, b| b.1.total_cmp(&a.1));
+    hits
+}
+
+/// Runs up to `max_iterations` predict→reroute rounds on `bundle`, mutating
+/// its route and features in place. Stops early when nothing scores at or
+/// above `threshold` or a round reroutes nothing.
+///
+/// `targets_per_iter` caps how many hotspots each round attacks (the
+/// strongest predictions first).
+pub fn run_fix_loop(
+    explainer: &Explainer,
+    bundle: &mut DesignBundle,
+    config: &RouteConfig,
+    threshold: f64,
+    targets_per_iter: usize,
+    max_iterations: usize,
+    seed: u64,
+) -> FixLoopReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut iterations = Vec::new();
+    for _ in 0..max_iterations {
+        let hits = predicted_hotspots(explainer, bundle, threshold);
+        if hits.is_empty() {
+            break;
+        }
+        let mean_risk = hits.iter().map(|&(_, p)| p).sum::<f64>() / hits.len() as f64;
+        let targets: Vec<GcellId> = hits
+            .iter()
+            .take(targets_per_iter)
+            .map(|&(i, _)| bundle.design.grid.cell_at_index(i))
+            .collect();
+        let (new_route, rerouted) =
+            reroute_around(&bundle.design, &bundle.route, &targets, config, &mut rng);
+        let stalled = rerouted == 0;
+        iterations.push(FixIteration {
+            predicted_hotspots: hits.len(),
+            mean_risk,
+            rerouted_conns: rerouted,
+            edge_overflow: new_route.edge_overflow,
+        });
+        bundle.route = new_route;
+        bundle.features = extract_design(&bundle.design, &bundle.route);
+        if stalled {
+            break;
+        }
+    }
+    let remaining = predicted_hotspots(explainer, bundle, threshold);
+    let remaining_mean_risk = if remaining.is_empty() {
+        0.0
+    } else {
+        remaining.iter().map(|&(_, p)| p).sum::<f64>() / remaining.len() as f64
+    };
+    FixLoopReport {
+        iterations,
+        remaining_hotspots: remaining.len(),
+        remaining_mean_risk,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{build_design, PipelineConfig};
+    use drcshap_forest::RandomForestTrainer;
+    use drcshap_netlist::suite;
+
+    #[test]
+    fn fix_loop_reduces_predicted_hotspots() {
+        let pconfig = PipelineConfig { scale: 0.25, ..Default::default() };
+        let mut bundle = build_design(&suite::spec("des_perf_1").unwrap(), &pconfig);
+        // Self-trained model: the loop mechanics are what is under test.
+        let trainer = RandomForestTrainer { n_trees: 30, ..Default::default() };
+        let explainer =
+            Explainer::train(std::slice::from_ref(&bundle), &trainer, 7);
+        let route_config = pconfig.route_for(&bundle.design.spec);
+
+        let hits = predicted_hotspots(&explainer, &bundle, 0.3);
+        assert!(!hits.is_empty(), "no predicted hotspots to fix");
+        // Track the cells the first round will attack: rerouting must cut
+        // *their* risk (displaced congestion may raise neighbours — the
+        // whack-a-mole a real routability loop also faces).
+        let targets: Vec<usize> = hits.iter().take(10).map(|&(i, _)| i).collect();
+        let risk_of = |b: &DesignBundle| {
+            targets
+                .iter()
+                .map(|&i| explainer.forest().predict_proba(b.features.row(i)))
+                .sum::<f64>()
+                / targets.len() as f64
+        };
+        let before = risk_of(&bundle);
+        let report =
+            run_fix_loop(&explainer, &mut bundle, &route_config, 0.3, 10, 3, 11);
+        assert!(!report.iterations.is_empty());
+        assert!(report.iterations[0].rerouted_conns > 0, "nothing rerouted");
+        let after = risk_of(&bundle);
+        assert!(
+            after < before,
+            "risk at the attacked cells did not drop: {before:.3} -> {after:.3}"
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("rerouted"));
+    }
+
+    #[test]
+    fn fix_loop_halts_when_nothing_scores_above_threshold() {
+        let pconfig = PipelineConfig { scale: 0.2, ..Default::default() };
+        let mut bundle = build_design(&suite::spec("des_perf_b").unwrap(), &pconfig);
+        let trainer = RandomForestTrainer { n_trees: 5, ..Default::default() };
+        let explainer = Explainer::train(std::slice::from_ref(&bundle), &trainer, 1);
+        let route_config = pconfig.route_for(&bundle.design.spec);
+        // des_perf_b is DRC-clean: the self-trained model scores ~0 everywhere.
+        let report = run_fix_loop(&explainer, &mut bundle, &route_config, 0.5, 5, 3, 1);
+        assert!(report.iterations.is_empty());
+        assert_eq!(report.remaining_hotspots, 0);
+    }
+}

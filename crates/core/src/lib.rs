@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! The paper's workflow (Fig. 1), end to end: synthetic design generation →
+//! placement → global routing → DRC labels → 387-feature extraction →
+//! grouped training/tuning → per-design evaluation → per-hotspot SHAP
+//! explanations.
+//!
+//! - [`pipeline`] — data acquisition: one [`pipeline::DesignBundle`] per
+//!   suite design, convertible to a labelled [`drcshap_ml::Dataset`];
+//! - [`zoo`] — the five model families of Table II with the paper's
+//!   hyperparameter anchors and tuning grids;
+//! - [`eval`] — the Table II protocol: leave-the-test-group-out training,
+//!   4-pass grouped grid search on AUPRC, retrain, evaluate
+//!   `TPR*`/`Prec*`/`A_prc` per design;
+//! - [`explain`] — the explanation service: train RF, pick example hotspots
+//!   by dominant cause (the paper's Fig. 3 (a)/(b)/(c) archetypes), render
+//!   Fig. 4-style force plots, validate explanations against the oracle's
+//!   injected causes, and triage whole designs by archetype;
+//! - [`flow`] — the closed loop the paper motivates: predict, rip up and
+//!   reroute the traffic over the worst predictions, re-extract, re-predict.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use drcshap_core::pipeline::{build_design, PipelineConfig};
+//! use drcshap_netlist::suite;
+//!
+//! let config = PipelineConfig { scale: 0.2, ..PipelineConfig::default() };
+//! let bundle = build_design(&suite::spec("fft_1").unwrap(), &config);
+//! println!(
+//!     "{}: {} g-cells, {} hotspots",
+//!     bundle.design.spec.name,
+//!     bundle.design.grid.num_cells(),
+//!     bundle.report.num_hotspots()
+//! );
+//! ```
+
+pub mod eval;
+pub mod explain;
+pub mod flow;
+pub mod pipeline;
+pub mod zoo;
+
+pub use eval::{evaluate_models, DesignMetrics, EvalConfig, Table2};
+pub use explain::{CaseArchetype, ExplanationCase, Explainer, TriageReport, TriageRow};
+pub use flow::{run_fix_loop, FixIteration, FixLoopReport};
+pub use pipeline::{build_design, build_suite, DesignBundle, PipelineConfig};
+pub use zoo::{ModelFamily, TrainedModel};

@@ -1,0 +1,165 @@
+//! The data-acquisition pipeline of the paper's Fig. 1, applied to the
+//! synthetic suite: generate → place → connect → globally route → label →
+//! extract features.
+
+use drcshap_drc::{run_drc, DrcConfig, DrcReport};
+use drcshap_features::{extract_design, FeatureMatrix};
+use drcshap_ml::Dataset;
+use drcshap_netlist::{suite::DesignSpec, synth, Design};
+use drcshap_place::place;
+use drcshap_route::{route_design, RouteConfig, RouteOutcome};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Pipeline parameters: dataset scale and the substrate configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Linear design scale (1.0 = paper scale; the default 0.25 yields
+    /// roughly 1/16 of the paper's ~146k samples).
+    pub scale: f64,
+    /// Base router configuration (capacity is derated per design below).
+    pub route: RouteConfig,
+    /// DRC oracle configuration.
+    pub drc: DrcConfig,
+    /// How strongly design stress derates routing capacity:
+    /// `capacity_scale = 1 − derate_slope · (stress − 0.25)`.
+    pub derate_slope: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.25,
+            route: RouteConfig::default(),
+            drc: DrcConfig::default(),
+            derate_slope: 0.4,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Reads the scale from the environment: `DRCSHAP_FULL=1` selects paper
+    /// scale, otherwise `DRCSHAP_SCALE` (a float in `(0, 1]`), otherwise the
+    /// default 0.25.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if std::env::var("DRCSHAP_FULL").is_ok_and(|v| v == "1") {
+            config.scale = 1.0;
+        } else if let Some(s) = std::env::var("DRCSHAP_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            assert!(s > 0.0 && s <= 1.0, "DRCSHAP_SCALE must be in (0, 1]");
+            config.scale = s;
+        }
+        config
+    }
+
+    /// The router config for one design, with stress-derated capacity.
+    pub fn route_for(&self, spec: &DesignSpec) -> RouteConfig {
+        let factor = (1.0 - self.derate_slope * (spec.stress() - 0.25)).clamp(0.05, 1.0);
+        self.route.clone().derated(factor)
+    }
+}
+
+/// Everything the pipeline produces for one design.
+#[derive(Debug, Clone)]
+pub struct DesignBundle {
+    /// The placed design.
+    pub design: Design,
+    /// Global-routing outcome (congestion map, routes).
+    pub route: RouteOutcome,
+    /// DRC oracle report (violations, hotspot labels).
+    pub report: DrcReport,
+    /// The 387-feature matrix, one row per g-cell.
+    pub features: FeatureMatrix,
+}
+
+impl DesignBundle {
+    /// Converts the bundle into a labelled dataset. Every sample carries the
+    /// design's Table I *group* as its group tag, so grouped CV folds form
+    /// directly.
+    pub fn to_dataset(&self) -> Dataset {
+        let (_, n, data) = self.features.clone().into_parts();
+        let labels = self.report.labels.clone();
+        let groups = vec![self.design.spec.group as u32; n];
+        Dataset::from_parts(data, labels, groups, 387)
+    }
+}
+
+/// Runs the full pipeline for one design spec (scaled by the config).
+///
+/// Deterministic: all randomness derives from the spec's name-based seed.
+pub fn build_design(spec: &DesignSpec, config: &PipelineConfig) -> DesignBundle {
+    let spec = spec.scaled(config.scale);
+    let mut design = Design::new(spec.clone());
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed());
+    synth::generate_cells(&mut design, &mut rng);
+    place(&mut design, &mut rng);
+    synth::generate_nets(&mut design, &mut rng);
+    let route = route_design(&design, &config.route_for(&spec), &mut rng);
+    let report = run_drc(&design, &route, &config.drc, &mut rng);
+    let features = extract_design(&design, &route);
+    DesignBundle { design, route, report, features }
+}
+
+/// Builds bundles for many specs in parallel (order preserved).
+pub fn build_suite(specs: &[DesignSpec], config: &PipelineConfig) -> Vec<DesignBundle> {
+    specs.par_iter().map(|s| build_design(s, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcshap_netlist::suite;
+
+    fn tiny() -> PipelineConfig {
+        PipelineConfig { scale: 0.2, ..Default::default() }
+    }
+
+    #[test]
+    fn bundle_is_internally_consistent() {
+        let bundle = build_design(&suite::spec("fft_1").unwrap(), &tiny());
+        let n = bundle.design.grid.num_cells();
+        assert_eq!(bundle.features.n_samples(), n);
+        assert_eq!(bundle.report.labels.len(), n);
+        assert_eq!(bundle.features.n_features(), 387);
+    }
+
+    #[test]
+    fn dataset_tags_samples_with_table_group() {
+        let bundle = build_design(&suite::spec("des_perf_1").unwrap(), &tiny());
+        let data = bundle.to_dataset();
+        assert_eq!(data.n_samples(), bundle.design.grid.num_cells());
+        assert!(data.groups().iter().all(|&g| g == 4)); // des_perf_1 is group 4
+        assert_eq!(data.num_positives(), bundle.report.num_hotspots());
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = build_design(&suite::spec("fft_2").unwrap(), &tiny());
+        let b = build_design(&suite::spec("fft_2").unwrap(), &tiny());
+        assert_eq!(a.report.num_hotspots(), b.report.num_hotspots());
+        assert_eq!(a.features.row(5), b.features.row(5));
+    }
+
+    #[test]
+    fn stressed_designs_get_derated_capacity() {
+        let config = tiny();
+        let hot = config.route_for(&suite::spec("des_perf_1").unwrap());
+        let cool = config.route_for(&suite::spec("des_perf_b").unwrap());
+        assert!(hot.capacity_scale < cool.capacity_scale);
+    }
+
+    #[test]
+    fn build_suite_preserves_order() {
+        let specs: Vec<_> = ["fft_1", "fft_2"]
+            .iter()
+            .map(|n| suite::spec(n).unwrap())
+            .collect();
+        let bundles = build_suite(&specs, &tiny());
+        assert_eq!(bundles[0].design.spec.name, "fft_1");
+        assert_eq!(bundles[1].design.spec.name, "fft_2");
+    }
+}

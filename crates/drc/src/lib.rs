@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! DRC label oracle for the `drcshap` workspace.
+//!
+//! The reproduced paper obtains ground-truth labels by detail-routing each
+//! design with Olympus-SoC and collecting the DRC error bounding boxes; a
+//! g-cell is a *DRC hotspot* iff it overlaps any error box. Detailed routing
+//! of the ISPD-2015 designs is not reproducible here (closed tool, closed
+//! results), so this crate implements the closest synthetic equivalent: a
+//! **stochastic DRC oracle** whose violation intensity is an explicit
+//! function of the true local causes the paper's analysis names — global
+//! routing edge overflow, via congestion, pin density, macro proximity,
+//! partial blockage (see [`DrcConfig`] for the weights).
+//!
+//! Because the causal structure is explicit, the oracle double-duties as a
+//! validation instrument: SHAP explanations of a trained model can be checked
+//! against the *injected* causes of each violation, strengthening the paper's
+//! qualitative Fig. 3/4 validation into an assertable one.
+//!
+//! # Example
+//!
+//! ```
+//! use drcshap_netlist::{suite, synth, Design};
+//! use drcshap_place::place;
+//! use drcshap_route::{route_design, RouteConfig};
+//! use drcshap_drc::{run_drc, DrcConfig};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let spec = suite::spec("fft_1").unwrap().scaled(0.25);
+//! let mut design = Design::new(spec);
+//! let mut rng = ChaCha8Rng::seed_from_u64(design.spec.seed());
+//! synth::generate_cells(&mut design, &mut rng);
+//! place(&mut design, &mut rng);
+//! synth::generate_nets(&mut design, &mut rng);
+//! let route = route_design(&design, &RouteConfig::default(), &mut rng);
+//! let report = run_drc(&design, &route, &DrcConfig::default(), &mut rng);
+//! assert_eq!(report.labels.len(), design.grid.num_cells());
+//! ```
+
+mod oracle;
+mod report;
+mod violation;
+
+pub use oracle::{run_drc, DrcConfig};
+pub use report::DrcReport;
+pub use violation::{Violation, ViolationKind};

@@ -1,0 +1,475 @@
+//! The stochastic DRC oracle: detailed routing + sign-off DRC condensed into
+//! an explicit risk model over global-routing-stage causes.
+
+use drcshap_geom::{GcellId, Point, Rect};
+use drcshap_netlist::Design;
+use drcshap_route::{MetalLayer, RouteOutcome, ViaLayer, ALL_METALS, ALL_VIAS};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::DrcReport;
+use crate::violation::{Violation, ViolationKind};
+
+/// Oracle weights and sampling parameters.
+///
+/// The risk intensity of a g-cell is a weighted sum of its true local
+/// causes; violations are then sampled proportionally to `risk^gamma` with
+/// multiplicative log-normal noise, plus a small fraction of "surprise"
+/// violations in unremarkable cells — detailed routing is not a
+/// deterministic function of the global-routing state, and neither is the
+/// oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrcConfig {
+    /// Weight of summed edge overflow (tracks over capacity) around a cell.
+    pub edge_overflow_weight: f64,
+    /// Weight of near-capacity edge utilization pressure.
+    pub edge_pressure_weight: f64,
+    /// Weight of via overflow inside the cell.
+    pub via_overflow_weight: f64,
+    /// Weight of near-capacity via utilization pressure.
+    pub via_pressure_weight: f64,
+    /// Weight of normalized pin density.
+    pub pin_density_weight: f64,
+    /// Weight of adjacency to a macro boundary.
+    pub macro_adjacency_weight: f64,
+    /// Weight of partial blockage coverage.
+    pub partial_blockage_weight: f64,
+    /// Sigma of the multiplicative log-normal risk noise.
+    pub noise_sigma: f64,
+    /// Fraction of violation sites drawn uniformly (surprises).
+    pub surprise_fraction: f64,
+    /// Exponent applied to risk when sampling violation sites.
+    pub sampling_gamma: f64,
+    /// Violation sites per calibrated target hotspot.
+    pub site_multiplier: f64,
+}
+
+impl Default for DrcConfig {
+    fn default() -> Self {
+        Self {
+            edge_overflow_weight: 1.0,
+            edge_pressure_weight: 0.3,
+            via_overflow_weight: 0.8,
+            via_pressure_weight: 0.25,
+            pin_density_weight: 0.3,
+            macro_adjacency_weight: 0.5,
+            partial_blockage_weight: 0.3,
+            noise_sigma: 0.2,
+            surprise_fraction: 0.03,
+            sampling_gamma: 4.0,
+            site_multiplier: 0.8,
+        }
+    }
+}
+
+/// Per-cell cause decomposition (used to pick violation layer and kind, and
+/// exposed to tests through [`run_drc`]'s risk field).
+#[derive(Debug, Clone, Default)]
+struct CellCauses {
+    edge_overflow: [f64; 5],
+    edge_pressure: [f64; 5],
+    via_overflow: [f64; 4],
+    via_pressure: [f64; 4],
+    pin_density: f64,
+    macro_adjacent: f64,
+    partial_blockage: f64,
+}
+
+impl CellCauses {
+    fn risk(&self, c: &DrcConfig) -> f64 {
+        let edge: f64 = self.edge_overflow.iter().sum::<f64>() * c.edge_overflow_weight
+            + self.edge_pressure.iter().sum::<f64>() * c.edge_pressure_weight;
+        let via: f64 = self.via_overflow.iter().sum::<f64>() * c.via_overflow_weight
+            + self.via_pressure.iter().sum::<f64>() * c.via_pressure_weight;
+        edge + via
+            + self.pin_density * c.pin_density_weight
+            + self.macro_adjacent * c.macro_adjacency_weight
+            + self.partial_blockage * c.partial_blockage_weight
+    }
+
+    /// Dominant metal layer by edge cause score.
+    fn dominant_metal(&self) -> (MetalLayer, f64) {
+        let mut best = (MetalLayer::M3, f64::MIN);
+        for m in ALL_METALS {
+            let s = self.edge_overflow[m.index()] + 0.5 * self.edge_pressure[m.index()];
+            if s > best.1 {
+                best = (m, s);
+            }
+        }
+        best
+    }
+
+    /// Dominant via layer by via cause score.
+    fn dominant_via(&self) -> (ViaLayer, f64) {
+        let mut best = (ViaLayer::V2, f64::MIN);
+        for v in ALL_VIAS {
+            let s = self.via_overflow[v.index()] + 0.5 * self.via_pressure[v.index()];
+            if s > best.1 {
+                best = (v, s);
+            }
+        }
+        best
+    }
+}
+
+/// Runs the DRC oracle over a routed design.
+///
+/// The number of violation sites is calibrated to the design spec's scaled
+/// Table I hotspot count; *which* cells get them follows the risk field.
+/// Deterministic for a given `rng` state.
+pub fn run_drc<R: Rng>(
+    design: &Design,
+    route: &RouteOutcome,
+    config: &DrcConfig,
+    rng: &mut R,
+) -> DrcReport {
+    let grid = &design.grid;
+    let n = grid.num_cells();
+    let causes = compute_causes(design, route);
+    let risk: Vec<f64> = causes
+        .iter()
+        .map(|c| c.risk(config) * log_normal(config.noise_sigma, rng))
+        .collect();
+
+    let target = design.spec.target_hotspots();
+    if target == 0 {
+        return DrcReport::from_violations(grid, Vec::new(), risk);
+    }
+    let num_sites = ((target as f64) * config.site_multiplier).round().max(1.0) as usize;
+    let num_surprise = ((num_sites as f64) * config.surprise_fraction).ceil() as usize;
+    let num_risky = num_sites.saturating_sub(num_surprise);
+
+    // Weighted sampling without replacement (exponential-key trick).
+    let mut keyed: Vec<(f64, usize)> = risk
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let w = (r.max(0.0) + 1e-9).powf(config.sampling_gamma);
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            (-u.ln() / w, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut sites: Vec<usize> = keyed.iter().take(num_risky).map(|&(_, i)| i).collect();
+    for _ in 0..num_surprise {
+        sites.push(rng.gen_range(0..n));
+    }
+
+    let mean_site_risk = {
+        let s: f64 = sites.iter().map(|&i| risk[i]).sum();
+        (s / sites.len().max(1) as f64).max(1e-9)
+    };
+
+    let mut violations = Vec::new();
+    for &site in &sites {
+        let g = grid.cell_at_index(site);
+        let r_norm = risk[site] / mean_site_risk;
+        let extra = ((r_norm * rng.gen_range(0.5..1.5)) as usize).min(20);
+        for _ in 0..1 + extra {
+            violations.push(sample_violation(grid, g, &causes[site], rng));
+        }
+    }
+    DrcReport::from_violations(grid, violations, risk)
+}
+
+/// A log-normal multiplier `exp(sigma · z)`, `z ~ N(0, 1)` via Box–Muller.
+fn log_normal<R: Rng>(sigma: f64, rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Computes the per-cell cause decomposition from the routed state.
+fn compute_causes(design: &Design, route: &RouteOutcome) -> Vec<CellCauses> {
+    let grid = &design.grid;
+    let n = grid.num_cells();
+    let map = &route.congestion;
+    let mut causes = vec![CellCauses::default(); n];
+
+    // Pin counts.
+    let mut pins = vec![0u32; n];
+    for (pid, _) in design.netlist.pins() {
+        if let Some(pos) = design.pin_position(pid) {
+            if let Some(g) = grid.cell_containing(pos) {
+                pins[grid.index_of(g)] += 1;
+            }
+        }
+    }
+    let mean_pins = {
+        let nz: Vec<u32> = pins.iter().copied().filter(|&p| p > 0).collect();
+        if nz.is_empty() {
+            1.0
+        } else {
+            nz.iter().sum::<u32>() as f64 / nz.len() as f64
+        }
+    };
+
+    // Blockage fractions.
+    let blockages: Vec<Rect> = design.blockages().collect();
+    let block_frac: Vec<f64> = grid
+        .iter()
+        .map(|g| {
+            let rect = grid.cell_rect(g);
+            let covered: i64 = blockages.iter().map(|b| b.overlap_area(&rect)).sum();
+            (covered as f64 / rect.area() as f64).min(1.0)
+        })
+        .collect();
+
+    for g in grid.iter() {
+        let i = grid.index_of(g);
+        let c = &mut causes[i];
+        for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+            let Some(nb) = grid.neighbor(g, dx, dy) else { continue };
+            for m in ALL_METALS {
+                let cap = map.edge_capacity(m, g, nb);
+                if cap <= 0.0 {
+                    continue;
+                }
+                let load = map.edge_load(m, g, nb);
+                c.edge_overflow[m.index()] += (load - cap).max(0.0);
+                c.edge_pressure[m.index()] += (load / cap - 0.9).max(0.0) * 4.0;
+            }
+        }
+        for v in ALL_VIAS {
+            let cap = map.via_capacity(v, g);
+            if cap <= 0.0 {
+                continue;
+            }
+            let load = map.via_load(v, g);
+            c.via_overflow[v.index()] += (load - cap).max(0.0);
+            c.via_pressure[v.index()] += (load / cap - 0.85).max(0.0) * 4.0;
+        }
+        // Only above-average pin crowding raises risk.
+        c.pin_density = (pins[i] as f64 / mean_pins - 1.0).max(0.0);
+        c.partial_blockage = if block_frac[i] > 0.0 && block_frac[i] < 0.95 { 1.0 } else { 0.0 };
+        // Macro adjacency: a largely-free cell next to a largely-blocked one.
+        if block_frac[i] < 0.5 {
+            let adjacent_block = (-1..=1).any(|dy| {
+                (-1..=1).any(|dx| {
+                    grid.neighbor(g, dx, dy)
+                        .map(|nb| block_frac[grid.index_of(nb)] > 0.5)
+                        .unwrap_or(false)
+                })
+            });
+            if adjacent_block {
+                c.macro_adjacent = 1.0;
+            }
+        }
+    }
+    causes
+}
+
+/// Samples one violation in cell `g`, with layer/kind following the cell's
+/// dominant cause (so explanations can be validated against injection).
+fn sample_violation<R: Rng>(
+    grid: &drcshap_geom::GcellGrid,
+    g: GcellId,
+    causes: &CellCauses,
+    rng: &mut R,
+) -> Violation {
+    let rect = grid.cell_rect(g);
+    let size = grid.gcell_size() as f64;
+
+    let (metal, metal_score) = causes.dominant_metal();
+    let (via, via_score) = causes.dominant_via();
+    let pin_score = causes.pin_density * 0.5;
+
+    let (kind, layer) = if via_score > metal_score && via_score > pin_score {
+        // Via crowding produces spacing errors on an adjacent metal
+        // (the paper's hotspot (b): dense V2/V3 vias cause EOLs in M3).
+        let layer = if rng.gen_bool(0.5) { via.lower_metal() } else { via.upper_metal() };
+        (ViolationKind::EolSpacing, layer)
+    } else if pin_score > metal_score {
+        // Pin crowding shows up as low-metal spacing violations.
+        let layer = if rng.gen_bool(0.5) { MetalLayer::M1 } else { MetalLayer::M2 };
+        (ViolationKind::DiffNetSpacing, layer)
+    } else {
+        (ViolationKind::Short, metal)
+    };
+
+    // Box size: mostly sub-cell and interior, occasionally elongated so it
+    // deliberately spans into a neighbouring g-cell.
+    let elongated = rng.gen_bool(0.15);
+    let (w, h) = if elongated {
+        (size * rng.gen_range(1.1..1.8), size * rng.gen_range(0.1..0.3))
+    } else {
+        (size * rng.gen_range(0.1..0.5), size * rng.gen_range(0.1..0.5))
+    };
+    let (cx, cy) = if elongated {
+        (
+            rng.gen_range(rect.lo.x..rect.hi.x) as f64,
+            rng.gen_range(rect.lo.y..rect.hi.y) as f64,
+        )
+    } else {
+        // Keep small boxes inside the cell.
+        let mx = (rect.width() as f64 * 0.3) as i64;
+        let my = (rect.height() as f64 * 0.3) as i64;
+        (
+            rng.gen_range(rect.lo.x + mx..rect.hi.x - mx) as f64,
+            rng.gen_range(rect.lo.y + my..rect.hi.y - my) as f64,
+        )
+    };
+    let bbox = Rect::new(
+        (cx - w / 2.0) as i64,
+        (cy - h / 2.0) as i64,
+        (cx + w / 2.0) as i64 + 1,
+        (cy + h / 2.0) as i64 + 1,
+    );
+    let _ = Point::new(0, 0); // geometry types fully imported
+    Violation { kind, layer, bbox }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcshap_netlist::{suite, synth, Design};
+    use drcshap_place::place;
+    use drcshap_route::{route_design, RouteConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn pipeline(name: &str, scale: f64) -> (Design, RouteOutcome, DrcReport) {
+        let spec = suite::spec(name).unwrap().scaled(scale);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(d.spec.seed());
+        synth::generate_cells(&mut d, &mut rng);
+        place(&mut d, &mut rng);
+        synth::generate_nets(&mut d, &mut rng);
+        let stress = d.spec.stress();
+        let cfg = RouteConfig::default().derated(1.0 - 0.4 * (stress - 0.25));
+        let route = route_design(&d, &cfg, &mut rng);
+        let report = run_drc(&d, &route, &DrcConfig::default(), &mut rng);
+        (d, route, report)
+    }
+
+    #[test]
+    fn clean_design_gets_no_violations() {
+        let (_, _, report) = pipeline("des_perf_b", 0.2);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.num_hotspots(), 0);
+    }
+
+    #[test]
+    fn hotspot_count_tracks_target() {
+        let (d, _, report) = pipeline("des_perf_1", 0.4);
+        let target = d.spec.target_hotspots();
+        let got = report.num_hotspots();
+        assert!(got > 0, "no hotspots produced");
+        // Within a factor of ~2.5 of the calibrated target.
+        assert!(
+            (got as f64) > target as f64 / 2.5 && (got as f64) < target as f64 * 2.5,
+            "hotspots {got} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn hotspots_concentrate_in_high_risk_cells() {
+        // Lift test: the hotspot rate inside the top risk decile must be at
+        // least 2.5x the overall rate.
+        let (d, _, report) = pipeline("des_perf_1", 0.4);
+        let n = d.grid.num_cells();
+        let mut by_risk: Vec<usize> = (0..n).collect();
+        by_risk.sort_by(|&a, &b| report.risk[b].total_cmp(&report.risk[a]));
+        let decile = n / 10;
+        let hot_in_top = by_risk[..decile].iter().filter(|&&i| report.labels[i]).count();
+        let top_rate = hot_in_top as f64 / decile as f64;
+        let base_rate = report.num_hotspots() as f64 / n as f64;
+        assert!(
+            top_rate > 2.5 * base_rate,
+            "no concentration: top-decile rate {top_rate:.3} vs base {base_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn violation_layers_follow_dominant_causes() {
+        let (d, route, report) = pipeline("des_perf_1", 0.4);
+        let causes = compute_causes(&d, &route);
+        // For hotspot cells whose dominant metal-edge cause is strong,
+        // shorts should sit on that layer most of the time.
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for v in &report.violations {
+            if v.kind != ViolationKind::Short {
+                continue;
+            }
+            let center = v.bbox.center();
+            let Some(g) = d.grid.cell_containing(center) else { continue };
+            let c = &causes[d.grid.index_of(g)];
+            let (dominant, score) = c.dominant_metal();
+            if score <= 0.0 {
+                continue;
+            }
+            total += 1;
+            if dominant == v.layer {
+                matches += 1;
+            }
+        }
+        if total >= 10 {
+            assert!(
+                matches as f64 > 0.5 * total as f64,
+                "only {matches}/{total} shorts on their dominant layer"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let (_, _, a) = pipeline("fft_2", 0.3);
+        let (_, _, b) = pipeline("fft_2", 0.3);
+        assert_eq!(a.violations.len(), b.violations.len());
+        assert_eq!(a.num_hotspots(), b.num_hotspots());
+    }
+
+    #[test]
+    fn violation_boxes_overlap_the_die() {
+        let (d, _, report) = pipeline("des_perf_1", 0.35);
+        assert!(!report.violations.is_empty());
+        for v in &report.violations {
+            assert!(
+                v.bbox.overlaps(&d.die),
+                "violation {v} entirely off-die {}",
+                d.die
+            );
+            assert!(v.bbox.area() > 0, "degenerate violation box");
+        }
+    }
+
+    #[test]
+    fn risk_field_covers_grid() {
+        let (d, _, report) = pipeline("fft_1", 0.3);
+        assert_eq!(report.risk.len(), d.grid.num_cells());
+        assert!(report.risk.iter().all(|r| r.is_finite() && *r >= 0.0));
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use drcshap_netlist::{suite, synth, Design};
+    use drcshap_place::place;
+    use drcshap_route::{route_design, RouteConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    #[ignore]
+    fn print_risk_stats() {
+        let spec = suite::spec("des_perf_1").unwrap().scaled(0.4);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(d.spec.seed());
+        synth::generate_cells(&mut d, &mut rng);
+        place(&mut d, &mut rng);
+        synth::generate_nets(&mut d, &mut rng);
+        let stress = d.spec.stress();
+        let cfg = RouteConfig::default().derated(1.0 - 0.4 * (stress - 0.25));
+        let route = route_design(&d, &cfg, &mut rng);
+        println!("edge_overflow={} overflowed_edges={} via_overflow={}", route.edge_overflow, route.overflowed_edges, route.via_overflow);
+        let causes = compute_causes(&d, &route);
+        let risks: Vec<f64> = causes.iter().map(|c| c.risk(&DrcConfig::default())).collect();
+        let mut sorted = risks.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        println!("n={} min={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}", n, sorted[0], sorted[n/2], sorted[n*9/10], sorted[n*99/100], sorted[n-1]);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Extraction of the paper's 387 per-g-cell features (Section II-A).
+//!
+//! Every data sample corresponds to one g-cell, expanded to a 3×3 window
+//! (Fig. 2). The feature vector concatenates, in a fixed canonical order:
+//!
+//! 1. **Placement features** — for each of the 9 window cells (blank-padded
+//!    at the layout boundary): normalized center x/y, #cells, #pins,
+//!    #clock pins, #local nets, #pins in local nets, #NDR pins, mean
+//!    pairwise pin spacing (Manhattan), blockage area %, std-cell area %
+//!    (9 × 11 = 99 features).
+//! 2. **Edge congestion** — for each of the 12 border edges inside the
+//!    window and each metal layer M1–M5: capacity `C`, load `L`, margin
+//!    `C − L` (12 × 5 × 3 = 180 features). An edge not in a layer's
+//!    preferred direction reads 0/0/0, as no wires of that layer cross it.
+//! 3. **Via congestion** — for each of the 9 window cells and each via
+//!    layer V1–V4: capacity, load, margin (9 × 4 × 3 = 108 features).
+//!
+//! Total: **387**, matching the paper. Feature names follow the paper's
+//! convention (Fig. 3(d)): `edM4_6V` is the margin (`d` = difference) of
+//! layer M4 on window edge `6V`; `vlV2_E` is the via load of layer V2 in the
+//! east neighbour; placement features use readable prefixes (`npin_o`,
+//! `pinsp_NE`, ...).
+//!
+//! # Example
+//!
+//! ```
+//! use drcshap_features::FeatureSchema;
+//!
+//! let schema = FeatureSchema::paper_387();
+//! assert_eq!(schema.len(), 387);
+//! assert!(schema.index_of("edM4_6V").is_some());
+//! assert!(schema.index_of("vlV2_E").is_some());
+//! ```
+
+mod extract;
+mod schema;
+
+pub use extract::{extract_design, extract_window, DesignStats, FeatureMatrix};
+pub use schema::{CongestionQuantity, FeatureDesc, FeatureSchema, PlacementQuantity};

@@ -1,0 +1,502 @@
+//! CART decision trees: weighted Gini splitting, flat node storage, and the
+//! per-node cover statistics the SHAP tree explainer requires.
+
+use drcshap_ml::{Classifier, Dataset, ModelComplexity, Trainer};
+use rand::seq::index::sample;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel child index marking a leaf.
+pub const LEAF: i32 = -1;
+
+/// One node of a [`DecisionTree`], in flat array storage.
+///
+/// Internal nodes route `x[feature] <= threshold` to `left`, else `right`
+/// (the scikit-learn convention). Leaves have `left == right == LEAF`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// Split feature index (unused on leaves).
+    pub feature: u32,
+    /// Split threshold (unused on leaves).
+    pub threshold: f32,
+    /// Left child index, or [`LEAF`].
+    pub left: i32,
+    /// Right child index, or [`LEAF`].
+    pub right: i32,
+    /// Node output: weighted positive fraction of training samples here.
+    pub value: f64,
+    /// Training-weight mass reaching this node (SHAP's cover).
+    pub cover: f64,
+}
+
+impl TreeNode {
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.left == LEAF
+    }
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<TreeNode>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// The flat node array (root at index 0).
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Number of features the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Maximum root-to-leaf depth (root counts as depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[TreeNode], i: usize) -> usize {
+            let n = &nodes[i];
+            if n.is_leaf() {
+                0
+            } else {
+                1 + walk(nodes, n.left as usize).max(walk(nodes, n.right as usize))
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    /// Mean leaf depth weighted by cover (expected prediction path length).
+    pub fn mean_path_length(&self) -> f64 {
+        fn walk(nodes: &[TreeNode], i: usize, depth: usize, acc: &mut (f64, f64)) {
+            let n = &nodes[i];
+            if n.is_leaf() {
+                acc.0 += n.cover * depth as f64;
+                acc.1 += n.cover;
+            } else {
+                walk(nodes, n.left as usize, depth + 1, acc);
+                walk(nodes, n.right as usize, depth + 1, acc);
+            }
+        }
+        let mut acc = (0.0, 0.0);
+        walk(&self.nodes, 0, 0, &mut acc);
+        if acc.1 > 0.0 {
+            acc.0 / acc.1
+        } else {
+            0.0
+        }
+    }
+
+    /// The probability-like output for one sample: the value of the leaf
+    /// the sample routes to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is smaller than the split features require.
+    pub fn predict(&self, x: &[f32]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let n = &self.nodes[i];
+            if n.is_leaf() {
+                return n.value;
+            }
+            i = if x[n.feature as usize] <= n.threshold {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn score(&self, x: &[f32]) -> f64 {
+        self.predict(x)
+    }
+
+    fn complexity(&self) -> ModelComplexity {
+        // feature + threshold + two children + value per stored node.
+        ModelComplexity {
+            num_parameters: self.nodes.len() * 5,
+            // One comparison + one index update per level, plus the leaf read.
+            prediction_ops: (self.mean_path_length() * 2.0).ceil() as usize + 1,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CART"
+    }
+}
+
+/// CART hyperparameters and trainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeTrainer {
+    /// Maximum depth; `None` grows unpruned trees (the paper's RF uses
+    /// "500 unpruned decision trees").
+    pub max_depth: Option<usize>,
+    /// Minimum weighted samples to attempt a split.
+    pub min_samples_split: f64,
+    /// Minimum weighted samples per leaf.
+    pub min_samples_leaf: f64,
+    /// Features tried per split; `None` = all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeTrainer {
+    fn default() -> Self {
+        Self {
+            max_depth: None,
+            min_samples_split: 2.0,
+            min_samples_leaf: 1.0,
+            max_features: None,
+        }
+    }
+}
+
+impl TreeTrainer {
+    /// Fits a tree with explicit per-sample weights (bagging counts, boosting
+    /// weights). Samples with zero weight are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != data.n_samples()` or all weights are zero.
+    pub fn fit_weighted(&self, data: &Dataset, weights: &[f64], seed: u64) -> DecisionTree {
+        assert_eq!(weights.len(), data.n_samples(), "weight count mismatch");
+        let indices: Vec<u32> = (0..data.n_samples() as u32)
+            .filter(|&i| weights[i as usize] > 0.0)
+            .collect();
+        assert!(!indices.is_empty(), "no samples with positive weight");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut builder = Builder {
+            data,
+            weights,
+            config: self,
+            nodes: Vec::new(),
+            rng: &mut rng,
+        };
+        builder.build(indices, 0);
+        DecisionTree { nodes: builder.nodes, n_features: data.n_features() }
+    }
+}
+
+impl Trainer for TreeTrainer {
+    type Model = DecisionTree;
+
+    fn fit(&self, data: &Dataset, seed: u64) -> DecisionTree {
+        self.fit_weighted(data, &vec![1.0; data.n_samples()], seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "CART"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "CART(depth={:?}, min_split={}, min_leaf={}, max_feat={:?})",
+            self.max_depth, self.min_samples_split, self.min_samples_leaf, self.max_features
+        )
+    }
+}
+
+struct Builder<'a, R: Rng> {
+    data: &'a Dataset,
+    weights: &'a [f64],
+    config: &'a TreeTrainer,
+    nodes: Vec<TreeNode>,
+    rng: &'a mut R,
+}
+
+impl<R: Rng> Builder<'_, R> {
+    /// Recursively builds the subtree over `indices`; returns its node index.
+    fn build(&mut self, indices: Vec<u32>, depth: usize) -> usize {
+        let (total_w, pos_w) = self.mass(&indices);
+        let value = if total_w > 0.0 { pos_w / total_w } else { 0.0 };
+        let node_index = self.nodes.len();
+        self.nodes.push(TreeNode {
+            feature: 0,
+            threshold: 0.0,
+            left: LEAF,
+            right: LEAF,
+            value,
+            cover: total_w,
+        });
+
+        let pure = pos_w <= 1e-12 || (total_w - pos_w) <= 1e-12;
+        let depth_capped = self.config.max_depth.is_some_and(|d| depth >= d);
+        if pure || depth_capped || total_w < self.config.min_samples_split {
+            return node_index;
+        }
+        let Some((feature, threshold)) = self.best_split(&indices) else {
+            return node_index;
+        };
+
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices
+            .into_iter()
+            .partition(|&i| self.data.row(i as usize)[feature as usize] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return node_index;
+        }
+        let left = self.build(left_idx, depth + 1);
+        let right = self.build(right_idx, depth + 1);
+        self.nodes[node_index].feature = feature;
+        self.nodes[node_index].threshold = threshold;
+        self.nodes[node_index].left = left as i32;
+        self.nodes[node_index].right = right as i32;
+        node_index
+    }
+
+    fn mass(&self, indices: &[u32]) -> (f64, f64) {
+        let mut total = 0.0;
+        let mut pos = 0.0;
+        for &i in indices {
+            let w = self.weights[i as usize];
+            total += w;
+            if self.data.label(i as usize) {
+                pos += w;
+            }
+        }
+        (total, pos)
+    }
+
+    /// The best (feature, threshold) by weighted Gini impurity decrease.
+    fn best_split(&mut self, indices: &[u32]) -> Option<(u32, f32)> {
+        let m = self.data.n_features();
+        let k = self.config.max_features.unwrap_or(m).min(m);
+        let features: Vec<usize> = if k == m {
+            (0..m).collect()
+        } else {
+            sample(self.rng, m, k).into_iter().collect()
+        };
+
+        let (total_w, pos_w) = self.mass(indices);
+        let parent_gini = gini(pos_w, total_w);
+        let min_leaf = self.config.min_samples_leaf;
+
+        let mut best: Option<(f64, u32, f32)> = None;
+        let mut column: Vec<(f32, f64, f64)> = Vec::with_capacity(indices.len());
+        for f in features {
+            column.clear();
+            for &i in indices {
+                let w = self.weights[i as usize];
+                let label_w = if self.data.label(i as usize) { w } else { 0.0 };
+                column.push((self.data.row(i as usize)[f], w, label_w));
+            }
+            column.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut left_w = 0.0;
+            let mut left_pos = 0.0;
+            for idx in 0..column.len() - 1 {
+                let (v, w, lw) = column[idx];
+                left_w += w;
+                left_pos += lw;
+                let next_v = column[idx + 1].0;
+                if v == next_v {
+                    continue; // not a valid threshold between distinct values
+                }
+                let right_w = total_w - left_w;
+                let right_pos = pos_w - left_pos;
+                if left_w < min_leaf || right_w < min_leaf {
+                    continue;
+                }
+                let score = parent_gini
+                    - (left_w / total_w) * gini(left_pos, left_w)
+                    - (right_w / total_w) * gini(right_pos, right_w);
+                // Midpoint threshold between distinct values.
+                let threshold = (v + next_v) / 2.0;
+                // Guard against f32 midpoint rounding up to next_v.
+                let threshold = if threshold >= next_v { v } else { threshold };
+                if best.is_none_or(|(s, _, _)| score > s) && score > 1e-12 {
+                    best = Some((score, f as u32, threshold));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+/// Gini impurity of a binary node with `pos` positive mass out of `total`.
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dataset(rows: &[(&[f32], bool)]) -> Dataset {
+        let m = rows[0].0.len();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (r, label) in rows {
+            x.extend_from_slice(r);
+            y.push(*label);
+        }
+        let n = y.len();
+        Dataset::from_parts(x, y, vec![0; n], m)
+    }
+
+    #[test]
+    fn splits_a_separable_feature() {
+        let data = dataset(&[
+            (&[0.0, 9.0], false),
+            (&[0.1, 8.0], false),
+            (&[0.9, 7.0], true),
+            (&[1.0, 9.5], true),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        assert_eq!(tree.predict(&[0.05, 0.0]), 0.0);
+        assert_eq!(tree.predict(&[0.95, 0.0]), 1.0);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn learns_xor_with_enough_depth() {
+        let data = dataset(&[
+            (&[0.0, 0.0], false),
+            (&[0.0, 1.0], true),
+            (&[1.0, 0.0], true),
+            (&[1.0, 1.0], false),
+            (&[0.0, 0.1], false),
+            (&[0.1, 1.0], true),
+            (&[1.0, 0.1], true),
+            (&[0.9, 1.0], false),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        assert!(tree.predict(&[0.0, 1.0]) > 0.5);
+        assert!(tree.predict(&[1.0, 1.0]) < 0.5);
+        assert!(tree.predict(&[0.0, 0.0]) < 0.5);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let data = dataset(&[
+            (&[0.0, 0.0], false),
+            (&[0.0, 1.0], true),
+            (&[1.0, 0.0], true),
+            (&[1.0, 1.0], false),
+        ]);
+        let stump = TreeTrainer { max_depth: Some(1), ..TreeTrainer::default() }.fit(&data, 0);
+        assert!(stump.depth() <= 1);
+    }
+
+    #[test]
+    fn covers_sum_correctly() {
+        let data = dataset(&[
+            (&[0.0], false),
+            (&[0.2], false),
+            (&[0.8], true),
+            (&[1.0], true),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        let root = &tree.nodes()[0];
+        assert_eq!(root.cover, 4.0);
+        // Children covers sum to parent cover.
+        for n in tree.nodes() {
+            if !n.is_leaf() {
+                let l = tree.nodes()[n.left as usize].cover;
+                let r = tree.nodes()[n.right as usize].cover;
+                assert!((l + r - n.cover).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_fit_respects_weights() {
+        // The single positive has huge weight: the root value reflects it.
+        let data = dataset(&[(&[0.0], false), (&[1.0], true)]);
+        let tree = TreeTrainer { max_depth: Some(0), ..TreeTrainer::default() }
+            .fit_weighted(&data, &[1.0, 9.0], 0);
+        assert!((tree.nodes()[0].value - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_samples_are_ignored() {
+        let data = dataset(&[(&[0.0], false), (&[1.0], true), (&[0.5], true)]);
+        let tree = TreeTrainer::default().fit_weighted(&data, &[1.0, 1.0, 0.0], 0);
+        assert_eq!(tree.nodes()[0].cover, 2.0);
+    }
+
+    #[test]
+    fn pure_nodes_do_not_split() {
+        let data = dataset(&[(&[0.0], true), (&[1.0], true)]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        assert_eq!(tree.nodes().len(), 1);
+        assert_eq!(tree.predict(&[0.5]), 1.0);
+    }
+
+    #[test]
+    fn complexity_counts_nodes() {
+        let data = dataset(&[
+            (&[0.0], false),
+            (&[0.4], false),
+            (&[0.6], true),
+            (&[1.0], true),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        let c = tree.complexity();
+        assert_eq!(c.num_parameters, tree.nodes().len() * 5);
+        assert!(c.prediction_ops >= 2);
+    }
+
+    proptest! {
+        /// Training accuracy is perfect on duplicate-free unpruned fits.
+        #[test]
+        fn prop_unpruned_tree_memorizes(
+            vals in prop::collection::hash_set(0u32..1000, 4..40)
+        ) {
+            let rows: Vec<(f32, bool)> = vals
+                .into_iter()
+                .map(|v| (v as f32 / 1000.0, v % 3 == 0))
+                .collect();
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for &(v, l) in &rows {
+                x.push(v);
+                y.push(l);
+            }
+            let n = y.len();
+            let data = Dataset::from_parts(x, y, vec![0; n], 1);
+            let tree = TreeTrainer::default().fit(&data, 0);
+            for &(v, l) in &rows {
+                let p = tree.predict(&[v]);
+                prop_assert_eq!(p > 0.5, l, "value {} label {}", v, l);
+            }
+        }
+
+        /// Predictions are always valid probabilities.
+        #[test]
+        fn prop_predictions_are_probabilities(
+            seed in any::<u64>(),
+            queries in prop::collection::vec(-2.0f32..2.0, 1..20)
+        ) {
+            let data = dataset(&[
+                (&[0.1, 0.5], false),
+                (&[0.3, 0.1], true),
+                (&[0.7, 0.9], false),
+                (&[0.9, 0.3], true),
+                (&[0.2, 0.2], true),
+            ]);
+            let tree = TreeTrainer {
+                max_features: Some(1),
+                ..TreeTrainer::default()
+            }
+            .fit(&data, seed);
+            for q in queries {
+                let p = tree.predict(&[q, -q]);
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

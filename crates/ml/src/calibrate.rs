@@ -1,0 +1,184 @@
+//! Probability calibration by isotonic regression (pool-adjacent-violators,
+//! PAVA). RF vote fractions and SVM margins rank well but are not calibrated
+//! probabilities; isotonic regression fits the best monotone map from score
+//! to empirical positive frequency, improving Brier score without changing
+//! the ranking (so AUPRC/`TPR*` are untouched).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted isotonic (monotone non-decreasing) score→probability map.
+///
+/// # Example
+///
+/// ```
+/// use drcshap_ml::IsotonicCalibrator;
+///
+/// let scores = [0.1, 0.2, 0.3, 0.8, 0.9];
+/// let labels = [false, false, true, true, true];
+/// let cal = IsotonicCalibrator::fit(&scores, &labels);
+/// assert!(cal.probability(0.85) >= cal.probability(0.15));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsotonicCalibrator {
+    /// Block-boundary scores, ascending.
+    boundaries: Vec<f64>,
+    /// Calibrated probability per block (non-decreasing).
+    values: Vec<f64>,
+}
+
+impl IsotonicCalibrator {
+    /// Fits the calibrator with PAVA on `(score, label)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or length mismatch.
+    pub fn fit(scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len(), "length mismatch");
+        assert!(!scores.is_empty(), "empty input");
+        // Sort by score; merge exact ties into single weighted points.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+        let mut points: Vec<(f64, f64, f64)> = Vec::new(); // (score, mean, weight)
+        for &i in &order {
+            let y = labels[i] as u8 as f64;
+            match points.last_mut() {
+                Some((s, mean, w)) if *s == scores[i] => {
+                    *mean = (*mean * *w + y) / (*w + 1.0);
+                    *w += 1.0;
+                }
+                _ => points.push((scores[i], y, 1.0)),
+            }
+        }
+        // PAVA: merge adjacent blocks that violate monotonicity.
+        let mut blocks: Vec<(f64, f64, f64)> = Vec::with_capacity(points.len());
+        for (s, mean, w) in points {
+            blocks.push((s, mean, w));
+            while blocks.len() >= 2 {
+                let n = blocks.len();
+                if blocks[n - 2].1 <= blocks[n - 1].1 {
+                    break;
+                }
+                let (s2, m2, w2) = blocks.pop().expect("n >= 2");
+                let (s1, m1, w1) = blocks.pop().expect("n >= 2");
+                blocks.push((s2.max(s1), (m1 * w1 + m2 * w2) / (w1 + w2), w1 + w2));
+            }
+        }
+        Self {
+            boundaries: blocks.iter().map(|&(s, _, _)| s).collect(),
+            values: blocks.iter().map(|&(_, m, _)| m).collect(),
+        }
+    }
+
+    /// The calibrated probability for `score` (step function; scores below
+    /// the first block clamp to its value, above the last to its value).
+    pub fn probability(&self, score: f64) -> f64 {
+        // Last block whose boundary is <= score.
+        match self.boundaries.partition_point(|&b| b <= score) {
+            0 => self.values[0],
+            k => self.values[k - 1],
+        }
+    }
+
+    /// Calibrates a batch of scores.
+    pub fn probabilities(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.probability(s)).collect()
+    }
+
+    /// Number of monotone blocks in the fitted map.
+    pub fn num_blocks(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confusion::brier_score;
+    use crate::metrics::roc_auc;
+    use proptest::prelude::*;
+
+    #[test]
+    fn output_is_monotone() {
+        let scores = [0.1, 0.4, 0.35, 0.8, 0.7, 0.9, 0.2];
+        let labels = [false, true, false, true, false, true, false];
+        let cal = IsotonicCalibrator::fit(&scores, &labels);
+        let mut prev = -1.0;
+        for s in [-1.0, 0.0, 0.15, 0.3, 0.5, 0.75, 0.95, 2.0] {
+            let p = cal.probability(s);
+            assert!(p >= prev, "not monotone at {s}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn perfectly_separable_data_calibrates_to_the_extremes() {
+        // PAVA merges only *violating* neighbours, so equal-mean blocks
+        // stay separate — but every negative block maps to 0 and every
+        // positive block to 1.
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        let cal = IsotonicCalibrator::fit(&scores, &labels);
+        assert_eq!(cal.num_blocks(), 4);
+        assert_eq!(cal.probability(0.15), 0.0);
+        assert_eq!(cal.probability(0.85), 1.0);
+        assert_eq!(cal.probability(-5.0), 0.0);
+        assert_eq!(cal.probability(5.0), 1.0);
+    }
+
+    #[test]
+    fn calibration_improves_brier_of_distorted_scores() {
+        // True probability is the score, but the model reports its square
+        // root (over-confident low end): isotonic should fix the distortion.
+        let n = 2000;
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = i as f64 / n as f64;
+            scores.push(p.sqrt());
+            labels.push((i * 769 % 1000) as f64 / 1000.0 < p);
+        }
+        let cal = IsotonicCalibrator::fit(&scores, &labels);
+        let calibrated = cal.probabilities(&scores);
+        let before = brier_score(&scores, &labels);
+        let after = brier_score(&calibrated, &labels);
+        assert!(after < before, "brier {before} -> {after} did not improve");
+    }
+
+    #[test]
+    fn calibration_preserves_ranking_metrics() {
+        let scores = [0.9, 0.7, 0.5, 0.3, 0.1, 0.95, 0.65];
+        let labels = [true, true, false, false, false, true, false];
+        let cal = IsotonicCalibrator::fit(&scores, &labels);
+        let calibrated = cal.probabilities(&scores);
+        // Isotonic maps are non-decreasing, so AUC cannot drop.
+        assert!(roc_auc(&calibrated, &labels) >= roc_auc(&scores, &labels) - 1e-12);
+    }
+
+    #[test]
+    fn tied_scores_are_pooled() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        let cal = IsotonicCalibrator::fit(&scores, &labels);
+        assert_eq!(cal.num_blocks(), 1);
+        assert_eq!(cal.probability(0.5), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fitted_map_is_monotone_everywhere(
+            scores in prop::collection::vec(0.0f64..1.0, 2..80),
+            flips in prop::collection::vec(any::<bool>(), 2..80),
+        ) {
+            let n = scores.len().min(flips.len());
+            let cal = IsotonicCalibrator::fit(&scores[..n], &flips[..n]);
+            let mut prev = f64::MIN;
+            for k in 0..=50 {
+                let p = cal.probability(k as f64 / 50.0);
+                prop_assert!(p >= prev - 1e-12);
+                prop_assert!((0.0..=1.0).contains(&p));
+                prev = p;
+            }
+        }
+    }
+}

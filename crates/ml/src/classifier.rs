@@ -1,0 +1,120 @@
+//! The classifier abstraction shared by all model families, and the model
+//! complexity accounting of the paper's Table II (`# Model param.`,
+//! `# Prediction op.`).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Model size and per-prediction cost, as reported in Table II.
+///
+/// *Parameters* counts every stored number the model needs at prediction
+/// time (support vectors, tree node fields, NN weights). *Prediction ops*
+/// counts arithmetic operations for scoring one sample (the paper's
+/// "number of predictive operations" complexity metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ModelComplexity {
+    /// Stored parameters.
+    pub num_parameters: usize,
+    /// Arithmetic operations per single-sample prediction.
+    pub prediction_ops: usize,
+}
+
+impl std::fmt::Display for ModelComplexity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1}k params, {:.1}k ops/prediction",
+            self.num_parameters as f64 / 1e3,
+            self.prediction_ops as f64 / 1e3
+        )
+    }
+}
+
+/// A trained binary scorer: maps a feature row to a continuous score where
+/// higher means more likely positive (a probability for RF/NN, a margin for
+/// SVM — the metrics are threshold-free, so any monotone score works).
+pub trait Classifier: Send + Sync {
+    /// Scores one sample.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len()` differs from the training
+    /// feature count.
+    fn score(&self, x: &[f32]) -> f64;
+
+    /// Scores every sample of `data` (parallelized by default).
+    fn score_dataset(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.n_samples())
+            .into_par_iter()
+            .map(|i| self.score(data.row(i)))
+            .collect()
+    }
+
+    /// Size/cost accounting for Table II.
+    fn complexity(&self) -> ModelComplexity;
+
+    /// Short model-family name (`"RF"`, `"SVM-RBF"`, ...).
+    fn name(&self) -> &'static str;
+}
+
+/// A model-family trainer: hyperparameters live on the implementing struct,
+/// so a grid of trainers *is* a hyperparameter grid.
+pub trait Trainer: Send + Sync {
+    /// The trained model type.
+    type Model: Classifier;
+
+    /// Fits a model on `data`, deterministically for a given `seed`.
+    fn fit(&self, data: &Dataset, seed: u64) -> Self::Model;
+
+    /// Short model-family name, matching `Classifier::name`.
+    fn name(&self) -> &'static str;
+
+    /// A compact description of this trainer's hyperparameters.
+    fn describe(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial threshold model over feature 0 for trait plumbing tests.
+    struct Stump(f32);
+
+    impl Classifier for Stump {
+        fn score(&self, x: &[f32]) -> f64 {
+            f64::from(x[0] - self.0)
+        }
+        fn complexity(&self) -> ModelComplexity {
+            ModelComplexity { num_parameters: 1, prediction_ops: 2 }
+        }
+        fn name(&self) -> &'static str {
+            "stump"
+        }
+    }
+
+    #[test]
+    fn score_dataset_matches_pointwise() {
+        let data = Dataset::from_parts(
+            vec![0.5, 0.0, 1.5, 0.0, -1.0, 0.0],
+            vec![true, true, false],
+            vec![0, 0, 0],
+            2,
+        );
+        let m = Stump(1.0);
+        let scores = m.score_dataset(&data);
+        assert_eq!(scores.len(), 3);
+        for (i, &s) in scores.iter().enumerate() {
+            assert_eq!(s, m.score(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn complexity_displays_in_thousands() {
+        let c = ModelComplexity { num_parameters: 4_269_700, prediction_ops: 34_300 };
+        let s = c.to_string();
+        assert!(s.contains("4269.7k"));
+        assert!(s.contains("34.3k"));
+    }
+}

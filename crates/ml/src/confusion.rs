@@ -1,0 +1,264 @@
+//! Thresholded-classification diagnostics: the confusion matrix and the
+//! derived single-threshold metrics prior DRC-prediction works report
+//! (TPR/FPR in [2], [3], [5], [6]), plus probability-quality measures
+//! (Brier score, calibration curve) for models that output probabilities.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix at a fixed classification threshold.
+///
+/// # Example
+///
+/// ```
+/// use drcshap_ml::ConfusionMatrix;
+///
+/// let scores = [0.9, 0.8, 0.3, 0.1];
+/// let labels = [true, false, true, false];
+/// let cm = ConfusionMatrix::at_threshold(&scores, &labels, 0.5);
+/// assert_eq!((cm.tp, cm.fp, cm.tn, cm.fn_), (1, 1, 1, 1));
+/// assert_eq!(cm.accuracy(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives (`fn` is a keyword).
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Counts outcomes with `score >= threshold` predicted positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` and `labels` differ in length.
+    pub fn at_threshold(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len(), "length mismatch");
+        let mut cm = ConfusionMatrix::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s >= threshold, l) {
+                (true, true) => cm.tp += 1,
+                (true, false) => cm.fp += 1,
+                (false, false) => cm.tn += 1,
+                (false, true) => cm.fn_ += 1,
+            }
+        }
+        cm
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions — the metric §III-B argues is
+    /// misleading for rare events (a constant "negative" predictor gets
+    /// ~98% here).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Recall / true positive rate (0 when no positives exist).
+    pub fn recall(&self) -> f64 {
+        let p = self.tp + self.fn_;
+        if p == 0 {
+            0.0
+        } else {
+            self.tp as f64 / p as f64
+        }
+    }
+
+    /// False positive rate (0 when no negatives exist).
+    pub fn fpr(&self) -> f64 {
+        let n = self.fp + self.tn;
+        if n == 0 {
+            0.0
+        } else {
+            self.fp as f64 / n as f64
+        }
+    }
+
+    /// Precision (0 when nothing predicted positive).
+    pub fn precision(&self) -> f64 {
+        let pp = self.tp + self.fp;
+        if pp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / pp as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall; 0 when undefined).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Matthews correlation coefficient (0 when any margin is empty).
+    pub fn mcc(&self) -> f64 {
+        let (tp, fp, tn, fn_) = (self.tp as f64, self.fp as f64, self.tn as f64, self.fn_ as f64);
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TP {} FP {} TN {} FN {} (acc {:.3}, recall {:.3}, prec {:.3}, F1 {:.3})",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            self.accuracy(),
+            self.recall(),
+            self.precision(),
+            self.f1()
+        )
+    }
+}
+
+/// The Brier score `mean((p − y)²)` of probabilistic predictions — lower is
+/// better, 0.25 is the constant-0.5 baseline.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn brier_score(probs: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    assert!(!probs.is_empty(), "empty input");
+    probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| (p - if l { 1.0 } else { 0.0 }).powi(2))
+        .sum::<f64>()
+        / probs.len() as f64
+}
+
+/// An equal-width-bin calibration curve: for each bin, the mean predicted
+/// probability, the observed positive fraction, and the bin count (empty
+/// bins are skipped).
+///
+/// # Panics
+///
+/// Panics on length mismatch, empty input, or `bins == 0`.
+pub fn calibration_curve(probs: &[f64], labels: &[bool], bins: usize) -> Vec<(f64, f64, usize)> {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    assert!(!probs.is_empty(), "empty input");
+    assert!(bins > 0, "need at least one bin");
+    let mut sums = vec![(0.0f64, 0usize, 0usize); bins]; // (pred sum, positives, count)
+    for (&p, &l) in probs.iter().zip(labels) {
+        let b = ((p * bins as f64) as usize).min(bins - 1);
+        sums[b].0 += p;
+        sums[b].1 += l as usize;
+        sums[b].2 += 1;
+    }
+    sums.into_iter()
+        .filter(|&(_, _, c)| c > 0)
+        .map(|(s, pos, c)| (s / c as f64, pos as f64 / c as f64, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_negative_predictor_has_high_accuracy_but_zero_recall() {
+        // The paper's §III-B argument in one test.
+        let scores = vec![0.0f64; 1000];
+        let labels: Vec<bool> = (0..1000).map(|i| i < 20).collect();
+        let cm = ConfusionMatrix::at_threshold(&scores, &labels, 0.5);
+        assert!(cm.accuracy() > 0.97);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.mcc(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier_maxes_everything() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [true, true, false, false];
+        let cm = ConfusionMatrix::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.f1(), 1.0);
+        assert!((cm.mcc() - 1.0).abs() < 1e-12);
+        assert_eq!(cm.fpr(), 0.0);
+    }
+
+    #[test]
+    fn inverted_classifier_has_negative_mcc() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [true, true, false, false];
+        let cm = ConfusionMatrix::at_threshold(&scores, &labels, 0.5);
+        assert!((cm.mcc() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brier_rewards_sharp_correct_probabilities() {
+        let labels = [true, false, true, false];
+        let sharp = [0.95, 0.05, 0.9, 0.1];
+        let blunt = [0.55, 0.45, 0.6, 0.4];
+        assert!(brier_score(&sharp, &labels) < brier_score(&blunt, &labels));
+        assert!((brier_score(&[0.5; 4], &labels) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_curve_of_perfectly_calibrated_probs() {
+        // p = observed frequency by construction.
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..1000 {
+            let p = (i % 10) as f64 / 10.0 + 0.05;
+            probs.push(p);
+            labels.push((i * 7 % 100) as f64 / 100.0 < p);
+        }
+        let curve = calibration_curve(&probs, &labels, 10);
+        for (pred, obs, count) in curve {
+            assert!(count > 0);
+            assert!((pred - obs).abs() < 0.15, "bin at {pred}: observed {obs}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_confusion_counts_partition(
+            scores in prop::collection::vec(0.0f64..1.0, 1..100),
+            threshold in 0.0f64..1.0,
+        ) {
+            let labels: Vec<bool> = scores.iter().map(|&s| s > 0.6).collect();
+            let cm = ConfusionMatrix::at_threshold(&scores, &labels, threshold);
+            prop_assert_eq!(cm.total(), scores.len());
+            prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+            prop_assert!((-1.0..=1.0).contains(&cm.mcc()));
+        }
+
+        #[test]
+        fn prop_brier_bounded(
+            probs in prop::collection::vec(0.0f64..=1.0, 1..60),
+            flips in prop::collection::vec(any::<bool>(), 1..60),
+        ) {
+            let n = probs.len().min(flips.len());
+            let b = brier_score(&probs[..n], &flips[..n]);
+            prop_assert!((0.0..=1.0).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Datasets: dense `f32` feature matrices with boolean labels and per-sample
+//! group tags (the design each sample came from).
+
+use serde::{Deserialize, Serialize};
+
+/// A supervised binary-classification dataset.
+///
+/// Samples are rows of a dense row-major `f32` matrix. Each sample carries a
+/// `group` tag identifying its source design; the evaluation protocol splits
+/// by group, never by sample.
+///
+/// # Example
+///
+/// ```
+/// use drcshap_ml::Dataset;
+///
+/// let data = Dataset::from_parts(
+///     vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+///     vec![true, false, true],
+///     vec![0, 0, 1],
+///     2,
+/// );
+/// assert_eq!(data.n_samples(), 3);
+/// assert_eq!(data.row(1), &[2.0, 3.0]);
+/// assert_eq!(data.num_positives(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    x: Vec<f32>,
+    y: Vec<bool>,
+    groups: Vec<u32>,
+    n_features: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are inconsistent.
+    pub fn from_parts(x: Vec<f32>, y: Vec<bool>, groups: Vec<u32>, n_features: usize) -> Self {
+        assert!(n_features > 0, "need at least one feature");
+        assert_eq!(x.len() % n_features, 0, "matrix size not divisible by n_features");
+        let n = x.len() / n_features;
+        assert_eq!(y.len(), n, "label count mismatch");
+        assert_eq!(groups.len(), n, "group count mismatch");
+        Self { x, y, groups, n_features }
+    }
+
+    /// An empty dataset with `n_features` columns (extend with [`Dataset::append`]).
+    pub fn empty(n_features: usize) -> Self {
+        Self::from_parts(Vec::new(), Vec::new(), Vec::new(), n_features)
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.x[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label(&self, i: usize) -> bool {
+        self.y[i]
+    }
+
+    /// The group tag of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn group(&self, i: usize) -> u32 {
+        self.groups[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.y
+    }
+
+    /// All group tags.
+    pub fn groups(&self) -> &[u32] {
+        &self.groups
+    }
+
+    /// The raw row-major feature storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.x
+    }
+
+    /// Number of positive samples.
+    pub fn num_positives(&self) -> usize {
+        self.y.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of positive samples (0.0 on an empty dataset).
+    pub fn positive_rate(&self) -> f64 {
+        if self.y.is_empty() {
+            0.0
+        } else {
+            self.num_positives() as f64 / self.y.len() as f64
+        }
+    }
+
+    /// The distinct group tags, ascending.
+    pub fn distinct_groups(&self) -> Vec<u32> {
+        let mut gs: Vec<u32> = self.groups.clone();
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+
+    /// A new dataset containing the rows at `indices`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut x = Vec::with_capacity(indices.len() * self.n_features);
+        let mut y = Vec::with_capacity(indices.len());
+        let mut groups = Vec::with_capacity(indices.len());
+        for &i in indices {
+            x.extend_from_slice(self.row(i));
+            y.push(self.y[i]);
+            groups.push(self.groups[i]);
+        }
+        Dataset::from_parts(x, y, groups, self.n_features)
+    }
+
+    /// The rows whose group tag passes `keep` — used for grouped splits.
+    pub fn filter_groups(&self, keep: impl Fn(u32) -> bool) -> Dataset {
+        let indices: Vec<usize> =
+            (0..self.n_samples()).filter(|&i| keep(self.groups[i])).collect();
+        self.subset(&indices)
+    }
+
+    /// A new dataset keeping only the feature columns at `columns`, in the
+    /// given order (labels and groups unchanged) — for feature-group
+    /// ablations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or any index is out of range.
+    pub fn select_features(&self, columns: &[usize]) -> Dataset {
+        assert!(!columns.is_empty(), "empty column selection");
+        assert!(
+            columns.iter().all(|&c| c < self.n_features),
+            "column index out of range"
+        );
+        let mut x = Vec::with_capacity(self.n_samples() * columns.len());
+        for i in 0..self.n_samples() {
+            let row = self.row(i);
+            for &c in columns {
+                x.push(row[c]);
+            }
+        }
+        Dataset::from_parts(x, self.y.clone(), self.groups.clone(), columns.len())
+    }
+
+    /// Appends all samples of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature counts differ.
+    pub fn append(&mut self, other: &Dataset) {
+        assert_eq!(self.n_features, other.n_features, "feature count mismatch");
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+        self.groups.extend_from_slice(&other.groups);
+    }
+
+    /// Serializes to CSV: a header (`feature_names` if given, else `f0..`),
+    /// then one row per sample with trailing `label` and `group` columns —
+    /// the interchange format for external ML tooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_names` is given with the wrong length.
+    pub fn to_csv(&self, feature_names: Option<&[String]>) -> String {
+        if let Some(names) = feature_names {
+            assert_eq!(names.len(), self.n_features, "name count mismatch");
+        }
+        let mut out = String::new();
+        for j in 0..self.n_features {
+            match feature_names {
+                Some(names) => out.push_str(&names[j]),
+                None => out.push_str(&format!("f{j}")),
+            }
+            out.push(',');
+        }
+        out.push_str("label,group\n");
+        for i in 0..self.n_samples() {
+            for &v in self.row(i) {
+                out.push_str(&format!("{v},"));
+            }
+            out.push_str(&format!("{},{}\n", self.y[i] as u8, self.groups[i]));
+        }
+        out
+    }
+
+    /// Parses the CSV dialect written by [`Dataset::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn from_csv(text: &str) -> Result<Dataset, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        let columns: Vec<&str> = header.split(',').collect();
+        if columns.len() < 3 || columns[columns.len() - 2] != "label" {
+            return Err("header must end with label,group".to_owned());
+        }
+        let m = columns.len() - 2;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut groups = Vec::new();
+        for (k, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != m + 2 {
+                return Err(format!("line {}: expected {} fields, got {}", k + 2, m + 2, fields.len()));
+            }
+            for f in &fields[..m] {
+                x.push(f.parse::<f32>().map_err(|e| format!("line {}: {e}", k + 2))?);
+            }
+            y.push(fields[m] == "1");
+            groups.push(fields[m + 1].parse::<u32>().map_err(|e| format!("line {}: {e}", k + 2))?);
+        }
+        if y.is_empty() {
+            return Err("no data rows".to_owned());
+        }
+        Ok(Dataset::from_parts(x, y, groups, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_parts(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            vec![true, false, false, true],
+            vec![0, 0, 1, 2],
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.n_samples(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(2), &[4.0, 5.0]);
+        assert!(d.label(3));
+        assert_eq!(d.group(2), 1);
+        assert_eq!(d.num_positives(), 2);
+        assert_eq!(d.positive_rate(), 0.5);
+        assert_eq!(d.distinct_groups(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let d = toy();
+        let s = d.subset(&[3, 0]);
+        assert_eq!(s.n_samples(), 2);
+        assert_eq!(s.row(0), &[6.0, 7.0]);
+        assert_eq!(s.row(1), &[0.0, 1.0]);
+        assert_eq!(s.groups(), &[2, 0]);
+    }
+
+    #[test]
+    fn filter_groups_splits_by_design() {
+        let d = toy();
+        let train = d.filter_groups(|g| g != 0);
+        assert_eq!(train.n_samples(), 2);
+        assert!(train.groups().iter().all(|&g| g != 0));
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut d = toy();
+        let e = toy();
+        d.append(&e);
+        assert_eq!(d.n_samples(), 8);
+        assert_eq!(d.row(4), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn bad_dims_rejected() {
+        let _ = Dataset::from_parts(vec![0.0; 4], vec![true], vec![0], 2);
+    }
+
+    #[test]
+    fn select_features_projects_columns() {
+        let d = toy();
+        let p = d.select_features(&[1]);
+        assert_eq!(p.n_features(), 1);
+        assert_eq!(p.row(0), &[1.0]);
+        assert_eq!(p.row(3), &[7.0]);
+        assert_eq!(p.labels(), d.labels());
+        // Reordering works too.
+        let swapped = d.select_features(&[1, 0]);
+        assert_eq!(swapped.row(2), &[5.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_features_checks_bounds() {
+        let _ = toy().select_features(&[2]);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let d = toy();
+        let names: Vec<String> = (0..2).map(|i| format!("feat_{i}")).collect();
+        let csv = d.to_csv(Some(&names));
+        assert!(csv.starts_with("feat_0,feat_1,label,group\n"));
+        let parsed = Dataset::from_csv(&csv).expect("parse back");
+        assert_eq!(parsed, d);
+        // Default headers also round-trip.
+        let parsed2 = Dataset::from_csv(&d.to_csv(None)).expect("parse back");
+        assert_eq!(parsed2, d);
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected_with_line_numbers() {
+        assert!(Dataset::from_csv("").is_err());
+        assert!(Dataset::from_csv("a,b\n1,2\n").is_err()); // no label,group
+        let e = Dataset::from_csv("f0,label,group\n1.0,1\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        let e = Dataset::from_csv("f0,label,group\nxyz,1,0\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn empty_dataset_behaves() {
+        let d = Dataset::empty(3);
+        assert_eq!(d.n_samples(), 0);
+        assert_eq!(d.positive_rate(), 0.0);
+        assert!(d.distinct_groups().is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! Evaluation metrics for rare-event classification, per the paper's
+//! Section III-B: ROC and precision-recall curves, their areas, and the
+//! fixed-FPR operating point (`TPR*`, `Prec*` at FPR = 0.5%).
+//!
+//! Ties in scores are handled sklearn-style: samples with equal scores enter
+//! the confusion counts together, so curves are invariant to the ordering of
+//! tied samples.
+
+use serde::{Deserialize, Serialize};
+
+/// The FPR at which the paper reports `TPR*` and `Prec*` (0.5%).
+pub const PAPER_FPR: f64 = 0.005;
+
+/// A point on the score threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Classification threshold (score ≥ threshold ⇒ positive).
+    pub threshold: f64,
+    /// True positive rate (recall) at the threshold.
+    pub tpr: f64,
+    /// False positive rate at the threshold.
+    pub fpr: f64,
+    /// Precision at the threshold (1.0 when nothing is predicted positive).
+    pub precision: f64,
+}
+
+/// Sweeps thresholds from high to low, yielding cumulative confusion counts
+/// `(threshold, tp, fp)` at each distinct score.
+fn sweep(scores: &[f64], labels: &[bool]) -> Vec<(f64, usize, usize)> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "empty inputs");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut out = Vec::new();
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume the whole tie group.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        out.push((threshold, tp, fp));
+    }
+    out
+}
+
+/// The ROC curve as `(fpr, tpr)` points, from (0,0) to (1,1).
+///
+/// # Panics
+///
+/// Panics on empty input, or when either class is absent (the curve is
+/// undefined then — the paper excludes DRC-clean designs for this reason).
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    assert!(pos > 0, "ROC undefined without positive samples");
+    assert!(neg > 0, "ROC undefined without negative samples");
+    let mut curve = vec![(0.0, 0.0)];
+    for (_, tp, fp) in sweep(scores, labels) {
+        curve.push((fp as f64 / neg as f64, tp as f64 / pos as f64));
+    }
+    curve
+}
+
+/// Area under the ROC curve (trapezoidal rule).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`roc_curve`].
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    let curve = roc_curve(scores, labels);
+    curve
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0)
+        .sum()
+}
+
+/// The precision-recall curve as `(recall, precision)` points, starting at
+/// recall 0 (precision of the highest-score tie group) and ending at
+/// recall 1.
+///
+/// # Panics
+///
+/// Panics on empty input or when no positive samples exist.
+pub fn pr_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    let pos = labels.iter().filter(|&&l| l).count();
+    assert!(pos > 0, "P-R curve undefined without positive samples");
+    let mut curve = Vec::new();
+    for (_, tp, fp) in sweep(scores, labels) {
+        let recall = tp as f64 / pos as f64;
+        let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+        curve.push((recall, precision));
+    }
+    curve
+}
+
+/// Area under the precision-recall curve, computed as *average precision*
+/// `Σ (Rₙ − Rₙ₋₁) · Pₙ` — the paper's headline metric `A_prc`.
+///
+/// # Panics
+///
+/// Panics on empty input or when no positive samples exist.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    let curve = pr_curve(scores, labels);
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for (recall, precision) in curve {
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+    }
+    ap
+}
+
+/// The operating point at the largest achievable FPR not exceeding
+/// `max_fpr`: the paper's `TPR*` / `Prec*` at FPR = 0.5% ([`PAPER_FPR`]).
+///
+/// When nothing can be predicted positive within the FPR budget (even the
+/// highest-score tie group exceeds it), the degenerate "predict nothing"
+/// point is returned with TPR 0 and precision 0 — matching the paper's
+/// Table II convention (`0.0000 0.0000` rows).
+///
+/// # Panics
+///
+/// Panics on empty input or when either class is absent.
+pub fn tpr_prec_at_fpr(scores: &[f64], labels: &[bool], max_fpr: f64) -> OperatingPoint {
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    assert!(pos > 0, "operating point undefined without positives");
+    assert!(neg > 0, "operating point undefined without negatives");
+    let mut best = OperatingPoint {
+        threshold: f64::INFINITY,
+        tpr: 0.0,
+        fpr: 0.0,
+        precision: 0.0,
+    };
+    for (threshold, tp, fp) in sweep(scores, labels) {
+        let fpr = fp as f64 / neg as f64;
+        if fpr > max_fpr {
+            break;
+        }
+        best = OperatingPoint {
+            threshold,
+            tpr: tp as f64 / pos as f64,
+            fpr,
+            precision: if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 },
+        };
+    }
+    best
+}
+
+/// Precision among the `k` highest-scoring samples (ties broken by input
+/// order) — "if the designer inspects the top-k flagged g-cells, how many
+/// are real hotspots?".
+///
+/// # Panics
+///
+/// Panics on empty input, length mismatch, or `k == 0`.
+pub fn precision_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "empty inputs");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(scores.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let hits = order[..k].iter().filter(|&&i| labels[i]).count();
+    hits as f64 / k as f64
+}
+
+/// The lift curve: for each inspected fraction in `fractions`, the ratio of
+/// the positive rate among the top-scored slice to the base rate (1.0 =
+/// no better than random triage).
+///
+/// # Panics
+///
+/// Panics on empty input, length mismatch, no positives, or a fraction
+/// outside `(0, 1]`.
+pub fn lift_curve(scores: &[f64], labels: &[bool], fractions: &[f64]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "empty inputs");
+    let pos = labels.iter().filter(|&&l| l).count();
+    assert!(pos > 0, "lift undefined without positives");
+    let base_rate = pos as f64 / labels.len() as f64;
+    fractions
+        .iter()
+        .map(|&f| {
+            assert!(f > 0.0 && f <= 1.0, "fraction {f} outside (0, 1]");
+            let k = ((scores.len() as f64 * f).ceil() as usize).max(1);
+            (f, precision_at_k(scores, labels, k) / base_rate)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_ranking_has_unit_areas() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_zero_auc() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(roc_auc(&scores, &labels) < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_give_ap_near_base_rate() {
+        // With constant scores the single tie group yields AP = base rate.
+        let scores = vec![0.5; 1000];
+        let labels: Vec<bool> = (0..1000).map(|i| i % 10 == 0).collect();
+        let ap = average_precision(&scores, &labels);
+        assert!((ap - 0.1).abs() < 1e-9, "ap {ap}");
+    }
+
+    #[test]
+    fn ties_are_grouped() {
+        // Two tied at the top: one positive, one negative.
+        let scores = [0.9, 0.9, 0.1];
+        let labels = [true, false, false];
+        let curve = roc_curve(&scores, &labels);
+        // (0,0) -> tie group -> rest.
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[1], (0.5, 1.0));
+    }
+
+    #[test]
+    fn operating_point_respects_fpr_budget() {
+        // 200 negatives; FPR 0.5% allows exactly 1 false positive.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            scores.push(1.0 - i as f64 * 0.001);
+            labels.push(true);
+        }
+        for i in 0..200 {
+            scores.push(0.5 - i as f64 * 0.001);
+            labels.push(false);
+        }
+        // Interleave one negative among the top scores.
+        scores[3] = 0.9995;
+        labels[3] = false;
+        let op = tpr_prec_at_fpr(&scores, &labels, 0.005);
+        assert!(op.fpr <= 0.005);
+        assert!(op.tpr > 0.0);
+        // All 9 remaining positives outrank every other negative.
+        assert!((op.tpr - 1.0).abs() < 1e-9, "tpr {}", op.tpr);
+    }
+
+    #[test]
+    fn operating_point_degenerates_gracefully() {
+        // The top tie group is all negatives and exceeds the budget:
+        // nothing is predicted, and the paper's convention reports 0/0.
+        let scores = [0.9, 0.9, 0.9, 0.1];
+        let labels = [false, false, false, true];
+        let op = tpr_prec_at_fpr(&scores, &labels, 0.005);
+        assert_eq!(op.tpr, 0.0);
+        assert_eq!(op.precision, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without positive")]
+    fn ap_requires_positives() {
+        let _ = average_precision(&[0.1, 0.2], &[false, false]);
+    }
+
+    #[test]
+    fn pr_curve_ends_at_full_recall() {
+        let scores = [0.9, 0.7, 0.5, 0.3];
+        let labels = [true, false, true, false];
+        let curve = pr_curve(&scores, &labels);
+        let last = curve.last().unwrap();
+        assert!((last.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k_counts_top_hits() {
+        let scores = [0.9, 0.8, 0.7, 0.6, 0.5];
+        let labels = [true, false, true, false, false];
+        assert_eq!(precision_at_k(&scores, &labels, 1), 1.0);
+        assert_eq!(precision_at_k(&scores, &labels, 2), 0.5);
+        assert!((precision_at_k(&scores, &labels, 3) - 2.0 / 3.0).abs() < 1e-12);
+        // k beyond n clamps.
+        assert_eq!(precision_at_k(&scores, &labels, 99), 0.4);
+    }
+
+    #[test]
+    fn lift_of_a_perfect_ranker_is_inverse_base_rate() {
+        // 10 positives in 100, all ranked first: top-10% lift = 10x.
+        let mut scores = vec![0.0f64; 100];
+        let mut labels = vec![false; 100];
+        for i in 0..10 {
+            scores[i] = 1.0 - i as f64 * 0.01;
+            labels[i] = true;
+        }
+        for (i, s) in scores.iter_mut().enumerate().skip(10) {
+            *s = 0.5 - i as f64 * 0.001;
+        }
+        let lift = lift_curve(&scores, &labels, &[0.1, 1.0]);
+        assert!((lift[0].1 - 10.0).abs() < 1e-9, "top-decile lift {}", lift[0].1);
+        assert!((lift[1].1 - 1.0).abs() < 1e-9, "full-set lift must be 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn lift_rejects_bad_fraction() {
+        let _ = lift_curve(&[0.5, 0.4], &[true, false], &[0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_precision_at_k_in_unit_interval(
+            scores in prop::collection::vec(0.0f64..1.0, 2..50),
+            k in 1usize..60,
+        ) {
+            let labels: Vec<bool> = scores.iter().map(|&s| s > 0.5).collect();
+            let p = precision_at_k(&scores, &labels, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn prop_metrics_in_unit_interval(
+            scores in prop::collection::vec(0.0f64..1.0, 10..60),
+            flips in prop::collection::vec(any::<bool>(), 10..60),
+        ) {
+            let n = scores.len().min(flips.len());
+            let scores = &scores[..n];
+            let mut labels = flips[..n].to_vec();
+            // Force both classes present.
+            labels[0] = true;
+            labels[1] = false;
+            let auc = roc_auc(scores, &labels);
+            let ap = average_precision(scores, &labels);
+            prop_assert!((0.0..=1.0).contains(&auc));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+            let op = tpr_prec_at_fpr(scores, &labels, 0.005);
+            prop_assert!(op.fpr <= 0.005);
+            prop_assert!((0.0..=1.0).contains(&op.tpr));
+            prop_assert!((0.0..=1.0).contains(&op.precision));
+        }
+
+        #[test]
+        fn prop_auc_invariant_to_monotone_transform(
+            scores in prop::collection::vec(0.0f64..1.0, 12..40),
+            flips in prop::collection::vec(any::<bool>(), 12..40),
+        ) {
+            let n = scores.len().min(flips.len());
+            let scores = &scores[..n];
+            let mut labels = flips[..n].to_vec();
+            labels[0] = true;
+            labels[1] = false;
+            let transformed: Vec<f64> = scores.iter().map(|s| s.exp() * 3.0 + 1.0).collect();
+            let a = roc_auc(scores, &labels);
+            let b = roc_auc(&transformed, &labels);
+            prop_assert!((a - b).abs() < 1e-9);
+            let pa = average_precision(scores, &labels);
+            let pb = average_precision(&transformed, &labels);
+            prop_assert!((pa - pb).abs() < 1e-9);
+        }
+    }
+}

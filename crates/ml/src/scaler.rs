@@ -1,0 +1,180 @@
+//! Feature normalization. The paper feeds "387 normalized features" to all
+//! models; scalers are fitted on training data only and applied to both
+//! splits, so no test-design statistics leak into training.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Per-feature standardization to zero mean, unit variance (constant
+/// features pass through unchanged).
+///
+/// # Example
+///
+/// ```
+/// use drcshap_ml::{Dataset, StandardScaler};
+///
+/// let train = Dataset::from_parts(vec![0.0, 10.0, 2.0, 10.0, 4.0, 10.0], vec![true, false, true], vec![0, 0, 0], 2);
+/// let scaler = StandardScaler::fit(&train);
+/// let scaled = scaler.transform(&train);
+/// // Feature 0 standardized, constant feature 1 untouched.
+/// assert!((scaled.row(1)[0]).abs() < 1e-6);
+/// assert_eq!(scaled.row(1)[1], 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    mean: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits per-feature mean and standard deviation on `train`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(train: &Dataset) -> Self {
+        let n = train.n_samples();
+        assert!(n > 0, "cannot fit a scaler on an empty dataset");
+        let m = train.n_features();
+        let mut mean = vec![0f64; m];
+        for i in 0..n {
+            for (j, &v) in train.row(i).iter().enumerate() {
+                mean[j] += v as f64;
+            }
+        }
+        for v in &mut mean {
+            *v /= n as f64;
+        }
+        let mut var = vec![0f64; m];
+        for i in 0..n {
+            for (j, &v) in train.row(i).iter().enumerate() {
+                let d = v as f64 - mean[j];
+                var[j] += d * d;
+            }
+        }
+        let inv_std = var
+            .iter()
+            .map(|&v| {
+                let sd = (v / n as f64).sqrt();
+                if sd < 1e-9 {
+                    1.0f32 // constant feature: leave unscaled
+                } else {
+                    (1.0 / sd) as f32
+                }
+            })
+            .collect();
+        let mean = mean
+            .iter()
+            .zip(var.iter())
+            .map(|(&m, &v)| if (v / n as f64).sqrt() < 1e-9 { 0.0 } else { m as f32 })
+            .collect();
+        Self { mean, inv_std }
+    }
+
+    /// Number of features this scaler was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Applies the transform to a whole dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature counts differ.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        assert_eq!(data.n_features(), self.n_features(), "feature count mismatch");
+        let m = self.n_features();
+        let mut x = Vec::with_capacity(data.n_samples() * m);
+        for i in 0..data.n_samples() {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                x.push((v - self.mean[j]) * self.inv_std[j]);
+            }
+        }
+        let _ = m;
+        Dataset::from_parts(x, data.labels().to_vec(), data.groups().to_vec(), m)
+    }
+
+    /// Applies the transform to one feature row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted feature count.
+    pub fn transform_row(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.n_features(), "feature count mismatch");
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.mean[j]) * self.inv_std[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let train = Dataset::from_parts(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            vec![true, false, true, false],
+            vec![0; 4],
+            2,
+        );
+        let scaler = StandardScaler::fit(&train);
+        let scaled = scaler.transform(&train);
+        for j in 0..2 {
+            let vals: Vec<f64> = (0..4).map(|i| scaled.row(i)[j] as f64).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / 4.0;
+            let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-6);
+            assert!((var - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transform_row_matches_transform() {
+        let train = Dataset::from_parts(
+            vec![1.0, 0.0, 5.0, 2.0, 9.0, -2.0],
+            vec![true, false, true],
+            vec![0; 3],
+            2,
+        );
+        let scaler = StandardScaler::fit(&train);
+        let scaled = scaler.transform(&train);
+        let mut row = train.row(1).to_vec();
+        scaler.transform_row(&mut row);
+        assert_eq!(row.as_slice(), scaled.row(1));
+    }
+
+    #[test]
+    fn no_test_leakage() {
+        // Scaler fitted on train must not change when test data changes.
+        let train = Dataset::from_parts(vec![0.0, 1.0, 2.0, 3.0], vec![true, false], vec![0; 2], 2);
+        let s1 = StandardScaler::fit(&train);
+        let s2 = StandardScaler::fit(&train);
+        assert_eq!(s1, s2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transform_is_affine_and_finite(
+            vals in prop::collection::vec(-1e3f32..1e3, 8..40)
+        ) {
+            let n = vals.len() / 2;
+            let data = Dataset::from_parts(
+                vals[..n * 2].to_vec(),
+                vec![true; n],
+                vec![0; n],
+                2,
+            );
+            let scaler = StandardScaler::fit(&data);
+            let out = scaler.transform(&data);
+            for i in 0..n {
+                for &v in out.row(i) {
+                    prop_assert!(v.is_finite());
+                }
+            }
+        }
+    }
+}

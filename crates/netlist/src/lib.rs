@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Design database for the `drcshap` workspace: standard cells, macros, pins,
+//! nets (signal/clock, with optional non-default rules), plus the synthetic
+//! 14-design suite that stands in for the ISPD-2015 contest benchmarks used by
+//! the reproduced paper (see `DESIGN.md` §1 for the substitution rationale).
+//!
+//! The paper's data acquisition pipeline (Fig. 1) starts from a *placed*
+//! design: this crate owns the data model up to and including placement
+//! ([`Design`] couples a [`Netlist`] with a [`Placement`] and a g-cell grid),
+//! while the placement *algorithm* lives in `drcshap-place`, global routing in
+//! `drcshap-route`, and labels in `drcshap-drc`.
+//!
+//! # Example
+//!
+//! ```
+//! use drcshap_netlist::suite;
+//!
+//! let specs = suite::all_specs();
+//! assert_eq!(specs.len(), 14);
+//! let fft2 = suite::spec("fft_2").unwrap();
+//! assert_eq!(fft2.group, 1);
+//! assert_eq!(fft2.grid_dims(), (57, 57)); // 3249 g-cells, as in Table I
+//! ```
+
+pub mod def;
+mod design;
+mod ids;
+mod model;
+pub mod suite;
+pub mod synth;
+
+pub use def::{read_def, write_def, ParseDefError};
+pub use design::{Design, Placement};
+pub use ids::{CellId, MacroId, NdrId, NetId, PinId};
+pub use model::{Cell, Macro, Ndr, Net, NetKind, Netlist, Pin, PinOwner};
+pub use suite::DesignSpec;

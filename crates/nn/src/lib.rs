@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Feedforward neural networks — the paper's NN-1 (one hidden layer of 40
+//! ReLU units, after Tabrizi et al. 2018) and NN-2 (40 + 10) baselines.
+//!
+//! Architecture per the paper §IV-A: ReLU hidden activations, a sigmoid
+//! output, binary cross-entropy loss; trained with mini-batch Adam and
+//! early stopping on a held-out fraction of the training data.
+//!
+//! # Example
+//!
+//! ```
+//! use drcshap_nn::NnTrainer;
+//! use drcshap_ml::{Classifier, Dataset, Trainer};
+//!
+//! let x: Vec<f32> = (0..60).flat_map(|i| vec![(i % 2) as f32, 0.3]).collect();
+//! let y: Vec<bool> = (0..60).map(|i| i % 2 == 1).collect();
+//! let data = Dataset::from_parts(x, y, vec![0; 60], 2);
+//! let nn = NnTrainer {
+//!     hidden: vec![8],
+//!     epochs: 200,
+//!     learning_rate: 1e-2,
+//!     patience: 50,
+//!     ..NnTrainer::default()
+//! }
+//! .fit(&data, 1);
+//! assert!(nn.score(&[1.0, 0.3]) > nn.score(&[0.0, 0.3]));
+//! ```
+
+mod mlp;
+
+pub use mlp::{NeuralNet, NnTrainer};

@@ -1,0 +1,532 @@
+//! The multilayer perceptron: forward pass, backprop, Adam, early stopping.
+
+use drcshap_ml::{Classifier, Dataset, ModelComplexity, Trainer};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: row-major weights `[out × in]` plus biases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl Layer {
+    fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
+        output.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(input) {
+                acc += wi * xi;
+            }
+            output.push(acc);
+        }
+    }
+}
+
+/// NN hyperparameters and trainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NnTrainer {
+    /// Hidden layer widths (`[40]` = the paper's NN-1, `[40, 10]` = NN-2).
+    pub hidden: Vec<usize>,
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// Loss weight multiplier on positive samples (class imbalance).
+    pub positive_weight: f64,
+    /// Early stopping: epochs without validation improvement before halting.
+    pub patience: usize,
+    /// Fraction of training data held out for early stopping.
+    pub validation_fraction: f64,
+}
+
+impl Default for NnTrainer {
+    fn default() -> Self {
+        Self {
+            hidden: vec![40],
+            epochs: 80,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            l2: 1e-5,
+            positive_weight: 1.0,
+            patience: 8,
+            validation_fraction: 0.1,
+        }
+    }
+}
+
+impl Trainer for NnTrainer {
+    type Model = NeuralNet;
+
+    fn fit(&self, data: &Dataset, seed: u64) -> NeuralNet {
+        assert!(data.n_samples() > 1, "need at least two samples");
+        assert!(!self.hidden.is_empty(), "need at least one hidden layer");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = data.n_features();
+
+        // He-initialized layers: hidden... then the single output unit.
+        let mut dims = vec![m];
+        dims.extend_from_slice(&self.hidden);
+        dims.push(1);
+        let mut layers: Vec<Layer> = dims
+            .windows(2)
+            .map(|d| {
+                let (n_in, n_out) = (d[0], d[1]);
+                let std = (2.0 / n_in as f64).sqrt();
+                Layer {
+                    w: (0..n_in * n_out).map(|_| normal(&mut rng) * std).collect(),
+                    b: vec![0.0; n_out],
+                    n_in,
+                    n_out,
+                }
+            })
+            .collect();
+
+        // Train/validation split for early stopping (stratified).
+        let mut pos: Vec<usize> = (0..data.n_samples()).filter(|&i| data.label(i)).collect();
+        let mut neg: Vec<usize> = (0..data.n_samples()).filter(|&i| !data.label(i)).collect();
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+        let vp = ((pos.len() as f64 * self.validation_fraction) as usize).min(pos.len() / 2);
+        let vn = ((neg.len() as f64 * self.validation_fraction) as usize).min(neg.len() / 2);
+        let val_idx: Vec<usize> = pos[..vp].iter().chain(&neg[..vn]).copied().collect();
+        let mut train_idx: Vec<usize> = pos[vp..].iter().chain(&neg[vn..]).copied().collect();
+
+        // Adam state per layer: (weight m, weight v, bias m, bias v).
+        type AdamState = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+        let mut adam: Vec<AdamState> = layers
+            .iter()
+            .map(|l| {
+                (
+                    vec![0.0; l.w.len()],
+                    vec![0.0; l.w.len()],
+                    vec![0.0; l.b.len()],
+                    vec![0.0; l.b.len()],
+                )
+            })
+            .collect();
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let mut step = 0usize;
+
+        let mut best_val = f64::INFINITY;
+        let mut best_layers = layers.clone();
+        let mut since_best = 0usize;
+
+        let mut acts: Vec<Vec<f64>> = Vec::new();
+        let mut deltas: Vec<Vec<f64>> = Vec::new();
+        for epoch in 0..self.epochs {
+            train_idx.shuffle(&mut rng);
+            for batch in train_idx.chunks(self.batch_size) {
+                // Accumulate gradients over the batch.
+                let mut grads: Vec<(Vec<f64>, Vec<f64>)> = layers
+                    .iter()
+                    .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+                    .collect();
+                for &i in batch {
+                    forward(&layers, data.row(i), &mut acts);
+                    let z = *acts.last().expect("output activation")
+                        .first()
+                        .expect("one output unit");
+                    let p = sigmoid(z);
+                    let target = if data.label(i) { 1.0 } else { 0.0 };
+                    let weight = if data.label(i) { self.positive_weight } else { 1.0 };
+                    // dL/dz for sigmoid + BCE.
+                    let dz = weight * (p - target);
+                    backward(&layers, &acts, data.row(i), dz, &mut deltas, &mut grads);
+                }
+                let scale = 1.0 / batch.len() as f64;
+                step += 1;
+                let bc1 = 1.0 - beta1.powi(step as i32);
+                let bc2 = 1.0 - beta2.powi(step as i32);
+                for (li, layer) in layers.iter_mut().enumerate() {
+                    let (gw, gb) = &grads[li];
+                    let (mw, vw, mb, vb) = &mut adam[li];
+                    for k in 0..layer.w.len() {
+                        let g = gw[k] * scale + self.l2 * layer.w[k];
+                        mw[k] = beta1 * mw[k] + (1.0 - beta1) * g;
+                        vw[k] = beta2 * vw[k] + (1.0 - beta2) * g * g;
+                        layer.w[k] -=
+                            self.learning_rate * (mw[k] / bc1) / ((vw[k] / bc2).sqrt() + eps);
+                    }
+                    for k in 0..layer.b.len() {
+                        let g = gb[k] * scale;
+                        mb[k] = beta1 * mb[k] + (1.0 - beta1) * g;
+                        vb[k] = beta2 * vb[k] + (1.0 - beta2) * g * g;
+                        layer.b[k] -=
+                            self.learning_rate * (mb[k] / bc1) / ((vb[k] / bc2).sqrt() + eps);
+                    }
+                }
+            }
+
+            // Early stopping on validation BCE (falls back to training loss
+            // when the validation split is degenerate).
+            let eval_idx: &[usize] = if val_idx.len() >= 4 { &val_idx } else { &train_idx };
+            let mut loss = 0.0;
+            for &i in eval_idx {
+                forward(&layers, data.row(i), &mut acts);
+                let p = sigmoid(acts.last().expect("output")[0]).clamp(1e-9, 1.0 - 1e-9);
+                let t = if data.label(i) { 1.0 } else { 0.0 };
+                loss += -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+            }
+            loss /= eval_idx.len() as f64;
+            if loss + 1e-6 < best_val {
+                best_val = loss;
+                best_layers = layers.clone();
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= self.patience {
+                    break;
+                }
+            }
+            let _ = epoch;
+        }
+
+        NeuralNet { layers: best_layers, n_features: m }
+    }
+
+    fn name(&self) -> &'static str {
+        "NN"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "NN(hidden={:?}, epochs={}, batch={}, lr={}, w+={})",
+            self.hidden, self.epochs, self.batch_size, self.learning_rate, self.positive_weight
+        )
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Forward pass; `acts[l]` holds the *post-activation* output of layer `l`
+/// (ReLU for hidden layers, raw logit for the final layer).
+fn forward(layers: &[Layer], x: &[f32], acts: &mut Vec<Vec<f64>>) {
+    acts.resize(layers.len(), Vec::new());
+    let input: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+    for (l, layer) in layers.iter().enumerate() {
+        let src = if l == 0 { &input } else { &acts[l - 1].clone() };
+        let mut out = std::mem::take(&mut acts[l]);
+        layer.forward(src, &mut out);
+        if l + 1 < layers.len() {
+            for v in &mut out {
+                *v = v.max(0.0); // ReLU
+            }
+        }
+        acts[l] = out;
+    }
+}
+
+/// Backprop from the output logit gradient `dz`, accumulating into `grads`.
+fn backward(
+    layers: &[Layer],
+    acts: &[Vec<f64>],
+    x: &[f32],
+    dz: f64,
+    deltas: &mut Vec<Vec<f64>>,
+    grads: &mut [(Vec<f64>, Vec<f64>)],
+) {
+    deltas.resize(layers.len(), Vec::new());
+    *deltas.last_mut().expect("at least one layer") = vec![dz];
+    for l in (0..layers.len()).rev() {
+        // Accumulate this layer's gradients.
+        let delta = std::mem::take(&mut deltas[l]);
+        let input: Vec<f64> = if l == 0 {
+            x.iter().map(|&v| v as f64).collect()
+        } else {
+            acts[l - 1].clone()
+        };
+        let layer = &layers[l];
+        let (gw, gb) = &mut grads[l];
+        for o in 0..layer.n_out {
+            let d = delta[o];
+            gb[o] += d;
+            let row = &mut gw[o * layer.n_in..(o + 1) * layer.n_in];
+            for (g, xi) in row.iter_mut().zip(&input) {
+                *g += d * xi;
+            }
+        }
+        // Propagate to the previous layer through the ReLU.
+        if l > 0 {
+            let prev = &acts[l - 1];
+            let mut next_delta = vec![0.0; layer.n_in];
+            for (o, &d) in delta.iter().enumerate().take(layer.n_out) {
+                let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                for (nd, wi) in next_delta.iter_mut().zip(row) {
+                    *nd += d * wi;
+                }
+            }
+            for (nd, &a) in next_delta.iter_mut().zip(prev) {
+                if a <= 0.0 {
+                    *nd = 0.0; // ReLU gate
+                }
+            }
+            deltas[l - 1] = next_delta;
+        }
+        deltas[l] = delta;
+    }
+}
+
+/// A trained feedforward network; the score is the sigmoid output
+/// probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuralNet {
+    layers: Vec<Layer>,
+    n_features: usize,
+}
+
+impl NeuralNet {
+    /// Number of features the network was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Hidden layer widths.
+    pub fn hidden_dims(&self) -> Vec<usize> {
+        self.layers[..self.layers.len() - 1].iter().map(|l| l.n_out).collect()
+    }
+}
+
+impl Classifier for NeuralNet {
+    fn score(&self, x: &[f32]) -> f64 {
+        let mut acts = Vec::new();
+        forward(&self.layers, x, &mut acts);
+        sigmoid(acts.last().expect("output layer")[0])
+    }
+
+    fn complexity(&self) -> ModelComplexity {
+        let params: usize = self.layers.iter().map(|l| l.w.len() + l.b.len()).sum();
+        ModelComplexity {
+            num_parameters: params,
+            // A multiply-add per weight plus an activation per unit.
+            prediction_ops: 2 * params + self.layers.iter().map(|l| l.n_out).sum::<usize>(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "NN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            x.push(a);
+            x.push(b);
+            y.push(a * a + b * b < 0.4);
+        }
+        Dataset::from_parts(x, y, vec![0; n], 2)
+    }
+
+    #[test]
+    fn learns_nonlinear_ring() {
+        let train = ring(600, 1);
+        let test = ring(300, 2);
+        let nn = NnTrainer {
+            hidden: vec![16],
+            epochs: 150,
+            learning_rate: 5e-3,
+            patience: 30,
+            ..Default::default()
+        }
+        .fit(&train, 3);
+        let scores = nn.score_dataset(&test);
+        let auc = drcshap_ml::roc_auc(&scores, test.labels());
+        assert!(auc > 0.9, "auc {auc}");
+    }
+
+    #[test]
+    fn two_hidden_layers_forward_correctly() {
+        let train = ring(200, 4);
+        let nn = NnTrainer { hidden: vec![8, 4], epochs: 10, ..Default::default() }.fit(&train, 5);
+        assert_eq!(nn.hidden_dims(), vec![8, 4]);
+        let p = nn.score(&[0.0, 0.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn paper_architectures_have_expected_params() {
+        // NN-1: 387 -> 40 -> 1: (387+1)*40 + 41 = 15,561 params (~15.6k in
+        // Table II); NN-2: 387 -> 40 -> 10 -> 1: 15,520+40 + 410 + 11.
+        let m = 387;
+        let data = Dataset::from_parts(vec![0.0; m * 4], vec![true, false, true, false], vec![0; 4], m);
+        let nn1 = NnTrainer { hidden: vec![40], epochs: 1, ..Default::default() }.fit(&data, 0);
+        assert_eq!(nn1.complexity().num_parameters, (m + 1) * 40 + 41);
+        let nn2 = NnTrainer { hidden: vec![40, 10], epochs: 1, ..Default::default() }.fit(&data, 0);
+        assert_eq!(
+            nn2.complexity().num_parameters,
+            (m + 1) * 40 + (40 + 1) * 10 + 11
+        );
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let train = ring(100, 6);
+        let a = NnTrainer { hidden: vec![6], epochs: 5, ..Default::default() }.fit(&train, 9);
+        let b = NnTrainer { hidden: vec![6], epochs: 5, ..Default::default() }.fit(&train, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_serde_round_trip_preserves_scores() {
+        let train = ring(80, 8);
+        let nn = NnTrainer { hidden: vec![5], epochs: 5, ..Default::default() }.fit(&train, 2);
+        let json = serde_json::to_string(&nn).expect("serialize");
+        let back: NeuralNet = serde_json::from_str(&json).expect("deserialize");
+        for probe in [[0.0f32, 0.0], [0.5, -0.5], [1.0, 1.0]] {
+            assert_eq!(nn.score(&probe), back.score(&probe));
+        }
+    }
+
+    #[test]
+    fn positive_weight_raises_recall_side_scores() {
+        // Imbalanced linear task.
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..400 {
+            let label = rng.gen_bool(0.08);
+            let v: f32 = if label { rng.gen_range(0.4..1.0) } else { rng.gen_range(0.0..0.6) };
+            x.push(v);
+            x.push(0.0);
+            y.push(label);
+        }
+        let train = Dataset::from_parts(x, y, vec![0; 400], 2);
+        let plain = NnTrainer { hidden: vec![8], epochs: 40, ..Default::default() }.fit(&train, 1);
+        let weighted = NnTrainer {
+            hidden: vec![8],
+            epochs: 40,
+            positive_weight: 10.0,
+            ..Default::default()
+        }
+        .fit(&train, 1);
+        let probe = [0.5f32, 0.0];
+        assert!(weighted.score(&probe) > plain.score(&probe));
+    }
+
+    /// Backprop gradients must match central-difference numerical gradients
+    /// on a fixed network — the canonical correctness test for any
+    /// hand-written autodiff.
+    #[test]
+    fn backprop_matches_numerical_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        // A tiny 3-2-1 network with random weights.
+        let dims = [3usize, 2, 1];
+        let mut layers: Vec<Layer> = dims
+            .windows(2)
+            .map(|d| Layer {
+                w: (0..d[0] * d[1]).map(|_| normal(&mut rng) * 0.7).collect(),
+                b: (0..d[1]).map(|_| normal(&mut rng) * 0.1).collect(),
+                n_in: d[0],
+                n_out: d[1],
+            })
+            .collect();
+        let x = [0.3f32, -0.8, 0.5];
+        let target = 1.0;
+
+        // Loss at the current parameters.
+        let loss = |layers: &[Layer]| -> f64 {
+            let mut acts = Vec::new();
+            forward(layers, &x, &mut acts);
+            let p = sigmoid(acts.last().unwrap()[0]).clamp(1e-12, 1.0 - 1e-12);
+            -(target * p.ln() + (1.0 - target) * (1.0 - p).ln())
+        };
+
+        // Analytic gradients via backward().
+        let mut acts = Vec::new();
+        forward(&layers, &x, &mut acts);
+        let p = sigmoid(acts.last().unwrap()[0]);
+        let dz = p - target;
+        let mut grads: Vec<(Vec<f64>, Vec<f64>)> = layers
+            .iter()
+            .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+            .collect();
+        let mut deltas = Vec::new();
+        backward(&layers, &acts, &x, dz, &mut deltas, &mut grads);
+
+        // Central differences over every parameter.
+        let eps = 1e-6;
+        for li in 0..layers.len() {
+            for k in 0..layers[li].w.len() {
+                let orig = layers[li].w[k];
+                layers[li].w[k] = orig + eps;
+                let hi = loss(&layers);
+                layers[li].w[k] = orig - eps;
+                let lo = loss(&layers);
+                layers[li].w[k] = orig;
+                let numeric = (hi - lo) / (2.0 * eps);
+                let analytic = grads[li].0[k];
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "layer {li} w[{k}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+            for k in 0..layers[li].b.len() {
+                let orig = layers[li].b[k];
+                layers[li].b[k] = orig + eps;
+                let hi = loss(&layers);
+                layers[li].b[k] = orig - eps;
+                let lo = loss(&layers);
+                layers[li].b[k] = orig;
+                let numeric = (hi - lo) / (2.0 * eps);
+                let analytic = grads[li].1[k];
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "layer {li} b[{k}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_stopping_halts_before_epoch_budget() {
+        // A trivially separable task converges immediately; with tiny
+        // patience the trainer must stop long before the epoch budget.
+        let x: Vec<f32> = (0..200).flat_map(|i| vec![(i % 2) as f32]).collect();
+        let y: Vec<bool> = (0..200).map(|i| i % 2 == 1).collect();
+        let train = Dataset::from_parts(x, y, vec![0; 200], 1);
+        let start = std::time::Instant::now();
+        let nn = NnTrainer {
+            hidden: vec![4],
+            epochs: 10_000,
+            patience: 3,
+            ..Default::default()
+        }
+        .fit(&train, 2);
+        assert!(nn.score(&[1.0]) > nn.score(&[0.0]));
+        assert!(start.elapsed().as_secs() < 30, "early stopping did not kick in");
+    }
+}

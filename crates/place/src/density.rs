@@ -1,0 +1,147 @@
+//! Per-g-cell density fields: the target field that drives the placer and
+//! the measured field over a placed design.
+
+use drcshap_geom::{GcellGrid, GcellId};
+use drcshap_netlist::Design;
+use serde::{Deserialize, Serialize};
+
+/// A scalar field over the g-cell grid (one value per g-cell, row-major).
+///
+/// # Example
+///
+/// ```
+/// use drcshap_geom::{GcellGrid, GcellId, Rect};
+/// use drcshap_place::DensityMap;
+///
+/// let grid = GcellGrid::with_dims(Rect::from_microns(0.0, 0.0, 30.0, 30.0), 3, 3);
+/// let mut map = DensityMap::zeros(&grid);
+/// map.set(GcellId::new(1, 1), 0.8);
+/// assert_eq!(map.value(GcellId::new(1, 1)), 0.8);
+/// assert_eq!(map.max(), 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityMap {
+    dims: (u32, u32),
+    values: Vec<f64>,
+}
+
+impl DensityMap {
+    /// An all-zero field over `grid`.
+    pub fn zeros(grid: &GcellGrid) -> Self {
+        Self { dims: grid.dims(), values: vec![0.0; grid.num_cells()] }
+    }
+
+    /// The measured standard-cell area density of a placed design: for each
+    /// g-cell, placed cell area overlapping it divided by the g-cell area.
+    pub fn measured(design: &Design) -> Self {
+        let grid = &design.grid;
+        let mut map = Self::zeros(grid);
+        for (id, _) in design.netlist.cells() {
+            let Some(outline) = design.cell_outline(id) else { continue };
+            for g in grid.cells_overlapping(&outline) {
+                let cell_rect = grid.cell_rect(g);
+                map.values[grid.index_of(g)] +=
+                    outline.overlap_area(&cell_rect) as f64 / cell_rect.area() as f64;
+            }
+        }
+        map
+    }
+
+    /// Grid dimensions `(nx, ny)` this field is defined over.
+    pub fn dims(&self) -> (u32, u32) {
+        self.dims
+    }
+
+    /// The value at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the field's grid.
+    pub fn value(&self, id: GcellId) -> f64 {
+        self.values[self.index(id)]
+    }
+
+    /// Sets the value at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the field's grid.
+    pub fn set(&mut self, id: GcellId, v: f64) {
+        let i = self.index(id);
+        self.values[i] = v;
+    }
+
+    /// Adds `v` to the value at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the field's grid.
+    pub fn add(&mut self, id: GcellId, v: f64) {
+        let i = self.index(id);
+        self.values[i] += v;
+    }
+
+    /// The raw row-major values.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Maximum value of the field (0.0 for an empty field).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean value of the field.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    fn index(&self, id: GcellId) -> usize {
+        assert!(
+            id.x < self.dims.0 && id.y < self.dims.1,
+            "{id} outside {}x{} field",
+            self.dims.0,
+            self.dims.1
+        );
+        id.y as usize * self.dims.0 as usize + id.x as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcshap_geom::Rect;
+
+    fn grid() -> GcellGrid {
+        GcellGrid::with_dims(Rect::from_microns(0.0, 0.0, 40.0, 40.0), 4, 4)
+    }
+
+    #[test]
+    fn zeros_mean_and_max() {
+        let m = DensityMap::zeros(&grid());
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.max(), 0.0);
+        assert_eq!(m.as_slice().len(), 16);
+    }
+
+    #[test]
+    fn add_and_set() {
+        let mut m = DensityMap::zeros(&grid());
+        m.add(GcellId::new(2, 3), 0.25);
+        m.add(GcellId::new(2, 3), 0.25);
+        assert_eq!(m.value(GcellId::new(2, 3)), 0.5);
+        m.set(GcellId::new(2, 3), 0.1);
+        assert_eq!(m.value(GcellId::new(2, 3)), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_panics() {
+        let m = DensityMap::zeros(&grid());
+        let _ = m.value(GcellId::new(4, 0));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Placement substrate for the `drcshap` workspace.
+//!
+//! The reproduced paper places its benchmarks with Eh?Placer and never uses
+//! the placer beyond "produce a placed `.def`": what matters downstream is a
+//! legal (non-overlapping, row-aligned, macro-avoiding) placement whose local
+//! density varies realistically, since cell/pin density and pin spacing are
+//! among the paper's 387 features. This crate provides exactly that — a
+//! density-field-driven placer with legalization on placement rows.
+//!
+//! Pipeline position (paper Fig. 1): after `synth::generate_cells`, before
+//! `synth::generate_nets` and global routing.
+//!
+//! # Example
+//!
+//! ```
+//! use drcshap_netlist::{suite, synth, Design};
+//! use drcshap_place::place;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let spec = suite::spec("fft_1").unwrap().scaled(0.3);
+//! let mut design = Design::new(spec);
+//! let mut rng = ChaCha8Rng::seed_from_u64(design.spec.seed());
+//! synth::generate_cells(&mut design, &mut rng);
+//! let summary = place(&mut design, &mut rng);
+//! assert_eq!(summary.placed, design.netlist.num_cells());
+//! ```
+
+mod density;
+mod placer;
+mod rows;
+
+pub use density::DensityMap;
+pub use placer::{place, PlaceSummary};
+pub use rows::RowMap;

@@ -1,0 +1,372 @@
+//! The density-field-driven placer.
+//!
+//! Placement proceeds in four steps:
+//!
+//! 1. Build a [`RowMap`] over the die and block macro outlines and routing
+//!    blockages.
+//! 2. Shape a *target density field* over the g-cell grid: a uniform base
+//!    plus Gaussian "hotspot" bumps whose number and amplitude follow the
+//!    design's congestion stress (`DesignSpec::stress`), clipped to the free
+//!    capacity of each g-cell.
+//! 3. Assign each cell to a g-cell by sampling the target field.
+//! 4. Legalize: leftmost-fit each cell into a placement row inside its
+//!    g-cell; cells that do not fit spill to a whole-die scan.
+//!
+//! The result is a legal placement whose local density varies smoothly with
+//! deliberate hot regions — the substrate on which net synthesis, global
+//! routing and ultimately DRC labels build.
+
+use drcshap_geom::{GcellId, Point};
+use drcshap_netlist::{CellId, Design};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::density::DensityMap;
+use crate::rows::RowMap;
+
+/// Maximum fill fraction of a g-cell's free area.
+const MAX_GCELL_FILL: f64 = 0.95;
+
+/// Outcome statistics of a placement run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaceSummary {
+    /// Cells successfully placed (always all cells on suite designs).
+    pub placed: usize,
+    /// Cells that needed the whole-die spill pass.
+    pub spilled: usize,
+    /// Number of Gaussian density bumps injected.
+    pub hotspot_seeds: usize,
+    /// Maximum measured per-g-cell density after placement.
+    pub max_density: f64,
+}
+
+/// Places every cell of `design` (see the module docs for the algorithm).
+///
+/// # Panics
+///
+/// Panics if cells are already placed, or if the die cannot fit the cells
+/// (suite specs guarantee utilization ≤ 0.97).
+pub fn place<R: Rng>(design: &mut Design, rng: &mut R) -> PlaceSummary {
+    assert_eq!(design.placement.num_placed(), 0, "design already placed");
+    design.placement.resize(design.netlist.num_cells());
+
+    let row_height = drcshap_netlist::suite::ROW_HEIGHT_DBU;
+    let mut rows = RowMap::new(design.die, row_height);
+    for b in design.blockages().collect::<Vec<_>>() {
+        rows.block(&b);
+    }
+
+    let (target, hotspot_seeds) = target_field(design, rng);
+    let assignment = assign_cells(design, &target, rng);
+
+    let mut spilled = 0usize;
+    let grid = design.grid.clone();
+    // Shuffle for tie-breaking, then place wide (and multi-height) cells
+    // first: big-item-first packing keeps rows from fragmenting into gaps
+    // too narrow for the remaining cells at high utilization.
+    let mut order: Vec<usize> = (0..design.netlist.num_cells()).collect();
+    order.shuffle(rng);
+    order.sort_by_key(|&i| {
+        let c = design.netlist.cell(CellId::from_index(i));
+        std::cmp::Reverse((c.multi_height as i64, c.width))
+    });
+    for idx in order {
+        let cell_id = CellId::from_index(idx);
+        let g = assignment[idx];
+        if !try_place_in_gcell(design, &mut rows, cell_id, g, rng) {
+            spill_place(design, &mut rows, cell_id, rng);
+            spilled += 1;
+        }
+    }
+    debug_assert_eq!(design.placement.num_placed(), design.netlist.num_cells());
+    let _ = grid;
+
+    let max_density = DensityMap::measured(design).max();
+    PlaceSummary {
+        placed: design.placement.num_placed(),
+        spilled,
+        hotspot_seeds,
+        max_density,
+    }
+}
+
+/// Builds the target cell-area field (DBU² per g-cell) and returns it with
+/// the number of injected hotspot bumps.
+fn target_field<R: Rng>(design: &Design, rng: &mut R) -> (Vec<f64>, usize) {
+    let grid = &design.grid;
+    let (nx, ny) = grid.dims();
+    let stress = design.spec.stress();
+    let n = grid.num_cells();
+
+    // Base weights with stress-scaled Gaussian bumps.
+    let num_bumps = (2.0 + stress * (n as f64).sqrt() / 4.0).round() as usize;
+    let mut weights = vec![1.0f64; n];
+    for _ in 0..num_bumps {
+        let cx = rng.gen_range(0..nx) as f64;
+        let cy = rng.gen_range(0..ny) as f64;
+        let amp = (1.0 + 7.0 * stress) * rng.gen_range(0.5..1.0);
+        let sigma: f64 = rng.gen_range(1.2..3.5);
+        let reach = (3.0 * sigma).ceil() as i64;
+        for dy in -reach..=reach {
+            for dx in -reach..=reach {
+                let x = cx as i64 + dx;
+                let y = cy as i64 + dy;
+                if x < 0 || y < 0 || x >= nx as i64 || y >= ny as i64 {
+                    continue;
+                }
+                let d2 = (dx * dx + dy * dy) as f64;
+                weights[y as usize * nx as usize + x as usize] +=
+                    amp * (-d2 / (2.0 * sigma * sigma)).exp();
+            }
+        }
+    }
+
+    // Per-g-cell free capacity (excludes blockages).
+    let blockages: Vec<_> = design.blockages().collect();
+    let mut capacity = vec![0.0f64; n];
+    for g in grid.iter() {
+        let rect = grid.cell_rect(g);
+        let blocked: i64 = blockages.iter().map(|b| b.overlap_area(&rect)).sum();
+        capacity[grid.index_of(g)] =
+            ((rect.area() - blocked).max(0) as f64) * MAX_GCELL_FILL;
+    }
+
+    // Total area to distribute.
+    let total_cell_area: f64 = design
+        .netlist
+        .cells()
+        .map(|(_, c)| (c.width * c.height) as f64)
+        .sum();
+
+    // Water-fill: distribute proportionally to weights, clip to capacity,
+    // redistribute the excess over unclipped cells for a few rounds.
+    let mut target = vec![0.0f64; n];
+    let mut remaining = total_cell_area;
+    let mut active: Vec<usize> = (0..n).filter(|&i| capacity[i] > 0.0).collect();
+    for _ in 0..6 {
+        if remaining <= 1.0 || active.is_empty() {
+            break;
+        }
+        let wsum: f64 = active.iter().map(|&i| weights[i]).sum();
+        if wsum <= 0.0 {
+            break;
+        }
+        let mut next_active = Vec::with_capacity(active.len());
+        let mut placed_now = 0.0;
+        for &i in &active {
+            let share = remaining * weights[i] / wsum;
+            let room = capacity[i] - target[i];
+            let take = share.min(room);
+            target[i] += take;
+            placed_now += take;
+            if capacity[i] - target[i] > 1.0 {
+                next_active.push(i);
+            }
+        }
+        remaining -= placed_now;
+        active = next_active;
+    }
+
+    (target, num_bumps)
+}
+
+/// Samples a g-cell for every cell, consuming target-field budget.
+fn assign_cells<R: Rng>(design: &Design, target: &[f64], rng: &mut R) -> Vec<GcellId> {
+    let grid = &design.grid;
+    let n = grid.num_cells();
+    let mut budget: Vec<f64> = target.to_vec();
+    // Cumulative distribution for sampling; rebuilt lazily when stale.
+    let mut cdf: Vec<f64> = Vec::with_capacity(n);
+    let rebuild = |budget: &[f64], cdf: &mut Vec<f64>| {
+        cdf.clear();
+        let mut acc = 0.0;
+        for &b in budget {
+            acc += b.max(0.0);
+            cdf.push(acc);
+        }
+        acc
+    };
+    let mut total = rebuild(&budget, &mut cdf);
+    let mut staleness = 0.0f64;
+
+    let mut out = Vec::with_capacity(design.netlist.num_cells());
+    for (_, cell) in design.netlist.cells() {
+        let area = (cell.width * cell.height) as f64;
+        let idx = if total > area {
+            let u = rng.gen_range(0.0..total);
+            cdf.partition_point(|&c| c <= u).min(n - 1)
+        } else {
+            // Budget exhausted (rounding); fall back to the emptiest cell.
+            budget
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+        budget[idx] -= area;
+        staleness += area;
+        // Rebuild the CDF once ~2% of the mass has been consumed.
+        if staleness > total * 0.02 {
+            total = rebuild(&budget, &mut cdf);
+            staleness = 0.0;
+        }
+        out.push(grid.cell_at_index(idx));
+    }
+    out
+}
+
+fn try_place_in_gcell<R: Rng>(
+    design: &mut Design,
+    rows: &mut RowMap,
+    cell_id: CellId,
+    g: GcellId,
+    rng: &mut R,
+) -> bool {
+    let rect = design.grid.cell_rect(g);
+    let cell = design.netlist.cell(cell_id);
+    let (width, multi) = (cell.width, cell.multi_height);
+    let row_range = rows.rows_intersecting(&rect);
+    if row_range.is_empty() {
+        return false;
+    }
+    let rows_in_gcell: Vec<usize> = row_range.collect();
+    let start = rng.gen_range(0..rows_in_gcell.len());
+    for k in 0..rows_in_gcell.len() {
+        let row = rows_in_gcell[(start + k) % rows_in_gcell.len()];
+        let placed = if multi {
+            rows.try_place_multi(row, rect.lo.x, rect.hi.x, width, 2)
+        } else {
+            rows.try_place(row, rect.lo.x, rect.hi.x, width)
+        };
+        if let Some(x) = placed {
+            design
+                .placement
+                .place(cell_id, Point::new(x, rows.row_y(row)));
+            return true;
+        }
+    }
+    false
+}
+
+/// Whole-die fallback: scan all rows from a random start.
+///
+/// # Panics
+///
+/// Panics if the die genuinely has no room (impossible for suite specs).
+fn spill_place<R: Rng>(design: &mut Design, rows: &mut RowMap, cell_id: CellId, rng: &mut R) {
+    let die = design.die;
+    let cell = design.netlist.cell(cell_id);
+    let (width, multi) = (cell.width, cell.multi_height);
+    let n = rows.num_rows();
+    let start = rng.gen_range(0..n);
+    for k in 0..n {
+        let row = (start + k) % n;
+        let placed = if multi {
+            if row + 1 >= n {
+                continue;
+            }
+            rows.try_place_multi(row, die.lo.x, die.hi.x, width, 2)
+        } else {
+            rows.try_place(row, die.lo.x, die.hi.x, width)
+        };
+        if let Some(x) = placed {
+            design
+                .placement
+                .place(cell_id, Point::new(x, rows.row_y(row)));
+            return;
+        }
+    }
+    panic!("no placement room for {cell_id} anywhere on the die");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcshap_netlist::{suite, synth, Design};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn placed_design(name: &str, scale: f64, seed: u64) -> (Design, PlaceSummary) {
+        let spec = suite::spec(name).unwrap().scaled(scale);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        synth::generate_cells(&mut d, &mut rng);
+        let summary = place(&mut d, &mut rng);
+        (d, summary)
+    }
+
+    #[test]
+    fn places_every_cell() {
+        let (d, s) = placed_design("fft_1", 0.35, 3);
+        assert_eq!(s.placed, d.netlist.num_cells());
+        assert_eq!(d.placement.num_placed(), d.netlist.num_cells());
+    }
+
+    #[test]
+    fn placements_avoid_macros() {
+        let (d, _) = placed_design("fft_a", 0.4, 5);
+        let macros: Vec<_> = d.netlist.macros().map(|(_, m)| m.rect).collect();
+        assert!(!macros.is_empty());
+        for (id, _) in d.netlist.cells() {
+            let outline = d.cell_outline(id).unwrap();
+            for m in &macros {
+                assert!(
+                    !outline.overlaps(m),
+                    "cell {id} at {outline} overlaps macro {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn placements_do_not_overlap() {
+        let (d, _) = placed_design("fft_1", 0.3, 7);
+        // Overlap check via sweep by row band.
+        let mut by_row: std::collections::HashMap<i64, Vec<(i64, i64)>> =
+            std::collections::HashMap::new();
+        for (id, cell) in d.netlist.cells() {
+            let o = d.cell_outline(id).unwrap();
+            let rows = o.height() / suite::ROW_HEIGHT_DBU;
+            for r in 0..rows {
+                by_row
+                    .entry(o.lo.y + r * suite::ROW_HEIGHT_DBU)
+                    .or_default()
+                    .push((o.lo.x, o.lo.x + cell.width));
+            }
+        }
+        for (y, mut spans) in by_row {
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap in row y={y}: {:?} vs {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn cells_stay_on_die() {
+        let (d, _) = placed_design("bridge32_a", 0.35, 11);
+        for (id, _) in d.netlist.cells() {
+            let o = d.cell_outline(id).unwrap();
+            assert!(d.die.contains_rect(&o), "cell {id} at {o} leaves the die");
+        }
+    }
+
+    #[test]
+    fn stressed_designs_form_denser_hotspots() {
+        let (hot, s_hot) = placed_design("des_perf_1", 0.3, 13);
+        let (cool, s_cool) = placed_design("fft_a", 0.3, 13);
+        assert!(s_hot.hotspot_seeds >= s_cool.hotspot_seeds);
+        let hot_max = DensityMap::measured(&hot).max();
+        let cool_mean = DensityMap::measured(&cool).mean();
+        assert!(hot_max > 3.0 * cool_mean, "hotspots not denser: {hot_max} vs mean {cool_mean}");
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let (a, _) = placed_design("fft_2", 0.3, 21);
+        let (b, _) = placed_design("fft_2", 0.3, 21);
+        assert_eq!(a.placement, b.placement);
+    }
+}

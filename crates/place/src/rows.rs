@@ -1,0 +1,261 @@
+//! Placement rows with interval-based occupancy tracking.
+
+use drcshap_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Occupancy map over placement rows: each row keeps a sorted list of
+/// disjoint occupied x-intervals, guaranteeing overlap-free placement.
+///
+/// # Example
+///
+/// ```
+/// use drcshap_geom::Rect;
+/// use drcshap_place::RowMap;
+///
+/// let mut rows = RowMap::new(Rect::new(0, 0, 10_000, 9_000), 1_800);
+/// assert_eq!(rows.num_rows(), 5);
+/// let x = rows.try_place(0, 0, 10_000, 400).unwrap();
+/// assert_eq!(x, 0);
+/// // The same spot is now taken; the next fit is just to the right.
+/// assert_eq!(rows.try_place(0, 0, 10_000, 400), Some(400));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RowMap {
+    die: Rect,
+    row_height: i64,
+    /// Sorted, disjoint occupied `[start, end)` intervals per row.
+    occupied: Vec<Vec<(i64, i64)>>,
+}
+
+impl RowMap {
+    /// Creates an empty row map over `die` with rows of `row_height` DBU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_height <= 0` or the die is shorter than one row.
+    pub fn new(die: Rect, row_height: i64) -> Self {
+        assert!(row_height > 0, "row height must be positive");
+        let n = (die.height() / row_height) as usize;
+        assert!(n > 0, "die shorter than one placement row");
+        Self { die, row_height, occupied: vec![Vec::new(); n] }
+    }
+
+    /// Number of placement rows.
+    pub fn num_rows(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// The y-coordinate of the bottom of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.num_rows()`.
+    pub fn row_y(&self, row: usize) -> i64 {
+        assert!(row < self.num_rows(), "row {row} out of range");
+        self.die.lo.y + row as i64 * self.row_height
+    }
+
+    /// The rows whose band intersects `rect` vertically.
+    pub fn rows_intersecting(&self, rect: &Rect) -> std::ops::Range<usize> {
+        let lo = ((rect.lo.y - self.die.lo.y).max(0) / self.row_height) as usize;
+        let hi = ((rect.hi.y - self.die.lo.y + self.row_height - 1) / self.row_height)
+            .max(0) as usize;
+        lo.min(self.num_rows())..hi.min(self.num_rows())
+    }
+
+    /// Marks the x-extent of `rect` occupied in every row it intersects
+    /// (used for macros and routing blockages before cell placement).
+    pub fn block(&mut self, rect: &Rect) {
+        let range = self.rows_intersecting(rect);
+        for row in range {
+            Self::insert_interval(&mut self.occupied[row], (rect.lo.x, rect.hi.x));
+        }
+    }
+
+    /// Leftmost-fit placement of a `width`-wide cell in `row`, searching
+    /// within `[xmin, xmax)`. Returns the chosen x and marks it occupied.
+    pub fn try_place(&mut self, row: usize, xmin: i64, xmax: i64, width: i64) -> Option<i64> {
+        let x = self.find_gap(row, xmin, xmax, width)?;
+        Self::insert_interval(&mut self.occupied[row], (x, x + width));
+        Some(x)
+    }
+
+    /// Like [`RowMap::try_place`] but requires the same x-span free in
+    /// `height_rows` consecutive rows starting at `row` (multi-height cells).
+    pub fn try_place_multi(
+        &mut self,
+        row: usize,
+        xmin: i64,
+        xmax: i64,
+        width: i64,
+        height_rows: usize,
+    ) -> Option<i64> {
+        if row + height_rows > self.num_rows() {
+            return None;
+        }
+        // Scan candidate gaps in the base row; accept the first x that is
+        // free in all spanned rows.
+        let mut probe = xmin;
+        loop {
+            let x = self.find_gap(row, probe, xmax, width)?;
+            let free_everywhere = (row + 1..row + height_rows)
+                .all(|r| self.is_free(r, x, x + width));
+            if free_everywhere {
+                for r in row..row + height_rows {
+                    Self::insert_interval(&mut self.occupied[r], (x, x + width));
+                }
+                return Some(x);
+            }
+            probe = x + 1;
+        }
+    }
+
+    /// Whether `[x1, x2)` is entirely free in `row`.
+    pub fn is_free(&self, row: usize, x1: i64, x2: i64) -> bool {
+        let ivs = &self.occupied[row];
+        let idx = ivs.partition_point(|&(_, end)| end <= x1);
+        ivs.get(idx).is_none_or(|&(start, _)| start >= x2)
+    }
+
+    /// Total occupied length in `row`, in DBU.
+    pub fn occupied_length(&self, row: usize) -> i64 {
+        self.occupied[row].iter().map(|&(a, b)| b - a).sum()
+    }
+
+    fn find_gap(&self, row: usize, xmin: i64, xmax: i64, width: i64) -> Option<i64> {
+        let xmin = xmin.max(self.die.lo.x);
+        let xmax = xmax.min(self.die.hi.x);
+        if xmax - xmin < width {
+            return None;
+        }
+        let ivs = &self.occupied[row];
+        let mut cursor = xmin;
+        let start_idx = ivs.partition_point(|&(_, end)| end <= xmin);
+        for &(start, end) in &ivs[start_idx..] {
+            if start >= xmax {
+                break;
+            }
+            if start - cursor >= width {
+                return Some(cursor);
+            }
+            cursor = cursor.max(end);
+        }
+        if xmax - cursor >= width {
+            Some(cursor)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts an interval, merging with neighbours. Overlapping inserts are
+    /// merged rather than rejected (macros may abut blockages).
+    fn insert_interval(ivs: &mut Vec<(i64, i64)>, (mut a, mut b): (i64, i64)) {
+        let lo = ivs.partition_point(|&(_, end)| end < a);
+        let mut hi = lo;
+        while hi < ivs.len() && ivs[hi].0 <= b {
+            a = a.min(ivs[hi].0);
+            b = b.max(ivs[hi].1);
+            hi += 1;
+        }
+        ivs.splice(lo..hi, std::iter::once((a, b)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn map() -> RowMap {
+        RowMap::new(Rect::new(0, 0, 10_000, 7_200), 1_800)
+    }
+
+    #[test]
+    fn rows_and_y_coordinates() {
+        let m = map();
+        assert_eq!(m.num_rows(), 4);
+        assert_eq!(m.row_y(0), 0);
+        assert_eq!(m.row_y(3), 5_400);
+    }
+
+    #[test]
+    fn leftmost_fit_packs_tightly() {
+        let mut m = map();
+        assert_eq!(m.try_place(0, 0, 10_000, 1_000), Some(0));
+        assert_eq!(m.try_place(0, 0, 10_000, 2_000), Some(1_000));
+        assert_eq!(m.try_place(0, 0, 10_000, 7_000), Some(3_000));
+        assert_eq!(m.try_place(0, 0, 10_000, 1), None);
+        assert_eq!(m.occupied_length(0), 10_000);
+    }
+
+    #[test]
+    fn block_excludes_macro_area() {
+        let mut m = map();
+        m.block(&Rect::new(2_000, 0, 5_000, 3_600));
+        // Rows 0 and 1 are blocked in [2000, 5000); row 2 is not.
+        assert_eq!(m.try_place(0, 0, 10_000, 3_000), Some(5_000));
+        assert_eq!(m.try_place(2, 0, 10_000, 3_000), Some(0));
+    }
+
+    #[test]
+    fn multi_height_requires_both_rows() {
+        let mut m = map();
+        m.block(&Rect::new(0, 1_800, 400, 3_600)); // row 1 partially blocked
+        // A double-height cell at rows 0-1 must skip the blocked x-range.
+        let x = m.try_place_multi(0, 0, 10_000, 600, 2).unwrap();
+        assert_eq!(x, 400);
+        assert!(!m.is_free(0, 400, 1_000));
+        assert!(!m.is_free(1, 400, 1_000));
+    }
+
+    #[test]
+    fn multi_height_out_of_rows_fails() {
+        let mut m = map();
+        assert_eq!(m.try_place_multi(3, 0, 10_000, 600, 2), None);
+    }
+
+    #[test]
+    fn window_bounds_respected() {
+        let mut m = map();
+        assert_eq!(m.try_place(0, 4_000, 4_500, 600), None);
+        assert_eq!(m.try_place(0, 4_000, 5_000, 600), Some(4_000));
+    }
+
+    #[test]
+    fn rows_intersecting_covers_partial_overlap() {
+        let m = map();
+        assert_eq!(m.rows_intersecting(&Rect::new(0, 0, 10, 1)), 0..1);
+        assert_eq!(m.rows_intersecting(&Rect::new(0, 1_700, 10, 1_900)), 0..2);
+        assert_eq!(m.rows_intersecting(&Rect::new(0, 0, 10, 7_200)), 0..4);
+    }
+
+    proptest! {
+        /// Placements never overlap, whatever the sequence of requests.
+        #[test]
+        fn prop_no_overlaps(widths in prop::collection::vec(1i64..3_000, 1..40)) {
+            let mut m = map();
+            let mut placed: Vec<(i64, i64)> = Vec::new();
+            for w in widths {
+                if let Some(x) = m.try_place(0, 0, 10_000, w) {
+                    for &(a, b) in &placed {
+                        prop_assert!(x + w <= a || x >= b, "overlap at {x}..{} vs {a}..{b}", x + w);
+                    }
+                    placed.push((x, x + w));
+                }
+            }
+        }
+
+        /// occupied_length equals the sum of successful placements.
+        #[test]
+        fn prop_occupancy_accounting(widths in prop::collection::vec(1i64..2_000, 1..30)) {
+            let mut m = map();
+            let mut total = 0i64;
+            for w in widths {
+                if m.try_place(0, 0, 10_000, w).is_some() {
+                    total += w;
+                }
+            }
+            prop_assert_eq!(m.occupied_length(0), total);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Router configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::steiner::Decomposition;
+
+/// Order in which two-pin connections take the initial routing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NetOrder {
+    /// Shortest connections first (they have the least detour flexibility —
+    /// the classical choice, and the default).
+    #[default]
+    ShortFirst,
+    /// Longest connections first (they grab contiguous corridors early).
+    LongFirst,
+    /// Seeded-random order (an ordering-sensitivity probe).
+    Random,
+}
+
+/// Global-router configuration: capacity model and negotiation schedule.
+///
+/// # Example
+///
+/// ```
+/// use drcshap_route::RouteConfig;
+///
+/// let config = RouteConfig { negotiation_rounds: 4, ..RouteConfig::default() };
+/// assert!(config.negotiation_rounds > RouteConfig::default().negotiation_rounds);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteConfig {
+    /// Routing-track pitch in DBU (0.2 µm at 65 nm).
+    pub wire_pitch_dbu: i64,
+    /// Usable track fraction per metal layer (M1 is mostly consumed by pins
+    /// and cell-internal wiring).
+    pub layer_usable_fraction: [f64; 5],
+    /// Uniform capacity multiplier; the pipeline derates stressed designs.
+    pub capacity_scale: f64,
+    /// Rip-up-and-reroute rounds after the initial pattern pass.
+    pub negotiation_rounds: usize,
+    /// Congestion penalty weight in the routing cost.
+    pub congestion_weight: f64,
+    /// History-cost increment per overflowed edge per round.
+    pub history_increment: f64,
+    /// Maximum connections rerouted per negotiation round, as a fraction of
+    /// all connections (bounds runtime on hopeless designs).
+    pub max_reroute_fraction: f64,
+    /// Multi-pin net decomposition strategy (MST or iterated 1-Steiner).
+    pub decomposition: Decomposition,
+    /// Initial routing order of two-pin connections.
+    pub net_order: NetOrder,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        Self {
+            wire_pitch_dbu: 200,
+            layer_usable_fraction: [0.15, 0.55, 0.75, 0.80, 0.85],
+            capacity_scale: 1.0,
+            negotiation_rounds: 3,
+            congestion_weight: 2.0,
+            history_increment: 1.5,
+            max_reroute_fraction: 0.3,
+            decomposition: Decomposition::Mst,
+            net_order: NetOrder::ShortFirst,
+        }
+    }
+}
+
+impl RouteConfig {
+    /// A config whose capacities are derated for a stressed design (the
+    /// pipeline maps `DesignSpec::stress` through this).
+    pub fn derated(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "derate factor must be in (0, 1]");
+        self.capacity_scale *= factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = RouteConfig::default();
+        assert_eq!(c.layer_usable_fraction.len(), 5);
+        assert!(c.layer_usable_fraction.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        assert!(c.wire_pitch_dbu > 0);
+    }
+
+    #[test]
+    fn derated_multiplies_scale() {
+        let c = RouteConfig::default().derated(0.8).derated(0.5);
+        assert!((c.capacity_scale - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "derate factor")]
+    fn derated_rejects_bad_factor() {
+        let _ = RouteConfig::default().derated(1.5);
+    }
+}

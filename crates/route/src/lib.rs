@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Global-routing substrate for the `drcshap` workspace.
+//!
+//! The reproduced paper extracts its congestion features from the signal
+//! global-routing stage of Olympus-SoC on a 65 nm, five-metal-layer stack.
+//! This crate provides an equivalent substrate:
+//!
+//! - a layer model with five metal layers (M1–M5, alternating preferred
+//!   directions) and four via layers (V1–V4) — [`MetalLayer`], [`ViaLayer`];
+//! - a per-layer congestion map over g-cell border edges and via cells with
+//!   *capacity*, *load* and *margin* (capacity − load), exactly the
+//!   quantities the paper's 288 congestion features are built from
+//!   ([`CongestionMap`]);
+//! - a global router ([`route_design`]) that decomposes nets into two-pin
+//!   connections (Prim MST), routes them with L/Z pattern candidates under a
+//!   negotiated-congestion cost, falls back to A* maze routing for stubborn
+//!   connections, and finally assigns segments to metal layers and inserts
+//!   via demand.
+//!
+//! # Example
+//!
+//! ```
+//! use drcshap_netlist::{suite, synth, Design};
+//! use drcshap_place::place;
+//! use drcshap_route::{route_design, RouteConfig};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let spec = suite::spec("fft_1").unwrap().scaled(0.25);
+//! let mut design = Design::new(spec);
+//! let mut rng = ChaCha8Rng::seed_from_u64(design.spec.seed());
+//! synth::generate_cells(&mut design, &mut rng);
+//! place(&mut design, &mut rng);
+//! synth::generate_nets(&mut design, &mut rng);
+//! let outcome = route_design(&design, &RouteConfig::default(), &mut rng);
+//! assert!(outcome.total_wirelength > 0);
+//! ```
+
+mod config;
+mod congestion;
+mod decompose;
+pub mod incremental;
+mod layers;
+mod outcome;
+pub mod render;
+mod router;
+pub mod steiner;
+
+pub use config::{NetOrder, RouteConfig};
+pub use congestion::{CongestionMap, EdgeDir};
+pub use decompose::{decompose_net, TwoPinConn};
+pub use layers::{MetalLayer, ViaLayer, ALL_METALS, ALL_VIAS};
+pub use outcome::{RouteOutcome, RoutedConn, Segment};
+pub use incremental::reroute_around;
+pub use render::{cell_utilization, heat_glyph, render_heatmap, HeatSource};
+pub use router::route_design;
+pub use steiner::{decompose_net_with, steiner_tree, Decomposition, SteinerTree};

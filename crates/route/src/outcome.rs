@@ -1,0 +1,132 @@
+//! Routing results: per-connection paths with layer-assigned segments, the
+//! final congestion map, and summary statistics.
+
+use drcshap_geom::GcellId;
+use drcshap_netlist::NetId;
+use serde::{Deserialize, Serialize};
+
+use crate::congestion::CongestionMap;
+use crate::layers::MetalLayer;
+
+/// A maximal straight run of a routed connection, assigned to one metal
+/// layer. `from`/`to` are inclusive endpoint g-cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Metal layer carrying the segment.
+    pub layer: MetalLayer,
+    /// First g-cell of the run.
+    pub from: GcellId,
+    /// Last g-cell of the run.
+    pub to: GcellId,
+}
+
+impl Segment {
+    /// Length of the segment in crossed g-cell borders.
+    pub fn len(&self) -> u32 {
+        self.from.x.abs_diff(self.to.x) + self.from.y.abs_diff(self.to.y)
+    }
+
+    /// Whether the segment crosses no border (degenerate single-cell run).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A routed two-pin connection: the g-cell path and its layer assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedConn {
+    /// The net this connection belongs to.
+    pub net: NetId,
+    /// The cell-by-cell path from source to sink (length ≥ 1).
+    pub path: Vec<GcellId>,
+    /// Layer-assigned straight segments covering the path.
+    pub segments: Vec<Segment>,
+}
+
+impl RoutedConn {
+    /// Wirelength in crossed g-cell borders.
+    pub fn wirelength(&self) -> u32 {
+        (self.path.len() - 1) as u32
+    }
+}
+
+/// The outcome of global routing a design.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteOutcome {
+    /// Final per-layer congestion map (capacities, loads).
+    pub congestion: CongestionMap,
+    /// All routed two-pin connections.
+    pub conns: Vec<RoutedConn>,
+    /// Total wirelength in g-cell border crossings.
+    pub total_wirelength: u64,
+    /// Number of nets whose pins all fall in one g-cell.
+    pub local_nets: usize,
+    /// Total edge overflow after routing, `Σ max(0, load − cap)`.
+    pub edge_overflow: f64,
+    /// Number of overflowed (layer, edge) resources.
+    pub overflowed_edges: usize,
+    /// Total via overflow after routing.
+    pub via_overflow: f64,
+}
+
+impl std::fmt::Display for RouteOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "routed {} connections ({} local nets): wirelength {}, \
+             edge overflow {:.1} on {} edges, via overflow {:.1}",
+            self.conns.len(),
+            self.local_nets,
+            self.total_wirelength,
+            self.edge_overflow,
+            self.overflowed_edges,
+            self.via_overflow
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::CongestionMap;
+
+    #[test]
+    fn outcome_display_summarizes() {
+        let out = RouteOutcome {
+            congestion: CongestionMap::zeros(2, 2),
+            conns: vec![],
+            total_wirelength: 123,
+            local_nets: 4,
+            edge_overflow: 7.5,
+            overflowed_edges: 3,
+            via_overflow: 0.0,
+        };
+        let s = out.to_string();
+        assert!(s.contains("wirelength 123"));
+        assert!(s.contains("4 local nets"));
+        assert!(s.contains("overflow 7.5 on 3 edges"));
+    }
+
+    #[test]
+    fn segment_len_is_manhattan() {
+        let s = Segment {
+            layer: MetalLayer::M3,
+            from: GcellId::new(2, 5),
+            to: GcellId::new(7, 5),
+        };
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        let dot = Segment { layer: MetalLayer::M1, from: GcellId::new(1, 1), to: GcellId::new(1, 1) };
+        assert!(dot.is_empty());
+    }
+
+    #[test]
+    fn conn_wirelength_counts_borders() {
+        let conn = RoutedConn {
+            net: NetId::from_index(0),
+            path: vec![GcellId::new(0, 0), GcellId::new(1, 0), GcellId::new(1, 1)],
+            segments: vec![],
+        };
+        assert_eq!(conn.wirelength(), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! ASCII rendering of congestion maps — the terminal analogue of the
+//! paper's Fig. 3 layout views, where edge colors encode GR congestion per
+//! layer and red marks DRC errors.
+//!
+//! Each g-cell is drawn as one character encoding its *worst* resource
+//! utilization (`load / capacity`) among the selected resources:
+//!
+//! ```text
+//! . < 50%   - < 70%   + < 90%   * < 100%   # overflow   @ blocked
+//! ```
+
+use drcshap_geom::GcellId;
+
+use crate::congestion::CongestionMap;
+use crate::layers::{MetalLayer, ViaLayer, ALL_METALS};
+
+/// What a heatmap cell aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeatSource {
+    /// Max utilization over the cell's four borders on one metal layer.
+    Metal(MetalLayer),
+    /// Via utilization of one via layer inside the cell.
+    Via(ViaLayer),
+    /// Max utilization over all metal layers and the cell's borders.
+    AllMetals,
+}
+
+impl std::fmt::Display for HeatSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeatSource::Metal(m) => write!(f, "{m}"),
+            HeatSource::Via(v) => write!(f, "{v}"),
+            HeatSource::AllMetals => write!(f, "all metals"),
+        }
+    }
+}
+
+/// The worst utilization of `source` at cell `g` (`f64::INFINITY` when a
+/// resource has zero capacity but non-zero load; `-1.0` when fully blocked).
+pub fn cell_utilization(map: &CongestionMap, g: GcellId, source: HeatSource) -> f64 {
+    let (nx, ny) = map.dims();
+    let neighbors = [(1i32, 0i32), (-1, 0), (0, 1), (0, -1)];
+    let edge_util = |m: MetalLayer| -> f64 {
+        let mut worst = f64::MIN;
+        let mut any = false;
+        for (dx, dy) in neighbors {
+            let x = g.x as i64 + dx as i64;
+            let y = g.y as i64 + dy as i64;
+            if x < 0 || y < 0 || x >= nx as i64 || y >= ny as i64 {
+                continue;
+            }
+            let nb = GcellId::new(x as u32, y as u32);
+            let cap = map.edge_capacity(m, g, nb);
+            let load = map.edge_load(m, g, nb);
+            if cap > 0.0 {
+                worst = worst.max(load / cap);
+                any = true;
+            } else if load > 0.0 {
+                return f64::INFINITY;
+            }
+        }
+        if any {
+            worst
+        } else {
+            -1.0
+        }
+    };
+    match source {
+        HeatSource::Metal(m) => edge_util(m),
+        HeatSource::AllMetals => {
+            let utils: Vec<f64> = ALL_METALS.iter().map(|&m| edge_util(m)).collect();
+            if utils.iter().all(|&u| u < 0.0) {
+                -1.0
+            } else {
+                utils.into_iter().fold(f64::MIN, f64::max)
+            }
+        }
+        HeatSource::Via(v) => {
+            let cap = map.via_capacity(v, g);
+            let load = map.via_load(v, g);
+            if cap > 0.0 {
+                load / cap
+            } else if load > 0.0 {
+                f64::INFINITY
+            } else {
+                -1.0
+            }
+        }
+    }
+}
+
+/// The heatmap glyph for a utilization value.
+pub fn heat_glyph(utilization: f64) -> char {
+    if utilization < 0.0 {
+        '@' // blocked
+    } else if utilization < 0.5 {
+        '.'
+    } else if utilization < 0.7 {
+        '-'
+    } else if utilization < 0.9 {
+        '+'
+    } else if utilization <= 1.0 {
+        '*'
+    } else {
+        '#' // overflow
+    }
+}
+
+/// Renders the heatmap of `source`, north row first, with an optional
+/// overlay: cells where `overlay` returns true draw `X` (DRC errors in the
+/// Fig. 3 reproduction).
+pub fn render_heatmap(
+    map: &CongestionMap,
+    source: HeatSource,
+    overlay: impl Fn(GcellId) -> bool,
+) -> String {
+    let (nx, ny) = map.dims();
+    let mut out = format!(
+        "congestion [{source}]  (. <50% - <70% + <90% * <=100% # overflow @ blocked, X = overlay)\n"
+    );
+    for y in (0..ny).rev() {
+        for x in 0..nx {
+            let g = GcellId::new(x, y);
+            let c = if overlay(g) {
+                'X'
+            } else {
+                heat_glyph(cell_utilization(map, g, source))
+            };
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RouteConfig;
+    use drcshap_netlist::{suite, Design};
+
+    fn empty_map() -> CongestionMap {
+        let spec = suite::spec("fft_1").unwrap().scaled(0.2);
+        let design = Design::new(spec);
+        CongestionMap::with_capacities(&design, &RouteConfig::default())
+    }
+
+    #[test]
+    fn glyph_thresholds() {
+        assert_eq!(heat_glyph(-1.0), '@');
+        assert_eq!(heat_glyph(0.0), '.');
+        assert_eq!(heat_glyph(0.6), '-');
+        assert_eq!(heat_glyph(0.8), '+');
+        assert_eq!(heat_glyph(1.0), '*');
+        assert_eq!(heat_glyph(1.5), '#');
+        assert_eq!(heat_glyph(f64::INFINITY), '#');
+    }
+
+    #[test]
+    fn unloaded_map_renders_cool() {
+        let map = empty_map();
+        let s = render_heatmap(&map, HeatSource::AllMetals, |_| false);
+        // All interior cells are '.', no overflow anywhere (skip the legend).
+        let body: String = s.lines().skip(1).collect();
+        assert!(body.contains('.'));
+        assert!(!body.contains('#'));
+        assert!(!body.contains('X'));
+    }
+
+    #[test]
+    fn loaded_edges_heat_up() {
+        let mut map = empty_map();
+        let (a, b) = (GcellId::new(3, 3), GcellId::new(4, 3));
+        let cap = map.edge_capacity(MetalLayer::M3, a, b);
+        map.add_edge_load(MetalLayer::M3, a, b, cap + 5.0);
+        let util = cell_utilization(&map, a, HeatSource::Metal(MetalLayer::M3));
+        assert!(util > 1.0);
+        let s = render_heatmap(&map, HeatSource::Metal(MetalLayer::M3), |_| false);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn overlay_takes_precedence() {
+        let map = empty_map();
+        let target = GcellId::new(0, 0);
+        let s = render_heatmap(&map, HeatSource::AllMetals, |g| g == target);
+        let body: String = s.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        assert_eq!(body.matches('X').count(), 1);
+        // South-west corner: last row, first column.
+        let last_row = body.lines().last().unwrap();
+        assert!(last_row.starts_with('X'));
+    }
+
+    #[test]
+    fn via_source_reads_via_loads() {
+        let mut map = empty_map();
+        let g = GcellId::new(2, 2);
+        let cap = map.via_capacity(ViaLayer::V2, g);
+        map.add_via_load(ViaLayer::V2, g, cap * 0.95);
+        let util = cell_utilization(&map, g, HeatSource::Via(ViaLayer::V2));
+        assert!(util > 0.9 && util <= 1.0);
+    }
+
+    #[test]
+    fn rows_render_north_first() {
+        let map = empty_map();
+        let s = render_heatmap(&map, HeatSource::AllMetals, |g| g.y == 0);
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        // The y=0 overlay row must be the LAST rendered row.
+        assert!(lines.last().unwrap().chars().all(|c| c == 'X'));
+        assert!(lines[0].chars().all(|c| c != 'X'));
+    }
+}

@@ -1,0 +1,804 @@
+//! The global router: planar (2D) pattern routing with negotiated
+//! congestion and an A* maze fallback, followed by layer assignment and via
+//! demand insertion.
+//!
+//! The planar-then-layer-assign organization follows standard global-router
+//! practice: congestion is negotiated on the combined per-direction capacity,
+//! then each straight run is committed to a specific metal layer (short runs
+//! prefer low metals, long runs float up to the less-congested high metals),
+//! and vias are inserted at endpoints and bends.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use drcshap_geom::GcellId;
+use drcshap_netlist::Design;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::RouteConfig;
+use crate::congestion::{CongestionMap, EdgeDir};
+use crate::decompose::TwoPinConn;
+use crate::layers::{MetalLayer, ViaLayer, ALL_METALS};
+use crate::outcome::{RouteOutcome, RoutedConn, Segment};
+
+/// Globally routes `design` and returns the congestion map, routed
+/// connections and summary statistics.
+///
+/// The run is deterministic for a given `rng` state.
+///
+/// # Panics
+///
+/// Panics if any net has unplaced pins.
+pub fn route_design<R: Rng>(
+    design: &Design,
+    config: &RouteConfig,
+    rng: &mut R,
+) -> RouteOutcome {
+    let congestion = CongestionMap::with_capacities(design, config);
+    let (nx, ny) = design.grid.dims();
+    let mut planar = PlanarState::from_congestion(&congestion, nx, ny, config);
+
+    // Decompose all nets.
+    let mut conns: Vec<TwoPinConn> = Vec::new();
+    let mut local_nets = 0usize;
+    for (net_id, _) in design.netlist.nets() {
+        let cs = crate::steiner::decompose_net_with(design, net_id, config.decomposition);
+        if cs.is_empty() {
+            local_nets += 1;
+        }
+        conns.extend(cs);
+    }
+
+    // Initial pass, in the configured connection order.
+    let mut order: Vec<usize> = (0..conns.len()).collect();
+    match config.net_order {
+        crate::config::NetOrder::ShortFirst => order.sort_by_key(|&i| conns[i].manhattan_len()),
+        crate::config::NetOrder::LongFirst => {
+            order.sort_by_key(|&i| std::cmp::Reverse(conns[i].manhattan_len()))
+        }
+        crate::config::NetOrder::Random => order.shuffle(rng),
+    }
+    let mut paths: Vec<Vec<GcellId>> = vec![Vec::new(); conns.len()];
+    for &i in &order {
+        let path = planar.route_patterns(&conns[i], rng);
+        planar.commit(&path, conns[i].demand, 1.0);
+        paths[i] = path;
+    }
+
+    // Negotiation: rip up and reroute connections crossing overflowed edges.
+    for round in 0..config.negotiation_rounds {
+        planar.accumulate_history();
+        let mut victims: Vec<usize> = (0..conns.len())
+            .filter(|&i| planar.path_overflows(&paths[i]))
+            .collect();
+        if victims.is_empty() {
+            break;
+        }
+        victims.shuffle(rng);
+        let cap = ((conns.len() as f64 * config.max_reroute_fraction) as usize).max(64);
+        victims.truncate(cap);
+        let last_round = round + 1 == config.negotiation_rounds;
+        for i in victims {
+            planar.commit(&paths[i], conns[i].demand, -1.0);
+            let mut path = planar.route_patterns(&conns[i], rng);
+            if last_round && planar.path_would_overflow(&path, conns[i].demand) {
+                if let Some(maze) = planar.route_maze(&conns[i]) {
+                    if planar.path_cost(&maze, conns[i].demand)
+                        < planar.path_cost(&path, conns[i].demand)
+                    {
+                        path = maze;
+                    }
+                }
+            }
+            planar.commit(&path, conns[i].demand, 1.0);
+            paths[i] = path;
+        }
+    }
+
+    finalize_routing(design, congestion, &conns, paths, local_nets, rng)
+}
+
+/// Layer-assigns planar paths, inserts via demand (bends, pin access, local
+/// nets) and assembles the final [`RouteOutcome`]. Shared by the full router
+/// and the incremental rerouter; `congestion` must carry capacities but no
+/// wire loads yet.
+pub(crate) fn finalize_routing<R: Rng>(
+    design: &Design,
+    mut congestion: CongestionMap,
+    conns: &[TwoPinConn],
+    mut paths: Vec<Vec<GcellId>>,
+    local_nets: usize,
+    rng: &mut R,
+) -> RouteOutcome {
+    // Assign layers in shuffled order (no connection systematically gets
+    // the least-congested layers), but keep the output aligned with the
+    // input connection order.
+    let mut routed: Vec<Option<RoutedConn>> = (0..conns.len()).map(|_| None).collect();
+    let mut total_wirelength = 0u64;
+    let mut assign_order: Vec<usize> = (0..conns.len()).collect();
+    assign_order.shuffle(rng);
+    for i in assign_order {
+        let conn = &conns[i];
+        let path = std::mem::take(&mut paths[i]);
+        total_wirelength += (path.len().saturating_sub(1)) as u64;
+        let segments = assign_layers(&path, conn.demand, &mut congestion, rng);
+        insert_vias(&path, &segments, conn.demand, &mut congestion);
+        routed[i] = Some(RoutedConn { net: conn.net, path, segments });
+    }
+    let routed: Vec<RoutedConn> =
+        routed.into_iter().map(|r| r.expect("every connection assigned")).collect();
+
+    // Pin-access via demand: every pin consumes a V1 cut in its g-cell;
+    // local nets additionally consume a V2 cut for the intra-cell jog.
+    for (pin_id, _) in design.netlist.pins() {
+        if let Some(pos) = design.pin_position(pin_id) {
+            let clamped = drcshap_geom::Point::new(
+                pos.x.clamp(design.die.lo.x, design.die.hi.x - 1),
+                pos.y.clamp(design.die.lo.y, design.die.hi.y - 1),
+            );
+            if let Some(g) = design.grid.cell_containing(clamped) {
+                congestion.add_via_load(ViaLayer::V1, g, 1.0);
+            }
+        }
+    }
+    for (net_id, net) in design.netlist.nets() {
+        if decompose_is_local(design, net_id) {
+            if let Some(&pin) = net.pins.first() {
+                if let Some(pos) = design.pin_position(pin) {
+                    if let Some(g) = design.grid.cell_containing(pos) {
+                        congestion.add_via_load(ViaLayer::V2, g, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    let edge_overflow = congestion.total_edge_overflow();
+    let overflowed_edges = congestion.overflowed_edges();
+    let via_overflow = congestion.total_via_overflow();
+    RouteOutcome {
+        congestion,
+        conns: routed,
+        total_wirelength,
+        local_nets,
+        edge_overflow,
+        overflowed_edges,
+        via_overflow,
+    }
+}
+
+fn decompose_is_local(design: &Design, net: drcshap_netlist::NetId) -> bool {
+    let n = design.netlist.net(net);
+    if n.pins.len() < 2 {
+        return false;
+    }
+    let mut first: Option<GcellId> = None;
+    for &pin in &n.pins {
+        let Some(pos) = design.pin_position(pin) else { return false };
+        let Some(g) = design.grid.cell_containing(pos) else { return false };
+        match first {
+            None => first = Some(g),
+            Some(f) if f != g => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Planar (direction-combined) routing state: capacity, load and history per
+/// horizontal/vertical edge.
+pub(crate) struct PlanarState {
+    nx: usize,
+    ny: usize,
+    h_cap: Vec<f64>,
+    v_cap: Vec<f64>,
+    h_load: Vec<f64>,
+    v_load: Vec<f64>,
+    h_hist: Vec<f64>,
+    v_hist: Vec<f64>,
+    congestion_weight: f64,
+    history_increment: f64,
+}
+
+impl PlanarState {
+    pub(crate) fn from_congestion(map: &CongestionMap, nx: u32, ny: u32, config: &RouteConfig) -> Self {
+        let (nx, ny) = (nx as usize, ny as usize);
+        let mut h_cap = vec![0.0; (nx - 1).max(1) * ny];
+        let mut v_cap = vec![0.0; nx * (ny - 1).max(1)];
+        for y in 0..ny {
+            for x in 0..nx.saturating_sub(1) {
+                let a = GcellId::new(x as u32, y as u32);
+                let b = GcellId::new(x as u32 + 1, y as u32);
+                h_cap[y * (nx - 1) + x] = map.dir_capacity(EdgeDir::Horizontal, a, b);
+            }
+        }
+        for y in 0..ny.saturating_sub(1) {
+            for x in 0..nx {
+                let a = GcellId::new(x as u32, y as u32);
+                let b = GcellId::new(x as u32, y as u32 + 1);
+                v_cap[y * nx + x] = map.dir_capacity(EdgeDir::Vertical, a, b);
+            }
+        }
+        Self {
+            nx,
+            ny,
+            h_load: vec![0.0; h_cap.len()],
+            v_load: vec![0.0; v_cap.len()],
+            h_hist: vec![0.0; h_cap.len()],
+            v_hist: vec![0.0; v_cap.len()],
+            h_cap,
+            v_cap,
+            congestion_weight: config.congestion_weight,
+            history_increment: config.history_increment,
+        }
+    }
+
+    #[inline]
+    fn h_idx(&self, x: usize, y: usize) -> usize {
+        y * (self.nx - 1) + x
+    }
+
+    #[inline]
+    fn v_idx(&self, x: usize, y: usize) -> usize {
+        y * self.nx + x
+    }
+
+    /// Cost of crossing one edge with `demand` extra tracks.
+    #[inline]
+    fn edge_cost(&self, horizontal: bool, idx: usize, demand: f64) -> f64 {
+        let (cap, load, hist) = if horizontal {
+            (self.h_cap[idx], self.h_load[idx], self.h_hist[idx])
+        } else {
+            (self.v_cap[idx], self.v_load[idx], self.v_hist[idx])
+        };
+        let after = load + demand;
+        let penalty = if after <= cap {
+            0.8 * after / cap.max(1.0)
+        } else {
+            2.0 + (after - cap)
+        };
+        1.0 + hist + self.congestion_weight * penalty
+    }
+
+    pub(crate) fn edge_between(&self, a: GcellId, b: GcellId) -> (bool, usize) {
+        if a.y == b.y {
+            let x = a.x.min(b.x) as usize;
+            (true, self.h_idx(x, a.y as usize))
+        } else {
+            let y = a.y.min(b.y) as usize;
+            (false, self.v_idx(a.x as usize, y))
+        }
+    }
+
+    pub(crate) fn path_cost(&self, path: &[GcellId], demand: f64) -> f64 {
+        path.windows(2)
+            .map(|w| {
+                let (h, i) = self.edge_between(w[0], w[1]);
+                self.edge_cost(h, i, demand)
+            })
+            .sum()
+    }
+
+    pub(crate) fn commit(&mut self, path: &[GcellId], demand: f64, sign: f64) {
+        for w in path.windows(2) {
+            let (h, i) = self.edge_between(w[0], w[1]);
+            if h {
+                self.h_load[i] += sign * demand;
+            } else {
+                self.v_load[i] += sign * demand;
+            }
+        }
+    }
+
+    pub(crate) fn path_overflows(&self, path: &[GcellId]) -> bool {
+        path.windows(2).any(|w| {
+            let (h, i) = self.edge_between(w[0], w[1]);
+            if h {
+                self.h_load[i] > self.h_cap[i]
+            } else {
+                self.v_load[i] > self.v_cap[i]
+            }
+        })
+    }
+
+    pub(crate) fn path_would_overflow(&self, path: &[GcellId], demand: f64) -> bool {
+        path.windows(2).any(|w| {
+            let (h, i) = self.edge_between(w[0], w[1]);
+            if h {
+                self.h_load[i] + demand > self.h_cap[i]
+            } else {
+                self.v_load[i] + demand > self.v_cap[i]
+            }
+        })
+    }
+
+    /// Adds `penalty` history cost to every edge incident to a cell in
+    /// `targets` (used by the incremental rerouter to steer traffic away).
+    pub(crate) fn penalize_cells(
+        &mut self,
+        targets: &std::collections::HashSet<GcellId>,
+        penalty: f64,
+    ) {
+        for &g in targets {
+            let (x, y) = (g.x as usize, g.y as usize);
+            if x + 1 < self.nx {
+                let i = self.h_idx(x, y);
+                self.h_hist[i] += penalty;
+            }
+            if x > 0 {
+                let i = self.h_idx(x - 1, y);
+                self.h_hist[i] += penalty;
+            }
+            if y + 1 < self.ny {
+                let i = self.v_idx(x, y);
+                self.v_hist[i] += penalty;
+            }
+            if y > 0 {
+                let i = self.v_idx(x, y - 1);
+                self.v_hist[i] += penalty;
+            }
+        }
+    }
+
+    pub(crate) fn accumulate_history(&mut self) {
+        for i in 0..self.h_load.len() {
+            if self.h_load[i] > self.h_cap[i] {
+                self.h_hist[i] += self.history_increment;
+            }
+        }
+        for i in 0..self.v_load.len() {
+            if self.v_load[i] > self.v_cap[i] {
+                self.v_hist[i] += self.history_increment;
+            }
+        }
+    }
+
+    /// Best of the straight/L/Z pattern candidates for `conn`.
+    pub(crate) fn route_patterns<R: Rng>(&self, conn: &TwoPinConn, rng: &mut R) -> Vec<GcellId> {
+        let (a, b) = (conn.a, conn.b);
+        let mut candidates: Vec<Vec<GcellId>> = Vec::with_capacity(6);
+        if a.x == b.x || a.y == b.y {
+            candidates.push(expand(&[a, b]));
+        } else {
+            candidates.push(expand(&[a, GcellId::new(b.x, a.y), b]));
+            candidates.push(expand(&[a, GcellId::new(a.x, b.y), b]));
+            // Z patterns with random intermediate splits.
+            let (xlo, xhi) = (a.x.min(b.x), a.x.max(b.x));
+            let (ylo, yhi) = (a.y.min(b.y), a.y.max(b.y));
+            if xhi - xlo > 1 {
+                let mx = rng.gen_range(xlo + 1..xhi);
+                candidates.push(expand(&[
+                    a,
+                    GcellId::new(mx, a.y),
+                    GcellId::new(mx, b.y),
+                    b,
+                ]));
+            }
+            if yhi - ylo > 1 {
+                let my = rng.gen_range(ylo + 1..yhi);
+                candidates.push(expand(&[
+                    a,
+                    GcellId::new(a.x, my),
+                    GcellId::new(b.x, my),
+                    b,
+                ]));
+            }
+        }
+        candidates
+            .into_iter()
+            .min_by(|p, q| {
+                self.path_cost(p, conn.demand)
+                    .total_cmp(&self.path_cost(q, conn.demand))
+            })
+            .expect("at least one pattern candidate")
+    }
+
+    /// A* maze route on the planar grid; `None` only on pathological inputs.
+    pub(crate) fn route_maze(&self, conn: &TwoPinConn) -> Option<Vec<GcellId>> {
+        let (nx, ny) = (self.nx, self.ny);
+        let idx = |g: GcellId| g.y as usize * nx + g.x as usize;
+        let n = nx * ny;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<u32> = vec![u32::MAX; n];
+        let start = idx(conn.a);
+        let goal = idx(conn.b);
+        dist[start] = 0.0;
+        // Binary heap keyed on f = g + h (scaled to integer for Ord).
+        let h = |i: usize| {
+            let (x, y) = ((i % nx) as i64, (i / nx) as i64);
+            ((x - conn.b.x as i64).abs() + (y - conn.b.y as i64).abs()) as f64
+        };
+        let key = |f: f64| (f * 1024.0) as u64;
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((key(h(start)), start as u32)));
+        let mut pops = 0usize;
+        while let Some(Reverse((_, u))) = heap.pop() {
+            let u = u as usize;
+            if u == goal {
+                break;
+            }
+            pops += 1;
+            if pops > 4 * n {
+                return None;
+            }
+            let (x, y) = (u % nx, u / nx);
+            let relax = |v: usize, cost: f64, heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+                             dist: &mut [f64], prev: &mut [u32]| {
+                let nd = dist[u] + cost;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u as u32;
+                    heap.push(Reverse((key(nd + h(v)), v as u32)));
+                }
+            };
+            if x + 1 < nx {
+                let c = self.edge_cost(true, self.h_idx(x, y), conn.demand);
+                relax(u + 1, c, &mut heap, &mut dist, &mut prev);
+            }
+            if x > 0 {
+                let c = self.edge_cost(true, self.h_idx(x - 1, y), conn.demand);
+                relax(u - 1, c, &mut heap, &mut dist, &mut prev);
+            }
+            if y + 1 < ny {
+                let c = self.edge_cost(false, self.v_idx(x, y), conn.demand);
+                relax(u + nx, c, &mut heap, &mut dist, &mut prev);
+            }
+            if y > 0 {
+                let c = self.edge_cost(false, self.v_idx(x, y - 1), conn.demand);
+                relax(u - nx, c, &mut heap, &mut dist, &mut prev);
+            }
+        }
+        if dist[goal].is_infinite() {
+            return None;
+        }
+        let mut path = vec![conn.b];
+        let mut cur = goal;
+        while cur != start {
+            cur = prev[cur] as usize;
+            path.push(GcellId::new((cur % nx) as u32, (cur / nx) as u32));
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Expands an axis-aligned corner sequence into a cell-by-cell path.
+///
+/// # Panics
+///
+/// Panics if consecutive corners are not axis-aligned.
+fn expand(corners: &[GcellId]) -> Vec<GcellId> {
+    let mut path = vec![corners[0]];
+    for w in corners.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        assert!(a.x == b.x || a.y == b.y, "corners {a}-{b} not axis-aligned");
+        let mut cur = a;
+        while cur != b {
+            cur = GcellId::new(
+                (cur.x as i64 + (b.x as i64 - cur.x as i64).signum()) as u32,
+                (cur.y as i64 + (b.y as i64 - cur.y as i64).signum()) as u32,
+            );
+            path.push(cur);
+        }
+    }
+    path
+}
+
+/// Splits `path` into maximal straight runs and assigns each to the
+/// cheapest direction-compatible metal layer; commits the wire load.
+fn assign_layers<R: Rng>(
+    path: &[GcellId],
+    demand: f64,
+    congestion: &mut CongestionMap,
+    rng: &mut R,
+) -> Vec<Segment> {
+    if path.len() < 2 {
+        return Vec::new();
+    }
+    // Straight runs as (start_index, end_index) inclusive.
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..path.len() - 1 {
+        let dir_in = path[i].x != path[i - 1].x;
+        let dir_out = path[i + 1].x != path[i].x;
+        if dir_in != dir_out {
+            runs.push((start, i));
+            start = i;
+        }
+    }
+    runs.push((start, path.len() - 1));
+
+    let mut segments = Vec::with_capacity(runs.len());
+    for (s, e) in runs {
+        let horizontal = path[s].y == path[e].y && path[s].x != path[e].x;
+        let dir = if horizontal { EdgeDir::Horizontal } else { EdgeDir::Vertical };
+        let layers: Vec<MetalLayer> =
+            ALL_METALS.iter().copied().filter(|m| m.direction() == dir).collect();
+        let len = (e - s) as f64;
+        let mut best: Option<(f64, MetalLayer)> = None;
+        for layer in layers {
+            let mut acc = 0.0;
+            for i in s..e {
+                let cap = congestion.edge_capacity(layer, path[i], path[i + 1]).max(0.5);
+                let load = congestion.edge_load(layer, path[i], path[i + 1]);
+                acc += (load + demand) / cap;
+            }
+            // Short runs prefer low metals; jitter breaks ties.
+            let score = acc / len
+                + layer.index() as f64 * (0.6 / (len + 1.0))
+                + rng.gen_range(0.0..0.01);
+            if best.is_none_or(|(b, _)| score < b) {
+                best = Some((score, layer));
+            }
+        }
+        let layer = best.expect("direction always has compatible layers").1;
+        for i in s..e {
+            congestion.add_edge_load(layer, path[i], path[i + 1], demand);
+        }
+        segments.push(Segment { layer, from: path[s], to: path[e] });
+    }
+    segments
+}
+
+/// Inserts via demand at segment endpoints and bends.
+fn insert_vias(
+    path: &[GcellId],
+    segments: &[Segment],
+    demand: f64,
+    congestion: &mut CongestionMap,
+) {
+    if segments.is_empty() {
+        return;
+    }
+    // Pin access stacks at both ends: M1 up to the first/last segment layer.
+    let first = segments.first().expect("non-empty");
+    let last = segments.last().expect("non-empty");
+    for v in ViaLayer::between(MetalLayer::M1, first.layer) {
+        congestion.add_via_load(v, path[0], demand);
+    }
+    for v in ViaLayer::between(MetalLayer::M1, last.layer) {
+        congestion.add_via_load(v, *path.last().expect("non-empty path"), demand);
+    }
+    // Layer changes at bends.
+    for w in segments.windows(2) {
+        let junction = w[0].to;
+        for v in ViaLayer::between(w[0].layer, w[1].layer) {
+            congestion.add_via_load(v, junction, demand);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcshap_netlist::{suite, synth, Design};
+    use drcshap_place::place;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn routed(name: &str, scale: f64) -> (Design, RouteOutcome) {
+        let spec = suite::spec(name).unwrap().scaled(scale);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(d.spec.seed());
+        synth::generate_cells(&mut d, &mut rng);
+        place(&mut d, &mut rng);
+        synth::generate_nets(&mut d, &mut rng);
+        let out = route_design(&d, &RouteConfig::default(), &mut rng);
+        (d, out)
+    }
+
+    #[test]
+    fn expand_walks_cell_by_cell() {
+        let p = expand(&[GcellId::new(0, 0), GcellId::new(3, 0), GcellId::new(3, 2)]);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], GcellId::new(0, 0));
+        assert_eq!(p[3], GcellId::new(3, 0));
+        assert_eq!(p[5], GcellId::new(3, 2));
+        for w in p.windows(2) {
+            assert_eq!(w[0].x.abs_diff(w[1].x) + w[0].y.abs_diff(w[1].y), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not axis-aligned")]
+    fn expand_rejects_diagonals() {
+        let _ = expand(&[GcellId::new(0, 0), GcellId::new(2, 2)]);
+    }
+
+    #[test]
+    fn paths_connect_endpoints() {
+        let (_, out) = routed("fft_1", 0.25);
+        assert!(!out.conns.is_empty());
+        for conn in &out.conns {
+            let path = &conn.path;
+            assert!(path.len() >= 2 || conn.segments.is_empty());
+            for w in path.windows(2) {
+                assert_eq!(
+                    w[0].x.abs_diff(w[1].x) + w[0].y.abs_diff(w[1].y),
+                    1,
+                    "path not cell-contiguous"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segments_cover_paths_with_matching_directions() {
+        let (_, out) = routed("fft_1", 0.25);
+        for conn in out.conns.iter().filter(|c| c.path.len() >= 2) {
+            let seg_len: u32 = conn.segments.iter().map(|s| s.len()).sum();
+            assert_eq!(seg_len, conn.wirelength(), "segments must tile the path");
+            for s in &conn.segments {
+                let horizontal = s.from.y == s.to.y && s.from.x != s.to.x;
+                let dir = if horizontal { EdgeDir::Horizontal } else { EdgeDir::Vertical };
+                if !s.is_empty() {
+                    assert_eq!(s.layer.direction(), dir, "segment on wrong-direction layer");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_load_matches_wirelength() {
+        // Total committed edge load (at demand >= 1 per crossing) must be at
+        // least the total wirelength.
+        let (d, out) = routed("fft_1", 0.25);
+        let grid = &d.grid;
+        let mut committed = 0.0;
+        for m in ALL_METALS {
+            let (dx, dy) = match m.direction() {
+                EdgeDir::Horizontal => (1, 0),
+                EdgeDir::Vertical => (0, 1),
+            };
+            for a in grid.iter() {
+                if let Some(b) = grid.neighbor(a, dx, dy) {
+                    committed += out.congestion.edge_load(m, a, b);
+                }
+            }
+        }
+        assert!(
+            committed >= out.total_wirelength as f64 * 0.999,
+            "committed {committed} < wirelength {}",
+            out.total_wirelength
+        );
+    }
+
+    #[test]
+    pub(crate) fn committed_edge_load_equals_demand_times_length() {
+        // Conservation: total committed metal load must equal the sum over
+        // connections of (wirelength x demand).
+        let (d, out) = routed("fft_2", 0.25);
+        let demand_of = |net: drcshap_netlist::NetId| {
+            d.netlist
+                .net(net)
+                .ndr
+                .map(|id| d.netlist.ndr(id).track_demand())
+                .unwrap_or(1.0)
+        };
+        let expected: f64 = out
+            .conns
+            .iter()
+            .map(|c| c.wirelength() as f64 * demand_of(c.net))
+            .sum();
+        let grid = &d.grid;
+        let mut committed = 0.0;
+        for m in ALL_METALS {
+            let (dx, dy) = match m.direction() {
+                EdgeDir::Horizontal => (1, 0),
+                EdgeDir::Vertical => (0, 1),
+            };
+            for a in grid.iter() {
+                if let Some(b) = grid.neighbor(a, dx, dy) {
+                    committed += out.congestion.edge_load(m, a, b);
+                }
+            }
+        }
+        assert!(
+            (committed - expected).abs() < 1e-6 * expected.max(1.0),
+            "committed {committed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn via_loads_exist_at_pins() {
+        let (d, out) = routed("fft_1", 0.25);
+        let total_v1: f64 = d
+            .grid
+            .iter()
+            .map(|g| out.congestion.via_load(ViaLayer::V1, g))
+            .sum();
+        // Every pin adds at least one V1 cut.
+        assert!(total_v1 >= d.netlist.num_pins() as f64 * 0.999);
+    }
+
+    #[test]
+    fn capacity_derating_increases_overflow() {
+        // The core pipeline derates capacity on stressed designs; a derated
+        // route of the same design must overflow at least as much.
+        let spec = suite::spec("des_perf_1").unwrap().scaled(0.2);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(d.spec.seed());
+        synth::generate_cells(&mut d, &mut rng);
+        place(&mut d, &mut rng);
+        synth::generate_nets(&mut d, &mut rng);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(1);
+        let full = route_design(&d, &RouteConfig::default(), &mut rng_a);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(1);
+        let derated = route_design(&d, &RouteConfig::default().derated(0.5), &mut rng_b);
+        assert!(
+            derated.edge_overflow > full.edge_overflow,
+            "derated {} <= full {}",
+            derated.edge_overflow,
+            full.edge_overflow
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (_, a) = routed("fft_2", 0.2);
+        let (_, b) = routed("fft_2", 0.2);
+        assert_eq!(a.total_wirelength, b.total_wirelength);
+        assert_eq!(a.edge_overflow, b.edge_overflow);
+    }
+
+    #[test]
+    fn net_order_changes_routing_but_stays_legal() {
+        let spec = suite::spec("fft_1").unwrap().scaled(0.25);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(d.spec.seed());
+        synth::generate_cells(&mut d, &mut rng);
+        place(&mut d, &mut rng);
+        synth::generate_nets(&mut d, &mut rng);
+        let mut results = Vec::new();
+        for order in [
+            crate::NetOrder::ShortFirst,
+            crate::NetOrder::LongFirst,
+            crate::NetOrder::Random,
+        ] {
+            let cfg = RouteConfig { net_order: order, ..RouteConfig::default() };
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let out = route_design(&d, &cfg, &mut rng);
+            // Each ordering yields a complete, well-formed route set.
+            assert!(out.total_wirelength > 0);
+            for conn in &out.conns {
+                let seg_len: u32 = conn.segments.iter().map(|s| s.len()).sum();
+                assert_eq!(seg_len, conn.wirelength());
+            }
+            results.push((out.total_wirelength, out.edge_overflow, out.via_overflow));
+        }
+        // All patterns are shortest paths, so wirelength often ties — but
+        // the congestion outcome should differ between orderings.
+        assert!(
+            results.windows(2).any(|w| w[0] != w[1]),
+            "all orderings identical: {results:?}"
+        );
+    }
+
+    #[test]
+    fn maze_route_finds_detour() {
+        // Construct a planar state with a blocked straight path.
+        let spec = suite::spec("fft_1").unwrap().scaled(0.2);
+        let d = Design::new(spec);
+        let map = CongestionMap::with_capacities(&d, &RouteConfig::default());
+        let (nx, ny) = d.grid.dims();
+        let mut planar = PlanarState::from_congestion(&map, nx, ny, &RouteConfig::default());
+        // Saturate the direct horizontal corridor.
+        let y = 5usize;
+        for x in 0..(planar.nx - 1) {
+            let i = planar.h_idx(x, y);
+            planar.h_load[i] = planar.h_cap[i] + 50.0;
+        }
+        let conn = TwoPinConn {
+            net: drcshap_netlist::NetId::from_index(0),
+            a: GcellId::new(0, y as u32),
+            b: GcellId::new(8, y as u32),
+            demand: 1.0,
+        };
+        let maze = planar.route_maze(&conn).expect("maze must succeed");
+        assert_eq!(*maze.first().unwrap(), conn.a);
+        assert_eq!(*maze.last().unwrap(), conn.b);
+        // The detour leaves the saturated row.
+        assert!(maze.iter().any(|g| g.y != y as u32), "maze did not detour");
+    }
+}

@@ -1,0 +1,318 @@
+//! Rectilinear Steiner tree decomposition: the *iterated 1-Steiner*
+//! heuristic (Kahng & Robins) over the Hanan grid of a net's pin g-cells.
+//!
+//! Global routers route Steiner *trees*, not spanning trees: inserting
+//! Steiner points reduces wirelength by up to 33% per net versus the MST
+//! bound (3-pin nets with an L-median already save the full detour). The
+//! router can use either decomposition ([`crate::RouteConfig::decomposition`]);
+//! the ablation bench quantifies the wirelength delta.
+
+use drcshap_geom::GcellId;
+use drcshap_netlist::{Design, NetId};
+use serde::{Deserialize, Serialize};
+
+use crate::decompose::{decompose_net, TwoPinConn};
+
+/// Net decomposition strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Decomposition {
+    /// Prim MST over pin g-cells (fast, up to 50% above RSMT optimum).
+    #[default]
+    Mst,
+    /// Iterated 1-Steiner over the Hanan grid (slower, shorter trees).
+    Steiner,
+}
+
+/// Largest net (distinct pin g-cells) Steinerized; bigger nets fall back to
+/// the MST (the Hanan grid grows quadratically).
+const MAX_STEINER_TERMINALS: usize = 12;
+/// Maximum Steiner points inserted per net.
+const MAX_STEINER_POINTS: usize = 4;
+
+fn dist(a: GcellId, b: GcellId) -> u64 {
+    (a.x.abs_diff(b.x) + a.y.abs_diff(b.y)) as u64
+}
+
+/// Total MST length over `points` and the chosen edges (Prim, O(k²)).
+fn mst(points: &[GcellId]) -> (u64, Vec<(usize, usize)>) {
+    let k = points.len();
+    if k < 2 {
+        return (0, Vec::new());
+    }
+    let mut in_tree = vec![false; k];
+    let mut best = vec![(u64::MAX, 0usize); k];
+    in_tree[0] = true;
+    for i in 1..k {
+        best[i] = (dist(points[0], points[i]), 0);
+    }
+    let mut total = 0u64;
+    let mut edges = Vec::with_capacity(k - 1);
+    for _ in 1..k {
+        let (next, &(d, parent)) = best
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !in_tree[*i])
+            .min_by_key(|(_, (d, _))| *d)
+            .expect("vertex outside the tree remains");
+        in_tree[next] = true;
+        total += d;
+        edges.push((parent, next));
+        for i in 0..k {
+            if !in_tree[i] {
+                let nd = dist(points[next], points[i]);
+                if nd < best[i].0 {
+                    best[i] = (nd, next);
+                }
+            }
+        }
+    }
+    (total, edges)
+}
+
+/// The Steiner tree topology over a terminal set: points (terminals then
+/// Steiner points) and tree edges as index pairs.
+#[derive(Debug, Clone)]
+pub struct SteinerTree {
+    /// Terminals followed by inserted Steiner points.
+    pub points: Vec<GcellId>,
+    /// Tree edges as indices into `points`.
+    pub edges: Vec<(usize, usize)>,
+    /// Total rectilinear length in g-cell steps.
+    pub length: u64,
+}
+
+/// Builds an iterated-1-Steiner tree over `terminals`.
+///
+/// Repeatedly inserts the Hanan-grid point that shrinks the MST the most,
+/// until no candidate improves or [`MAX_STEINER_POINTS`] is reached. Degree-2
+/// Steiner points left over after reconstruction are harmless (they lie on
+/// the path anyway).
+///
+/// # Panics
+///
+/// Panics if `terminals` is empty.
+pub fn steiner_tree(terminals: &[GcellId]) -> SteinerTree {
+    assert!(!terminals.is_empty(), "empty terminal set");
+    let mut points: Vec<GcellId> = terminals.to_vec();
+    let (mut length, mut edges) = mst(&points);
+    if terminals.len() < 3 || terminals.len() > MAX_STEINER_TERMINALS {
+        return SteinerTree { points, edges, length };
+    }
+
+    // Hanan grid candidates.
+    let mut xs: Vec<u32> = terminals.iter().map(|p| p.x).collect();
+    let mut ys: Vec<u32> = terminals.iter().map(|p| p.y).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    ys.sort_unstable();
+    ys.dedup();
+
+    for _ in 0..MAX_STEINER_POINTS {
+        let mut best: Option<(u64, GcellId)> = None;
+        for &x in &xs {
+            for &y in &ys {
+                let candidate = GcellId::new(x, y);
+                if points.contains(&candidate) {
+                    continue;
+                }
+                points.push(candidate);
+                let (len, _) = mst(&points);
+                points.pop();
+                if len < length && best.is_none_or(|(b, _)| len < b) {
+                    best = Some((len, candidate));
+                }
+            }
+        }
+        let Some((len, candidate)) = best else { break };
+        points.push(candidate);
+        length = len;
+        let (_, new_edges) = mst(&points);
+        edges = new_edges;
+    }
+    SteinerTree { points, edges, length }
+}
+
+/// Decomposes `net` into two-pin connections via the chosen strategy.
+///
+/// # Panics
+///
+/// Panics if any pin of the net is unplaced.
+pub fn decompose_net_with(
+    design: &Design,
+    net: NetId,
+    strategy: Decomposition,
+) -> Vec<TwoPinConn> {
+    match strategy {
+        Decomposition::Mst => decompose_net(design, net),
+        Decomposition::Steiner => {
+            // Reuse the MST path for terminal collection and demand.
+            let mst_conns = decompose_net(design, net);
+            if mst_conns.is_empty() {
+                return mst_conns;
+            }
+            let demand = mst_conns[0].demand;
+            let mut terminals: Vec<GcellId> = Vec::new();
+            for c in &mst_conns {
+                if !terminals.contains(&c.a) {
+                    terminals.push(c.a);
+                }
+                if !terminals.contains(&c.b) {
+                    terminals.push(c.b);
+                }
+            }
+            let tree = steiner_tree(&terminals);
+            tree.edges
+                .iter()
+                .map(|&(u, v)| TwoPinConn {
+                    net,
+                    a: tree.points[u],
+                    b: tree.points[v],
+                    demand,
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn g(x: u32, y: u32) -> GcellId {
+        GcellId::new(x, y)
+    }
+
+    fn tree_length(conns: &[TwoPinConn]) -> u64 {
+        conns.iter().map(|c| c.manhattan_len() as u64).sum()
+    }
+
+    #[test]
+    fn three_pin_l_median_saves_wirelength() {
+        // Classic: terminals at (0,0), (10,0), (5,8). MST = 10 + 13 = 23;
+        // Steiner point at (5,0) gives 10 + 8 = 18.
+        let terminals = [g(0, 0), g(10, 0), g(5, 8)];
+        let (mst_len, _) = mst(&terminals);
+        let tree = steiner_tree(&terminals);
+        assert_eq!(mst_len, 23);
+        assert_eq!(tree.length, 18);
+        assert!(tree.points.contains(&g(5, 0)));
+    }
+
+    #[test]
+    fn two_pin_nets_are_untouched() {
+        let terminals = [g(1, 1), g(7, 3)];
+        let tree = steiner_tree(&terminals);
+        assert_eq!(tree.points.len(), 2);
+        assert_eq!(tree.length, 8);
+    }
+
+    #[test]
+    fn cross_topology_uses_center_steiner_point() {
+        // Four terminals forming a plus: the center saves 2x the arm.
+        let terminals = [g(5, 0), g(5, 10), g(0, 5), g(10, 5)];
+        let (mst_len, _) = mst(&terminals);
+        let tree = steiner_tree(&terminals);
+        assert!(tree.length < mst_len, "steiner {} vs mst {mst_len}", tree.length);
+        assert_eq!(tree.length, 20);
+        assert!(tree.points.contains(&g(5, 5)));
+    }
+
+    #[test]
+    fn tree_is_connected() {
+        let terminals = [g(0, 0), g(9, 2), g(3, 8), g(7, 7), g(1, 5)];
+        let tree = steiner_tree(&terminals);
+        // Union-find over edges must leave one component spanning terminals.
+        let mut parent: Vec<usize> = (0..tree.points.len()).collect();
+        fn find(p: &mut Vec<usize>, i: usize) -> usize {
+            if p[i] != i {
+                let r = find(p, p[i]);
+                p[i] = r;
+            }
+            p[i]
+        }
+        for &(u, v) in &tree.edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            parent[ru] = rv;
+        }
+        let root = find(&mut parent, 0);
+        for i in 0..5 {
+            assert_eq!(find(&mut parent, i), root, "terminal {i} disconnected");
+        }
+    }
+
+    proptest! {
+        /// Steiner never exceeds MST length, and both span the terminals.
+        #[test]
+        fn prop_steiner_no_worse_than_mst(
+            coords in prop::collection::vec((0u32..30, 0u32..30), 3..9)
+        ) {
+            let mut terminals: Vec<GcellId> = coords.iter().map(|&(x, y)| g(x, y)).collect();
+            terminals.sort_by_key(|p| (p.x, p.y));
+            terminals.dedup();
+            if terminals.len() < 2 {
+                return Ok(());
+            }
+            let (mst_len, _) = mst(&terminals);
+            let tree = steiner_tree(&terminals);
+            prop_assert!(tree.length <= mst_len, "steiner {} > mst {}", tree.length, mst_len);
+            prop_assert_eq!(tree.edges.len(), tree.points.len() - 1);
+        }
+
+        /// The reported length equals the sum of edge lengths.
+        #[test]
+        fn prop_length_is_edge_sum(
+            coords in prop::collection::vec((0u32..20, 0u32..20), 3..7)
+        ) {
+            let mut terminals: Vec<GcellId> = coords.iter().map(|&(x, y)| g(x, y)).collect();
+            terminals.sort_by_key(|p| (p.x, p.y));
+            terminals.dedup();
+            if terminals.len() < 2 {
+                return Ok(());
+            }
+            let tree = steiner_tree(&terminals);
+            let sum: u64 = tree
+                .edges
+                .iter()
+                .map(|&(u, v)| dist(tree.points[u], tree.points[v]))
+                .sum();
+            prop_assert_eq!(sum, tree.length);
+        }
+    }
+
+    mod integration {
+        use super::*;
+        use drcshap_netlist::{suite, synth, Design};
+        use drcshap_place::place;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+
+        #[test]
+        fn steiner_decomposition_shortens_multi_pin_nets() {
+            let spec = suite::spec("fft_1").unwrap().scaled(0.3);
+            let mut d = Design::new(spec);
+            let mut rng = ChaCha8Rng::seed_from_u64(d.spec.seed());
+            synth::generate_cells(&mut d, &mut rng);
+            place(&mut d, &mut rng);
+            synth::generate_nets(&mut d, &mut rng);
+
+            let mut mst_total = 0u64;
+            let mut steiner_total = 0u64;
+            let mut improved = 0usize;
+            for (nid, net) in d.netlist.nets() {
+                if net.pins.len() < 3 {
+                    continue;
+                }
+                let a = decompose_net_with(&d, nid, Decomposition::Mst);
+                let b = decompose_net_with(&d, nid, Decomposition::Steiner);
+                mst_total += tree_length(&a);
+                steiner_total += tree_length(&b);
+                if tree_length(&b) < tree_length(&a) {
+                    improved += 1;
+                }
+            }
+            assert!(steiner_total <= mst_total);
+            assert!(improved > 0, "no net improved by Steinerization");
+        }
+    }
+}

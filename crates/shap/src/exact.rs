@@ -1,0 +1,191 @@
+//! Brute-force SHAP by direct evaluation of the paper's Eq. (2): exponential
+//! in the number of features the tree uses, so only viable for small models
+//! — its purpose is to certify the fast tree explainer.
+
+use drcshap_forest::{DecisionTree, TreeNode};
+
+/// The path-dependent conditional expectation `E[f(x) | x_S]`: features in
+/// `known` follow the sample, the rest split by training cover fractions.
+///
+/// # Panics
+///
+/// Panics if `known.len() != tree.n_features()`.
+pub fn cond_exp(tree: &DecisionTree, x: &[f32], known: &[bool]) -> f64 {
+    assert_eq!(known.len(), tree.n_features(), "mask length mismatch");
+    fn walk(nodes: &[TreeNode], j: usize, x: &[f32], known: &[bool]) -> f64 {
+        let n = &nodes[j];
+        if n.is_leaf() {
+            return n.value;
+        }
+        let f = n.feature as usize;
+        if known[f] {
+            let next = if x[f] <= n.threshold { n.left } else { n.right };
+            walk(nodes, next as usize, x, known)
+        } else {
+            let l = &nodes[n.left as usize];
+            let r = &nodes[n.right as usize];
+            let total = (l.cover + r.cover).max(1e-12);
+            (l.cover * walk(nodes, n.left as usize, x, known)
+                + r.cover * walk(nodes, n.right as usize, x, known))
+                / total
+        }
+    }
+    walk(tree.nodes(), 0, x, known)
+}
+
+/// Exact SHAP values by subset enumeration over the features the tree
+/// actually uses (Eq. (2) of the reproduced paper).
+///
+/// # Panics
+///
+/// Panics if `x.len() != tree.n_features()`, or if the tree uses more than
+/// 20 distinct features (the enumeration would not terminate in reasonable
+/// time; use [`crate::tree_shap`] instead).
+pub fn exact_shap(tree: &DecisionTree, x: &[f32]) -> Vec<f64> {
+    assert_eq!(x.len(), tree.n_features(), "feature count mismatch");
+    // Only features used in splits can have non-zero SHAP values.
+    let mut used: Vec<usize> = tree
+        .nodes()
+        .iter()
+        .filter(|n| !n.is_leaf())
+        .map(|n| n.feature as usize)
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    let k = used.len();
+    assert!(k <= 20, "{k} features used; exact enumeration is infeasible");
+
+    let mut phi = vec![0.0; tree.n_features()];
+    if k == 0 {
+        return phi;
+    }
+    // Precompute factorials up to k.
+    let fact: Vec<f64> = {
+        let mut f = vec![1.0f64; k + 1];
+        for i in 1..=k {
+            f[i] = f[i - 1] * i as f64;
+        }
+        f
+    };
+
+    let mut known = vec![false; tree.n_features()];
+    // Enumerate subsets of `used` by bitmask.
+    for (uj, &j) in used.iter().enumerate() {
+        let others: Vec<usize> = used
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(ui, _)| ui != uj)
+            .map(|(_, f)| f)
+            .collect();
+        let n_others = others.len();
+        let mut total = 0.0;
+        for mask in 0..(1u32 << n_others) {
+            known.iter_mut().for_each(|b| *b = false);
+            let mut s = 0usize;
+            for (bit, &f) in others.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    known[f] = true;
+                    s += 1;
+                }
+            }
+            let without = cond_exp(tree, x, &known);
+            known[j] = true;
+            let with = cond_exp(tree, x, &known);
+            // |S|! (k - |S| - 1)! / k!
+            let weight = fact[s] * fact[k - s - 1] / fact[k];
+            total += weight * (with - without);
+        }
+        phi[j] = total;
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree_shap;
+    use drcshap_forest::TreeTrainer;
+    use drcshap_ml::{Dataset, Trainer};
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_dataset(n: usize, m: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let row: Vec<f32> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
+            // Nonlinear label with interactions.
+            let label = (row[0] > 0.5) ^ (row[1 % m] > 0.3) || row[(m - 1).min(2)] > 0.8;
+            x.extend_from_slice(&row);
+            y.push(label);
+        }
+        Dataset::from_parts(x, y, vec![0; n], m)
+    }
+
+    #[test]
+    fn cond_exp_with_all_known_is_prediction() {
+        let data = random_dataset(60, 3, 1);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        let x = [0.3f32, 0.6, 0.9];
+        assert_eq!(cond_exp(&tree, &x, &[true; 3]), tree.predict(&x));
+    }
+
+    #[test]
+    fn cond_exp_with_none_known_is_expectation() {
+        let data = random_dataset(60, 3, 2);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        let x = [0.0f32, 0.0, 0.0];
+        let e = cond_exp(&tree, &x, &[false; 3]);
+        // Path-dependent expectation equals the root's cover-weighted value.
+        assert!((e - tree.nodes()[0].value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_tree_shap_matches_exact_enumeration() {
+        // The certification test: TreeSHAP == brute force on many trees.
+        for seed in 0..5u64 {
+            let data = random_dataset(80, 4, seed);
+            let tree = TreeTrainer { max_depth: Some(5), ..Default::default() }.fit(&data, seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 100);
+            for _ in 0..4 {
+                let x: Vec<f32> = (0..4).map(|_| rng.gen_range(-0.2..1.2)).collect();
+                let fast = tree_shap(&tree, &x);
+                let slow = exact_shap(&tree, &x);
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert!((a - b).abs() < 1e-8, "mismatch: fast {a} vs exact {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_shap_satisfies_local_accuracy() {
+        let data = random_dataset(50, 3, 9);
+        let tree = TreeTrainer { max_depth: Some(4), ..Default::default() }.fit(&data, 3);
+        let x = [0.25f32, 0.75, 0.5];
+        let phi = exact_shap(&tree, &x);
+        let gap = tree.nodes()[0].value + phi.iter().sum::<f64>() - tree.predict(&x);
+        assert!(gap.abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// TreeSHAP equals brute force on randomly grown small trees and
+        /// random probe points — the core correctness property.
+        #[test]
+        fn prop_fast_matches_exact(seed in 0u64..500, px in 0.0f32..1.0, py in 0.0f32..1.0, pz in 0.0f32..1.0) {
+            let data = random_dataset(40, 3, seed);
+            let tree = TreeTrainer { max_depth: Some(4), ..Default::default() }.fit(&data, seed);
+            let x = [px, py, pz];
+            let fast = tree_shap(&tree, &x);
+            let slow = exact_shap(&tree, &x);
+            for (a, b) in fast.iter().zip(&slow) {
+                prop_assert!((a - b).abs() < 1e-8, "fast {} vs exact {}", a, b);
+            }
+        }
+    }
+}

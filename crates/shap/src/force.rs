@@ -1,0 +1,217 @@
+//! Textual force-plot rendering — the terminal analogue of the paper's
+//! Fig. 4: the base value, the output value, and the top contributing
+//! features with signed bars sorted by absolute SHAP value.
+
+use crate::explain::Explanation;
+
+/// Rendering options for [`render_force`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForceOptions {
+    /// Number of top features to show.
+    pub top_k: usize,
+    /// Width of the largest bar in characters.
+    pub bar_width: usize,
+}
+
+impl Default for ForceOptions {
+    fn default() -> Self {
+        Self { top_k: 8, bar_width: 28 }
+    }
+}
+
+/// Renders an explanation as a Fig. 4-style force plot.
+///
+/// `names` and `values` describe the features of the explained sample:
+/// positive contributions ("pushes the prediction higher", pink in the
+/// paper) draw `█` bars, negative ones `░` bars.
+///
+/// # Panics
+///
+/// Panics if `names`, `values` and the explanation disagree in length.
+pub fn render_force(
+    explanation: &Explanation,
+    names: &[String],
+    values: &[f32],
+    options: &ForceOptions,
+) -> String {
+    assert_eq!(names.len(), explanation.contributions.len(), "name count mismatch");
+    assert_eq!(values.len(), explanation.contributions.len(), "value count mismatch");
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "prediction = {:.3}   (base value {:.3}, {:.1}x the average)\n",
+        explanation.prediction,
+        explanation.base_value,
+        explanation.odds_vs_average()
+    ));
+
+    let top = explanation.top(options.top_k);
+    let max_abs = top
+        .first()
+        .map(|&(_, c)| c.abs())
+        .unwrap_or(0.0)
+        .max(1e-12);
+    let name_width = top
+        .iter()
+        .map(|&(i, _)| names[i].len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut shown_sum = 0.0;
+    for (i, c) in &top {
+        shown_sum += c;
+        let bar_len = ((c.abs() / max_abs) * options.bar_width as f64).round() as usize;
+        let bar: String = if *c >= 0.0 {
+            "█".repeat(bar_len.max(1))
+        } else {
+            "░".repeat(bar_len.max(1))
+        };
+        out.push_str(&format!(
+            "  {:<name_width$} = {:>9.3}  {} {:+.4}\n",
+            names[*i],
+            values[*i],
+            bar,
+            c,
+            name_width = name_width
+        ));
+    }
+    let rest = explanation.contributions.iter().sum::<f64>() - shown_sum;
+    let remaining = explanation.contributions.len().saturating_sub(top.len());
+    if remaining > 0 {
+        out.push_str(&format!(
+            "  ({remaining} remaining features contribute {rest:+.4} net)\n"
+        ));
+    }
+    out
+}
+
+/// Renders an explanation as a waterfall: starting from the base value,
+/// each of the top features shifts the running prediction, ending at the
+/// model output — the additive decomposition of the paper's Eq. (1) made
+/// visible step by step.
+///
+/// # Panics
+///
+/// Panics if `names` disagrees with the explanation length.
+pub fn render_waterfall(
+    explanation: &Explanation,
+    names: &[String],
+    options: &ForceOptions,
+) -> String {
+    assert_eq!(names.len(), explanation.contributions.len(), "name count mismatch");
+    let mut out = format!("E[f(x)]      = {:>7.3}\n", explanation.base_value);
+    let mut running = explanation.base_value;
+    let top = explanation.top(options.top_k);
+    let mut shown = 0.0;
+    for (i, c) in &top {
+        running += c;
+        shown += c;
+        out.push_str(&format!(
+            "{} {:<12} {:>7.3}   ({:+.4})\n",
+            if *c >= 0.0 { "+" } else { "-" },
+            names[*i],
+            running,
+            c
+        ));
+    }
+    let rest = explanation.contributions.iter().sum::<f64>() - shown;
+    let remaining = explanation.contributions.len().saturating_sub(top.len());
+    if remaining > 0 {
+        running += rest;
+        out.push_str(&format!("~ {remaining} others     {running:>7.3}   ({rest:+.4})\n"));
+    }
+    out.push_str(&format!("f(x)         = {:>7.3}\n", explanation.prediction));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Explanation, Vec<String>, Vec<f32>) {
+        let e = Explanation {
+            base_value: 0.016,
+            prediction: 0.56,
+            contributions: vec![0.052, -0.01, 0.3, 0.002],
+        };
+        let names = vec!["edM5_7H", "x_o", "vlV2_E", "npin_o"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        let values = vec![-4.0, 0.5, 35.0, 12.0];
+        (e, names, values)
+    }
+
+    #[test]
+    fn renders_header_and_top_features() {
+        let (e, names, values) = toy();
+        let s = render_force(&e, &names, &values, &ForceOptions { top_k: 2, bar_width: 10 });
+        assert!(s.contains("prediction = 0.560"));
+        assert!(s.contains("35.0x the average"));
+        // Top-2 by |phi|: vlV2_E (0.3) then edM5_7H (0.052).
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("vlV2_E"));
+        assert!(lines[2].contains("edM5_7H"));
+        assert!(s.contains("2 remaining features"));
+    }
+
+    #[test]
+    fn negative_contributions_use_light_bars() {
+        let (e, names, values) = toy();
+        let s = render_force(&e, &names, &values, &ForceOptions { top_k: 4, bar_width: 10 });
+        let neg_line = s.lines().find(|l| l.contains("x_o")).unwrap();
+        assert!(neg_line.contains('░'));
+        assert!(!neg_line.contains('█'));
+    }
+
+    #[test]
+    fn bar_lengths_scale_with_magnitude() {
+        let (e, names, values) = toy();
+        let s = render_force(&e, &names, &values, &ForceOptions { top_k: 2, bar_width: 20 });
+        let count = |name: &str| {
+            s.lines()
+                .find(|l| l.contains(name))
+                .unwrap()
+                .chars()
+                .filter(|&c| c == '█')
+                .count()
+        };
+        assert!(count("vlV2_E") > count("edM5_7H"));
+        assert_eq!(count("vlV2_E"), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "name count mismatch")]
+    fn mismatched_names_rejected() {
+        let (e, _, values) = toy();
+        let _ = render_force(&e, &[], &values, &ForceOptions::default());
+    }
+
+    #[test]
+    fn waterfall_ends_at_the_prediction() {
+        let (e, names, _) = toy();
+        let s = render_waterfall(&e, &names, &ForceOptions { top_k: 2, bar_width: 10 });
+        let first = s.lines().next().unwrap();
+        assert!(first.contains("0.016"), "{first}");
+        let last = s.lines().last().unwrap();
+        assert!(last.starts_with("f(x)"));
+        assert!(last.contains("0.560"));
+        // The running total just before the end accounts for the rest.
+        assert!(s.contains("2 others"));
+    }
+
+    #[test]
+    fn waterfall_is_additive() {
+        // With all features shown, the last running value equals f(x).
+        let (e, names, _) = toy();
+        let s = render_waterfall(&e, &names, &ForceOptions { top_k: 4, bar_width: 10 });
+        // Line before "f(x)" shows the final running total.
+        let lines: Vec<&str> = s.lines().collect();
+        let penultimate = lines[lines.len() - 2];
+        let total: f64 = e.base_value + e.contributions.iter().sum::<f64>();
+        assert!(
+            penultimate.contains(&format!("{total:.3}")),
+            "{penultimate} vs {total}"
+        );
+    }
+}

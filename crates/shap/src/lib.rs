@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! SHAP explanations for tree ensembles — the paper's explainability layer.
+//!
+//! Three estimators of the same quantity (the SHAP values of Lundberg & Lee
+//! 2017 under the *path-dependent* conditional expectation of Lundberg,
+//! Erion & Lee 2018):
+//!
+//! - [`tree_shap`] / [`explain_forest`] — the **SHAP tree explainer**: exact
+//!   values in `O(leaves · depth²)` per tree, the algorithm the paper adopts
+//!   (§III-C);
+//! - [`exact`] — brute-force enumeration of Eq. (2) of the paper,
+//!   exponential in the number of features; used to validate the fast
+//!   algorithm on small models;
+//! - [`sampling`] — a permutation-sampling estimator standing in for the
+//!   model-agnostic approximations the paper contrasts with (slow and
+//!   noisy; benchmarked in the workspace's ablation benches).
+//!
+//! The additive decomposition (paper Eq. (1)) holds exactly:
+//! `f(x) = E[f(x)] + Σⱼ φⱼ` — asserted by [`Explanation::local_accuracy_gap`]
+//! and property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use drcshap_forest::RandomForestTrainer;
+//! use drcshap_ml::{Dataset, Trainer};
+//! use drcshap_shap::explain_forest;
+//!
+//! let x: Vec<f32> = (0..40).flat_map(|i| vec![(i % 2) as f32, 0.5]).collect();
+//! let y: Vec<bool> = (0..40).map(|i| i % 2 == 1).collect();
+//! let data = Dataset::from_parts(x, y, vec![0; 40], 2);
+//! let rf = RandomForestTrainer { n_trees: 10, ..Default::default() }.fit(&data, 7);
+//! let explanation = explain_forest(&rf, &[1.0, 0.5]);
+//! assert!(explanation.local_accuracy_gap() < 1e-9);
+//! // Feature 0 carries the prediction; feature 1 is noise.
+//! assert!(explanation.contributions[0].abs() > explanation.contributions[1].abs());
+//! ```
+
+pub mod exact;
+mod explain;
+mod force;
+pub mod interactions;
+pub mod sampling;
+mod summary;
+mod tree_shap;
+
+pub use explain::{explain_forest, explain_tree, Explanation};
+pub use force::{render_force, render_waterfall, ForceOptions};
+pub use interactions::{forest_shap_interactions, tree_shap_interactions, InteractionValues};
+pub use summary::{summarize, GlobalImportance};
+pub use tree_shap::tree_shap;

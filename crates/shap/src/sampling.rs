@@ -1,0 +1,133 @@
+//! Permutation-sampling SHAP — the model-agnostic approximation family the
+//! paper contrasts with the tree explainer (§III-C: "approximations by
+//! sampling, which compromise the accuracy ... the computation still takes a
+//! long time").
+//!
+//! Marginal contributions are averaged over random feature permutations,
+//! with each coalition value evaluated under the same path-dependent
+//! conditional expectation as the exact explainers — so the estimator is
+//! unbiased for the quantity [`crate::tree_shap`] computes exactly, and the
+//! two can be compared head-to-head (accuracy vs. runtime) in the ablation
+//! bench.
+
+use drcshap_forest::RandomForest;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::exact::cond_exp;
+
+/// Estimates the SHAP values of a forest prediction from `n_permutations`
+/// random feature orderings.
+///
+/// # Panics
+///
+/// Panics if `x.len() != forest.n_features()` or `n_permutations == 0`.
+pub fn sampling_shap<R: Rng>(
+    forest: &RandomForest,
+    x: &[f32],
+    n_permutations: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert_eq!(x.len(), forest.n_features(), "feature count mismatch");
+    assert!(n_permutations > 0, "need at least one permutation");
+    let m = forest.n_features();
+    let n_trees = forest.trees().len() as f64;
+
+    // E[f | known] for the whole forest.
+    let forest_cond = |known: &[bool]| -> f64 {
+        forest
+            .trees()
+            .iter()
+            .map(|t| cond_exp(t, x, known))
+            .sum::<f64>()
+            / n_trees
+    };
+
+    let mut phi = vec![0.0; m];
+    let mut order: Vec<usize> = (0..m).collect();
+    let mut known = vec![false; m];
+    for _ in 0..n_permutations {
+        order.shuffle(rng);
+        known.iter_mut().for_each(|b| *b = false);
+        let mut prev = forest_cond(&known);
+        for &j in &order {
+            known[j] = true;
+            let next = forest_cond(&known);
+            phi[j] += next - prev;
+            prev = next;
+        }
+    }
+    for v in &mut phi {
+        *v /= n_permutations as f64;
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain_forest;
+    use drcshap_forest::RandomForestTrainer;
+    use drcshap_ml::{Dataset, Trainer};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy_forest() -> RandomForest {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..200 {
+            let a: f32 = rng.gen_range(0.0..1.0);
+            let b: f32 = rng.gen_range(0.0..1.0);
+            x.extend_from_slice(&[a, b]);
+            y.push(a > 0.5);
+        }
+        let data = Dataset::from_parts(x, y, vec![0; 200], 2);
+        RandomForestTrainer { n_trees: 10, max_depth: Some(4), ..Default::default() }.fit(&data, 2)
+    }
+
+    #[test]
+    fn sampling_converges_to_tree_shap() {
+        let rf = toy_forest();
+        let probe = [0.9f32, 0.4];
+        let exact = explain_forest(&rf, &probe).contributions;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sampled = sampling_shap(&rf, &probe, 400, &mut rng);
+        for (a, b) in exact.iter().zip(&sampled) {
+            assert!((a - b).abs() < 0.02, "exact {a} vs sampled {b}");
+        }
+    }
+
+    #[test]
+    fn sampling_preserves_local_accuracy_in_expectation() {
+        // Each permutation's contributions telescope to f(x) - E[f], so the
+        // sum is exact even for one permutation.
+        let rf = toy_forest();
+        let probe = [0.2f32, 0.8];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let phi = sampling_shap(&rf, &probe, 1, &mut rng);
+        let sum: f64 = phi.iter().sum();
+        let expected = rf.predict_proba(&probe) - rf.expected_value();
+        assert!((sum - expected).abs() < 1e-9, "sum {sum} vs {expected}");
+    }
+
+    #[test]
+    fn few_permutations_are_noisier_than_many() {
+        let rf = toy_forest();
+        let probe = [0.55f32, 0.1];
+        let exact = explain_forest(&rf, &probe).contributions;
+        let err = |n: usize, seed: u64| -> f64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let phi = sampling_shap(&rf, &probe, n, &mut rng);
+            phi.iter()
+                .zip(&exact)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        // Average over a few seeds to avoid flakiness.
+        let coarse: f64 = (0..5).map(|s| err(2, s)).sum::<f64>() / 5.0;
+        let fine: f64 = (0..5).map(|s| err(200, s)).sum::<f64>() / 5.0;
+        assert!(fine <= coarse + 1e-12, "fine {fine} vs coarse {coarse}");
+    }
+}

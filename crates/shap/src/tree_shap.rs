@@ -1,0 +1,251 @@
+//! The polynomial-time SHAP tree explainer (Lundberg, Erion & Lee 2018,
+//! Algorithm 2), path-dependent variant.
+//!
+//! The algorithm pushes a "path" of (feature, zero-fraction, one-fraction,
+//! permutation-weight) records down the tree. At each split, the fraction of
+//! conditional subsets that flow left/right is tracked exactly via the
+//! EXTEND/UNWIND recurrences, so every leaf contributes its value to each
+//! feature's Shapley sum with the correct combinatorial weight — no subset
+//! enumeration, no feature-independence assumption (interactions are
+//! captured by the tree structure itself, §III-C of the reproduced paper).
+
+use drcshap_forest::{DecisionTree, TreeNode};
+
+/// One element of the decision path.
+#[derive(Debug, Clone, Copy)]
+struct PathElem {
+    /// Feature that split this path step, `-1` for the root sentinel.
+    d: i32,
+    /// Fraction of "zero" (feature-unknown) subsets flowing this way.
+    z: f64,
+    /// Fraction of "one" (feature-known) subsets flowing this way (0 or 1).
+    o: f64,
+    /// Permutation weight.
+    w: f64,
+}
+
+/// Computes the SHAP values of `tree` for sample `x`.
+///
+/// Returns one value per feature; `Σ φ + E[f] = f(x)` exactly (up to
+/// floating-point error), where `E[f]` is the cover-weighted expectation of
+/// the tree (its root value).
+///
+/// # Panics
+///
+/// Panics if `x.len() != tree.n_features()`.
+pub fn tree_shap(tree: &DecisionTree, x: &[f32]) -> Vec<f64> {
+    assert_eq!(x.len(), tree.n_features(), "feature count mismatch");
+    let mut phi = vec![0.0; tree.n_features()];
+    recurse(tree.nodes(), 0, Vec::new(), 1.0, 1.0, -1, x, &mut phi);
+    phi
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    nodes: &[TreeNode],
+    j: usize,
+    path: Vec<PathElem>,
+    pz: f64,
+    po: f64,
+    pi: i32,
+    x: &[f32],
+    phi: &mut [f64],
+) {
+    let m = extend(path, pz, po, pi);
+    let node = &nodes[j];
+    if node.is_leaf() {
+        for i in 1..m.len() {
+            let w = unwound_sum(&m, i);
+            phi[m[i].d as usize] += w * (m[i].o - m[i].z) * node.value;
+        }
+        return;
+    }
+
+    let f = node.feature as usize;
+    let (hot, cold) = if x[f] <= node.threshold {
+        (node.left as usize, node.right as usize)
+    } else {
+        (node.right as usize, node.left as usize)
+    };
+
+    // If this feature already split above, undo its path entry and inherit
+    // its fractions (each feature appears at most once on the path).
+    let (mut iz, mut io) = (1.0, 1.0);
+    let mut m = m;
+    if let Some(k) = m.iter().skip(1).position(|e| e.d == node.feature as i32) {
+        let k = k + 1;
+        iz = m[k].z;
+        io = m[k].o;
+        m = unwind(m, k);
+    }
+
+    let rj = node.cover.max(1e-12);
+    let hot_frac = nodes[hot].cover / rj;
+    let cold_frac = nodes[cold].cover / rj;
+    recurse(nodes, hot, m.clone(), iz * hot_frac, io, node.feature as i32, x, phi);
+    recurse(nodes, cold, m, iz * cold_frac, 0.0, node.feature as i32, x, phi);
+}
+
+/// Grows the path by one split, updating the permutation weights.
+fn extend(mut m: Vec<PathElem>, pz: f64, po: f64, pi: i32) -> Vec<PathElem> {
+    let l = m.len();
+    m.push(PathElem { d: pi, z: pz, o: po, w: if l == 0 { 1.0 } else { 0.0 } });
+    for i in (0..l).rev() {
+        m[i + 1].w += po * m[i].w * (i + 1) as f64 / (l + 1) as f64;
+        m[i].w = pz * m[i].w * (l - i) as f64 / (l + 1) as f64;
+    }
+    m
+}
+
+/// Removes path element `i`, exactly inverting [`extend`].
+fn unwind(mut m: Vec<PathElem>, i: usize) -> Vec<PathElem> {
+    let l = m.len() - 1;
+    let (o, z) = (m[i].o, m[i].z);
+    let mut n = m[l].w;
+    for j in (0..l).rev() {
+        if o != 0.0 {
+            let t = m[j].w;
+            m[j].w = n * (l + 1) as f64 / ((j + 1) as f64 * o);
+            n = t - m[j].w * z * (l - j) as f64 / (l + 1) as f64;
+        } else {
+            m[j].w = m[j].w * (l + 1) as f64 / (z * (l - j) as f64);
+        }
+    }
+    for j in i..l {
+        m[j].d = m[j + 1].d;
+        m[j].z = m[j + 1].z;
+        m[j].o = m[j + 1].o;
+    }
+    m.pop();
+    m
+}
+
+/// The total permutation weight if element `i` were unwound (without
+/// mutating the path) — the `sum(UNWOUND(m, i).w)` of the leaf update.
+fn unwound_sum(m: &[PathElem], i: usize) -> f64 {
+    let l = m.len() - 1;
+    let (o, z) = (m[i].o, m[i].z);
+    let mut total = 0.0;
+    if o != 0.0 {
+        let mut n = m[l].w;
+        for j in (0..l).rev() {
+            let t = n * (l + 1) as f64 / ((j + 1) as f64 * o);
+            total += t;
+            n = m[j].w - t * z * (l - j) as f64 / (l + 1) as f64;
+        }
+    } else {
+        for j in (0..l).rev() {
+            total += m[j].w * (l + 1) as f64 / (z * (l - j) as f64);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcshap_ml::{Dataset, Trainer};
+    use drcshap_forest::TreeTrainer;
+
+    fn dataset(rows: &[(&[f32], bool)]) -> Dataset {
+        let m = rows[0].0.len();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (r, label) in rows {
+            x.extend_from_slice(r);
+            y.push(*label);
+        }
+        let n = y.len();
+        Dataset::from_parts(x, y, vec![0; n], m)
+    }
+
+    #[test]
+    fn single_split_tree_attributes_to_the_split_feature() {
+        let data = dataset(&[
+            (&[0.0, 5.0], false),
+            (&[0.0, 6.0], false),
+            (&[1.0, 5.0], true),
+            (&[1.0, 6.0], true),
+        ]);
+        let tree = TreeTrainer { max_depth: Some(1), ..Default::default() }.fit(&data, 0);
+        let phi = tree_shap(&tree, &[1.0, 5.0]);
+        // E[f] = 0.5, f(x) = 1.0; all of the +0.5 belongs to feature 0.
+        assert!((phi[0] - 0.5).abs() < 1e-12, "phi0 {}", phi[0]);
+        assert!(phi[1].abs() < 1e-12);
+        let phi_neg = tree_shap(&tree, &[0.0, 5.0]);
+        assert!((phi_neg[0] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_accuracy_on_deep_tree() {
+        let data = dataset(&[
+            (&[0.0, 0.0, 0.3], false),
+            (&[0.0, 1.0, 0.7], true),
+            (&[1.0, 0.0, 0.2], true),
+            (&[1.0, 1.0, 0.9], false),
+            (&[0.5, 0.5, 0.1], true),
+            (&[0.2, 0.8, 0.6], false),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        for probe in [[0.0f32, 0.0, 0.3], [1.0, 1.0, 0.9], [0.4, 0.6, 0.5]] {
+            let phi = tree_shap(&tree, &probe);
+            let base = tree.nodes()[0].value;
+            let sum: f64 = phi.iter().sum();
+            let f = tree.predict(&probe);
+            assert!(
+                (base + sum - f).abs() < 1e-9,
+                "local accuracy violated: {base} + {sum} != {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_features_get_equal_credit() {
+        // OR-like task where features 0 and 1 play identical roles.
+        let data = dataset(&[
+            (&[0.0, 0.0], false),
+            (&[0.0, 1.0], true),
+            (&[1.0, 0.0], true),
+            (&[1.0, 1.0], true),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        let phi = tree_shap(&tree, &[1.0, 1.0]);
+        assert!(
+            (phi[0] - phi[1]).abs() < 1e-9,
+            "symmetry violated: {} vs {}",
+            phi[0],
+            phi[1]
+        );
+    }
+
+    #[test]
+    fn repeated_feature_on_path_is_handled() {
+        // Force a tree that splits feature 0 twice along one path.
+        let data = dataset(&[
+            (&[0.1], false),
+            (&[0.3], true),
+            (&[0.5], false),
+            (&[0.7], true),
+            (&[0.9], false),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        assert!(tree.depth() >= 2, "need a multi-split tree");
+        for probe in [[0.1f32], [0.3], [0.5], [0.7], [0.9], [0.2], [0.6]] {
+            let phi = tree_shap(&tree, &probe);
+            let gap = tree.nodes()[0].value + phi[0] - tree.predict(&probe);
+            assert!(gap.abs() < 1e-9, "gap {gap} at {probe:?}");
+        }
+    }
+
+    #[test]
+    fn unused_features_get_zero() {
+        let data = dataset(&[
+            (&[0.0, 7.7, 3.0], false),
+            (&[1.0, 7.7, 3.0], true),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        let phi = tree_shap(&tree, &[0.5, 9.9, -1.0]);
+        assert_eq!(phi[1], 0.0);
+        assert_eq!(phi[2], 0.0);
+    }
+}

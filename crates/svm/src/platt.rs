@@ -1,0 +1,162 @@
+//! Platt scaling: fits `P(y=1 | f) = 1 / (1 + exp(A·f + B))` on decision
+//! values, turning SVM margins into calibrated probabilities (Platt 1999,
+//! with the Lin/Weng/Keerthi numerically-stable Newton iteration).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted sigmoid calibration `f ↦ 1 / (1 + exp(A·f + B))`.
+///
+/// # Example
+///
+/// ```
+/// use drcshap_svm::PlattScaler;
+///
+/// let decisions = [-2.0, -1.5, -1.0, 1.0, 1.5, 2.0];
+/// let labels = [false, false, false, true, true, true];
+/// let scaler = PlattScaler::fit(&decisions, &labels);
+/// assert!(scaler.probability(2.0) > 0.5);
+/// assert!(scaler.probability(-2.0) < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlattScaler {
+    /// Sigmoid slope (negative for well-oriented scores).
+    pub a: f64,
+    /// Sigmoid offset.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the sigmoid by Newton's method with backtracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decisions` and `labels` differ in length, are empty, or
+    /// contain a single class.
+    pub fn fit(decisions: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(decisions.len(), labels.len(), "length mismatch");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "Platt scaling needs both classes");
+
+        // Regularized targets (Platt's prior smoothing).
+        let hi = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
+        let lo = 1.0 / (n_neg as f64 + 2.0);
+        let t: Vec<f64> = labels.iter().map(|&l| if l { hi } else { lo }).collect();
+
+        let mut a = 0.0f64;
+        let mut b = ((n_neg as f64 + 1.0) / (n_pos as f64 + 1.0)).ln();
+        // Negative log-likelihood with P(y=1) = 1/(1+exp(z)):
+        // NLL = Σ log(1 + exp(z)) − (1 − t)·z, stable both ways.
+        let objective = |a: f64, b: f64| -> f64 {
+            let mut o = 0.0;
+            for (&f, &ti) in decisions.iter().zip(&t) {
+                let z = a * f + b;
+                let lse = if z >= 0.0 {
+                    z + (-z).exp().ln_1p()
+                } else {
+                    z.exp().ln_1p()
+                };
+                o += lse - (1.0 - ti) * z;
+            }
+            o
+        };
+
+        let mut obj = objective(a, b);
+        for _ in 0..100 {
+            // Gradient and Hessian.
+            let (mut ga, mut gb, mut haa, mut hab, mut hbb) = (0.0, 0.0, 1e-12, 0.0, 1e-12);
+            for (&f, &ti) in decisions.iter().zip(&t) {
+                let z = a * f + b;
+                let p = 1.0 / (1.0 + z.exp()); // P(y=1)
+                let g = (1.0 - p) - (1.0 - ti); // sigma(z) - (1 - t)
+                ga += g * f;
+                gb += g;
+                let w = p * (1.0 - p);
+                haa += w * f * f;
+                hab += w * f;
+                hbb += w;
+            }
+            let det = haa * hbb - hab * hab;
+            if det.abs() < 1e-18 || (ga.abs() < 1e-9 && gb.abs() < 1e-9) {
+                break;
+            }
+            let da = -(hbb * ga - hab * gb) / det;
+            let db = -(-hab * ga + haa * gb) / det;
+            // Backtracking line search.
+            let mut step = 1.0;
+            loop {
+                let (na, nb) = (a + step * da, b + step * db);
+                let nobj = objective(na, nb);
+                if nobj < obj + 1e-12 {
+                    a = na;
+                    b = nb;
+                    obj = nobj;
+                    break;
+                }
+                step *= 0.5;
+                if step < 1e-10 {
+                    return Self { a, b };
+                }
+            }
+        }
+        Self { a, b }
+    }
+
+    /// The calibrated probability for decision value `f`.
+    pub fn probability(&self, f: f64) -> f64 {
+        let z = self.a * f + self.b;
+        if z >= 0.0 {
+            (-z).exp() / (1.0 + (-z).exp())
+        } else {
+            1.0 / (1.0 + z.exp())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_are_monotone_in_decision() {
+        let decisions: Vec<f64> = (-10..=10).map(|i| i as f64 / 2.0).collect();
+        let labels: Vec<bool> = decisions.iter().map(|&d| d > 0.0).collect();
+        let scaler = PlattScaler::fit(&decisions, &labels);
+        let mut prev = 0.0;
+        for d in [-3.0, -1.0, 0.0, 1.0, 3.0] {
+            let p = scaler.probability(d);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev, "not monotone at {d}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn balanced_midpoint_near_half() {
+        let decisions = [-2.0, -1.0, 1.0, 2.0];
+        let labels = [false, false, true, true];
+        let scaler = PlattScaler::fit(&decisions, &labels);
+        let p = scaler.probability(0.0);
+        assert!((p - 0.5).abs() < 0.15, "midpoint {p}");
+    }
+
+    #[test]
+    fn noisy_labels_soften_probabilities() {
+        let decisions: Vec<f64> = (0..100).map(|i| (i as f64 - 50.0) / 10.0).collect();
+        // 20% label noise.
+        let labels: Vec<bool> = decisions
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| if i % 5 == 0 { d <= 0.0 } else { d > 0.0 })
+            .collect();
+        let scaler = PlattScaler::fit(&decisions, &labels);
+        let p = scaler.probability(5.0);
+        assert!(p > 0.6 && p < 0.999, "p {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_rejected() {
+        let _ = PlattScaler::fit(&[1.0, 2.0], &[true, true]);
+    }
+}

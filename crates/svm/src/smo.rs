@@ -1,0 +1,488 @@
+//! SMO training for the soft-margin RBF-kernel SVM (Platt 1998, with the
+//! usual second-choice heuristic and an error cache).
+
+use drcshap_ml::{Classifier, Dataset, ModelComplexity, Trainer};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// SVM hyperparameters and trainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmTrainer {
+    /// Soft-margin penalty.
+    pub c: f64,
+    /// RBF kernel width `K(a,b) = exp(-gamma · ||a-b||²)`; `None` uses the
+    /// scikit-learn "scale" heuristic `1 / (M · var(X))`.
+    pub gamma: Option<f64>,
+    /// Weight multiplier on the positive-class penalty (class imbalance).
+    pub positive_weight: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Hard cap on optimization sweeps (bounds worst-case runtime).
+    pub max_sweeps: usize,
+    /// Optional cap on training samples: if set and the data is larger, a
+    /// stratified random subsample is used (keeps the Table II harness
+    /// tractable at paper scale; `None` trains on everything).
+    pub max_samples: Option<usize>,
+}
+
+impl Default for SvmTrainer {
+    fn default() -> Self {
+        Self {
+            c: 1.0,
+            gamma: None,
+            positive_weight: 1.0,
+            tol: 1e-3,
+            max_sweeps: 60,
+            max_samples: Some(4000),
+        }
+    }
+}
+
+impl Trainer for SvmTrainer {
+    type Model = Svm;
+
+    fn fit(&self, data: &Dataset, seed: u64) -> Svm {
+        assert!(data.n_samples() > 0, "empty training set");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        // Optional stratified subsample.
+        let indices: Vec<usize> = match self.max_samples {
+            Some(cap) if data.n_samples() > cap => {
+                let mut pos: Vec<usize> = (0..data.n_samples()).filter(|&i| data.label(i)).collect();
+                let mut neg: Vec<usize> =
+                    (0..data.n_samples()).filter(|&i| !data.label(i)).collect();
+                pos.shuffle(&mut rng);
+                neg.shuffle(&mut rng);
+                // Keep all positives up to half the cap (rare-event data
+                // keeps every positive), fill the rest with negatives, then
+                // backfill with positives if negatives run short.
+                let mut pos_keep = pos.len().min(cap / 2);
+                let neg_keep = neg.len().min(cap - pos_keep);
+                pos_keep = pos.len().min(cap - neg_keep);
+                let mut keep: Vec<usize> = pos[..pos_keep].to_vec();
+                keep.extend_from_slice(&neg[..neg_keep]);
+                keep
+            }
+            _ => (0..data.n_samples()).collect(),
+        };
+        let train = data.subset(&indices);
+        let n = train.n_samples();
+        let m = train.n_features();
+
+        let gamma = self.gamma.unwrap_or_else(|| {
+            // sklearn "scale": 1 / (M * var(X)) over all entries.
+            let all = train.as_slice();
+            let mean: f64 = all.iter().map(|&v| v as f64).sum::<f64>() / all.len() as f64;
+            let var: f64 =
+                all.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / all.len() as f64;
+            1.0 / (m as f64 * var.max(1e-9))
+        });
+
+        let y: Vec<f64> = train.labels().iter().map(|&l| if l { 1.0 } else { -1.0 }).collect();
+        let c_of = |i: usize| {
+            if y[i] > 0.0 {
+                self.c * self.positive_weight
+            } else {
+                self.c
+            }
+        };
+
+        let mut solver = Solver {
+            x: train.as_slice(),
+            n,
+            m,
+            gamma,
+            y: &y,
+            alpha: vec![0.0; n],
+            b: 0.0,
+            errors: y.iter().map(|&yy| -yy).collect(), // f(x)=0 initially
+            cache: RowCache::new(n, 64 * 1024 * 1024),
+        };
+
+        solver.optimize(self.tol, self.max_sweeps, c_of, &mut rng);
+
+        // Extract support vectors.
+        let mut sv_x = Vec::new();
+        let mut sv_coef = Vec::new();
+        for (i, (&alpha, &yi)) in solver.alpha.iter().zip(&y).enumerate() {
+            if alpha > 1e-12 {
+                sv_x.extend_from_slice(train.row(i));
+                sv_coef.push(alpha * yi);
+            }
+        }
+        Svm { sv_x, sv_coef, bias: solver.b, gamma, n_features: m }
+    }
+
+    fn name(&self) -> &'static str {
+        "SVM-RBF"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "SVM-RBF(C={}, gamma={:?}, w+={}, cap={:?})",
+            self.c, self.gamma, self.positive_weight, self.max_samples
+        )
+    }
+}
+
+/// A fixed-budget LRU-ish kernel row cache.
+struct RowCache {
+    rows: std::collections::HashMap<usize, Vec<f32>>,
+    order: std::collections::VecDeque<usize>,
+    max_rows: usize,
+}
+
+impl RowCache {
+    fn new(n: usize, budget_bytes: usize) -> Self {
+        let max_rows = (budget_bytes / (4 * n.max(1))).max(2);
+        Self {
+            rows: std::collections::HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            max_rows,
+        }
+    }
+}
+
+struct Solver<'a> {
+    x: &'a [f32],
+    n: usize,
+    m: usize,
+    gamma: f64,
+    y: &'a [f64],
+    alpha: Vec<f64>,
+    b: f64,
+    errors: Vec<f64>,
+    cache: RowCache,
+}
+
+impl Solver<'_> {
+    fn row(&self, i: usize) -> &[f32] {
+        &self.x[i * self.m..(i + 1) * self.m]
+    }
+
+    fn kernel(&self, i: usize, j: usize) -> f64 {
+        rbf(self.row(i), self.row(j), self.gamma)
+    }
+
+    /// The cached kernel row `K(i, ·)`, computing it on miss.
+    fn kernel_row(&mut self, i: usize) -> Vec<f32> {
+        if let Some(r) = self.cache.rows.get(&i) {
+            return r.clone();
+        }
+        let mut row = Vec::with_capacity(self.n);
+        for j in 0..self.n {
+            row.push(self.kernel(i, j) as f32);
+        }
+        if self.cache.rows.len() >= self.cache.max_rows {
+            if let Some(evict) = self.cache.order.pop_front() {
+                self.cache.rows.remove(&evict);
+            }
+        }
+        self.cache.rows.insert(i, row.clone());
+        self.cache.order.push_back(i);
+        row
+    }
+
+    fn optimize<F: Fn(usize) -> f64>(
+        &mut self,
+        tol: f64,
+        max_sweeps: usize,
+        c_of: F,
+        rng: &mut ChaCha8Rng,
+    ) {
+        let mut examine_all = true;
+        for _ in 0..max_sweeps {
+            let mut changed = 0usize;
+            let candidates: Vec<usize> = if examine_all {
+                (0..self.n).collect()
+            } else {
+                (0..self.n)
+                    .filter(|&i| self.alpha[i] > 1e-12 && self.alpha[i] < c_of(i) - 1e-12)
+                    .collect()
+            };
+            let mut order = candidates;
+            order.shuffle(rng);
+            for i in order {
+                changed += self.examine(i, tol, &c_of) as usize;
+            }
+            if examine_all {
+                examine_all = false;
+            } else if changed == 0 {
+                break;
+            }
+        }
+    }
+
+    fn examine<F: Fn(usize) -> f64>(&mut self, i2: usize, tol: f64, c_of: &F) -> bool {
+        let y2 = self.y[i2];
+        let alpha2 = self.alpha[i2];
+        let e2 = self.errors[i2];
+        let r2 = e2 * y2;
+        let c2 = c_of(i2);
+        let violates = (r2 < -tol && alpha2 < c2 - 1e-12) || (r2 > tol && alpha2 > 1e-12);
+        if !violates {
+            return false;
+        }
+        // Second-choice heuristic: maximize |E1 - E2| over non-bound points.
+        let mut best: Option<(f64, usize)> = None;
+        for i1 in 0..self.n {
+            if i1 == i2 || self.alpha[i1] <= 1e-12 || self.alpha[i1] >= c_of(i1) - 1e-12 {
+                continue;
+            }
+            let gap = (self.errors[i1] - e2).abs();
+            if best.is_none_or(|(g, _)| gap > g) {
+                best = Some((gap, i1));
+            }
+        }
+        if let Some((_, i1)) = best {
+            if self.step(i1, i2, c_of) {
+                return true;
+            }
+        }
+        // Fallbacks: any non-bound, then anything.
+        for i1 in 0..self.n {
+            if i1 != i2 && self.alpha[i1] > 1e-12 && self.step(i1, i2, c_of) {
+                return true;
+            }
+        }
+        for i1 in 0..self.n {
+            if i1 != i2 && self.step(i1, i2, c_of) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn step<F: Fn(usize) -> f64>(&mut self, i1: usize, i2: usize, c_of: &F) -> bool {
+        if i1 == i2 {
+            return false;
+        }
+        let (a1, a2) = (self.alpha[i1], self.alpha[i2]);
+        let (y1, y2) = (self.y[i1], self.y[i2]);
+        let (e1, e2) = (self.errors[i1], self.errors[i2]);
+        let (c1, c2) = (c_of(i1), c_of(i2));
+        let s = y1 * y2;
+        let (lo, hi) = if s < 0.0 {
+            ((a2 - a1).max(0.0), (c2 + a2 - a1).min(c2).min(c1 + a2 - a1))
+        } else {
+            ((a1 + a2 - c1).max(0.0), (a1 + a2).min(c2))
+        };
+        if hi - lo < 1e-12 {
+            return false;
+        }
+        let k11 = self.kernel(i1, i1);
+        let k22 = self.kernel(i2, i2);
+        let k12 = self.kernel(i1, i2);
+        let eta = k11 + k22 - 2.0 * k12;
+        if eta <= 1e-12 {
+            return false;
+        }
+        let mut a2_new = a2 + y2 * (e1 - e2) / eta;
+        a2_new = a2_new.clamp(lo, hi);
+        if (a2_new - a2).abs() < 1e-10 * (a2_new + a2 + 1e-10) {
+            return false;
+        }
+        let a1_new = a1 + s * (a2 - a2_new);
+
+        // Bias update (Platt's b1/b2 rule).
+        let b1 = self.b - e1 - y1 * (a1_new - a1) * k11 - y2 * (a2_new - a2) * k12;
+        let b2 = self.b - e2 - y1 * (a1_new - a1) * k12 - y2 * (a2_new - a2) * k22;
+        let new_b = if a1_new > 1e-12 && a1_new < c1 - 1e-12 {
+            b1
+        } else if a2_new > 1e-12 && a2_new < c2 - 1e-12 {
+            b2
+        } else {
+            (b1 + b2) / 2.0
+        };
+
+        // Error cache update over all samples via the two kernel rows.
+        let row1 = self.kernel_row(i1);
+        let row2 = self.kernel_row(i2);
+        let d1 = y1 * (a1_new - a1);
+        let d2 = y2 * (a2_new - a2);
+        let db = new_b - self.b;
+        for j in 0..self.n {
+            self.errors[j] += d1 * row1[j] as f64 + d2 * row2[j] as f64 + db;
+        }
+        self.alpha[i1] = a1_new;
+        self.alpha[i2] = a2_new;
+        self.b = new_b;
+        true
+    }
+}
+
+/// The RBF kernel `exp(-gamma · ||a - b||²)`.
+fn rbf(a: &[f32], b: &[f32], gamma: f64) -> f64 {
+    let mut d2 = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        let d = (*x - *y) as f64;
+        d2 += d * d;
+    }
+    (-gamma * d2).exp()
+}
+
+/// A trained RBF-kernel SVM. The score is the decision value
+/// `Σᵢ αᵢyᵢ K(svᵢ, x) + b` (a margin, not a probability — wrap with
+/// [`crate::PlattScaler`] when probabilities are needed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Svm {
+    sv_x: Vec<f32>,
+    sv_coef: Vec<f64>,
+    bias: f64,
+    gamma: f64,
+    n_features: usize,
+}
+
+impl Svm {
+    /// Number of support vectors.
+    pub fn num_support_vectors(&self) -> usize {
+        self.sv_coef.len()
+    }
+
+    /// The kernel width in use.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Number of features the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The raw decision value for one sample.
+    pub fn decision(&self, x: &[f32]) -> f64 {
+        let mut f = self.bias;
+        for (k, coef) in self.sv_coef.iter().enumerate() {
+            let sv = &self.sv_x[k * self.n_features..(k + 1) * self.n_features];
+            f += coef * rbf(sv, x, self.gamma);
+        }
+        f
+    }
+}
+
+impl Classifier for Svm {
+    fn score(&self, x: &[f32]) -> f64 {
+        self.decision(x)
+    }
+
+    fn complexity(&self) -> ModelComplexity {
+        let nsv = self.num_support_vectors();
+        ModelComplexity {
+            // Each SV stores its M features and one coefficient, plus bias/gamma.
+            num_parameters: nsv * (self.n_features + 1) + 2,
+            // Each kernel evaluation: M subs, M mults, M adds + exp (~3M+2).
+            prediction_ops: nsv * (3 * self.n_features + 2) + nsv + 1,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SVM-RBF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blobs(n: usize, seed: u64, gap: f32) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let label = rng.gen_bool(0.5);
+            let cx = if label { 1.0 + gap } else { 1.0 - gap };
+            x.push(cx + rng.gen_range(-0.3..0.3f32));
+            x.push(rng.gen_range(-0.5..0.5f32));
+            y.push(label);
+        }
+        Dataset::from_parts(x, y, vec![0; n], 2)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let train = blobs(120, 1, 0.8);
+        let test = blobs(80, 2, 0.8);
+        let svm = SvmTrainer::default().fit(&train, 0);
+        let scores = svm.score_dataset(&test);
+        let auc = drcshap_ml::roc_auc(&scores, test.labels());
+        assert!(auc > 0.95, "auc {auc}");
+        assert!(svm.num_support_vectors() > 0);
+    }
+
+    #[test]
+    fn learns_a_nonlinear_ring() {
+        // Inside-circle vs outside-circle: linearly inseparable, RBF solves it.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..200 {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            x.push(a);
+            x.push(b);
+            y.push(a * a + b * b < 0.4);
+        }
+        let train = Dataset::from_parts(x, y, vec![0; 200], 2);
+        let svm = SvmTrainer { c: 10.0, gamma: Some(2.0), ..Default::default() }.fit(&train, 0);
+        assert!(svm.score(&[0.0, 0.0]) > svm.score(&[1.0, 1.0]));
+        assert!(svm.score(&[0.1, -0.1]) > svm.score(&[-0.95, 0.9]));
+    }
+
+    #[test]
+    fn positive_weight_shifts_the_boundary() {
+        let train = blobs(100, 5, 0.25);
+        let plain = SvmTrainer { c: 1.0, ..Default::default() }.fit(&train, 0);
+        let weighted =
+            SvmTrainer { c: 1.0, positive_weight: 8.0, ..Default::default() }.fit(&train, 0);
+        // Weighted SVM scores a borderline point higher toward positive.
+        let probe = [1.0f32, 0.0];
+        assert!(weighted.score(&probe) > plain.score(&probe));
+    }
+
+    #[test]
+    fn subsample_cap_is_respected() {
+        let train = blobs(500, 7, 0.8);
+        let svm = SvmTrainer { max_samples: Some(100), ..Default::default() }.fit(&train, 0);
+        assert!(svm.num_support_vectors() <= 100);
+        // Still learns the task.
+        assert!(svm.score(&[1.8, 0.0]) > svm.score(&[0.2, 0.0]));
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let train = blobs(80, 9, 0.5);
+        let a = SvmTrainer::default().fit(&train, 4);
+        let b = SvmTrainer::default().fit(&train, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_serde_round_trip_preserves_decisions() {
+        let train = blobs(60, 15, 0.5);
+        let svm = SvmTrainer::default().fit(&train, 1);
+        let json = serde_json::to_string(&svm).expect("serialize");
+        let back: Svm = serde_json::from_str(&json).expect("deserialize");
+        for probe in [[0.2f32, 0.0], [1.8, 0.3]] {
+            assert_eq!(svm.decision(&probe), back.decision(&probe));
+        }
+    }
+
+    #[test]
+    fn complexity_reflects_support_vectors() {
+        let train = blobs(100, 11, 0.4);
+        let svm = SvmTrainer::default().fit(&train, 0);
+        let c = svm.complexity();
+        assert_eq!(c.num_parameters, svm.num_support_vectors() * 3 + 2);
+        assert!(c.prediction_ops > svm.num_support_vectors() * 6);
+    }
+
+    #[test]
+    fn gamma_heuristic_is_finite_and_positive() {
+        let train = blobs(50, 13, 0.5);
+        let svm = SvmTrainer { gamma: None, ..Default::default() }.fit(&train, 0);
+        assert!(svm.gamma().is_finite() && svm.gamma() > 0.0);
+    }
+}

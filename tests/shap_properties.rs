@@ -1,0 +1,136 @@
+//! SHAP invariants on *real pipeline data* (387 features), not toy
+//! fixtures: local accuracy, missingness, estimator agreement and the
+//! explanation/oracle consistency loop.
+
+use drcshap::core::pipeline::{build_design, PipelineConfig};
+use drcshap::forest::{RandomForestTrainer, TreeTrainer};
+use drcshap::ml::{Dataset, Trainer};
+use drcshap::netlist::suite;
+use drcshap::shap::{exact, explain_forest, sampling, tree_shap};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn pipeline_data() -> Dataset {
+    let config = PipelineConfig { scale: 0.22, ..Default::default() };
+    build_design(&suite::spec("des_perf_1").unwrap(), &config).to_dataset()
+}
+
+#[test]
+fn local_accuracy_holds_on_387_features() {
+    let data = pipeline_data();
+    let rf = RandomForestTrainer { n_trees: 20, ..Default::default() }.fit(&data, 1);
+    for i in (0..data.n_samples()).step_by(29) {
+        let e = explain_forest(&rf, data.row(i));
+        assert!(e.local_accuracy_gap() < 1e-9, "gap {} at sample {i}", e.local_accuracy_gap());
+    }
+}
+
+#[test]
+fn missingness_features_never_split_never_contribute() {
+    // A forest can only attribute to features that appear in splits.
+    let data = pipeline_data();
+    let rf = RandomForestTrainer { n_trees: 5, max_depth: Some(3), ..Default::default() }
+        .fit(&data, 2);
+    let mut used = vec![false; 387];
+    for tree in rf.trees() {
+        for node in tree.nodes() {
+            if !node.is_leaf() {
+                used[node.feature as usize] = true;
+            }
+        }
+    }
+    let e = explain_forest(&rf, data.row(0));
+    for (j, &phi) in e.contributions.iter().enumerate() {
+        if !used[j] {
+            assert_eq!(phi, 0.0, "unused feature {j} got credit");
+        }
+    }
+}
+
+#[test]
+fn tree_shap_matches_brute_force_on_pipeline_trees() {
+    // Shallow trees on real 387-dim data use few distinct features, so the
+    // exponential reference stays tractable.
+    let data = pipeline_data();
+    let tree = TreeTrainer { max_depth: Some(4), ..Default::default() }.fit(&data, 5);
+    let distinct: std::collections::HashSet<u32> = tree
+        .nodes()
+        .iter()
+        .filter(|n| !n.is_leaf())
+        .map(|n| n.feature)
+        .collect();
+    assert!(distinct.len() <= 15, "tree too wide for the exact reference");
+    for i in [0usize, 11, 101] {
+        let fast = tree_shap(&tree, data.row(i));
+        let slow = exact::exact_shap(&tree, data.row(i));
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-8, "fast {a} vs exact {b} at sample {i}");
+        }
+    }
+}
+
+#[test]
+fn sampling_estimator_agrees_with_tree_explainer() {
+    let data = pipeline_data();
+    let rf =
+        RandomForestTrainer { n_trees: 8, max_depth: Some(4), ..Default::default() }.fit(&data, 3);
+    let probe = data.row(data.n_samples() / 2);
+    let exact = explain_forest(&rf, probe).contributions;
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let sampled = sampling::sampling_shap(&rf, probe, 200, &mut rng);
+    // Compare only the materially contributing features.
+    for (j, (a, b)) in exact.iter().zip(&sampled).enumerate() {
+        if a.abs() > 0.01 {
+            assert!(
+                (a - b).abs() < 0.5 * a.abs() + 0.005,
+                "feature {j}: exact {a} vs sampled {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hotspot_explanations_point_at_congestion_features() {
+    // On a stressed design, the positive SHAP mass of a confident hotspot
+    // prediction should be dominated by congestion (edge/via) features
+    // rather than coordinates — the paper's Fig. 4 reading.
+    let config = PipelineConfig { scale: 0.25, ..Default::default() };
+    let bundle = build_design(&suite::spec("des_perf_1").unwrap(), &config);
+    let data = bundle.to_dataset();
+    let rf = RandomForestTrainer { n_trees: 40, ..Default::default() }.fit(&data, 4);
+    let schema = drcshap::features::FeatureSchema::paper_387();
+
+    // The most confident true hotspot.
+    let best = (0..data.n_samples())
+        .filter(|&i| data.label(i))
+        .max_by(|&a, &b| {
+            rf.predict_proba(data.row(a))
+                .total_cmp(&rf.predict_proba(data.row(b)))
+        })
+        .expect("at least one hotspot");
+    let e = explain_forest(&rf, data.row(best));
+    let mut congestion = 0.0;
+    let mut coords = 0.0;
+    for (j, &phi) in e.contributions.iter().enumerate() {
+        if phi <= 0.0 {
+            continue;
+        }
+        match schema.desc(j) {
+            drcshap::features::FeatureDesc::Edge { .. }
+            | drcshap::features::FeatureDesc::Via { .. } => congestion += phi,
+            drcshap::features::FeatureDesc::Placement { quantity, .. } => {
+                if matches!(
+                    quantity,
+                    drcshap::features::PlacementQuantity::CenterX
+                        | drcshap::features::PlacementQuantity::CenterY
+                ) {
+                    coords += phi;
+                }
+            }
+        }
+    }
+    assert!(
+        congestion > coords,
+        "explanation dominated by coordinates ({coords}) over congestion ({congestion})"
+    );
+}

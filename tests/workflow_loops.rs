@@ -1,0 +1,82 @@
+//! End-to-end coverage of the workflow extensions: triage, the closed
+//! predict→reroute loop, grouped SHAP attributions and ranking metrics —
+//! all through the public facade.
+
+use drcshap::core::explain::Explainer;
+use drcshap::core::flow::run_fix_loop;
+use drcshap::core::pipeline::{build_design, PipelineConfig};
+use drcshap::features::{FeatureDesc, FeatureSchema};
+use drcshap::forest::RandomForestTrainer;
+use drcshap::ml::{lift_curve, precision_at_k, Classifier};
+use drcshap::netlist::suite;
+
+fn self_trained(design: &str, scale: f64) -> (Explainer, drcshap::core::pipeline::DesignBundle) {
+    let config = PipelineConfig { scale, ..Default::default() };
+    let bundle = build_design(&suite::spec(design).unwrap(), &config);
+    let trainer = RandomForestTrainer { n_trees: 30, ..Default::default() };
+    let explainer = Explainer::train(std::slice::from_ref(&bundle), &trainer, 3);
+    (explainer, bundle)
+}
+
+#[test]
+fn triage_buckets_cover_selected_predictions() {
+    let (explainer, bundle) = self_trained("des_perf_1", 0.25);
+    let report = explainer.triage(&bundle, 0.2, 40);
+    let total = report.total();
+    assert!(total > 0, "nothing triaged");
+    // Bucket counts and layer tallies are internally consistent.
+    for row in &report.rows {
+        assert!(row.count > 0);
+        for &(_, c) in &row.layer_counts {
+            assert!(c <= row.count);
+        }
+    }
+    assert!(report.render().contains(&format!("{total} predicted hotspots")));
+}
+
+#[test]
+fn fix_loop_through_the_facade_runs_and_reports() {
+    let (explainer, mut bundle) = self_trained("des_perf_1", 0.22);
+    let route_config =
+        PipelineConfig { scale: 0.22, ..Default::default() }.route_for(&bundle.design.spec);
+    let report = run_fix_loop(&explainer, &mut bundle, &route_config, 0.3, 8, 2, 5);
+    // Whatever happened, the report is well-formed and the bundle is
+    // consistent after in-place mutation.
+    assert_eq!(bundle.features.n_samples(), bundle.design.grid.num_cells());
+    for it in &report.iterations {
+        assert!(it.mean_risk >= 0.3);
+        assert!(it.edge_overflow >= 0.0);
+    }
+    assert!(report.render().contains("final"));
+}
+
+#[test]
+fn grouped_attributions_follow_feature_groups() {
+    let (explainer, bundle) = self_trained("des_perf_1", 0.25);
+    let cases = explainer.select_cases(&bundle, 1);
+    let case = cases.first().expect("a hotspot to explain");
+    let schema = FeatureSchema::paper_387();
+    let groups = case.explanation.grouped_by(|i| match schema.desc(i) {
+        FeatureDesc::Placement { .. } => "placement",
+        FeatureDesc::Edge { .. } => "edge",
+        FeatureDesc::Via { .. } => "via",
+    });
+    assert_eq!(groups.len(), 3);
+    let total: f64 = groups.iter().map(|&(_, s)| s).sum();
+    let expected = case.explanation.prediction - case.explanation.base_value;
+    assert!((total - expected).abs() < 1e-9, "additivity broken: {total} vs {expected}");
+}
+
+#[test]
+fn ranking_metrics_agree_with_triage_quality() {
+    let (explainer, bundle) = self_trained("des_perf_1", 0.25);
+    let data = bundle.to_dataset();
+    let scores = explainer.forest().score_dataset(&data);
+    // Top-k precision of a self-trained model must beat the base rate.
+    let k = data.num_positives().max(1);
+    let p = precision_at_k(&scores, data.labels(), k);
+    assert!(p > data.positive_rate(), "p@k {p} vs base {}", data.positive_rate());
+    // Lift at the top decile must exceed 1.
+    let lift = lift_curve(&scores, data.labels(), &[0.1]);
+    assert!(lift[0].1 > 1.0, "no lift: {:?}", lift);
+}
