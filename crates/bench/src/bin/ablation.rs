@@ -91,8 +91,14 @@ fn main() {
     imp_rank.sort_by(|&a, &b| impurity[b].total_cmp(&impurity[a]));
     let shap_imp = summarize(&rf, &test, 200);
     let shap_rank: Vec<usize> = shap_imp.top(10).into_iter().map(|(i, _)| i).collect();
-    println!("  top-10 impurity: {:?}", imp_rank[..10].iter().map(|&i| schema.name(i)).collect::<Vec<_>>());
-    println!("  top-10 SHAP:     {:?}", shap_rank.iter().map(|&i| schema.name(i)).collect::<Vec<_>>());
+    println!(
+        "  top-10 impurity: {:?}",
+        imp_rank[..10].iter().map(|&i| schema.name(i)).collect::<Vec<_>>()
+    );
+    println!(
+        "  top-10 SHAP:     {:?}",
+        shap_rank.iter().map(|&i| schema.name(i)).collect::<Vec<_>>()
+    );
     let overlap = shap_rank.iter().filter(|i| imp_rank[..10].contains(i)).count();
     println!("  overlap: {overlap}/10");
 
@@ -109,11 +115,7 @@ fn main() {
         let t0 = Instant::now();
         let approx = sampling::sampling_shap(&rf_small, probe, perms, &mut rng);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        let rmse = (exact
-            .iter()
-            .zip(&approx)
-            .map(|(a, b)| (a - b).powi(2))
-            .sum::<f64>()
+        let rmse = (exact.iter().zip(&approx).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
             / exact.len() as f64)
             .sqrt();
         println!("{:>12} {rmse:>12.6} {ms:>12.2}", format!("perm x{perms}"));
@@ -139,10 +141,7 @@ fn main() {
     let leaky_ap = average_precision(&leaky_rf.score_dataset(&eval), eval.labels());
     println!("  grouped protocol (paper):        A_prc {grouped_ap:.4}");
     println!("  within-design split (optimistic): A_prc {leaky_ap:.4}");
-    println!(
-        "  optimism inflation: {:+.1}%",
-        (leaky_ap / grouped_ap.max(1e-9) - 1.0) * 100.0
-    );
+    println!("  optimism inflation: {:+.1}%", (leaky_ap / grouped_ap.max(1e-9) - 1.0) * 100.0);
 
     println!("\n== 6. Learning curve: AUPRC vs training-set size ==");
     // Evenly subsample the training set at increasing fractions; evaluate
@@ -230,13 +229,14 @@ fn main() {
     println!("\n== 9. Label-noise sensitivity (oracle stochasticity sweep) ==");
     use drcshap_core::pipeline::build_design;
     use drcshap_drc::DrcConfig;
-    println!(
-        "{:>8} {:>10} {:>12} {:>12}",
-        "sigma", "surprise", "A_prc (RF)", "A_prc (risk)"
-    );
+    println!("{:>8} {:>10} {:>12} {:>12}", "sigma", "surprise", "A_prc (RF)", "A_prc (risk)");
     for (sigma, surprise) in [(0.0, 0.0), (0.2, 0.03), (0.5, 0.1), (1.0, 0.25)] {
         let noisy = drcshap_core::pipeline::PipelineConfig {
-            drc: DrcConfig { noise_sigma: sigma, surprise_fraction: surprise, ..DrcConfig::default() },
+            drc: DrcConfig {
+                noise_sigma: sigma,
+                surprise_fraction: surprise,
+                ..DrcConfig::default()
+            },
             ..config.clone()
         };
         // Same training designs, noisy labels on the test design.

@@ -55,10 +55,8 @@ fn main() {
     // matrix_mult_a (mult_a, group 2). Train on everything else; explain
     // hotspots in those two.
     let explained = ["des_perf_1", "mult_a"];
-    let explained_groups: Vec<u8> = explained
-        .iter()
-        .map(|n| suite::spec(n).unwrap().group)
-        .collect();
+    let explained_groups: Vec<u8> =
+        explained.iter().map(|n| suite::spec(n).unwrap().group).collect();
     let specs = suite::all_specs();
     eprintln!("building the suite at scale {}...", config.scale);
     let bundles = build_suite(&specs, &config);
@@ -79,10 +77,7 @@ fn main() {
     let mut shap_seconds = Vec::new();
     let mut printed_interactions = false;
     for name in explained {
-        let bundle = bundles
-            .iter()
-            .find(|b| b.design.spec.name == name)
-            .expect("design in suite");
+        let bundle = bundles.iter().find(|b| b.design.spec.name == name).expect("design in suite");
         if bundle.report.num_hotspots() == 0 {
             println!("== {name}: no hotspots at this scale, skipping\n");
             continue;

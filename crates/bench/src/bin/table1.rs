@@ -12,10 +12,7 @@ use drcshap_netlist::suite;
 
 fn main() {
     let config = env_pipeline();
-    println!(
-        "Table I reproduction at scale {} (paper numbers in parentheses)\n",
-        config.scale
-    );
+    println!("Table I reproduction at scale {} (paper numbers in parentheses)\n", config.scale);
     println!(
         "{:<12} {:>18} {:>18} {:>8} {:>14} {:>16}",
         "Design", "# G-cells", "# DRC hotspots", "# Macros", "# Cells (k)", "Layout (um)"
@@ -24,17 +21,12 @@ fn main() {
     let specs = suite::all_specs();
     let bundles = build_suite(&specs, &config);
     for group in 1..=5u8 {
-        let in_group: Vec<_> = bundles
-            .iter()
-            .filter(|b| b.design.spec.group == group)
-            .collect();
+        let in_group: Vec<_> = bundles.iter().filter(|b| b.design.spec.group == group).collect();
         let gcells: usize = in_group.iter().map(|b| b.design.grid.num_cells()).sum();
         let hotspots: usize = in_group.iter().map(|b| b.report.num_hotspots()).sum();
         let t1_g: u32 = in_group.iter().map(|b| b.design.spec.table1.gcells).sum();
         let t1_h: u32 = in_group.iter().map(|b| b.design.spec.table1.hotspots).sum();
-        println!(
-            "Group {group:<6} {gcells:>10} ({t1_g:>5}) {hotspots:>10} ({t1_h:>5})"
-        );
+        println!("Group {group:<6} {gcells:>10} ({t1_g:>5}) {hotspots:>10} ({t1_h:>5})");
         for b in in_group {
             let spec = &b.design.spec;
             let die = b.design.die;

@@ -12,7 +12,9 @@
 //! DRCSHAP_MODELS=rf,svm cargo run --release -p drcshap-bench --bin table2
 //! ```
 
-use drcshap_bench::{env_budget, env_families, env_pipeline, paper_table2_averages, paper_table2_wins};
+use drcshap_bench::{
+    env_budget, env_families, env_pipeline, paper_table2_averages, paper_table2_wins,
+};
 use drcshap_core::eval::{evaluate_models, EvalConfig};
 use drcshap_core::pipeline::build_suite;
 use drcshap_netlist::suite;
@@ -32,10 +34,8 @@ fn main() {
     let samples: usize = bundles.iter().map(|b| b.design.grid.num_cells()).sum();
     eprintln!("dataset: {samples} samples, {positives} hotspots; training...");
 
-    let table = evaluate_models(
-        &bundles,
-        &EvalConfig { families: families.clone(), budget, seed: 42 },
-    );
+    let table =
+        evaluate_models(&bundles, &EvalConfig { families: families.clone(), budget, seed: 42 });
     println!("{}", table.render());
 
     println!("\nPaper Table II averages for reference (TPR*, Prec*, A_prc | wins):");

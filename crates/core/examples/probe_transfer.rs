@@ -1,24 +1,35 @@
 use drcshap_core::pipeline::{build_suite, PipelineConfig};
 use drcshap_core::zoo::{ModelBudget, ModelFamily};
-use drcshap_ml::{average_precision, StandardScaler, Dataset};
+use drcshap_ml::{average_precision, Dataset, StandardScaler};
 use drcshap_netlist::suite;
 
 fn main() {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
     let specs: Vec<_> = ["mult_2", "fft_b", "bridge32_a", "des_perf_1"]
-        .iter().map(|n| suite::spec(n).unwrap()).collect();
+        .iter()
+        .map(|n| suite::spec(n).unwrap())
+        .collect();
     let bundles = build_suite(&specs, &PipelineConfig { scale, ..Default::default() });
     for b in &bundles {
-        println!("{}: {} cells, {} hotspots", b.design.spec.name, b.design.grid.num_cells(), b.report.num_hotspots());
+        println!(
+            "{}: {} cells, {} hotspots",
+            b.design.spec.name,
+            b.design.grid.num_cells(),
+            b.report.num_hotspots()
+        );
     }
     // leave-one-out: test des_perf_1
     for test_i in 0..bundles.len() {
         let mut train = Dataset::empty(387);
         for (i, b) in bundles.iter().enumerate() {
-            if i != test_i { train.append(&b.to_dataset()); }
+            if i != test_i {
+                train.append(&b.to_dataset());
+            }
         }
         let test = bundles[test_i].to_dataset();
-        if test.num_positives() == 0 { continue; }
+        if test.num_positives() == 0 {
+            continue;
+        }
         let scaler = StandardScaler::fit(&train);
         let (train_s, test_s) = (scaler.transform(&train), scaler.transform(&test));
         let trained = ModelFamily::Rf.tune_and_fit(&train_s, ModelBudget::Quick, 1);
@@ -27,6 +38,12 @@ fn main() {
         // risk-oracle ceiling: AUPRC of the true risk field itself
         let risk: Vec<f64> = bundles[test_i].report.risk.clone();
         let ap_risk = average_precision(&risk, test_s.labels());
-        println!("test {}: base={:.3} AP(RF)={:.3} AP(risk)={:.3}", bundles[test_i].design.spec.name, test.positive_rate(), ap, ap_risk);
+        println!(
+            "test {}: base={:.3} AP(RF)={:.3} AP(risk)={:.3}",
+            bundles[test_i].design.spec.name,
+            test.positive_rate(),
+            ap,
+            ap_risk
+        );
     }
 }

@@ -144,26 +144,17 @@ impl Table2 {
         out.push('\n');
         out.push_str(&format!("{:<12} ", "# Win."));
         for s in &self.summaries {
-            out.push_str(&format!(
-                "| {:>8} {:>8} {:>8} ",
-                s.wins_tpr, s.wins_prec, s.wins_auprc
-            ));
+            out.push_str(&format!("| {:>8} {:>8} {:>8} ", s.wins_tpr, s.wins_prec, s.wins_auprc));
         }
         out.push('\n');
         out.push_str(&format!("{:<12} ", "# Param."));
         for s in &self.summaries {
-            out.push_str(&format!(
-                "| {:>24.1}k  ",
-                s.complexity.num_parameters as f64 / 1e3
-            ));
+            out.push_str(&format!("| {:>24.1}k  ", s.complexity.num_parameters as f64 / 1e3));
         }
         out.push('\n');
         out.push_str(&format!("{:<12} ", "# Pred. op."));
         for s in &self.summaries {
-            out.push_str(&format!(
-                "| {:>24.1}k  ",
-                s.complexity.prediction_ops as f64 / 1e3
-            ));
+            out.push_str(&format!("| {:>24.1}k  ", s.complexity.prediction_ops as f64 / 1e3));
         }
         out.push('\n');
         out.push_str(&format!("{:<12} ", "Train (s)"));
@@ -290,9 +281,7 @@ pub fn evaluate_models(bundles: &[DesignBundle], config: &EvalConfig) -> Table2 
         let mut wins = (0usize, 0usize, 0usize);
         for design in &evaluated_designs {
             let cell = |f: ModelFamily, get: &dyn Fn(&DesignMetrics) -> f64| {
-                rows.iter()
-                    .find(|r| &r.design == design && r.family == f)
-                    .map(get)
+                rows.iter().find(|r| &r.design == design && r.family == f).map(get)
             };
             for (slot, get) in [
                 (&mut wins.0, &(|r: &DesignMetrics| r.tpr_star) as &dyn Fn(&DesignMetrics) -> f64),
@@ -300,11 +289,8 @@ pub fn evaluate_models(bundles: &[DesignBundle], config: &EvalConfig) -> Table2 
                 (&mut wins.2, &|r: &DesignMetrics| r.auprc),
             ] {
                 let mine = cell(family, get);
-                let best = config
-                    .families
-                    .iter()
-                    .filter_map(|&f| cell(f, get))
-                    .fold(f64::MIN, f64::max);
+                let best =
+                    config.families.iter().filter_map(|&f| cell(f, get)).fold(f64::MIN, f64::max);
                 // A tie at the top counts for every tied family, but a
                 // zero is never a "win" (models that predicted nothing
                 // within the FPR budget did not win anything).
@@ -315,9 +301,8 @@ pub fn evaluate_models(bundles: &[DesignBundle], config: &EvalConfig) -> Table2 
                 }
             }
         }
-        let avg = |get: &dyn Fn(&DesignMetrics) -> f64| {
-            fam_rows.iter().map(|r| get(r)).sum::<f64>() / n
-        };
+        let avg =
+            |get: &dyn Fn(&DesignMetrics) -> f64| fam_rows.iter().map(|r| get(r)).sum::<f64>() / n;
         let complexities = &complexity_acc[&family];
         let complexity = ModelComplexity {
             num_parameters: complexities.iter().map(|c| c.num_parameters).sum::<usize>()

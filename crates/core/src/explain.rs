@@ -117,12 +117,8 @@ impl TriageReport {
             self.total()
         );
         for row in &self.rows {
-            let layers: Vec<String> = row
-                .layer_counts
-                .iter()
-                .take(3)
-                .map(|(l, c)| format!("{l}x{c}"))
-                .collect();
+            let layers: Vec<String> =
+                row.layer_counts.iter().take(3).map(|(l, c)| format!("{l}x{c}")).collect();
             out.push_str(&format!(
                 "  {:<18} {:>4} predicted ({} actual), mean p = {:.2}, layers: {}\n",
                 row.archetype.to_string(),
@@ -219,10 +215,8 @@ impl Explainer {
     /// the neighbouring via crowding".
     pub fn render_interactions(&self, case: &ExplanationCase, k: usize) -> String {
         let inter = self.interactions(case);
-        let mut out = format!(
-            "top feature interactions for hotspot {} in {}\n",
-            case.gcell, case.design
-        );
+        let mut out =
+            format!("top feature interactions for hotspot {} in {}\n", case.gcell, case.design);
         let pairs = inter.top_pairs(k);
         if pairs.is_empty() {
             out.push_str("  (no interactions: additive prediction)\n");
@@ -462,11 +456,7 @@ mod tests {
         assert!(s.contains("prediction ="));
         assert!(s.contains("archetype"));
         // At least one paper-style feature name appears.
-        let has_name = explainer
-            .schema()
-            .names()
-            .iter()
-            .any(|n| s.contains(n.as_str()));
+        let has_name = explainer.schema().names().iter().any(|n| s.contains(n.as_str()));
         assert!(has_name, "no feature names in: {s}");
     }
 
@@ -508,10 +498,7 @@ mod tests {
         let inter = explainer.interactions(case);
         for (j, &phi) in case.explanation.contributions.iter().enumerate() {
             let row_sum: f64 = inter.row(j).iter().sum();
-            assert!(
-                (row_sum - phi).abs() < 1e-8,
-                "feature {j}: row sum {row_sum} vs phi {phi}"
-            );
+            assert!((row_sum - phi).abs() < 1e-8, "feature {j}: row sum {row_sum} vs phi {phi}");
         }
         let rendered = explainer.render_interactions(case, 5);
         assert!(rendered.contains("interactions"));
@@ -521,10 +508,7 @@ mod tests {
     fn most_selected_cases_validate_against_oracle() {
         let (explainer, bundle) = trained_on("des_perf_1");
         let cases = explainer.select_cases(&bundle, 3);
-        let ok = cases
-            .iter()
-            .filter(|c| explainer.validate_case(c, &bundle))
-            .count();
+        let ok = cases.iter().filter(|c| explainer.validate_case(c, &bundle)).count();
         assert!(
             ok * 2 >= cases.len(),
             "only {ok}/{} explanations consistent with oracle",

@@ -65,7 +65,11 @@ impl FixLoopReport {
 
 /// Predicted hotspots of the bundle's current state: `(grid index, p)` for
 /// every cell scoring at or above `threshold`, strongest first.
-fn predicted_hotspots(explainer: &Explainer, bundle: &DesignBundle, threshold: f64) -> Vec<(usize, f64)> {
+fn predicted_hotspots(
+    explainer: &Explainer,
+    bundle: &DesignBundle,
+    threshold: f64,
+) -> Vec<(usize, f64)> {
     let mut hits: Vec<(usize, f64)> = (0..bundle.features.n_samples())
         .map(|i| (i, explainer.forest().predict_proba(bundle.features.row(i))))
         .filter(|&(_, p)| p >= threshold)
@@ -123,11 +127,7 @@ pub fn run_fix_loop(
     } else {
         remaining.iter().map(|&(_, p)| p).sum::<f64>() / remaining.len() as f64
     };
-    FixLoopReport {
-        iterations,
-        remaining_hotspots: remaining.len(),
-        remaining_mean_risk,
-    }
+    FixLoopReport { iterations, remaining_hotspots: remaining.len(), remaining_mean_risk }
 }
 
 #[cfg(test)]
@@ -143,8 +143,7 @@ mod tests {
         let mut bundle = build_design(&suite::spec("des_perf_1").unwrap(), &pconfig);
         // Self-trained model: the loop mechanics are what is under test.
         let trainer = RandomForestTrainer { n_trees: 30, ..Default::default() };
-        let explainer =
-            Explainer::train(std::slice::from_ref(&bundle), &trainer, 7);
+        let explainer = Explainer::train(std::slice::from_ref(&bundle), &trainer, 7);
         let route_config = pconfig.route_for(&bundle.design.spec);
 
         let hits = predicted_hotspots(&explainer, &bundle, 0.3);
@@ -161,8 +160,7 @@ mod tests {
                 / targets.len() as f64
         };
         let before = risk_of(&bundle);
-        let report =
-            run_fix_loop(&explainer, &mut bundle, &route_config, 0.3, 10, 3, 11);
+        let report = run_fix_loop(&explainer, &mut bundle, &route_config, 0.3, 10, 3, 11);
         assert!(!report.iterations.is_empty());
         assert!(report.iterations[0].rerouted_conns > 0, "nothing rerouted");
         let after = risk_of(&bundle);

@@ -41,7 +41,7 @@ pub mod pipeline;
 pub mod zoo;
 
 pub use eval::{evaluate_models, DesignMetrics, EvalConfig, Table2};
-pub use explain::{CaseArchetype, ExplanationCase, Explainer, TriageReport, TriageRow};
+pub use explain::{CaseArchetype, Explainer, ExplanationCase, TriageReport, TriageRow};
 pub use flow::{run_fix_loop, FixIteration, FixLoopReport};
 pub use pipeline::{build_design, build_suite, DesignBundle, PipelineConfig};
 pub use zoo::{ModelFamily, TrainedModel};

@@ -46,9 +46,8 @@ impl PipelineConfig {
         let mut config = Self::default();
         if std::env::var("DRCSHAP_FULL").is_ok_and(|v| v == "1") {
             config.scale = 1.0;
-        } else if let Some(s) = std::env::var("DRCSHAP_SCALE")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
+        } else if let Some(s) =
+            std::env::var("DRCSHAP_SCALE").ok().and_then(|v| v.parse::<f64>().ok())
         {
             assert!(s > 0.0 && s <= 1.0, "DRCSHAP_SCALE must be in (0, 1]");
             config.scale = s;
@@ -154,10 +153,7 @@ mod tests {
 
     #[test]
     fn build_suite_preserves_order() {
-        let specs: Vec<_> = ["fft_1", "fft_2"]
-            .iter()
-            .map(|n| suite::spec(n).unwrap())
-            .collect();
+        let specs: Vec<_> = ["fft_1", "fft_2"].iter().map(|n| suite::spec(n).unwrap()).collect();
         let bundles = build_suite(&specs, &tiny());
         assert_eq!(bundles[0].design.spec.name, "fft_1");
         assert_eq!(bundles[1].design.spec.name, "fft_2");

@@ -95,7 +95,12 @@ impl ModelBudget {
     fn svm_grid(self) -> Vec<SvmTrainer> {
         match self {
             ModelBudget::Quick => vec![
-                SvmTrainer { c: 1.0, max_samples: Some(1500), max_sweeps: 25, ..Default::default() },
+                SvmTrainer {
+                    c: 1.0,
+                    max_samples: Some(1500),
+                    max_sweeps: 25,
+                    ..Default::default()
+                },
                 SvmTrainer {
                     c: 10.0,
                     positive_weight: 4.0,

@@ -126,10 +126,8 @@ pub fn run_drc<R: Rng>(
     let grid = &design.grid;
     let n = grid.num_cells();
     let causes = compute_causes(design, route);
-    let risk: Vec<f64> = causes
-        .iter()
-        .map(|c| c.risk(config) * log_normal(config.noise_sigma, rng))
-        .collect();
+    let risk: Vec<f64> =
+        causes.iter().map(|c| c.risk(config) * log_normal(config.noise_sigma, rng)).collect();
 
     let target = design.spec.target_hotspots();
     if target == 0 {
@@ -297,10 +295,7 @@ fn sample_violation<R: Rng>(
         (size * rng.gen_range(0.1..0.5), size * rng.gen_range(0.1..0.5))
     };
     let (cx, cy) = if elongated {
-        (
-            rng.gen_range(rect.lo.x..rect.hi.x) as f64,
-            rng.gen_range(rect.lo.y..rect.hi.y) as f64,
-        )
+        (rng.gen_range(rect.lo.x..rect.hi.x) as f64, rng.gen_range(rect.lo.y..rect.hi.y) as f64)
     } else {
         // Keep small boxes inside the cell.
         let mx = (rect.width() as f64 * 0.3) as i64;
@@ -426,11 +421,7 @@ mod tests {
         let (d, _, report) = pipeline("des_perf_1", 0.35);
         assert!(!report.violations.is_empty());
         for v in &report.violations {
-            assert!(
-                v.bbox.overlaps(&d.die),
-                "violation {v} entirely off-die {}",
-                d.die
-            );
+            assert!(v.bbox.overlaps(&d.die), "violation {v} entirely off-die {}", d.die);
             assert!(v.bbox.area() > 0, "degenerate violation box");
         }
     }
@@ -464,12 +455,23 @@ mod probe {
         let stress = d.spec.stress();
         let cfg = RouteConfig::default().derated(1.0 - 0.4 * (stress - 0.25));
         let route = route_design(&d, &cfg, &mut rng);
-        println!("edge_overflow={} overflowed_edges={} via_overflow={}", route.edge_overflow, route.overflowed_edges, route.via_overflow);
+        println!(
+            "edge_overflow={} overflowed_edges={} via_overflow={}",
+            route.edge_overflow, route.overflowed_edges, route.via_overflow
+        );
         let causes = compute_causes(&d, &route);
         let risks: Vec<f64> = causes.iter().map(|c| c.risk(&DrcConfig::default())).collect();
         let mut sorted = risks.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
-        println!("n={} min={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}", n, sorted[0], sorted[n/2], sorted[n*9/10], sorted[n*99/100], sorted[n-1]);
+        println!(
+            "n={} min={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
+            n,
+            sorted[0],
+            sorted[n / 2],
+            sorted[n * 9 / 10],
+            sorted[n * 99 / 100],
+            sorted[n - 1]
+        );
     }
 }

@@ -50,7 +50,9 @@ impl DrcReport {
 
     /// Violation counts per (kind, metal layer), sorted descending — the
     /// summary a sign-off report leads with.
-    pub fn kind_layer_histogram(&self) -> Vec<(crate::ViolationKind, drcshap_route::MetalLayer, usize)> {
+    pub fn kind_layer_histogram(
+        &self,
+    ) -> Vec<(crate::ViolationKind, drcshap_route::MetalLayer, usize)> {
         let mut counts: std::collections::HashMap<_, usize> = Default::default();
         for v in &self.violations {
             *counts.entry((v.kind, v.layer)).or_default() += 1;
@@ -131,11 +133,8 @@ mod tests {
     #[test]
     fn histogram_counts_and_sorts() {
         let g = grid();
-        let mk = |kind, layer| Violation {
-            kind,
-            layer,
-            bbox: Rect::from_microns(1.0, 1.0, 2.0, 2.0),
-        };
+        let mk =
+            |kind, layer| Violation { kind, layer, bbox: Rect::from_microns(1.0, 1.0, 2.0, 2.0) };
         let report = DrcReport::from_violations(
             &g,
             vec![

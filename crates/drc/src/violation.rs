@@ -70,14 +70,11 @@ mod tests {
 
     #[test]
     fn kinds_have_distinct_names() {
-        let names: std::collections::HashSet<_> = [
-            ViolationKind::Short,
-            ViolationKind::EolSpacing,
-            ViolationKind::DiffNetSpacing,
-        ]
-        .iter()
-        .map(|k| k.name())
-        .collect();
+        let names: std::collections::HashSet<_> =
+            [ViolationKind::Short, ViolationKind::EolSpacing, ViolationKind::DiffNetSpacing]
+                .iter()
+                .map(|k| k.name())
+                .collect();
         assert_eq!(names.len(), 3);
     }
 }

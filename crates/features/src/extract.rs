@@ -55,9 +55,7 @@ impl DesignStats {
 
         // Cells fully inside a g-cell, and per-cell area coverage.
         for (id, _) in design.netlist.cells() {
-            let outline = design
-                .cell_outline(id)
-                .expect("stats require a fully placed design");
+            let outline = design.cell_outline(id).expect("stats require a fully placed design");
             for g in grid.cells_overlapping(&outline) {
                 let rect = grid.cell_rect(g);
                 let i = grid.index_of(g);
@@ -486,19 +484,13 @@ mod tests {
             .filter(|(_, desc)| {
                 matches!(
                     desc,
-                    crate::FeatureDesc::Edge {
-                        quantity: crate::CongestionQuantity::Margin,
-                        ..
-                    }
+                    crate::FeatureDesc::Edge { quantity: crate::CongestionQuantity::Margin, .. }
                 )
             })
             .map(|(i, _)| i)
             .collect();
         let min_margin = |i: usize| -> f32 {
-            margin_cols
-                .iter()
-                .map(|&j| fm.value(i, j))
-                .fold(f32::INFINITY, f32::min)
+            margin_cols.iter().map(|&j| fm.value(i, j)).fold(f32::INFINITY, f32::min)
         };
         let (mut hot_sum, mut hot_n, mut cold_sum, mut cold_n) = (0f64, 0usize, 0f64, 0usize);
         for i in 0..fm.n_samples() {

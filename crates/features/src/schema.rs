@@ -78,11 +78,8 @@ pub enum CongestionQuantity {
 }
 
 /// All congestion quantities, in canonical order.
-pub const CONGESTION_QUANTITIES: [CongestionQuantity; 3] = [
-    CongestionQuantity::Capacity,
-    CongestionQuantity::Load,
-    CongestionQuantity::Margin,
-];
+pub const CONGESTION_QUANTITIES: [CongestionQuantity; 3] =
+    [CongestionQuantity::Capacity, CongestionQuantity::Load, CongestionQuantity::Margin];
 
 impl CongestionQuantity {
     /// The single-letter code used in feature names.
@@ -302,7 +299,8 @@ mod tests {
         let s = FeatureSchema::paper_387();
         assert_eq!(s.len(), 387);
         // Group sizes per the paper's Section II-A.
-        let placement = s.iter().filter(|(_, d)| matches!(d, FeatureDesc::Placement { .. })).count();
+        let placement =
+            s.iter().filter(|(_, d)| matches!(d, FeatureDesc::Placement { .. })).count();
         let edge = s.iter().filter(|(_, d)| matches!(d, FeatureDesc::Edge { .. })).count();
         let via = s.iter().filter(|(_, d)| matches!(d, FeatureDesc::Via { .. })).count();
         assert_eq!(placement, 99);

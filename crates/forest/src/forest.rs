@@ -121,10 +121,7 @@ impl RandomForest {
     /// Panics if `trees` is empty or any tree disagrees on `n_features`.
     pub fn from_trees(trees: Vec<DecisionTree>, n_features: usize) -> Self {
         assert!(!trees.is_empty(), "forest needs at least one tree");
-        assert!(
-            trees.iter().all(|t| t.n_features() == n_features),
-            "tree feature-count mismatch"
-        );
+        assert!(trees.iter().all(|t| t.n_features() == n_features), "tree feature-count mismatch");
         Self { trees, n_features }
     }
 

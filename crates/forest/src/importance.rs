@@ -82,16 +82,12 @@ impl RandomForestTrainer {
                 }
             }
         }
-        let oob_scores: Vec<Option<f64>> = (0..n)
-            .map(|i| (counts[i] > 0).then(|| sums[i] / counts[i] as f64))
-            .collect();
+        let oob_scores: Vec<Option<f64>> =
+            (0..n).map(|i| (counts[i] > 0).then(|| sums[i] / counts[i] as f64)).collect();
         let coverage = counts.iter().filter(|&&c| c > 0).count() as f64 / n as f64;
 
         let trees = fits.into_iter().map(|(t, _)| t).collect();
-        (
-            RandomForest::from_trees(trees, data.n_features()),
-            OobReport { oob_scores, coverage },
-        )
+        (RandomForest::from_trees(trees, data.n_features()), OobReport { oob_scores, coverage })
     }
 }
 
@@ -183,10 +179,7 @@ mod tests {
         let rf = RandomForestTrainer { n_trees: 20, ..Default::default() }.fit(&data, 1);
         let imp = rf.feature_importance();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(
-            imp[0] > 5.0 * imp[1],
-            "informative feature not dominant: {imp:?}"
-        );
+        assert!(imp[0] > 5.0 * imp[1], "informative feature not dominant: {imp:?}");
     }
 
     #[test]

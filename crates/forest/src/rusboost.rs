@@ -166,11 +166,7 @@ impl Classifier for RusBoost {
 
     fn complexity(&self) -> ModelComplexity {
         let nodes: usize = self.stages.iter().map(|(t, _)| t.nodes().len()).sum();
-        let path_ops: f64 = self
-            .stages
-            .iter()
-            .map(|(t, _)| t.mean_path_length() * 2.0 + 2.0)
-            .sum();
+        let path_ops: f64 = self.stages.iter().map(|(t, _)| t.mean_path_length() * 2.0 + 2.0).sum();
         ModelComplexity {
             num_parameters: nodes * 5 + self.stages.len(),
             prediction_ops: path_ops.ceil() as usize,
@@ -193,11 +189,7 @@ mod tests {
         let mut y = Vec::new();
         for _ in 0..n {
             let label = rng.gen_range(0.0..1.0) < 0.05;
-            let v: f32 = if label {
-                rng.gen_range(0.7..1.0)
-            } else {
-                rng.gen_range(0.0..0.8)
-            };
+            let v: f32 = if label { rng.gen_range(0.7..1.0) } else { rng.gen_range(0.0..0.8) };
             x.push(v);
             x.push(rng.gen_range(0.0..1.0));
             y.push(label);
@@ -235,7 +227,8 @@ mod tests {
 
     #[test]
     fn single_class_data_degrades_gracefully() {
-        let data = Dataset::from_parts(vec![0.0, 1.0, 2.0], vec![false, false, false], vec![0; 3], 1);
+        let data =
+            Dataset::from_parts(vec![0.0, 1.0, 2.0], vec![false, false, false], vec![0; 3], 1);
         let model = RusBoostTrainer::default().fit(&data, 0);
         assert_eq!(model.score(&[0.5]), 0.0);
     }
@@ -272,7 +265,12 @@ mod probe {
         let model = RusBoostTrainer { n_iterations: 30, ..Default::default() }.fit(&train, 3);
         println!("stages={}", model.stages().len());
         for (t, a) in model.stages().iter().take(5) {
-            println!("alpha={a:.4} depth={} leaves={} root_value={:.3}", t.depth(), t.num_leaves(), t.nodes()[0].value);
+            println!(
+                "alpha={a:.4} depth={} leaves={} root_value={:.3}",
+                t.depth(),
+                t.num_leaves(),
+                t.nodes()[0].value
+            );
         }
         println!("score(0.9)={} score(0.1)={}", model.score(&[0.9, 0.5]), model.score(&[0.1, 0.5]));
     }

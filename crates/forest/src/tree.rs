@@ -152,12 +152,7 @@ pub struct TreeTrainer {
 
 impl Default for TreeTrainer {
     fn default() -> Self {
-        Self {
-            max_depth: None,
-            min_samples_split: 2.0,
-            min_samples_leaf: 1.0,
-            max_features: None,
-        }
+        Self { max_depth: None, min_samples_split: 2.0, min_samples_leaf: 1.0, max_features: None }
     }
 }
 
@@ -170,18 +165,11 @@ impl TreeTrainer {
     /// Panics if `weights.len() != data.n_samples()` or all weights are zero.
     pub fn fit_weighted(&self, data: &Dataset, weights: &[f64], seed: u64) -> DecisionTree {
         assert_eq!(weights.len(), data.n_samples(), "weight count mismatch");
-        let indices: Vec<u32> = (0..data.n_samples() as u32)
-            .filter(|&i| weights[i as usize] > 0.0)
-            .collect();
+        let indices: Vec<u32> =
+            (0..data.n_samples() as u32).filter(|&i| weights[i as usize] > 0.0).collect();
         assert!(!indices.is_empty(), "no samples with positive weight");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut builder = Builder {
-            data,
-            weights,
-            config: self,
-            nodes: Vec::new(),
-            rng: &mut rng,
-        };
+        let mut builder = Builder { data, weights, config: self, nodes: Vec::new(), rng: &mut rng };
         builder.build(indices, 0);
         DecisionTree { nodes: builder.nodes, n_features: data.n_features() }
     }
@@ -270,11 +258,8 @@ impl<R: Rng> Builder<'_, R> {
     fn best_split(&mut self, indices: &[u32]) -> Option<(u32, f32)> {
         let m = self.data.n_features();
         let k = self.config.max_features.unwrap_or(m).min(m);
-        let features: Vec<usize> = if k == m {
-            (0..m).collect()
-        } else {
-            sample(self.rng, m, k).into_iter().collect()
-        };
+        let features: Vec<usize> =
+            if k == m { (0..m).collect() } else { sample(self.rng, m, k).into_iter().collect() };
 
         let (total_w, pos_w) = self.mass(indices);
         let parent_gini = gini(pos_w, total_w);
@@ -393,12 +378,7 @@ mod tests {
 
     #[test]
     fn covers_sum_correctly() {
-        let data = dataset(&[
-            (&[0.0], false),
-            (&[0.2], false),
-            (&[0.8], true),
-            (&[1.0], true),
-        ]);
+        let data = dataset(&[(&[0.0], false), (&[0.2], false), (&[0.8], true), (&[1.0], true)]);
         let tree = TreeTrainer::default().fit(&data, 0);
         let root = &tree.nodes()[0];
         assert_eq!(root.cover, 4.0);
@@ -416,8 +396,11 @@ mod tests {
     fn weighted_fit_respects_weights() {
         // The single positive has huge weight: the root value reflects it.
         let data = dataset(&[(&[0.0], false), (&[1.0], true)]);
-        let tree = TreeTrainer { max_depth: Some(0), ..TreeTrainer::default() }
-            .fit_weighted(&data, &[1.0, 9.0], 0);
+        let tree = TreeTrainer { max_depth: Some(0), ..TreeTrainer::default() }.fit_weighted(
+            &data,
+            &[1.0, 9.0],
+            0,
+        );
         assert!((tree.nodes()[0].value - 0.9).abs() < 1e-9);
     }
 
@@ -438,12 +421,7 @@ mod tests {
 
     #[test]
     fn complexity_counts_nodes() {
-        let data = dataset(&[
-            (&[0.0], false),
-            (&[0.4], false),
-            (&[0.6], true),
-            (&[1.0], true),
-        ]);
+        let data = dataset(&[(&[0.0], false), (&[0.4], false), (&[0.6], true), (&[1.0], true)]);
         let tree = TreeTrainer::default().fit(&data, 0);
         let c = tree.complexity();
         assert_eq!(c.num_parameters, tree.nodes().len() * 5);

@@ -196,14 +196,10 @@ impl GcellGrid {
         let Some(clipped) = rect.clip_to(&self.die) else {
             return Vec::new();
         };
-        let lo = self
-            .cell_containing(clipped.lo)
-            .expect("clipped.lo is on-die by construction");
+        let lo = self.cell_containing(clipped.lo).expect("clipped.lo is on-die by construction");
         // hi is exclusive; step one DBU inside to find the last covered cell.
         let hi_probe = Point::new(clipped.hi.x - 1, clipped.hi.y - 1);
-        let hi = self
-            .cell_containing(hi_probe)
-            .expect("clipped.hi-1 is on-die by construction");
+        let hi = self.cell_containing(hi_probe).expect("clipped.hi-1 is on-die by construction");
         let mut out = Vec::with_capacity(((hi.x - lo.x + 1) * (hi.y - lo.y + 1)) as usize);
         for y in lo.y..=hi.y {
             for x in lo.x..=hi.x {

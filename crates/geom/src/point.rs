@@ -13,7 +13,9 @@ use crate::DBU_PER_MICRON;
 /// let b = Point::from_microns(1.0, 2.0);
 /// assert_eq!(a.manhattan_distance(b), 3_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate in DBU.
     pub x: i64,
@@ -55,10 +57,7 @@ impl Point {
 
     /// This point's coordinates in microns.
     pub fn to_microns(self) -> (f64, f64) {
-        (
-            self.x as f64 / DBU_PER_MICRON as f64,
-            self.y as f64 / DBU_PER_MICRON as f64,
-        )
+        (self.x as f64 / DBU_PER_MICRON as f64, self.y as f64 / DBU_PER_MICRON as f64)
     }
 }
 

@@ -35,10 +35,7 @@ impl Rect {
     /// allowed; inverted ones are not).
     pub fn new(x1: i64, y1: i64, x2: i64, y2: i64) -> Self {
         assert!(x1 <= x2 && y1 <= y2, "inverted rectangle ({x1},{y1})-({x2},{y2})");
-        Self {
-            lo: Point::new(x1, y1),
-            hi: Point::new(x2, y2),
-        }
+        Self { lo: Point::new(x1, y1), hi: Point::new(x2, y2) }
     }
 
     /// Creates a rectangle from corner coordinates in microns.
@@ -129,12 +126,7 @@ impl Rect {
     ///
     /// Panics if a negative margin would invert the rectangle.
     pub fn inflate(&self, margin: i64) -> Rect {
-        Rect::new(
-            self.lo.x - margin,
-            self.lo.y - margin,
-            self.hi.x + margin,
-            self.hi.y + margin,
-        )
+        Rect::new(self.lo.x - margin, self.lo.y - margin, self.hi.x + margin, self.hi.y + margin)
     }
 
     /// Clamps the rectangle into `bounds`; `None` when disjoint from it.

@@ -150,12 +150,7 @@ pub fn window_edges() -> [WindowEdge; EDGE_COUNT] {
         // Horizontal borders between row wy and row wy-1.
         if wy > 0 {
             for wx in 0..3u8 {
-                edges.push(WindowEdge {
-                    label,
-                    vertical: false,
-                    a: (wx, wy - 1),
-                    b: (wx, wy),
-                });
+                edges.push(WindowEdge { label, vertical: false, a: (wx, wy - 1), b: (wx, wy) });
                 label += 1;
             }
         }

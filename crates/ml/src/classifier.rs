@@ -46,10 +46,7 @@ pub trait Classifier: Send + Sync {
 
     /// Scores every sample of `data` (parallelized by default).
     fn score_dataset(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.n_samples())
-            .into_par_iter()
-            .map(|i| self.score(data.row(i)))
-            .collect()
+        (0..data.n_samples()).into_par_iter().map(|i| self.score(data.row(i))).collect()
     }
 
     /// Size/cost accounting for Table II.

@@ -144,11 +144,7 @@ impl std::fmt::Display for ConfusionMatrix {
 pub fn brier_score(probs: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(probs.len(), labels.len(), "length mismatch");
     assert!(!probs.is_empty(), "empty input");
-    probs
-        .iter()
-        .zip(labels)
-        .map(|(&p, &l)| (p - if l { 1.0 } else { 0.0 }).powi(2))
-        .sum::<f64>()
+    probs.iter().zip(labels).map(|(&p, &l)| (p - if l { 1.0 } else { 0.0 }).powi(2)).sum::<f64>()
         / probs.len() as f64
 }
 

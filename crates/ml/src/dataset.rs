@@ -145,8 +145,7 @@ impl Dataset {
 
     /// The rows whose group tag passes `keep` — used for grouped splits.
     pub fn filter_groups(&self, keep: impl Fn(u32) -> bool) -> Dataset {
-        let indices: Vec<usize> =
-            (0..self.n_samples()).filter(|&i| keep(self.groups[i])).collect();
+        let indices: Vec<usize> = (0..self.n_samples()).filter(|&i| keep(self.groups[i])).collect();
         self.subset(&indices)
     }
 
@@ -159,10 +158,7 @@ impl Dataset {
     /// Panics if `columns` is empty or any index is out of range.
     pub fn select_features(&self, columns: &[usize]) -> Dataset {
         assert!(!columns.is_empty(), "empty column selection");
-        assert!(
-            columns.iter().all(|&c| c < self.n_features),
-            "column index out of range"
-        );
+        assert!(columns.iter().all(|&c| c < self.n_features), "column index out of range");
         let mut x = Vec::with_capacity(self.n_samples() * columns.len());
         for i in 0..self.n_samples() {
             let row = self.row(i);
@@ -236,7 +232,12 @@ impl Dataset {
             }
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != m + 2 {
-                return Err(format!("line {}: expected {} fields, got {}", k + 2, m + 2, fields.len()));
+                return Err(format!(
+                    "line {}: expected {} fields, got {}",
+                    k + 2,
+                    m + 2,
+                    fields.len()
+                ));
             }
             for f in &fields[..m] {
                 x.push(f.parse::<f32>().map_err(|e| format!("line {}: {e}", k + 2))?);

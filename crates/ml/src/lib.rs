@@ -40,8 +40,8 @@ pub use classifier::{Classifier, ModelComplexity, Trainer};
 pub use confusion::{brier_score, calibration_curve, ConfusionMatrix};
 pub use dataset::Dataset;
 pub use metrics::{
-    average_precision, lift_curve, pr_curve, precision_at_k, roc_auc, roc_curve,
-    tpr_prec_at_fpr, OperatingPoint, PAPER_FPR,
+    average_precision, lift_curve, pr_curve, precision_at_k, roc_auc, roc_curve, tpr_prec_at_fpr,
+    OperatingPoint, PAPER_FPR,
 };
 pub use scaler::StandardScaler;
 pub use tune::{

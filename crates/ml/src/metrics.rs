@@ -75,10 +75,7 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
 /// Panics under the same conditions as [`roc_curve`].
 pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     let curve = roc_curve(scores, labels);
-    curve
-        .windows(2)
-        .map(|w| (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0)
-        .sum()
+    curve.windows(2).map(|w| (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0).sum()
 }
 
 /// The precision-recall curve as `(recall, precision)` points, starting at
@@ -133,12 +130,7 @@ pub fn tpr_prec_at_fpr(scores: &[f64], labels: &[bool], max_fpr: f64) -> Operati
     let neg = labels.len() - pos;
     assert!(pos > 0, "operating point undefined without positives");
     assert!(neg > 0, "operating point undefined without negatives");
-    let mut best = OperatingPoint {
-        threshold: f64::INFINITY,
-        tpr: 0.0,
-        fpr: 0.0,
-        precision: 0.0,
-    };
+    let mut best = OperatingPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0, precision: 0.0 };
     for (threshold, tp, fp) in sweep(scores, labels) {
         let fpr = fp as f64 / neg as f64;
         if fpr > max_fpr {

@@ -101,10 +101,8 @@ pub fn grid_search<T: Trainer>(
     seed: u64,
 ) -> GridSearchOutcome {
     assert!(!candidates.is_empty(), "empty hyperparameter grid");
-    let results: Vec<CvOutcome> = candidates
-        .iter()
-        .map(|t| cross_validate(t, data, metric, seed))
-        .collect();
+    let results: Vec<CvOutcome> =
+        candidates.iter().map(|t| cross_validate(t, data, metric, seed)).collect();
     let best_index = results
         .iter()
         .enumerate()

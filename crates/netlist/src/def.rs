@@ -28,18 +28,11 @@ pub fn write_def(design: &Design) -> String {
     let _ = writeln!(out, "DESIGN {} ;", design.spec.name);
     let _ = writeln!(out, "UNITS DISTANCE MICRONS 1000 ;");
     let die = design.die;
-    let _ = writeln!(
-        out,
-        "DIEAREA ( {} {} ) ( {} {} ) ;",
-        die.lo.x, die.lo.y, die.hi.x, die.hi.y
-    );
+    let _ = writeln!(out, "DIEAREA ( {} {} ) ( {} {} ) ;", die.lo.x, die.lo.y, die.hi.x, die.hi.y);
 
     // Macros as fixed components.
-    let _ = writeln!(
-        out,
-        "COMPONENTS {} ;",
-        design.netlist.num_cells() + design.netlist.num_macros()
-    );
+    let _ =
+        writeln!(out, "COMPONENTS {} ;", design.netlist.num_cells() + design.netlist.num_macros());
     for (id, m) in design.netlist.macros() {
         let _ = writeln!(
             out,
@@ -52,10 +45,8 @@ pub fn write_def(design: &Design) -> String {
         );
     }
     for (id, cell) in design.netlist.cells() {
-        let origin = design
-            .placement
-            .position(id)
-            .expect("write_def requires a fully placed design");
+        let origin =
+            design.placement.position(id).expect("write_def requires a fully placed design");
         let mh = if cell.multi_height { "MH" } else { "SH" };
         let _ = writeln!(
             out,
@@ -91,13 +82,8 @@ pub fn write_def(design: &Design) -> String {
                     let _ = write!(out, " ( cell_{} P_{}_{} )", cell.index(), offset.x, offset.y);
                 }
                 PinOwner::Macro { id, position } => {
-                    let _ = write!(
-                        out,
-                        " ( macro_{} A_{}_{} )",
-                        id.index(),
-                        position.x,
-                        position.y
-                    );
+                    let _ =
+                        write!(out, " ( macro_{} A_{}_{} )", id.index(), position.x, position.y);
                 }
             }
         }
@@ -170,10 +156,9 @@ pub fn read_def(text: &str, spec: DesignSpec) -> Result<Design, ParseDefError> {
                 .ok_or_else(|| err(n, "macro without BLOCK_ master"))?;
             let (w, h) = parse_dims(dims).ok_or_else(|| err(n, "bad macro dims"))?;
             let (x, y) = parse_point(&toks, 5).ok_or_else(|| err(n, "bad macro origin"))?;
-            let id = design.netlist.add_macro(Macro {
-                rect: Rect::new(x, y, x + w, y + h),
-                pins: Vec::new(),
-            });
+            let id = design
+                .netlist
+                .add_macro(Macro { rect: Rect::new(x, y, x + w, y + h), pins: Vec::new() });
             macro_ids.insert(name.to_owned(), id);
         } else if line.starts_with("- cell_") {
             let toks: Vec<&str> = line.split_whitespace().collect();
@@ -195,11 +180,8 @@ pub fn read_def(text: &str, spec: DesignSpec) -> Result<Design, ParseDefError> {
         } else if line.starts_with("- net_") {
             let toks: Vec<&str> = line.split_whitespace().collect();
             let kind = if toks.contains(&"CLOCK") { NetKind::Clock } else { NetKind::Signal };
-            let ndr = toks
-                .iter()
-                .position(|&t| t == "NONDEFAULTRULE")
-                .map(|i| toks[i + 1])
-                .map(|rule| {
+            let ndr =
+                toks.iter().position(|&t| t == "NONDEFAULTRULE").map(|i| toks[i + 1]).map(|rule| {
                     *ndr_ids.entry(rule.to_owned()).or_insert_with(|| {
                         let (w, s) = parse_ndr(rule).unwrap_or((1.0, 1.0));
                         design.netlist.add_ndr(crate::Ndr { width_mult: w, spacing_mult: s })

@@ -109,27 +109,21 @@ impl Design {
     /// Absolute position of a pin, `None` while its owning cell is unplaced.
     pub fn pin_position(&self, pin: PinId) -> Option<Point> {
         match self.netlist.pin(pin).owner {
-            PinOwner::Cell { cell, offset } => self
-                .placement
-                .position(cell)
-                .map(|origin| origin.offset(offset.x, offset.y)),
+            PinOwner::Cell { cell, offset } => {
+                self.placement.position(cell).map(|origin| origin.offset(offset.x, offset.y))
+            }
             PinOwner::Macro { position, .. } => Some(position),
         }
     }
 
     /// Outline of a placed cell, `None` while unplaced.
     pub fn cell_outline(&self, cell: CellId) -> Option<Rect> {
-        self.placement
-            .position(cell)
-            .map(|origin| self.netlist.cell(cell).outline_at(origin))
+        self.placement.position(cell).map(|origin| self.netlist.cell(cell).outline_at(origin))
     }
 
     /// All blockage rectangles: macro outlines plus explicit routing blockages.
     pub fn blockages(&self) -> impl Iterator<Item = Rect> + '_ {
-        self.netlist
-            .macros()
-            .map(|(_, m)| m.rect)
-            .chain(self.routing_blockages.iter().copied())
+        self.netlist.macros().map(|(_, m)| m.rect).chain(self.routing_blockages.iter().copied())
     }
 
     /// The fraction of `region` covered by blockages (clipped to the region).

@@ -222,17 +222,15 @@ mod tests {
     #[test]
     fn group_gcell_totals_match_table1() {
         // Table I group headers: 29994, 28263, 27826, 29689, 30318.
-        let totals: Vec<u32> = (1..=5u8)
-            .map(|g| group_specs(g).iter().map(|s| s.table1.gcells).sum())
-            .collect();
+        let totals: Vec<u32> =
+            (1..=5u8).map(|g| group_specs(g).iter().map(|s| s.table1.gcells).sum()).collect();
         assert_eq!(totals, vec![29_994, 28_263, 27_826, 29_689, 30_318]);
     }
 
     #[test]
     fn group_hotspot_totals_match_table1() {
-        let totals: Vec<u32> = (1..=5u8)
-            .map(|g| group_specs(g).iter().map(|s| s.table1.hotspots).sum())
-            .collect();
+        let totals: Vec<u32> =
+            (1..=5u8).map(|g| group_specs(g).iter().map(|s| s.table1.hotspots).sum()).collect();
         assert_eq!(totals, vec![364, 547, 669, 738, 298]);
     }
 
@@ -249,8 +247,8 @@ mod tests {
     fn non_square_grids_are_close() {
         for s in all_specs() {
             let (nx, ny) = s.grid_dims();
-            let err = (nx as f64 * ny as f64 - s.table1.gcells as f64).abs()
-                / s.table1.gcells as f64;
+            let err =
+                (nx as f64 * ny as f64 - s.table1.gcells as f64).abs() / s.table1.gcells as f64;
             assert!(err < 0.02, "{}: {}x{} vs {}", s.name, nx, ny, s.table1.gcells);
         }
     }
@@ -296,8 +294,7 @@ mod tests {
 
     #[test]
     fn seeds_are_distinct_per_design() {
-        let seeds: std::collections::HashSet<u64> =
-            all_specs().iter().map(|s| s.seed()).collect();
+        let seeds: std::collections::HashSet<u64> = all_specs().iter().map(|s| s.seed()).collect();
         assert_eq!(seeds.len(), 14);
     }
 

@@ -161,9 +161,7 @@ pub fn generate_nets<R: Rng>(design: &mut Design, rng: &mut R) {
 fn bucket_cells(design: &Design) -> Vec<Vec<CellId>> {
     let mut buckets = vec![Vec::new(); design.grid.num_cells()];
     for (id, _) in design.netlist.cells() {
-        let outline = design
-            .cell_outline(id)
-            .expect("cells are placed before bucketing");
+        let outline = design.cell_outline(id).expect("cells are placed before bucketing");
         if let Some(g) = design.grid.cell_containing(outline.center()) {
             buckets[design.grid.index_of(g)].push(id);
         }
@@ -303,9 +301,10 @@ fn generate_macro_nets<R: Rng>(design: &mut Design, buckets: &[Vec<CellId>], rng
         for _ in 0..num_pins {
             let position = random_boundary_point(&rect, rng);
             let Some(g) = design.grid.cell_containing(position).or_else(|| {
-                design
-                    .grid
-                    .cell_containing(Point::new(position.x.min(design.die.hi.x - 1), position.y.min(design.die.hi.y - 1)))
+                design.grid.cell_containing(Point::new(
+                    position.x.min(design.die.hi.x - 1),
+                    position.y.min(design.die.hi.y - 1),
+                ))
             }) else {
                 continue;
             };
@@ -479,8 +478,7 @@ mod tests {
             .netlist
             .nets()
             .map(|(_, net)| {
-                let pts: Vec<_> =
-                    net.pins.iter().map(|&p| d.pin_position(p).unwrap()).collect();
+                let pts: Vec<_> = net.pins.iter().map(|&p| d.pin_position(p).unwrap()).collect();
                 let (mut xmin, mut xmax, mut ymin, mut ymax) =
                     (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
                 for p in pts {

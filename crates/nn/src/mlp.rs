@@ -129,15 +129,12 @@ impl Trainer for NnTrainer {
             train_idx.shuffle(&mut rng);
             for batch in train_idx.chunks(self.batch_size) {
                 // Accumulate gradients over the batch.
-                let mut grads: Vec<(Vec<f64>, Vec<f64>)> = layers
-                    .iter()
-                    .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
-                    .collect();
+                let mut grads: Vec<(Vec<f64>, Vec<f64>)> =
+                    layers.iter().map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()])).collect();
                 for &i in batch {
                     forward(&layers, data.row(i), &mut acts);
-                    let z = *acts.last().expect("output activation")
-                        .first()
-                        .expect("one output unit");
+                    let z =
+                        *acts.last().expect("output activation").first().expect("one output unit");
                     let p = sigmoid(z);
                     let target = if data.label(i) { 1.0 } else { 0.0 };
                     let weight = if data.label(i) { self.positive_weight } else { 1.0 };
@@ -256,11 +253,8 @@ fn backward(
     for l in (0..layers.len()).rev() {
         // Accumulate this layer's gradients.
         let delta = std::mem::take(&mut deltas[l]);
-        let input: Vec<f64> = if l == 0 {
-            x.iter().map(|&v| v as f64).collect()
-        } else {
-            acts[l - 1].clone()
-        };
+        let input: Vec<f64> =
+            if l == 0 { x.iter().map(|&v| v as f64).collect() } else { acts[l - 1].clone() };
         let layer = &layers[l];
         let (gw, gb) = &mut grads[l];
         for o in 0..layer.n_out {
@@ -382,14 +376,12 @@ mod tests {
         // NN-1: 387 -> 40 -> 1: (387+1)*40 + 41 = 15,561 params (~15.6k in
         // Table II); NN-2: 387 -> 40 -> 10 -> 1: 15,520+40 + 410 + 11.
         let m = 387;
-        let data = Dataset::from_parts(vec![0.0; m * 4], vec![true, false, true, false], vec![0; 4], m);
+        let data =
+            Dataset::from_parts(vec![0.0; m * 4], vec![true, false, true, false], vec![0; 4], m);
         let nn1 = NnTrainer { hidden: vec![40], epochs: 1, ..Default::default() }.fit(&data, 0);
         assert_eq!(nn1.complexity().num_parameters, (m + 1) * 40 + 41);
         let nn2 = NnTrainer { hidden: vec![40, 10], epochs: 1, ..Default::default() }.fit(&data, 0);
-        assert_eq!(
-            nn2.complexity().num_parameters,
-            (m + 1) * 40 + (40 + 1) * 10 + 11
-        );
+        assert_eq!(nn2.complexity().num_parameters, (m + 1) * 40 + (40 + 1) * 10 + 11);
     }
 
     #[test]
@@ -426,13 +418,9 @@ mod tests {
         }
         let train = Dataset::from_parts(x, y, vec![0; 400], 2);
         let plain = NnTrainer { hidden: vec![8], epochs: 40, ..Default::default() }.fit(&train, 1);
-        let weighted = NnTrainer {
-            hidden: vec![8],
-            epochs: 40,
-            positive_weight: 10.0,
-            ..Default::default()
-        }
-        .fit(&train, 1);
+        let weighted =
+            NnTrainer { hidden: vec![8], epochs: 40, positive_weight: 10.0, ..Default::default() }
+                .fit(&train, 1);
         let probe = [0.5f32, 0.0];
         assert!(weighted.score(&probe) > plain.score(&probe));
     }
@@ -470,10 +458,8 @@ mod tests {
         forward(&layers, &x, &mut acts);
         let p = sigmoid(acts.last().unwrap()[0]);
         let dz = p - target;
-        let mut grads: Vec<(Vec<f64>, Vec<f64>)> = layers
-            .iter()
-            .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
-            .collect();
+        let mut grads: Vec<(Vec<f64>, Vec<f64>)> =
+            layers.iter().map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()])).collect();
         let mut deltas = Vec::new();
         backward(&layers, &acts, &x, dz, &mut deltas, &mut grads);
 
@@ -519,13 +505,8 @@ mod tests {
         let y: Vec<bool> = (0..200).map(|i| i % 2 == 1).collect();
         let train = Dataset::from_parts(x, y, vec![0; 200], 1);
         let start = std::time::Instant::now();
-        let nn = NnTrainer {
-            hidden: vec![4],
-            epochs: 10_000,
-            patience: 3,
-            ..Default::default()
-        }
-        .fit(&train, 2);
+        let nn = NnTrainer { hidden: vec![4], epochs: 10_000, patience: 3, ..Default::default() }
+            .fit(&train, 2);
         assert!(nn.score(&[1.0]) > nn.score(&[0.0]));
         assert!(start.elapsed().as_secs() < 30, "early stopping did not kick in");
     }

@@ -83,12 +83,7 @@ pub fn place<R: Rng>(design: &mut Design, rng: &mut R) -> PlaceSummary {
     let _ = grid;
 
     let max_density = DensityMap::measured(design).max();
-    PlaceSummary {
-        placed: design.placement.num_placed(),
-        spilled,
-        hotspot_seeds,
-        max_density,
-    }
+    PlaceSummary { placed: design.placement.num_placed(), spilled, hotspot_seeds, max_density }
 }
 
 /// Builds the target cell-area field (DBU² per g-cell) and returns it with
@@ -128,16 +123,12 @@ fn target_field<R: Rng>(design: &Design, rng: &mut R) -> (Vec<f64>, usize) {
     for g in grid.iter() {
         let rect = grid.cell_rect(g);
         let blocked: i64 = blockages.iter().map(|b| b.overlap_area(&rect)).sum();
-        capacity[grid.index_of(g)] =
-            ((rect.area() - blocked).max(0) as f64) * MAX_GCELL_FILL;
+        capacity[grid.index_of(g)] = ((rect.area() - blocked).max(0) as f64) * MAX_GCELL_FILL;
     }
 
     // Total area to distribute.
-    let total_cell_area: f64 = design
-        .netlist
-        .cells()
-        .map(|(_, c)| (c.width * c.height) as f64)
-        .sum();
+    let total_cell_area: f64 =
+        design.netlist.cells().map(|(_, c)| (c.width * c.height) as f64).sum();
 
     // Water-fill: distribute proportionally to weights, clip to capacity,
     // redistribute the excess over unclipped cells for a few rounds.
@@ -198,12 +189,7 @@ fn assign_cells<R: Rng>(design: &Design, target: &[f64], rng: &mut R) -> Vec<Gce
             cdf.partition_point(|&c| c <= u).min(n - 1)
         } else {
             // Budget exhausted (rounding); fall back to the emptiest cell.
-            budget
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .unwrap_or(0)
+            budget.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
         };
         budget[idx] -= area;
         staleness += area;
@@ -241,9 +227,7 @@ fn try_place_in_gcell<R: Rng>(
             rows.try_place(row, rect.lo.x, rect.hi.x, width)
         };
         if let Some(x) = placed {
-            design
-                .placement
-                .place(cell_id, Point::new(x, rows.row_y(row)));
+            design.placement.place(cell_id, Point::new(x, rows.row_y(row)));
             return true;
         }
     }
@@ -272,9 +256,7 @@ fn spill_place<R: Rng>(design: &mut Design, rows: &mut RowMap, cell_id: CellId, 
             rows.try_place(row, die.lo.x, die.hi.x, width)
         };
         if let Some(x) = placed {
-            design
-                .placement
-                .place(cell_id, Point::new(x, rows.row_y(row)));
+            design.placement.place(cell_id, Point::new(x, rows.row_y(row)));
             return;
         }
     }
@@ -312,10 +294,7 @@ mod tests {
         for (id, _) in d.netlist.cells() {
             let outline = d.cell_outline(id).unwrap();
             for m in &macros {
-                assert!(
-                    !outline.overlaps(m),
-                    "cell {id} at {outline} overlaps macro {m}"
-                );
+                assert!(!outline.overlaps(m), "cell {id} at {outline} overlaps macro {m}");
             }
         }
     }

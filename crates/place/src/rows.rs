@@ -58,8 +58,8 @@ impl RowMap {
     /// The rows whose band intersects `rect` vertically.
     pub fn rows_intersecting(&self, rect: &Rect) -> std::ops::Range<usize> {
         let lo = ((rect.lo.y - self.die.lo.y).max(0) / self.row_height) as usize;
-        let hi = ((rect.hi.y - self.die.lo.y + self.row_height - 1) / self.row_height)
-            .max(0) as usize;
+        let hi =
+            ((rect.hi.y - self.die.lo.y + self.row_height - 1) / self.row_height).max(0) as usize;
         lo.min(self.num_rows())..hi.min(self.num_rows())
     }
 
@@ -98,8 +98,8 @@ impl RowMap {
         let mut probe = xmin;
         loop {
             let x = self.find_gap(row, probe, xmax, width)?;
-            let free_everywhere = (row + 1..row + height_rows)
-                .all(|r| self.is_free(r, x, x + width));
+            let free_everywhere =
+                (row + 1..row + height_rows).all(|r| self.is_free(r, x, x + width));
             if free_everywhere {
                 for r in row..row + height_rows {
                     Self::insert_interval(&mut self.occupied[r], (x, x + width));
@@ -201,7 +201,7 @@ mod tests {
     fn multi_height_requires_both_rows() {
         let mut m = map();
         m.block(&Rect::new(0, 1_800, 400, 3_600)); // row 1 partially blocked
-        // A double-height cell at rows 0-1 must skip the blocked x-range.
+                                                   // A double-height cell at rows 0-1 must skip the blocked x-range.
         let x = m.try_place_multi(0, 0, 10_000, 600, 2).unwrap();
         assert_eq!(x, 400);
         assert!(!m.is_free(0, 400, 1_000));

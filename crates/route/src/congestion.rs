@@ -84,7 +84,8 @@ impl CongestionMap {
                 let Some(b) = grid.neighbor(a, dx, dy) else { continue };
                 let border = border_rect(grid, a, b);
                 let blocked_m = blocked_fraction(&border, &macros);
-                let blocked_s = if m.index() <= 2 { blocked_fraction(&border, &strips) } else { 0.0 };
+                let blocked_s =
+                    if m.index() <= 2 { blocked_fraction(&border, &strips) } else { 0.0 };
                 let blocked = (blocked_m + blocked_s).min(1.0);
                 let idx = map
                     .edge_index(m.direction(), a, b)
@@ -119,14 +120,10 @@ impl CongestionMap {
     pub fn edge_index(&self, dir: EdgeDir, a: GcellId, b: GcellId) -> Option<usize> {
         let (lo, hi) = if (a.x, a.y) <= (b.x, b.y) { (a, b) } else { (b, a) };
         match dir {
-            EdgeDir::Horizontal => {
-                (lo.y == hi.y && lo.x + 1 == hi.x && hi.x < self.nx)
-                    .then(|| lo.y as usize * (self.nx - 1) as usize + lo.x as usize)
-            }
-            EdgeDir::Vertical => {
-                (lo.x == hi.x && lo.y + 1 == hi.y && hi.y < self.ny)
-                    .then(|| lo.y as usize * self.nx as usize + lo.x as usize)
-            }
+            EdgeDir::Horizontal => (lo.y == hi.y && lo.x + 1 == hi.x && hi.x < self.nx)
+                .then(|| lo.y as usize * (self.nx - 1) as usize + lo.x as usize),
+            EdgeDir::Vertical => (lo.x == hi.x && lo.y + 1 == hi.y && hi.y < self.ny)
+                .then(|| lo.y as usize * self.nx as usize + lo.x as usize),
         }
     }
 
@@ -134,15 +131,13 @@ impl CongestionMap {
     /// the border is not in `m`'s preferred direction (no wires of that layer
     /// cross it).
     pub fn edge_capacity(&self, m: MetalLayer, a: GcellId, b: GcellId) -> f64 {
-        self.edge_index(m.direction(), a, b)
-            .map_or(0.0, |i| self.edge_cap[m.index()][i])
+        self.edge_index(m.direction(), a, b).map_or(0.0, |i| self.edge_cap[m.index()][i])
     }
 
     /// Load of layer `m` across the border between `a` and `b` (see
     /// [`CongestionMap::edge_capacity`] for direction handling).
     pub fn edge_load(&self, m: MetalLayer, a: GcellId, b: GcellId) -> f64 {
-        self.edge_index(m.direction(), a, b)
-            .map_or(0.0, |i| self.edge_load[m.index()][i])
+        self.edge_index(m.direction(), a, b).map_or(0.0, |i| self.edge_load[m.index()][i])
     }
 
     /// Resource margin `capacity − load` for layer `m` on the border between
@@ -196,11 +191,7 @@ impl CongestionMap {
 
     /// Summed load over all layers of direction `dir` on the border `a`–`b`.
     pub fn dir_load(&self, dir: EdgeDir, a: GcellId, b: GcellId) -> f64 {
-        ALL_METALS
-            .iter()
-            .filter(|m| m.direction() == dir)
-            .map(|&m| self.edge_load(m, a, b))
-            .sum()
+        ALL_METALS.iter().filter(|m| m.direction() == dir).map(|&m| self.edge_load(m, a, b)).sum()
     }
 
     /// Total edge overflow `Σ max(0, load − capacity)` over all layers/edges.

@@ -37,25 +37,18 @@ impl TwoPinConn {
 /// Panics if any pin of the net is unplaced.
 pub fn decompose_net(design: &Design, net: NetId) -> Vec<TwoPinConn> {
     let n = design.netlist.net(net);
-    let demand = n
-        .ndr
-        .map_or(1.0, |ndr| design.netlist.ndr(ndr).track_demand());
+    let demand = n.ndr.map_or(1.0, |ndr| design.netlist.ndr(ndr).track_demand());
 
     // Distinct g-cells touched by the net's pins.
     let mut gcells: Vec<GcellId> = Vec::with_capacity(n.pins.len());
     for &pin in &n.pins {
-        let pos = design
-            .pin_position(pin)
-            .expect("net decomposition requires placed pins");
+        let pos = design.pin_position(pin).expect("net decomposition requires placed pins");
         // Clamp boundary pins (e.g. macro pins on the die edge) onto the die.
         let clamped = drcshap_geom::Point::new(
             pos.x.clamp(design.die.lo.x, design.die.hi.x - 1),
             pos.y.clamp(design.die.lo.y, design.die.hi.y - 1),
         );
-        let g = design
-            .grid
-            .cell_containing(clamped)
-            .expect("clamped pin is on-die");
+        let g = design.grid.cell_containing(clamped).expect("clamped pin is on-die");
         if !gcells.contains(&g) {
             gcells.push(g);
         }
@@ -141,13 +134,8 @@ mod tests {
 
     #[test]
     fn mst_spans_all_distinct_gcells() {
-        let (d, net) = design_with_net(&[
-            (5.0, 5.0),
-            (60.0, 5.0),
-            (5.0, 60.0),
-            (60.0, 60.0),
-            (30.0, 30.0),
-        ]);
+        let (d, net) =
+            design_with_net(&[(5.0, 5.0), (60.0, 5.0), (5.0, 60.0), (60.0, 60.0), (30.0, 30.0)]);
         let conns = decompose_net(&d, net);
         // 5 distinct g-cells -> 4 tree edges.
         assert_eq!(conns.len(), 4);
@@ -198,8 +186,18 @@ mod tests {
         let (mut d, _) = design_with_net(&[(5.0, 5.0), (60.0, 40.0)]);
         let ndr = d.netlist.add_ndr(drcshap_netlist::Ndr { width_mult: 2.0, spacing_mult: 2.0 });
         // Build a second net with NDR over two fresh cells.
-        let c1 = d.netlist.add_cell(Cell { width: 400, height: 1800, multi_height: false, pins: vec![] });
-        let c2 = d.netlist.add_cell(Cell { width: 400, height: 1800, multi_height: false, pins: vec![] });
+        let c1 = d.netlist.add_cell(Cell {
+            width: 400,
+            height: 1800,
+            multi_height: false,
+            pins: vec![],
+        });
+        let c2 = d.netlist.add_cell(Cell {
+            width: 400,
+            height: 1800,
+            multi_height: false,
+            pins: vec![],
+        });
         d.placement.resize(d.netlist.num_cells());
         d.placement.place(c1, Point::from_microns(10.0, 10.0));
         d.placement.place(c2, Point::from_microns(50.0, 50.0));
@@ -211,7 +209,8 @@ mod tests {
             owner: PinOwner::Cell { cell: c2, offset: Point::new(0, 0) },
             net: NetId::from_index(0),
         });
-        let net = d.netlist.add_net(Net { pins: vec![p1, p2], kind: NetKind::Signal, ndr: Some(ndr) });
+        let net =
+            d.netlist.add_net(Net { pins: vec![p1, p2], kind: NetKind::Signal, ndr: Some(ndr) });
         let conns = decompose_net(&d, net);
         assert_eq!(conns.len(), 1);
         assert_eq!(conns[0].demand, 2.0);

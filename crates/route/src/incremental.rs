@@ -49,12 +49,7 @@ pub fn reroute_around<R: Rng>(
 
     // Reconstruct planar connections (endpoints + demand) from prior paths.
     let demand_of = |net: drcshap_netlist::NetId| {
-        design
-            .netlist
-            .net(net)
-            .ndr
-            .map(|id| design.netlist.ndr(id).track_demand())
-            .unwrap_or(1.0)
+        design.netlist.net(net).ndr.map(|id| design.netlist.ndr(id).track_demand()).unwrap_or(1.0)
     };
     let conns: Vec<TwoPinConn> = prior
         .conns
@@ -83,8 +78,7 @@ pub fn reroute_around<R: Rng>(
     let victims: Vec<usize> = (0..conns.len())
         .filter(|&i| {
             let path = &paths[i];
-            path.len() >= 2
-                && path[1..path.len() - 1].iter().any(|g| target_set.contains(g))
+            path.len() >= 2 && path[1..path.len() - 1].iter().any(|g| target_set.contains(g))
         })
         .collect();
     let rerouted = victims.len();
@@ -105,8 +99,7 @@ pub fn reroute_around<R: Rng>(
         paths[i] = path;
     }
 
-    let outcome =
-        finalize_routing(design, capacities, &conns, paths, prior.local_nets, rng);
+    let outcome = finalize_routing(design, capacities, &conns, paths, prior.local_nets, rng);
     (outcome, rerouted)
 }
 
@@ -162,10 +155,7 @@ mod tests {
         let through = |out: &RouteOutcome| {
             out.conns
                 .iter()
-                .filter(|c| {
-                    c.path.len() >= 2
-                        && c.path[1..c.path.len() - 1].contains(&target)
-                })
+                .filter(|c| c.path.len() >= 2 && c.path[1..c.path.len() - 1].contains(&target))
                 .count()
         };
         let before = through(&prior);
@@ -175,10 +165,7 @@ mod tests {
             reroute_around(&d, &prior, &[target], &RouteConfig::default(), &mut rng);
         assert_eq!(rerouted, before);
         let after = through(&after_outcome);
-        assert!(
-            after < before,
-            "through-traffic not reduced: {before} -> {after}"
-        );
+        assert!(after < before, "through-traffic not reduced: {before} -> {after}");
     }
 
     #[test]

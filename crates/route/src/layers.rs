@@ -22,13 +22,8 @@ pub enum MetalLayer {
 }
 
 /// All metal layers, bottom-up.
-pub const ALL_METALS: [MetalLayer; 5] = [
-    MetalLayer::M1,
-    MetalLayer::M2,
-    MetalLayer::M3,
-    MetalLayer::M4,
-    MetalLayer::M5,
-];
+pub const ALL_METALS: [MetalLayer; 5] =
+    [MetalLayer::M1, MetalLayer::M2, MetalLayer::M3, MetalLayer::M4, MetalLayer::M5];
 
 impl MetalLayer {
     /// Zero-based index in the stack (M1 = 0).

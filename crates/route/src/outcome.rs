@@ -109,14 +109,11 @@ mod tests {
 
     #[test]
     fn segment_len_is_manhattan() {
-        let s = Segment {
-            layer: MetalLayer::M3,
-            from: GcellId::new(2, 5),
-            to: GcellId::new(7, 5),
-        };
+        let s = Segment { layer: MetalLayer::M3, from: GcellId::new(2, 5), to: GcellId::new(7, 5) };
         assert_eq!(s.len(), 5);
         assert!(!s.is_empty());
-        let dot = Segment { layer: MetalLayer::M1, from: GcellId::new(1, 1), to: GcellId::new(1, 1) };
+        let dot =
+            Segment { layer: MetalLayer::M1, from: GcellId::new(1, 1), to: GcellId::new(1, 1) };
         assert!(dot.is_empty());
     }
 

@@ -121,11 +121,7 @@ pub fn render_heatmap(
     for y in (0..ny).rev() {
         for x in 0..nx {
             let g = GcellId::new(x, y);
-            let c = if overlay(g) {
-                'X'
-            } else {
-                heat_glyph(cell_utilization(map, g, source))
-            };
+            let c = if overlay(g) { 'X' } else { heat_glyph(cell_utilization(map, g, source)) };
             out.push(c);
         }
         out.push('\n');

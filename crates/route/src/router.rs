@@ -30,11 +30,7 @@ use crate::outcome::{RouteOutcome, RoutedConn, Segment};
 /// # Panics
 ///
 /// Panics if any net has unplaced pins.
-pub fn route_design<R: Rng>(
-    design: &Design,
-    config: &RouteConfig,
-    rng: &mut R,
-) -> RouteOutcome {
+pub fn route_design<R: Rng>(design: &Design, config: &RouteConfig, rng: &mut R) -> RouteOutcome {
     let congestion = CongestionMap::with_capacities(design, config);
     let (nx, ny) = design.grid.dims();
     let mut planar = PlanarState::from_congestion(&congestion, nx, ny, config);
@@ -69,9 +65,8 @@ pub fn route_design<R: Rng>(
     // Negotiation: rip up and reroute connections crossing overflowed edges.
     for round in 0..config.negotiation_rounds {
         planar.accumulate_history();
-        let mut victims: Vec<usize> = (0..conns.len())
-            .filter(|&i| planar.path_overflows(&paths[i]))
-            .collect();
+        let mut victims: Vec<usize> =
+            (0..conns.len()).filter(|&i| planar.path_overflows(&paths[i])).collect();
         if victims.is_empty() {
             break;
         }
@@ -202,7 +197,12 @@ pub(crate) struct PlanarState {
 }
 
 impl PlanarState {
-    pub(crate) fn from_congestion(map: &CongestionMap, nx: u32, ny: u32, config: &RouteConfig) -> Self {
+    pub(crate) fn from_congestion(
+        map: &CongestionMap,
+        nx: u32,
+        ny: u32,
+        config: &RouteConfig,
+    ) -> Self {
         let (nx, ny) = (nx as usize, ny as usize);
         let mut h_cap = vec![0.0; (nx - 1).max(1) * ny];
         let mut v_cap = vec![0.0; nx * (ny - 1).max(1)];
@@ -253,11 +253,7 @@ impl PlanarState {
             (self.v_cap[idx], self.v_load[idx], self.v_hist[idx])
         };
         let after = load + demand;
-        let penalty = if after <= cap {
-            0.8 * after / cap.max(1.0)
-        } else {
-            2.0 + (after - cap)
-        };
+        let penalty = if after <= cap { 0.8 * after / cap.max(1.0) } else { 2.0 + (after - cap) };
         1.0 + hist + self.congestion_weight * penalty
     }
 
@@ -368,28 +364,17 @@ impl PlanarState {
             let (ylo, yhi) = (a.y.min(b.y), a.y.max(b.y));
             if xhi - xlo > 1 {
                 let mx = rng.gen_range(xlo + 1..xhi);
-                candidates.push(expand(&[
-                    a,
-                    GcellId::new(mx, a.y),
-                    GcellId::new(mx, b.y),
-                    b,
-                ]));
+                candidates.push(expand(&[a, GcellId::new(mx, a.y), GcellId::new(mx, b.y), b]));
             }
             if yhi - ylo > 1 {
                 let my = rng.gen_range(ylo + 1..yhi);
-                candidates.push(expand(&[
-                    a,
-                    GcellId::new(a.x, my),
-                    GcellId::new(b.x, my),
-                    b,
-                ]));
+                candidates.push(expand(&[a, GcellId::new(a.x, my), GcellId::new(b.x, my), b]));
             }
         }
         candidates
             .into_iter()
             .min_by(|p, q| {
-                self.path_cost(p, conn.demand)
-                    .total_cmp(&self.path_cost(q, conn.demand))
+                self.path_cost(p, conn.demand).total_cmp(&self.path_cost(q, conn.demand))
             })
             .expect("at least one pattern candidate")
     }
@@ -423,8 +408,11 @@ impl PlanarState {
                 return None;
             }
             let (x, y) = (u % nx, u / nx);
-            let relax = |v: usize, cost: f64, heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
-                             dist: &mut [f64], prev: &mut [u32]| {
+            let relax = |v: usize,
+                         cost: f64,
+                         heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+                         dist: &mut [f64],
+                         prev: &mut [u32]| {
                 let nd = dist[u] + cost;
                 if nd < dist[v] {
                     dist[v] = nd;
@@ -525,9 +513,8 @@ fn assign_layers<R: Rng>(
                 acc += (load + demand) / cap;
             }
             // Short runs prefer low metals; jitter breaks ties.
-            let score = acc / len
-                + layer.index() as f64 * (0.6 / (len + 1.0))
-                + rng.gen_range(0.0..0.01);
+            let score =
+                acc / len + layer.index() as f64 * (0.6 / (len + 1.0)) + rng.gen_range(0.0..0.01);
             if best.is_none_or(|(b, _)| score < b) {
                 best = Some((score, layer));
             }
@@ -670,17 +657,10 @@ mod tests {
         // connections of (wirelength x demand).
         let (d, out) = routed("fft_2", 0.25);
         let demand_of = |net: drcshap_netlist::NetId| {
-            d.netlist
-                .net(net)
-                .ndr
-                .map(|id| d.netlist.ndr(id).track_demand())
-                .unwrap_or(1.0)
+            d.netlist.net(net).ndr.map(|id| d.netlist.ndr(id).track_demand()).unwrap_or(1.0)
         };
-        let expected: f64 = out
-            .conns
-            .iter()
-            .map(|c| c.wirelength() as f64 * demand_of(c.net))
-            .sum();
+        let expected: f64 =
+            out.conns.iter().map(|c| c.wirelength() as f64 * demand_of(c.net)).sum();
         let grid = &d.grid;
         let mut committed = 0.0;
         for m in ALL_METALS {
@@ -703,11 +683,7 @@ mod tests {
     #[test]
     fn via_loads_exist_at_pins() {
         let (d, out) = routed("fft_1", 0.25);
-        let total_v1: f64 = d
-            .grid
-            .iter()
-            .map(|g| out.congestion.via_load(ViaLayer::V1, g))
-            .sum();
+        let total_v1: f64 = d.grid.iter().map(|g| out.congestion.via_load(ViaLayer::V1, g)).sum();
         // Every pin adds at least one V1 cut.
         assert!(total_v1 >= d.netlist.num_pins() as f64 * 0.999);
     }
@@ -751,11 +727,9 @@ mod tests {
         place(&mut d, &mut rng);
         synth::generate_nets(&mut d, &mut rng);
         let mut results = Vec::new();
-        for order in [
-            crate::NetOrder::ShortFirst,
-            crate::NetOrder::LongFirst,
-            crate::NetOrder::Random,
-        ] {
+        for order in
+            [crate::NetOrder::ShortFirst, crate::NetOrder::LongFirst, crate::NetOrder::Random]
+        {
             let cfg = RouteConfig { net_order: order, ..RouteConfig::default() };
             let mut rng = ChaCha8Rng::seed_from_u64(1);
             let out = route_design(&d, &cfg, &mut rng);
@@ -769,10 +743,7 @@ mod tests {
         }
         // All patterns are shortest paths, so wirelength often ties — but
         // the congestion outcome should differ between orderings.
-        assert!(
-            results.windows(2).any(|w| w[0] != w[1]),
-            "all orderings identical: {results:?}"
-        );
+        assert!(results.windows(2).any(|w| w[0] != w[1]), "all orderings identical: {results:?}");
     }
 
     #[test]

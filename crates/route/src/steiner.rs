@@ -137,11 +137,7 @@ pub fn steiner_tree(terminals: &[GcellId]) -> SteinerTree {
 /// # Panics
 ///
 /// Panics if any pin of the net is unplaced.
-pub fn decompose_net_with(
-    design: &Design,
-    net: NetId,
-    strategy: Decomposition,
-) -> Vec<TwoPinConn> {
+pub fn decompose_net_with(design: &Design, net: NetId, strategy: Decomposition) -> Vec<TwoPinConn> {
     match strategy {
         Decomposition::Mst => decompose_net(design, net),
         Decomposition::Steiner => {
@@ -163,12 +159,7 @@ pub fn decompose_net_with(
             let tree = steiner_tree(&terminals);
             tree.edges
                 .iter()
-                .map(|&(u, v)| TwoPinConn {
-                    net,
-                    a: tree.points[u],
-                    b: tree.points[v],
-                    demand,
-                })
+                .map(|&(u, v)| TwoPinConn { net, a: tree.points[u], b: tree.points[v], demand })
                 .collect()
         }
     }

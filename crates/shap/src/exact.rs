@@ -44,12 +44,8 @@ pub fn cond_exp(tree: &DecisionTree, x: &[f32], known: &[bool]) -> f64 {
 pub fn exact_shap(tree: &DecisionTree, x: &[f32]) -> Vec<f64> {
     assert_eq!(x.len(), tree.n_features(), "feature count mismatch");
     // Only features used in splits can have non-zero SHAP values.
-    let mut used: Vec<usize> = tree
-        .nodes()
-        .iter()
-        .filter(|n| !n.is_leaf())
-        .map(|n| n.feature as usize)
-        .collect();
+    let mut used: Vec<usize> =
+        tree.nodes().iter().filter(|n| !n.is_leaf()).map(|n| n.feature as usize).collect();
     used.sort_unstable();
     used.dedup();
     let k = used.len();
@@ -71,13 +67,8 @@ pub fn exact_shap(tree: &DecisionTree, x: &[f32]) -> Vec<f64> {
     let mut known = vec![false; tree.n_features()];
     // Enumerate subsets of `used` by bitmask.
     for (uj, &j) in used.iter().enumerate() {
-        let others: Vec<usize> = used
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|&(ui, _)| ui != uj)
-            .map(|(_, f)| f)
-            .collect();
+        let others: Vec<usize> =
+            used.iter().copied().enumerate().filter(|&(ui, _)| ui != uj).map(|(_, f)| f).collect();
         let n_others = others.len();
         let mut total = 0.0;
         for mask in 0..(1u32 << n_others) {

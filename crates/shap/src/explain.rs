@@ -24,16 +24,8 @@ impl Explanation {
     /// most influential first.
     pub fn top(&self, k: usize) -> Vec<(usize, f64)> {
         let mut order: Vec<usize> = (0..self.contributions.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.contributions[b]
-                .abs()
-                .total_cmp(&self.contributions[a].abs())
-        });
-        order
-            .into_iter()
-            .take(k)
-            .map(|i| (i, self.contributions[i]))
-            .collect()
+        order.sort_by(|&a, &b| self.contributions[b].abs().total_cmp(&self.contributions[a].abs()));
+        order.into_iter().take(k).map(|i| (i, self.contributions[i])).collect()
     }
 
     /// `|base + Σφ − f(x)|` — zero (to float precision) for exact
@@ -60,8 +52,7 @@ impl Explanation {
             }
             *sums.entry(k).or_insert(0.0) += phi;
         }
-        let mut out: Vec<(K, f64)> =
-            order.into_iter().map(|k| (k.clone(), sums[&k])).collect();
+        let mut out: Vec<(K, f64)> = order.into_iter().map(|k| (k.clone(), sums[&k])).collect();
         out.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
         out
     }
@@ -80,11 +71,7 @@ impl Explanation {
 /// Panics if `x.len() != tree.n_features()`.
 pub fn explain_tree(tree: &DecisionTree, x: &[f32]) -> Explanation {
     let contributions = tree_shap(tree, x);
-    Explanation {
-        base_value: tree.nodes()[0].value,
-        prediction: tree.predict(x),
-        contributions,
-    }
+    Explanation { base_value: tree.nodes()[0].value, prediction: tree.predict(x), contributions }
 }
 
 /// Explains a Random Forest prediction: SHAP values of the ensemble are the
@@ -185,11 +172,8 @@ mod tests {
 
     #[test]
     fn top_orders_by_absolute_value() {
-        let e = Explanation {
-            base_value: 0.1,
-            prediction: 0.4,
-            contributions: vec![0.05, -0.3, 0.2],
-        };
+        let e =
+            Explanation { base_value: 0.1, prediction: 0.4, contributions: vec![0.05, -0.3, 0.2] };
         let top = e.top(3);
         assert_eq!(top[0].0, 1);
         assert_eq!(top[1].0, 2);

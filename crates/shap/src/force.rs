@@ -46,26 +46,14 @@ pub fn render_force(
     ));
 
     let top = explanation.top(options.top_k);
-    let max_abs = top
-        .first()
-        .map(|&(_, c)| c.abs())
-        .unwrap_or(0.0)
-        .max(1e-12);
-    let name_width = top
-        .iter()
-        .map(|&(i, _)| names[i].len())
-        .max()
-        .unwrap_or(4)
-        .max(4);
+    let max_abs = top.first().map(|&(_, c)| c.abs()).unwrap_or(0.0).max(1e-12);
+    let name_width = top.iter().map(|&(i, _)| names[i].len()).max().unwrap_or(4).max(4);
     let mut shown_sum = 0.0;
     for (i, c) in &top {
         shown_sum += c;
         let bar_len = ((c.abs() / max_abs) * options.bar_width as f64).round() as usize;
-        let bar: String = if *c >= 0.0 {
-            "█".repeat(bar_len.max(1))
-        } else {
-            "░".repeat(bar_len.max(1))
-        };
+        let bar: String =
+            if *c >= 0.0 { "█".repeat(bar_len.max(1)) } else { "░".repeat(bar_len.max(1)) };
         out.push_str(&format!(
             "  {:<name_width$} = {:>9.3}  {} {:+.4}\n",
             names[*i],
@@ -78,9 +66,7 @@ pub fn render_force(
     let rest = explanation.contributions.iter().sum::<f64>() - shown_sum;
     let remaining = explanation.contributions.len().saturating_sub(top.len());
     if remaining > 0 {
-        out.push_str(&format!(
-            "  ({remaining} remaining features contribute {rest:+.4} net)\n"
-        ));
+        out.push_str(&format!("  ({remaining} remaining features contribute {rest:+.4} net)\n"));
     }
     out
 }
@@ -134,10 +120,8 @@ mod tests {
             prediction: 0.56,
             contributions: vec![0.052, -0.01, 0.3, 0.002],
         };
-        let names = vec!["edM5_7H", "x_o", "vlV2_E", "npin_o"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        let names =
+            vec!["edM5_7H", "x_o", "vlV2_E", "npin_o"].into_iter().map(String::from).collect();
         let values = vec![-4.0, 0.5, 35.0, 12.0];
         (e, names, values)
     }
@@ -169,12 +153,7 @@ mod tests {
         let (e, names, values) = toy();
         let s = render_force(&e, &names, &values, &ForceOptions { top_k: 2, bar_width: 20 });
         let count = |name: &str| {
-            s.lines()
-                .find(|l| l.contains(name))
-                .unwrap()
-                .chars()
-                .filter(|&c| c == '█')
-                .count()
+            s.lines().find(|l| l.contains(name)).unwrap().chars().filter(|&c| c == '█').count()
         };
         assert!(count("vlV2_E") > count("edM5_7H"));
         assert_eq!(count("vlV2_E"), 20);
@@ -209,9 +188,6 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         let penultimate = lines[lines.len() - 2];
         let total: f64 = e.base_value + e.contributions.iter().sum::<f64>();
-        assert!(
-            penultimate.contains(&format!("{total:.3}")),
-            "{penultimate} vs {total}"
-        );
+        assert!(penultimate.contains(&format!("{total:.3}")), "{penultimate} vs {total}");
     }
 }

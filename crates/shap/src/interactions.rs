@@ -79,12 +79,8 @@ pub fn tree_shap_interactions(tree: &DecisionTree, x: &[f32]) -> InteractionValu
     let mut values = vec![0.0; m * m];
 
     let phi = crate::tree_shap(tree, x);
-    let mut used: Vec<usize> = tree
-        .nodes()
-        .iter()
-        .filter(|n| !n.is_leaf())
-        .map(|n| n.feature as usize)
-        .collect();
+    let mut used: Vec<usize> =
+        tree.nodes().iter().filter(|n| !n.is_leaf()).map(|n| n.feature as usize).collect();
     used.sort_unstable();
     used.dedup();
 
@@ -145,19 +141,7 @@ pub fn forest_shap_interactions(
 pub fn shap_conditional(tree: &DecisionTree, x: &[f32], cond: usize, present: bool) -> Vec<f64> {
     assert_eq!(x.len(), tree.n_features(), "feature count mismatch");
     let mut phi = vec![0.0; tree.n_features()];
-    recurse(
-        tree.nodes(),
-        0,
-        Vec::new(),
-        1.0,
-        1.0,
-        -1,
-        x,
-        cond as u32,
-        present,
-        1.0,
-        &mut phi,
-    );
+    recurse(tree.nodes(), 0, Vec::new(), 1.0, 1.0, -1, x, cond as u32, present, 1.0, &mut phi);
     phi
 }
 
@@ -351,12 +335,8 @@ mod tests {
 
     /// Brute-force Shapley interaction index over the tree's used features.
     fn exact_interaction(tree: &DecisionTree, x: &[f32], i: usize, j: usize) -> f64 {
-        let mut used: Vec<usize> = tree
-            .nodes()
-            .iter()
-            .filter(|n| !n.is_leaf())
-            .map(|n| n.feature as usize)
-            .collect();
+        let mut used: Vec<usize> =
+            tree.nodes().iter().filter(|n| !n.is_leaf()).map(|n| n.feature as usize).collect();
         used.sort_unstable();
         used.dedup();
         let k = used.len();
@@ -487,11 +467,7 @@ mod tests {
         let data = Dataset::from_parts(x, y, vec![0; n], 2);
         let tree = TreeTrainer::default().fit(&data, 0);
         let inter = tree_shap_interactions(&tree, &[1.0, 1.0]);
-        assert!(
-            inter.get(0, 1).abs() > 0.1,
-            "no interaction detected: {:?}",
-            inter
-        );
+        assert!(inter.get(0, 1).abs() > 0.1, "no interaction detected: {:?}", inter);
         let pairs = inter.top_pairs(1);
         assert_eq!((pairs[0].0, pairs[0].1), (0, 1));
     }
@@ -501,12 +477,8 @@ mod tests {
         let data = random_dataset(40, 3, 9);
         let tree = TreeTrainer { max_depth: Some(3), ..Default::default() }.fit(&data, 1);
         // Condition on a feature the tree may not use: find one.
-        let used: std::collections::HashSet<u32> = tree
-            .nodes()
-            .iter()
-            .filter(|n| !n.is_leaf())
-            .map(|n| n.feature)
-            .collect();
+        let used: std::collections::HashSet<u32> =
+            tree.nodes().iter().filter(|n| !n.is_leaf()).map(|n| n.feature).collect();
         if let Some(unused) = (0..3u32).find(|f| !used.contains(f)) {
             let x = [0.4f32, 0.6, 0.2];
             let plain = tree_shap(&tree, &x);

@@ -35,12 +35,7 @@ pub fn sampling_shap<R: Rng>(
 
     // E[f | known] for the whole forest.
     let forest_cond = |known: &[bool]| -> f64 {
-        forest
-            .trees()
-            .iter()
-            .map(|t| cond_exp(t, x, known))
-            .sum::<f64>()
-            / n_trees
+        forest.trees().iter().map(|t| cond_exp(t, x, known)).sum::<f64>() / n_trees
     };
 
     let mut phi = vec![0.0; m];
@@ -119,11 +114,7 @@ mod tests {
         let err = |n: usize, seed: u64| -> f64 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let phi = sampling_shap(&rf, &probe, n, &mut rng);
-            phi.iter()
-                .zip(&exact)
-                .map(|(a, b)| (a - b).powi(2))
-                .sum::<f64>()
-                .sqrt()
+            phi.iter().zip(&exact).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt()
         };
         // Average over a few seeds to avoid flakiness.
         let coarse: f64 = (0..5).map(|s| err(2, s)).sum::<f64>() / 5.0;

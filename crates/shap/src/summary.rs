@@ -125,12 +125,8 @@ mod tests {
         let rf = RandomForestTrainer { n_trees: 15, ..Default::default() }.fit(&train, 4);
         let shap_rank = summarize(&rf, &train, 100).top(1)[0].0;
         let impurity = rf.feature_importance();
-        let impurity_rank = impurity
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let impurity_rank =
+            impurity.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(shap_rank, impurity_rank);
     }
 
@@ -148,10 +144,8 @@ mod tests {
         let train = data(100, 7);
         let rf = RandomForestTrainer { n_trees: 5, ..Default::default() }.fit(&train, 8);
         let imp = summarize(&rf, &train, 30);
-        let names: Vec<String> = ["density", "noise_a", "noise_b"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let names: Vec<String> =
+            ["density", "noise_a", "noise_b"].iter().map(|s| s.to_string()).collect();
         let s = imp.render(&names, 2);
         assert!(s.contains("density"));
         assert!(s.contains("global SHAP importance"));

@@ -144,8 +144,8 @@ fn unwound_sum(m: &[PathElem], i: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drcshap_ml::{Dataset, Trainer};
     use drcshap_forest::TreeTrainer;
+    use drcshap_ml::{Dataset, Trainer};
 
     fn dataset(rows: &[(&[f32], bool)]) -> Dataset {
         let m = rows[0].0.len();
@@ -210,12 +210,7 @@ mod tests {
         ]);
         let tree = TreeTrainer::default().fit(&data, 0);
         let phi = tree_shap(&tree, &[1.0, 1.0]);
-        assert!(
-            (phi[0] - phi[1]).abs() < 1e-9,
-            "symmetry violated: {} vs {}",
-            phi[0],
-            phi[1]
-        );
+        assert!((phi[0] - phi[1]).abs() < 1e-9, "symmetry violated: {} vs {}", phi[0], phi[1]);
     }
 
     #[test]
@@ -239,10 +234,7 @@ mod tests {
 
     #[test]
     fn unused_features_get_zero() {
-        let data = dataset(&[
-            (&[0.0, 7.7, 3.0], false),
-            (&[1.0, 7.7, 3.0], true),
-        ]);
+        let data = dataset(&[(&[0.0, 7.7, 3.0], false), (&[1.0, 7.7, 3.0], true)]);
         let tree = TreeTrainer::default().fit(&data, 0);
         let phi = tree_shap(&tree, &[0.5, 9.9, -1.0]);
         assert_eq!(phi[1], 0.0);

@@ -51,11 +51,7 @@ impl PlattScaler {
             let mut o = 0.0;
             for (&f, &ti) in decisions.iter().zip(&t) {
                 let z = a * f + b;
-                let lse = if z >= 0.0 {
-                    z + (-z).exp().ln_1p()
-                } else {
-                    z.exp().ln_1p()
-                };
+                let lse = if z >= 0.0 { z + (-z).exp().ln_1p() } else { z.exp().ln_1p() };
                 o += lse - (1.0 - ti) * z;
             }
             o

@@ -50,7 +50,8 @@ impl Trainer for SvmTrainer {
         // Optional stratified subsample.
         let indices: Vec<usize> = match self.max_samples {
             Some(cap) if data.n_samples() > cap => {
-                let mut pos: Vec<usize> = (0..data.n_samples()).filter(|&i| data.label(i)).collect();
+                let mut pos: Vec<usize> =
+                    (0..data.n_samples()).filter(|&i| data.label(i)).collect();
                 let mut neg: Vec<usize> =
                     (0..data.n_samples()).filter(|&i| !data.label(i)).collect();
                 pos.shuffle(&mut rng);

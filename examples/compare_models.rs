@@ -30,11 +30,7 @@ fn main() {
     println!("\ntuning + training all five families (grouped grid search on AUPRC)...");
     let table = evaluate_models(
         &bundles,
-        &EvalConfig {
-            families: ModelFamily::ALL.to_vec(),
-            budget: ModelBudget::Quick,
-            seed: 42,
-        },
+        &EvalConfig { families: ModelFamily::ALL.to_vec(), budget: ModelBudget::Quick, seed: 42 },
     );
     println!("{}", table.render());
 }

@@ -23,19 +23,14 @@ fn main() {
     let bundles = build_suite(&suite::all_specs(), &config);
 
     // Grouped protocol: the explained design's whole group is held out.
-    let train: Vec<_> = bundles
-        .iter()
-        .filter(|b| b.design.spec.group != target_spec.group)
-        .cloned()
-        .collect();
+    let train: Vec<_> =
+        bundles.iter().filter(|b| b.design.spec.group != target_spec.group).cloned().collect();
     println!("training RF on {} designs (group {} held out)...", train.len(), target_spec.group);
     let trainer = RandomForestTrainer { n_trees: 150, ..Default::default() };
     let explainer = Explainer::train(&train, &trainer, 42);
 
-    let bundle = bundles
-        .iter()
-        .find(|b| b.design.spec.name == target)
-        .expect("target design built");
+    let bundle =
+        bundles.iter().find(|b| b.design.spec.name == target).expect("target design built");
     if bundle.report.num_hotspots() == 0 {
         println!("{target} has no DRC hotspots at this scale — try des_perf_1 or fft_b");
         return;
@@ -48,10 +43,10 @@ fn main() {
         println!("{}", explainer.render(case, &options));
         let ok = explainer.validate_case(case, bundle);
         consistent += ok as usize;
-        println!("validation against oracle causes: {}\n", if ok { "CONSISTENT" } else { "inconsistent" });
+        println!(
+            "validation against oracle causes: {}\n",
+            if ok { "CONSISTENT" } else { "inconsistent" }
+        );
     }
-    println!(
-        "{consistent}/{} explanations consistent with the actual DRC errors",
-        cases.len()
-    );
+    println!("{consistent}/{} explanations consistent with the actual DRC errors", cases.len());
 }

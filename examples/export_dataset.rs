@@ -21,10 +21,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     fs::create_dir_all(&out_dir)?;
 
     let config = PipelineConfig { scale: 0.2, ..Default::default() };
-    let specs: Vec<_> = ["fft_1", "bridge32_a"]
-        .iter()
-        .map(|n| suite::spec(n).expect("suite design"))
-        .collect();
+    let specs: Vec<_> =
+        ["fft_1", "bridge32_a"].iter().map(|n| suite::spec(n).expect("suite design")).collect();
     println!("building {} designs at scale {}...", specs.len(), config.scale);
     let bundles = build_suite(&specs, &config);
 

@@ -20,22 +20,14 @@ fn main() {
 
     println!("building the suite at scale {}...", config.scale);
     let bundles = build_suite(&suite::all_specs(), &config);
-    let train: Vec<_> = bundles
-        .iter()
-        .filter(|b| b.design.spec.group != target_spec.group)
-        .cloned()
-        .collect();
+    let train: Vec<_> =
+        bundles.iter().filter(|b| b.design.spec.group != target_spec.group).cloned().collect();
     println!("training RF on {} designs (group {} held out)...", train.len(), target_spec.group);
-    let explainer = Explainer::train(
-        &train,
-        &RandomForestTrainer { n_trees: 120, ..Default::default() },
-        42,
-    );
+    let explainer =
+        Explainer::train(&train, &RandomForestTrainer { n_trees: 120, ..Default::default() }, 42);
 
-    let mut bundle = bundles
-        .into_iter()
-        .find(|b| b.design.spec.name == target)
-        .expect("target design built");
+    let mut bundle =
+        bundles.into_iter().find(|b| b.design.spec.name == target).expect("target design built");
     let route_config = config.route_for(&bundle.design.spec);
 
     println!("\nrunning the predict -> reroute loop on {target} (threshold 0.30):\n");

@@ -22,17 +22,15 @@ fn main() {
     let rf = RandomForestTrainer { n_trees: 120, ..Default::default() }.fit(&train, 42);
     let scores = rf.score_dataset(&test);
 
-    println!("\nthreshold sweep on des_perf_1 ({} hotspots / {} g-cells):", test.num_positives(), test.n_samples());
+    println!(
+        "\nthreshold sweep on des_perf_1 ({} hotspots / {} g-cells):",
+        test.num_positives(),
+        test.n_samples()
+    );
     println!("{:>10} {:>8} {:>8} {:>8}", "FPR budget", "TPR", "FPR", "Prec");
     for max_fpr in [0.001, 0.005, 0.01, 0.02, 0.05, 0.1] {
         let op = tpr_prec_at_fpr(&scores, test.labels(), max_fpr);
-        println!(
-            "{:>9.1}% {:>8.3} {:>8.4} {:>8.3}",
-            max_fpr * 100.0,
-            op.tpr,
-            op.fpr,
-            op.precision
-        );
+        println!("{:>9.1}% {:>8.3} {:>8.4} {:>8.3}", max_fpr * 100.0, op.tpr, op.fpr, op.precision);
     }
 
     let auroc = roc_auc(&scores, test.labels());

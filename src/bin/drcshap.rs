@@ -84,11 +84,8 @@ fn trained_explainer(
 ) -> (Explainer, drcshap::core::pipeline::DesignBundle) {
     eprintln!("building the suite at scale {}...", config.scale);
     let bundles = build_suite(&suite::all_specs(), config);
-    let train: Vec<_> = bundles
-        .iter()
-        .filter(|b| b.design.spec.group != spec.group)
-        .cloned()
-        .collect();
+    let train: Vec<_> =
+        bundles.iter().filter(|b| b.design.spec.group != spec.group).cloned().collect();
     eprintln!("training RF on {} designs (group {} held out)...", train.len(), spec.group);
     let explainer =
         Explainer::train(&train, &RandomForestTrainer { n_trees: 150, ..Default::default() }, 42);

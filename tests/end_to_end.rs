@@ -14,10 +14,8 @@ fn config() -> PipelineConfig {
 #[test]
 fn pipeline_produces_learnable_labels_across_designs() {
     // Train on two designs from different groups, test on a third group.
-    let specs: Vec<_> = ["mult_b", "des_perf_a", "des_perf_1"]
-        .iter()
-        .map(|n| suite::spec(n).unwrap())
-        .collect();
+    let specs: Vec<_> =
+        ["mult_b", "des_perf_a", "des_perf_1"].iter().map(|n| suite::spec(n).unwrap()).collect();
     let bundles = build_suite(&specs, &config());
 
     let mut train = Dataset::empty(387);
@@ -30,10 +28,7 @@ fn pipeline_produces_learnable_labels_across_designs() {
     let scores = rf.score_dataset(&test);
     let auprc = average_precision(&scores, test.labels());
     let base = test.positive_rate();
-    assert!(
-        auprc > 2.0 * base,
-        "no cross-design transfer: AUPRC {auprc:.3} vs base {base:.3}"
-    );
+    assert!(auprc > 2.0 * base, "no cross-design transfer: AUPRC {auprc:.3} vs base {base:.3}");
 }
 
 #[test]
@@ -70,10 +65,7 @@ fn grouped_protocol_never_trains_on_the_test_group() {
     // Structural check on the dataset tags: a training set assembled by
     // excluding group 4 must contain no group-4 samples, and the des_perf_1
     // dataset must be entirely group 4.
-    let specs: Vec<_> = ["des_perf_1", "mult_b"]
-        .iter()
-        .map(|n| suite::spec(n).unwrap())
-        .collect();
+    let specs: Vec<_> = ["des_perf_1", "mult_b"].iter().map(|n| suite::spec(n).unwrap()).collect();
     let bundles = build_suite(&specs, &config());
     let d1 = bundles[0].to_dataset();
     let d2 = bundles[1].to_dataset();

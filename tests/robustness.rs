@@ -4,7 +4,7 @@
 
 use drcshap::core::pipeline::{build_design, PipelineConfig};
 use drcshap::forest::RandomForestTrainer;
-use drcshap::ml::{brier_score, IsotonicCalibrator, Classifier, Trainer};
+use drcshap::ml::{brier_score, Classifier, IsotonicCalibrator, Trainer};
 use drcshap::netlist::{read_def, suite, write_def};
 
 #[test]

@@ -29,8 +29,8 @@ fn local_accuracy_holds_on_387_features() {
 fn missingness_features_never_split_never_contribute() {
     // A forest can only attribute to features that appear in splits.
     let data = pipeline_data();
-    let rf = RandomForestTrainer { n_trees: 5, max_depth: Some(3), ..Default::default() }
-        .fit(&data, 2);
+    let rf =
+        RandomForestTrainer { n_trees: 5, max_depth: Some(3), ..Default::default() }.fit(&data, 2);
     let mut used = vec![false; 387];
     for tree in rf.trees() {
         for node in tree.nodes() {
@@ -53,12 +53,8 @@ fn tree_shap_matches_brute_force_on_pipeline_trees() {
     // exponential reference stays tractable.
     let data = pipeline_data();
     let tree = TreeTrainer { max_depth: Some(4), ..Default::default() }.fit(&data, 5);
-    let distinct: std::collections::HashSet<u32> = tree
-        .nodes()
-        .iter()
-        .filter(|n| !n.is_leaf())
-        .map(|n| n.feature)
-        .collect();
+    let distinct: std::collections::HashSet<u32> =
+        tree.nodes().iter().filter(|n| !n.is_leaf()).map(|n| n.feature).collect();
     assert!(distinct.len() <= 15, "tree too wide for the exact reference");
     for i in [0usize, 11, 101] {
         let fast = tree_shap(&tree, data.row(i));
@@ -81,10 +77,7 @@ fn sampling_estimator_agrees_with_tree_explainer() {
     // Compare only the materially contributing features.
     for (j, (a, b)) in exact.iter().zip(&sampled).enumerate() {
         if a.abs() > 0.01 {
-            assert!(
-                (a - b).abs() < 0.5 * a.abs() + 0.005,
-                "feature {j}: exact {a} vs sampled {b}"
-            );
+            assert!((a - b).abs() < 0.5 * a.abs() + 0.005, "feature {j}: exact {a} vs sampled {b}");
         }
     }
 }
@@ -103,10 +96,7 @@ fn hotspot_explanations_point_at_congestion_features() {
     // The most confident true hotspot.
     let best = (0..data.n_samples())
         .filter(|&i| data.label(i))
-        .max_by(|&a, &b| {
-            rf.predict_proba(data.row(a))
-                .total_cmp(&rf.predict_proba(data.row(b)))
-        })
+        .max_by(|&a, &b| rf.predict_proba(data.row(a)).total_cmp(&rf.predict_proba(data.row(b))))
         .expect("at least one hotspot");
     let e = explain_forest(&rf, data.row(best));
     let mut congestion = 0.0;
