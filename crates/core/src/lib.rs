@@ -16,7 +16,11 @@
 //!   Fig. 4-style force plots, validate explanations against the oracle's
 //!   injected causes, and triage whole designs by archetype;
 //! - [`flow`] — the closed loop the paper motivates: predict, rip up and
-//!   reroute the traffic over the worst predictions, re-extract, re-predict.
+//!   reroute the traffic over the worst predictions, re-extract, re-predict;
+//! - [`artifact`] — versioned, checksummed on-disk model artifacts with
+//!   strict validation on load;
+//! - [`faults`] — a fault-injection harness proving that corrupted inputs
+//!   and artifacts produce typed errors, never panics.
 //!
 //! # Example
 //!
@@ -34,14 +38,20 @@
 //! );
 //! ```
 
+pub mod artifact;
 pub mod eval;
 pub mod explain;
+pub mod faults;
 pub mod flow;
 pub mod pipeline;
 pub mod zoo;
 
+pub use artifact::{decode_model, encode_model, load_model, save_model, ModelKind, SavedModel};
 pub use eval::{evaluate_models, DesignMetrics, EvalConfig, Table2};
 pub use explain::{CaseArchetype, Explainer, ExplanationCase, TriageReport, TriageRow};
+pub use faults::{run_artifact_faults, run_vector_faults, ArtifactFault, FaultReport, VectorFault};
 pub use flow::{run_fix_loop, FixIteration, FixLoopReport};
-pub use pipeline::{build_design, build_suite, DesignBundle, PipelineConfig};
+pub use pipeline::{
+    build_design, build_suite, try_build_design, try_build_suite, DesignBundle, PipelineConfig,
+};
 pub use zoo::{ModelFamily, TrainedModel};

@@ -4,7 +4,7 @@
 
 use drcshap_drc::{run_drc, DrcConfig, DrcReport};
 use drcshap_features::{extract_design, FeatureMatrix};
-use drcshap_ml::Dataset;
+use drcshap_ml::{Dataset, DrcshapError, InputError};
 use drcshap_netlist::{suite::DesignSpec, synth, Design};
 use drcshap_place::place;
 use drcshap_route::{route_design, RouteConfig, RouteOutcome};
@@ -55,6 +55,21 @@ impl PipelineConfig {
         config
     }
 
+    /// Checks the configuration is usable: `scale` must be a finite value
+    /// in `(0, 1]` (1.0 is paper scale; larger or non-positive scales would
+    /// silently distort every downstream statistic).
+    ///
+    /// # Errors
+    ///
+    /// [`InputError::InvalidScale`] when `scale` is non-finite, `<= 0`, or
+    /// `> 1`.
+    pub fn validate(&self) -> Result<(), DrcshapError> {
+        if !self.scale.is_finite() || self.scale <= 0.0 || self.scale > 1.0 {
+            return Err(InputError::InvalidScale { value: self.scale }.into());
+        }
+        Ok(())
+    }
+
     /// The router config for one design, with stress-derated capacity.
     pub fn route_for(&self, spec: &DesignSpec) -> RouteConfig {
         let factor = (1.0 - self.derate_slope * (spec.stress() - 0.25)).clamp(0.05, 1.0);
@@ -90,7 +105,26 @@ impl DesignBundle {
 /// Runs the full pipeline for one design spec (scaled by the config).
 ///
 /// Deterministic: all randomness derives from the spec's name-based seed.
+///
+/// # Panics
+///
+/// Panics if the config is invalid; use [`try_build_design`] on paths that
+/// must not panic (the CLI serving path does).
 pub fn build_design(spec: &DesignSpec, config: &PipelineConfig) -> DesignBundle {
+    try_build_design(spec, config).expect("invalid pipeline config")
+}
+
+/// Validated variant of [`build_design`]: checks the config before doing
+/// any work.
+///
+/// # Errors
+///
+/// [`InputError::InvalidScale`] when the config's scale is out of range.
+pub fn try_build_design(
+    spec: &DesignSpec,
+    config: &PipelineConfig,
+) -> Result<DesignBundle, DrcshapError> {
+    config.validate()?;
     let spec = spec.scaled(config.scale);
     let mut design = Design::new(spec.clone());
     let mut rng = ChaCha8Rng::seed_from_u64(spec.seed());
@@ -100,12 +134,30 @@ pub fn build_design(spec: &DesignSpec, config: &PipelineConfig) -> DesignBundle 
     let route = route_design(&design, &config.route_for(&spec), &mut rng);
     let report = run_drc(&design, &route, &config.drc, &mut rng);
     let features = extract_design(&design, &route);
-    DesignBundle { design, route, report, features }
+    Ok(DesignBundle { design, route, report, features })
 }
 
 /// Builds bundles for many specs in parallel (order preserved).
+///
+/// # Panics
+///
+/// Panics if the config is invalid; see [`try_build_suite`].
 pub fn build_suite(specs: &[DesignSpec], config: &PipelineConfig) -> Vec<DesignBundle> {
-    specs.par_iter().map(|s| build_design(s, config)).collect()
+    try_build_suite(specs, config).expect("invalid pipeline config")
+}
+
+/// Validated variant of [`build_suite`]: checks the config once up front,
+/// then builds in parallel.
+///
+/// # Errors
+///
+/// [`InputError::InvalidScale`] when the config's scale is out of range.
+pub fn try_build_suite(
+    specs: &[DesignSpec],
+    config: &PipelineConfig,
+) -> Result<Vec<DesignBundle>, DrcshapError> {
+    config.validate()?;
+    Ok(specs.par_iter().map(|s| build_design(s, config)).collect())
 }
 
 #[cfg(test)]
@@ -149,6 +201,27 @@ mod tests {
         let hot = config.route_for(&suite::spec("des_perf_1").unwrap());
         let cool = config.route_for(&suite::spec("des_perf_b").unwrap());
         assert!(hot.capacity_scale < cool.capacity_scale);
+    }
+
+    #[test]
+    fn invalid_scales_are_rejected_with_typed_error() {
+        for scale in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let config = PipelineConfig { scale, ..Default::default() };
+            let e = config.validate().unwrap_err();
+            assert!(
+                matches!(e, DrcshapError::Input(InputError::InvalidScale { .. })),
+                "scale {scale}: {e}"
+            );
+            assert!(try_build_design(&suite::spec("fft_1").unwrap(), &config).is_err());
+            assert!(try_build_suite(&[], &config).is_err());
+        }
+    }
+
+    #[test]
+    fn valid_scales_pass_validation() {
+        for scale in [0.05, 0.25, 1.0] {
+            assert!(PipelineConfig { scale, ..Default::default() }.validate().is_ok());
+        }
     }
 
     #[test]

@@ -288,6 +288,24 @@ impl FeatureSchema {
     pub fn iter(&self) -> impl Iterator<Item = (usize, &FeatureDesc)> {
         self.descs.iter().enumerate()
     }
+
+    /// A stable 64-bit fingerprint of the schema: FNV-1a over the ordered
+    /// feature names. Model artifacts embed it so a model trained against
+    /// one schema is rejected when served with another (renamed, reordered,
+    /// added or removed features all change the fingerprint).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for name in &self.names {
+            for &b in name.as_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+            // Separator so ["ab","c"] and ["a","bc"] differ.
+            h = (h ^ 0xff).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +324,17 @@ mod tests {
         assert_eq!(placement, 99);
         assert_eq!(edge, 180);
         assert_eq!(via, 108);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_order_sensitive() {
+        let a = FeatureSchema::paper_387();
+        let b = FeatureSchema::paper_387();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any structural change (here: a renamed feature) changes it.
+        let mut c = FeatureSchema::paper_387();
+        c.names[0] = "x_NW_renamed".to_owned();
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

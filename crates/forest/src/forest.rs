@@ -141,6 +141,15 @@ impl RandomForest {
         sum / self.trees.len() as f64
     }
 
+    /// NaN-tolerant [`RandomForest::predict_proba`]: every tree routes NaN
+    /// values down its per-node default direction (see
+    /// [`DecisionTree::predict_nan_aware`]), so the ensemble mean stays a
+    /// probability in `[0, 1]` for any input.
+    pub fn predict_proba_nan_aware(&self, x: &[f32]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict_nan_aware(x)).sum();
+        sum / self.trees.len() as f64
+    }
+
     /// The expected prediction over the training distribution: the
     /// cover-weighted mean of root values — SHAP's base value `E[f(x)]`.
     pub fn expected_value(&self) -> f64 {
@@ -169,6 +178,14 @@ impl Classifier for RandomForest {
 
     fn name(&self) -> &'static str {
         "RF"
+    }
+
+    fn expected_features(&self) -> Option<usize> {
+        Some(self.n_features)
+    }
+
+    fn score_nan_aware(&self, x: &[f32]) -> f64 {
+        self.predict_proba_nan_aware(x)
     }
 }
 
@@ -238,6 +255,20 @@ mod tests {
         assert_eq!(MaxFeatures::Count(50).resolve(30), 30);
         assert_eq!(MaxFeatures::All.resolve(10), 10);
         assert_eq!(MaxFeatures::Sqrt.resolve(1), 1);
+    }
+
+    #[test]
+    fn nan_aware_forest_stays_in_probability_range() {
+        let train = noisy_threshold(200, 9);
+        let rf = RandomForestTrainer { n_trees: 15, ..Default::default() }.fit(&train, 3);
+        // NaN-free inputs: identical to the plain path.
+        let x = [0.7f32, 0.3];
+        assert_eq!(rf.predict_proba_nan_aware(&x), rf.predict_proba(&x));
+        // Any mix of NaN/Inf still yields a probability.
+        for x in [[f32::NAN, 0.3], [f32::NAN, f32::NAN], [f32::INFINITY, f32::NAN]] {
+            let p = rf.predict_proba_nan_aware(&x);
+            assert!((0.0..=1.0).contains(&p), "p = {p} for {x:?}");
+        }
     }
 
     #[test]

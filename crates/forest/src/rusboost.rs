@@ -176,6 +176,21 @@ impl Classifier for RusBoost {
     fn name(&self) -> &'static str {
         "RUSBoost"
     }
+
+    fn expected_features(&self) -> Option<usize> {
+        Some(self.n_features)
+    }
+
+    fn score_nan_aware(&self, x: &[f32]) -> f64 {
+        // Same weighted vote, with each weak tree routing NaN down its
+        // default direction.
+        self.stages
+            .iter()
+            .map(|(tree, alpha)| {
+                alpha * (2.0 * (tree.predict_nan_aware(x) > 0.5) as i32 as f64 - 1.0)
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]

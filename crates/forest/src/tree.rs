@@ -111,6 +111,41 @@ impl DecisionTree {
         }
     }
 
+    /// NaN-tolerant prediction: a NaN split value (or a feature index past
+    /// the end of a short vector) routes down the node's *default direction*
+    /// — the child that received more training mass, XGBoost-style — so the
+    /// result is always a leaf value from the training distribution, never a
+    /// panic or a poisoned score. Infinities take their natural comparison
+    /// branch. On NaN-free full-length inputs this is identical to
+    /// [`DecisionTree::predict`].
+    pub fn predict_nan_aware(&self, x: &[f32]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let n = &self.nodes[i];
+            if n.is_leaf() {
+                return n.value;
+            }
+            let v = x.get(n.feature as usize).copied().unwrap_or(f32::NAN);
+            i = if v.is_nan() {
+                self.default_child(n)
+            } else if v <= n.threshold {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
+        }
+    }
+
+    /// The default-direction child of an internal node: the one with the
+    /// larger training cover (ties go left).
+    fn default_child(&self, n: &TreeNode) -> usize {
+        if self.nodes[n.left as usize].cover >= self.nodes[n.right as usize].cover {
+            n.left as usize
+        } else {
+            n.right as usize
+        }
+    }
+
     /// Number of leaves.
     pub fn num_leaves(&self) -> usize {
         self.nodes.iter().filter(|n| n.is_leaf()).count()
@@ -133,6 +168,14 @@ impl Classifier for DecisionTree {
 
     fn name(&self) -> &'static str {
         "CART"
+    }
+
+    fn expected_features(&self) -> Option<usize> {
+        Some(self.n_features)
+    }
+
+    fn score_nan_aware(&self, x: &[f32]) -> f64 {
+        self.predict_nan_aware(x)
     }
 }
 
@@ -426,6 +469,55 @@ mod tests {
         let c = tree.complexity();
         assert_eq!(c.num_parameters, tree.nodes().len() * 5);
         assert!(c.prediction_ops >= 2);
+    }
+
+    #[test]
+    fn nan_aware_matches_plain_on_finite_inputs() {
+        let data = dataset(&[
+            (&[0.0, 9.0], false),
+            (&[0.1, 8.0], false),
+            (&[0.9, 7.0], true),
+            (&[1.0, 9.5], true),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        for q in [[0.05f32, 7.5], [0.95, 9.0], [0.5, 8.2]] {
+            assert_eq!(tree.predict_nan_aware(&q), tree.predict(&q));
+        }
+    }
+
+    #[test]
+    fn nan_routes_down_the_heavier_child() {
+        // Three negatives below the split, one positive above: the default
+        // direction at the root is the heavier left (negative) child.
+        let data = dataset(&[(&[0.0], false), (&[0.1], false), (&[0.2], false), (&[1.0], true)]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        let p = tree.predict_nan_aware(&[f32::NAN]);
+        assert_eq!(p, 0.0, "NaN should follow the 3-sample child");
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn short_vectors_degrade_to_default_direction() {
+        let data = dataset(&[
+            (&[0.0, 0.3], false),
+            (&[0.2, 0.1], false),
+            (&[0.8, 0.9], true),
+            (&[1.0, 0.7], true),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        // Empty and short inputs still land on a leaf value.
+        for x in [&[][..], &[0.9][..]] {
+            let p = tree.predict_nan_aware(x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn infinities_take_their_comparison_branch() {
+        let data = dataset(&[(&[0.0], false), (&[1.0], true)]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        assert_eq!(tree.predict_nan_aware(&[f32::NEG_INFINITY]), tree.predict(&[-1e30]));
+        assert_eq!(tree.predict_nan_aware(&[f32::INFINITY]), tree.predict(&[1e30]));
     }
 
     proptest! {

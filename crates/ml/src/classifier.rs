@@ -6,6 +6,25 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::error::{DrcshapError, InputError};
+
+/// How the validated predict boundary ([`Classifier::score_checked`]) treats
+/// NaN / infinite feature values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NanPolicy {
+    /// Reject the sample with [`InputError::NonFinite`] (the safe default:
+    /// the feature extractor only produces finite values, so a non-finite
+    /// input means an upstream bug).
+    #[default]
+    Reject,
+    /// Replace every non-finite value with `0.0` before scoring.
+    ImputeZero,
+    /// Score NaN-aware: tree models route NaN down a per-node default
+    /// direction (XGBoost-style, towards the heavier child); non-tree
+    /// models fall back to zero-imputation. Infinities take their natural
+    /// comparison branch.
+    NanAware,
+}
 
 /// Model size and per-prediction cost, as reported in Table II.
 ///
@@ -54,6 +73,60 @@ pub trait Classifier: Send + Sync {
 
     /// Short model-family name (`"RF"`, `"SVM-RBF"`, ...).
     fn name(&self) -> &'static str;
+
+    /// The feature count this model was trained on, when known. Models that
+    /// report `Some(m)` get length validation in [`Classifier::score_checked`].
+    fn expected_features(&self) -> Option<usize> {
+        None
+    }
+
+    /// Scores a sample that may contain NaN / infinite values, returning a
+    /// defined (finite for probability models) result instead of poisoning
+    /// the score. The default implementation zero-imputes non-finite values;
+    /// tree ensembles override it with per-node default-direction routing.
+    fn score_nan_aware(&self, x: &[f32]) -> f64 {
+        if x.iter().all(|v| v.is_finite()) {
+            return self.score(x);
+        }
+        let clean: Vec<f32> = x.iter().map(|&v| if v.is_finite() { v } else { 0.0 }).collect();
+        self.score(&clean)
+    }
+
+    /// The validated predict boundary: checks the feature-vector length
+    /// against [`Classifier::expected_features`] and applies `policy` to
+    /// non-finite values, so no malformed input can reach the panic-prone
+    /// raw [`Classifier::score`] path.
+    ///
+    /// # Errors
+    ///
+    /// [`InputError::LengthMismatch`] when the length is wrong;
+    /// [`InputError::NonFinite`] when `policy` is [`NanPolicy::Reject`] and
+    /// the vector contains a NaN or infinity.
+    fn score_checked(&self, x: &[f32], policy: NanPolicy) -> Result<f64, DrcshapError> {
+        if let Some(expected) = self.expected_features() {
+            if x.len() != expected {
+                return Err(InputError::LengthMismatch { expected, found: x.len() }.into());
+            }
+        }
+        match policy {
+            NanPolicy::Reject => {
+                if let Some((index, &value)) = x.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+                    return Err(InputError::NonFinite { index, value }.into());
+                }
+                Ok(self.score(x))
+            }
+            NanPolicy::ImputeZero => {
+                if x.iter().all(|v| v.is_finite()) {
+                    Ok(self.score(x))
+                } else {
+                    let clean: Vec<f32> =
+                        x.iter().map(|&v| if v.is_finite() { v } else { 0.0 }).collect();
+                    Ok(self.score(&clean))
+                }
+            }
+            NanPolicy::NanAware => Ok(self.score_nan_aware(x)),
+        }
+    }
 }
 
 /// A model-family trainer: hyperparameters live on the implementing struct,
@@ -105,6 +178,64 @@ mod tests {
         for (i, &s) in scores.iter().enumerate() {
             assert_eq!(s, m.score(data.row(i)));
         }
+    }
+
+    /// A stump that reports its expected feature count.
+    struct SizedStump(f32);
+
+    impl Classifier for SizedStump {
+        fn score(&self, x: &[f32]) -> f64 {
+            f64::from(x[0] - self.0)
+        }
+        fn complexity(&self) -> ModelComplexity {
+            ModelComplexity { num_parameters: 1, prediction_ops: 2 }
+        }
+        fn name(&self) -> &'static str {
+            "stump"
+        }
+        fn expected_features(&self) -> Option<usize> {
+            Some(2)
+        }
+    }
+
+    #[test]
+    fn score_checked_validates_length() {
+        let m = SizedStump(0.5);
+        assert!(m.score_checked(&[1.0, 0.0], NanPolicy::Reject).is_ok());
+        let e = m.score_checked(&[1.0], NanPolicy::Reject).unwrap_err();
+        assert!(
+            matches!(e, DrcshapError::Input(InputError::LengthMismatch { expected: 2, found: 1 })),
+            "{e}"
+        );
+        // Models without a known width skip the check.
+        assert!(Stump(0.5).score_checked(&[1.0, 2.0, 3.0], NanPolicy::Reject).is_ok());
+    }
+
+    #[test]
+    fn reject_policy_names_the_offending_index() {
+        let m = SizedStump(0.5);
+        let e = m.score_checked(&[1.0, f32::NAN], NanPolicy::Reject).unwrap_err();
+        assert!(matches!(e, DrcshapError::Input(InputError::NonFinite { index: 1, .. })), "{e}");
+        let e = m.score_checked(&[f32::INFINITY, 0.0], NanPolicy::Reject).unwrap_err();
+        assert!(matches!(e, DrcshapError::Input(InputError::NonFinite { index: 0, .. })), "{e}");
+    }
+
+    #[test]
+    fn impute_zero_scores_as_if_zero() {
+        let m = SizedStump(0.25);
+        let imputed = m.score_checked(&[f32::NAN, 1.0], NanPolicy::ImputeZero).unwrap();
+        assert_eq!(imputed, m.score(&[0.0, 1.0]));
+        // Clean inputs are untouched.
+        let clean = m.score_checked(&[0.75, 1.0], NanPolicy::ImputeZero).unwrap();
+        assert_eq!(clean, m.score(&[0.75, 1.0]));
+    }
+
+    #[test]
+    fn nan_aware_default_falls_back_to_imputation() {
+        let m = SizedStump(0.25);
+        let p = m.score_checked(&[f32::NAN, f32::NEG_INFINITY], NanPolicy::NanAware).unwrap();
+        assert_eq!(p, m.score(&[0.0, 0.0]));
+        assert!(p.is_finite());
     }
 
     #[test]

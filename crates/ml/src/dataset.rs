@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::{DrcshapError, InputError};
+
 /// A supervised binary-classification dataset.
 ///
 /// Samples are rows of a dense row-major `f32` matrix. Each sample carries a
@@ -37,14 +39,51 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics if the dimensions are inconsistent.
+    /// Panics if the dimensions are inconsistent (the message names the
+    /// mismatch). Serving-path callers with untrusted dimensions should use
+    /// [`Dataset::try_from_parts`] instead.
     pub fn from_parts(x: Vec<f32>, y: Vec<bool>, groups: Vec<u32>, n_features: usize) -> Self {
-        assert!(n_features > 0, "need at least one feature");
-        assert_eq!(x.len() % n_features, 0, "matrix size not divisible by n_features");
+        match Self::try_from_parts(x, y, groups, n_features) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dataset::from_parts`]: returns a typed error instead of
+    /// panicking on inconsistent dimensions.
+    ///
+    /// # Errors
+    ///
+    /// [`InputError::Usage`] naming the inconsistency.
+    pub fn try_from_parts(
+        x: Vec<f32>,
+        y: Vec<bool>,
+        groups: Vec<u32>,
+        n_features: usize,
+    ) -> Result<Self, DrcshapError> {
+        if n_features == 0 {
+            return Err(DrcshapError::usage("need at least one feature"));
+        }
+        if x.len() % n_features != 0 {
+            return Err(DrcshapError::usage(format!(
+                "matrix size not divisible by n_features: {} values, {n_features} features",
+                x.len()
+            )));
+        }
         let n = x.len() / n_features;
-        assert_eq!(y.len(), n, "label count mismatch");
-        assert_eq!(groups.len(), n, "group count mismatch");
-        Self { x, y, groups, n_features }
+        if y.len() != n {
+            return Err(DrcshapError::usage(format!(
+                "label count mismatch: {} labels for {n} samples",
+                y.len()
+            )));
+        }
+        if groups.len() != n {
+            return Err(DrcshapError::usage(format!(
+                "group count mismatch: {} groups for {n} samples",
+                groups.len()
+            )));
+        }
+        Ok(Self { x, y, groups, n_features })
     }
 
     /// An empty dataset with `n_features` columns (extend with [`Dataset::append`]).
@@ -214,13 +253,16 @@ impl Dataset {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending line on malformed input.
-    pub fn from_csv(text: &str) -> Result<Dataset, String> {
+    /// Returns [`InputError::Malformed`] naming the offending line.
+    pub fn from_csv(text: &str) -> Result<Dataset, DrcshapError> {
+        let bad = |line: usize, message: String| {
+            DrcshapError::Input(InputError::Malformed { line, message })
+        };
         let mut lines = text.lines();
-        let header = lines.next().ok_or("empty CSV")?;
+        let header = lines.next().ok_or_else(|| bad(1, "empty CSV".to_owned()))?;
         let columns: Vec<&str> = header.split(',').collect();
         if columns.len() < 3 || columns[columns.len() - 2] != "label" {
-            return Err("header must end with label,group".to_owned());
+            return Err(bad(1, "header must end with label,group".to_owned()));
         }
         let m = columns.len() - 2;
         let mut x = Vec::new();
@@ -232,23 +274,18 @@ impl Dataset {
             }
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != m + 2 {
-                return Err(format!(
-                    "line {}: expected {} fields, got {}",
-                    k + 2,
-                    m + 2,
-                    fields.len()
-                ));
+                return Err(bad(k + 2, format!("expected {} fields, got {}", m + 2, fields.len())));
             }
             for f in &fields[..m] {
-                x.push(f.parse::<f32>().map_err(|e| format!("line {}: {e}", k + 2))?);
+                x.push(f.parse::<f32>().map_err(|e| bad(k + 2, e.to_string()))?);
             }
             y.push(fields[m] == "1");
-            groups.push(fields[m + 1].parse::<u32>().map_err(|e| format!("line {}: {e}", k + 2))?);
+            groups.push(fields[m + 1].parse::<u32>().map_err(|e| bad(k + 2, e.to_string()))?);
         }
         if y.is_empty() {
-            return Err("no data rows".to_owned());
+            return Err(bad(2, "no data rows".to_owned()));
         }
-        Ok(Dataset::from_parts(x, y, groups, m))
+        Self::try_from_parts(x, y, groups, m)
     }
 }
 
@@ -348,9 +385,19 @@ mod tests {
         assert!(Dataset::from_csv("").is_err());
         assert!(Dataset::from_csv("a,b\n1,2\n").is_err()); // no label,group
         let e = Dataset::from_csv("f0,label,group\n1.0,1\n").unwrap_err();
-        assert!(e.contains("line 2"), "{e}");
+        assert!(matches!(e, DrcshapError::Input(InputError::Malformed { line: 2, .. })), "{e}");
         let e = Dataset::from_csv("f0,label,group\nxyz,1,0\n").unwrap_err();
-        assert!(e.contains("line 2"), "{e}");
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn try_from_parts_reports_typed_errors() {
+        let e = Dataset::try_from_parts(vec![0.0; 4], vec![true], vec![0], 2).unwrap_err();
+        assert!(e.to_string().contains("label count mismatch"), "{e}");
+        let e = Dataset::try_from_parts(vec![0.0; 3], vec![true], vec![0], 2).unwrap_err();
+        assert!(e.to_string().contains("not divisible"), "{e}");
+        assert!(Dataset::try_from_parts(Vec::new(), Vec::new(), Vec::new(), 0).is_err());
+        assert!(Dataset::try_from_parts(vec![1.0, 2.0], vec![true], vec![0], 2).is_ok());
     }
 
     #[test]

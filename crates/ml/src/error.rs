@@ -1,0 +1,300 @@
+//! The workspace-wide typed error taxonomy.
+//!
+//! Every failure on the serving path — loading a model artifact, checking a
+//! feature vector at the predict boundary, validating a pipeline config,
+//! touching the filesystem — is one of the four [`DrcshapError`] variants.
+//! The sub-enums carry enough structure for callers to branch on (and for
+//! the fault-injection harness to assert exact diagnostics) while `Display`
+//! renders an operator-readable message. Everything is hand-rolled on
+//! `std`: no error-handling dependencies.
+
+use std::fmt;
+
+/// Any error on the drcshap serving path.
+#[derive(Debug)]
+pub enum DrcshapError {
+    /// A model artifact is malformed, corrupted, or version-skewed.
+    Artifact(ArtifactError),
+    /// A model does not match the feature schema it is being served with.
+    Schema(SchemaError),
+    /// A caller-supplied input (feature vector, CLI argument, config value,
+    /// CSV row) is invalid.
+    Input(InputError),
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+}
+
+impl DrcshapError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        DrcshapError::Io { path: path.into(), source }
+    }
+
+    /// A CLI / API usage error with a free-form message.
+    pub fn usage(message: impl Into<String>) -> Self {
+        DrcshapError::Input(InputError::Usage(message.into()))
+    }
+}
+
+impl fmt::Display for DrcshapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrcshapError::Artifact(e) => write!(f, "artifact error: {e}"),
+            DrcshapError::Schema(e) => write!(f, "schema error: {e}"),
+            DrcshapError::Input(e) => write!(f, "input error: {e}"),
+            DrcshapError::Io { path, source } => write!(f, "io error on {path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for DrcshapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DrcshapError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for DrcshapError {
+    fn from(e: ArtifactError) -> Self {
+        DrcshapError::Artifact(e)
+    }
+}
+
+impl From<SchemaError> for DrcshapError {
+    fn from(e: SchemaError) -> Self {
+        DrcshapError::Schema(e)
+    }
+}
+
+impl From<InputError> for DrcshapError {
+    fn from(e: InputError) -> Self {
+        DrcshapError::Input(e)
+    }
+}
+
+/// Why a serialized model artifact was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The file is shorter than the fixed-size header.
+    TooShort {
+        /// Header size the format requires.
+        needed: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The magic bytes do not identify a drcshap artifact.
+    BadMagic {
+        /// The first eight bytes found.
+        found: [u8; 8],
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stored in the artifact.
+        found: u16,
+        /// Highest version this build supports.
+        supported: u16,
+    },
+    /// The model-kind byte is not a known [`crate::classifier::Classifier`]
+    /// family.
+    UnknownModelKind(u8),
+    /// A reserved header byte is non-zero (header tampering).
+    ReservedNonZero {
+        /// Offset of the offending byte.
+        offset: usize,
+    },
+    /// The payload is shorter than the header's declared length.
+    PayloadTruncated {
+        /// Declared payload length.
+        expected: usize,
+        /// Payload bytes present.
+        found: usize,
+    },
+    /// The file continues past the declared payload (appended garbage).
+    TrailingBytes {
+        /// Declared total size.
+        expected: usize,
+        /// Actual file size.
+        found: usize,
+    },
+    /// The payload checksum does not match (bit rot / bit flips).
+    ChecksumMismatch {
+        /// CRC32 stored in the header.
+        stored: u32,
+        /// CRC32 computed over the payload.
+        computed: u32,
+    },
+    /// The payload passed the checksum but failed to decode.
+    Payload(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::TooShort { needed, found } => {
+                write!(f, "truncated header: need {needed} bytes, found {found}")
+            }
+            ArtifactError::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:02x?}: not a drcshap model artifact")
+            }
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(f, "format version {found} not supported (this build reads <= {supported})")
+            }
+            ArtifactError::UnknownModelKind(code) => {
+                write!(f, "unknown model kind code {code:#04x}")
+            }
+            ArtifactError::ReservedNonZero { offset } => {
+                write!(f, "reserved header byte at offset {offset} is non-zero")
+            }
+            ArtifactError::PayloadTruncated { expected, found } => {
+                write!(f, "payload truncated: header declares {expected} bytes, found {found}")
+            }
+            ArtifactError::TrailingBytes { expected, found } => {
+                write!(f, "trailing bytes: artifact should be {expected} bytes, found {found}")
+            }
+            ArtifactError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "payload CRC32 mismatch: header {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            ArtifactError::Payload(msg) => write!(f, "payload decode failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// A model / feature-schema incompatibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The artifact was trained against a different feature schema.
+    FingerprintMismatch {
+        /// Fingerprint of the schema the caller is serving with.
+        expected: u64,
+        /// Fingerprint stored in the artifact.
+        found: u64,
+    },
+    /// The model's trained feature count disagrees with the schema.
+    FeatureCountMismatch {
+        /// Features the schema defines.
+        expected: usize,
+        /// Features the model was trained on.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "feature-schema fingerprint mismatch: serving schema {expected:#018x}, artifact trained against {found:#018x}"
+            ),
+            SchemaError::FeatureCountMismatch { expected, found } => {
+                write!(f, "feature count mismatch: schema has {expected}, model expects {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// An invalid caller-supplied input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputError {
+    /// A feature vector has the wrong length for the model.
+    LengthMismatch {
+        /// Length the model expects.
+        expected: usize,
+        /// Length supplied.
+        found: usize,
+    },
+    /// A feature value is NaN or infinite under [`crate::NanPolicy::Reject`].
+    NonFinite {
+        /// Index of the first offending feature.
+        index: usize,
+        /// The offending value (NaN compares unequal; kept for diagnostics).
+        value: f32,
+    },
+    /// A pipeline scale is outside `(0, 1]` or non-finite.
+    InvalidScale {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A malformed structured input (CSV, DEF, ...) with a line number.
+    Malformed {
+        /// 1-based line of the offending input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A command-line / API usage error.
+    Usage(String),
+}
+
+impl fmt::Display for InputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputError::LengthMismatch { expected, found } => {
+                write!(f, "feature vector has {found} values, model expects {expected}")
+            }
+            InputError::NonFinite { index, value } => {
+                write!(f, "feature {index} is {value} (non-finite values rejected by policy)")
+            }
+            InputError::InvalidScale { value } => {
+                write!(f, "scale {value} invalid: must be a finite value in (0, 1]")
+            }
+            InputError::Malformed { line, message } => write!(f, "line {line}: {message}"),
+            InputError::Usage(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_precise() {
+        let e = DrcshapError::from(ArtifactError::ChecksumMismatch { stored: 1, computed: 2 });
+        let s = e.to_string();
+        assert!(s.contains("artifact error"), "{s}");
+        assert!(s.contains("0x00000001") && s.contains("0x00000002"), "{s}");
+
+        let e = DrcshapError::from(SchemaError::FeatureCountMismatch { expected: 387, found: 2 });
+        assert!(e.to_string().contains("387"));
+
+        let e = DrcshapError::from(InputError::LengthMismatch { expected: 387, found: 10 });
+        assert!(e.to_string().contains("10 values"));
+
+        let e = DrcshapError::usage("missing design name");
+        assert!(e.to_string().contains("missing design name"));
+    }
+
+    #[test]
+    fn io_errors_carry_path_and_source() {
+        use std::error::Error as _;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = DrcshapError::io("/tmp/x.model", inner);
+        assert!(e.to_string().contains("/tmp/x.model"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn artifact_variants_are_comparable() {
+        assert_eq!(ArtifactError::UnknownModelKind(9), ArtifactError::UnknownModelKind(9));
+        assert_ne!(
+            ArtifactError::TooShort { needed: 32, found: 0 },
+            ArtifactError::TooShort { needed: 32, found: 1 }
+        );
+    }
+}

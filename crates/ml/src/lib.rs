@@ -31,14 +31,16 @@ pub mod calibrate;
 pub mod classifier;
 pub mod confusion;
 pub mod dataset;
+pub mod error;
 pub mod metrics;
 pub mod scaler;
 pub mod tune;
 
 pub use calibrate::IsotonicCalibrator;
-pub use classifier::{Classifier, ModelComplexity, Trainer};
+pub use classifier::{Classifier, ModelComplexity, NanPolicy, Trainer};
 pub use confusion::{brier_score, calibration_curve, ConfusionMatrix};
 pub use dataset::Dataset;
+pub use error::{ArtifactError, DrcshapError, InputError, SchemaError};
 pub use metrics::{
     average_precision, lift_curve, pr_curve, precision_at_k, roc_auc, roc_curve, tpr_prec_at_fpr,
     OperatingPoint, PAPER_FPR,

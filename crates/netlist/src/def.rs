@@ -150,8 +150,9 @@ pub fn read_def(text: &str, spec: DesignSpec) -> Result<Design, ParseDefError> {
         } else if line.starts_with("- macro_") {
             let toks: Vec<&str> = line.split_whitespace().collect();
             // - macro_K BLOCK_WxH + FIXED ( x y ) N ;
-            let name = toks[1];
-            let dims = toks[2]
+            let name = *toks.get(1).ok_or_else(|| err(n, "truncated macro statement"))?;
+            let master = *toks.get(2).ok_or_else(|| err(n, "truncated macro statement"))?;
+            let dims = master
                 .strip_prefix("BLOCK_")
                 .ok_or_else(|| err(n, "macro without BLOCK_ master"))?;
             let (w, h) = parse_dims(dims).ok_or_else(|| err(n, "bad macro dims"))?;
@@ -162,10 +163,15 @@ pub fn read_def(text: &str, spec: DesignSpec) -> Result<Design, ParseDefError> {
             macro_ids.insert(name.to_owned(), id);
         } else if line.starts_with("- cell_") {
             let toks: Vec<&str> = line.split_whitespace().collect();
-            let name = toks[1];
-            let master = toks[2];
-            let multi = master.starts_with("MH_");
-            let dims = &master[3..];
+            let name = *toks.get(1).ok_or_else(|| err(n, "truncated cell statement"))?;
+            let master = *toks.get(2).ok_or_else(|| err(n, "truncated cell statement"))?;
+            let (multi, dims) = if let Some(d) = master.strip_prefix("MH_") {
+                (true, d)
+            } else if let Some(d) = master.strip_prefix("SH_") {
+                (false, d)
+            } else {
+                return Err(err(n, "unknown cell master"));
+            };
             let (w, h) = parse_dims(dims).ok_or_else(|| err(n, "bad cell dims"))?;
             let (x, y) = parse_point(&toks, 5).ok_or_else(|| err(n, "bad cell origin"))?;
             let id = design.netlist.add_cell(Cell {
@@ -180,13 +186,19 @@ pub fn read_def(text: &str, spec: DesignSpec) -> Result<Design, ParseDefError> {
         } else if line.starts_with("- net_") {
             let toks: Vec<&str> = line.split_whitespace().collect();
             let kind = if toks.contains(&"CLOCK") { NetKind::Clock } else { NetKind::Signal };
-            let ndr =
-                toks.iter().position(|&t| t == "NONDEFAULTRULE").map(|i| toks[i + 1]).map(|rule| {
-                    *ndr_ids.entry(rule.to_owned()).or_insert_with(|| {
-                        let (w, s) = parse_ndr(rule).unwrap_or((1.0, 1.0));
+            let ndr = match toks.iter().position(|&t| t == "NONDEFAULTRULE") {
+                None => None,
+                Some(i) => {
+                    let rule = *toks
+                        .get(i + 1)
+                        .ok_or_else(|| err(n, "NONDEFAULTRULE without a rule name"))?;
+                    let (w, s) =
+                        parse_ndr(rule).ok_or_else(|| err(n, "bad NONDEFAULTRULE spec"))?;
+                    Some(*ndr_ids.entry(rule.to_owned()).or_insert_with(|| {
                         design.netlist.add_ndr(crate::Ndr { width_mult: w, spacing_mult: s })
-                    })
-                });
+                    }))
+                }
+            };
             // Pins: ( owner P_x_y ) groups.
             let mut pins = Vec::new();
             let mut i = 0usize;
@@ -213,6 +225,15 @@ pub fn read_def(text: &str, spec: DesignSpec) -> Result<Design, ParseDefError> {
                 return Err(err(n, "net with fewer than two pins"));
             }
             design.netlist.add_net(Net { pins, kind, ndr });
+        } else if line.starts_with("- ") {
+            return Err(err(n, "unknown DEF statement"));
+        } else if !line.is_empty()
+            && !line.starts_with("VERSION")
+            && !line.starts_with("DESIGN")
+            && !line.starts_with("UNITS")
+            && !line.starts_with("END")
+        {
+            return Err(err(n, "unknown DEF section"));
         }
     }
     if !saw_components || !saw_nets {
@@ -332,5 +353,62 @@ mod tests {
     fn error_display_is_informative() {
         let e = ParseDefError { line: 7, message: "bad cell dims".to_owned() };
         assert_eq!(e.to_string(), "DEF parse error at line 7: bad cell dims");
+    }
+
+    /// Wraps one body line in the minimal valid scaffolding.
+    fn with_scaffold(body: &str) -> String {
+        format!("COMPONENTS 1 ;\n{body}\nEND COMPONENTS\nNETS 0 ;\nEND NETS\n")
+    }
+
+    #[test]
+    fn unknown_section_header_is_an_error() {
+        let spec = suite::spec("fft_a").unwrap();
+        let text = "COMPONENTS 0 ;\nEND COMPONENTS\nSPECIALNETS 2 ;\nNETS 0 ;\nEND NETS\n";
+        let e = read_def(text, spec).unwrap_err();
+        assert!(e.message.contains("unknown DEF section"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn unknown_dash_statement_is_an_error() {
+        let spec = suite::spec("fft_a").unwrap();
+        let e = read_def(&with_scaffold("- via_0 VIARULE ;"), spec).unwrap_err();
+        assert!(e.message.contains("unknown DEF statement"), "{e}");
+    }
+
+    #[test]
+    fn truncated_statements_error_instead_of_panicking() {
+        let spec = suite::spec("fft_a").unwrap();
+        for body in ["- macro_0", "- cell_0", "- macro_0 BLOCK_10x10", "- cell_0 SH_4x8"] {
+            let e = read_def(&with_scaffold(body), spec.clone()).unwrap_err();
+            assert!(e.line > 0, "{body:?} must fail with a located error, got {e}");
+        }
+    }
+
+    #[test]
+    fn short_or_unknown_cell_master_is_an_error() {
+        let spec = suite::spec("fft_a").unwrap();
+        for body in ["- cell_0 X + PLACED ( 0 0 ) N ;", "- cell_0 ZZ_4x8 + PLACED ( 0 0 ) N ;"] {
+            let e = read_def(&with_scaffold(body), spec.clone()).unwrap_err();
+            assert!(e.message.contains("unknown cell master"), "{e}");
+        }
+    }
+
+    #[test]
+    fn dangling_ndr_is_an_error() {
+        let d = placed_design();
+        let spec = d.spec.clone();
+        let scaffold = "COMPONENTS 2 ;\n- cell_0 SH_4x8 + PLACED ( 0 0 ) N ;\n- cell_1 SH_4x8 + PLACED ( 9 9 ) N ;\nEND COMPONENTS\nNETS 1 ;\n";
+        for (net, expect) in [
+            ("- net_0 + USE SIGNAL + NONDEFAULTRULE", "without a rule name"),
+            (
+                "- net_0 + USE SIGNAL + NONDEFAULTRULE bogus ( cell_0 P_0_0 ) ( cell_1 P_0_0 ) ;",
+                "bad NONDEFAULTRULE",
+            ),
+        ] {
+            let text = format!("{scaffold}{net}\nEND NETS\n");
+            let e = read_def(&text, spec.clone()).unwrap_err();
+            assert!(e.message.contains(expect), "{e}");
+        }
     }
 }

@@ -325,6 +325,10 @@ impl Classifier for NeuralNet {
     fn name(&self) -> &'static str {
         "NN"
     }
+
+    fn expected_features(&self) -> Option<usize> {
+        Some(self.n_features)
+    }
 }
 
 #[cfg(test)]

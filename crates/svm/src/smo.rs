@@ -381,6 +381,10 @@ impl Classifier for Svm {
     fn name(&self) -> &'static str {
         "SVM-RBF"
     }
+
+    fn expected_features(&self) -> Option<usize> {
+        Some(self.n_features)
+    }
 }
 
 #[cfg(test)]

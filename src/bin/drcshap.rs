@@ -6,16 +6,29 @@
 //! drcshap explain <design> [scale]         train (grouped) and explain 3 hotspots
 //! drcshap triage <design> [scale] [p]      archetype triage of predicted hotspots
 //! drcshap export <design> <dir> [scale]    write CSV dataset + DEF
+//! drcshap train <design> <out.model> [scale]   fit RF, save a versioned artifact
+//! drcshap predict <model> <design> [scale]     load artifact, score the design
 //! ```
+//!
+//! Every failure on the serving path surfaces as a typed
+//! [`DrcshapError`] — usage mistakes exit with status 2, runtime failures
+//! (I/O, corrupted artifacts, schema mismatches) with status 1, and no
+//! input reachable from this binary panics.
 
-use std::error::Error;
-
+use drcshap::core::artifact::crc32;
 use drcshap::core::explain::Explainer;
-use drcshap::core::pipeline::{build_design, build_suite, PipelineConfig};
+use drcshap::core::pipeline::{try_build_design, try_build_suite, PipelineConfig};
+use drcshap::core::{load_model, save_model, SavedModel};
+use drcshap::features::{FeatureMatrix, FeatureSchema};
 use drcshap::forest::RandomForestTrainer;
-use drcshap::netlist::{suite, write_def};
+use drcshap::ml::{Classifier, DrcshapError, InputError, NanPolicy, Trainer};
+use drcshap::netlist::{suite, write_def, DesignSpec};
 use drcshap::route::{render_heatmap, HeatSource};
 use drcshap::shap::ForceOptions;
+
+const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
+                     triage <design> [scale] [threshold] | export <design> <dir> [scale] | \
+                     train <design> <out.model> [scale] | predict <model> <design> [scale]>";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,30 +38,59 @@ fn main() {
         Some("explain") => cmd_explain(&args[1..]),
         Some("triage") => cmd_triage(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
-                 triage <design> [scale] [threshold] | export <design> <dir> [scale]>"
-            );
-            std::process::exit(2);
-        }
+        Some("train") => cmd_train(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        _ => Err(DrcshapError::usage(USAGE)),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        let code = match &e {
+            DrcshapError::Input(InputError::Usage(_))
+            | DrcshapError::Input(InputError::InvalidScale { .. }) => 2,
+            _ => 1,
+        };
+        std::process::exit(code);
     }
 }
 
-fn parse_scale(args: &[String], position: usize) -> f64 {
-    args.get(position).and_then(|s| s.parse().ok()).unwrap_or(0.25)
+/// Parses the optional scale argument. Absent means the default 0.25; a
+/// present-but-unparseable value is a usage error, never a silent default.
+fn parse_scale(args: &[String], position: usize) -> Result<f64, DrcshapError> {
+    match args.get(position) {
+        None => Ok(0.25),
+        Some(s) => s.parse().map_err(|_| {
+            DrcshapError::usage(format!("bad scale {s:?}: expected a float in (0, 1]"))
+        }),
+    }
 }
 
-fn spec_arg(args: &[String]) -> Result<drcshap::netlist::DesignSpec, Box<dyn Error>> {
-    let name = args.first().ok_or("missing design name (try `drcshap list`)")?;
-    suite::spec(name).ok_or_else(|| format!("unknown design {name:?} (try `drcshap list`)").into())
+fn spec_arg(args: &[String], position: usize) -> Result<DesignSpec, DrcshapError> {
+    let name = args
+        .get(position)
+        .ok_or_else(|| DrcshapError::usage("missing design name (try `drcshap list`)"))?;
+    suite::spec(name)
+        .ok_or_else(|| DrcshapError::usage(format!("unknown design {name:?} (try `drcshap list`)")))
 }
 
-fn cmd_list() -> Result<(), Box<dyn Error>> {
+/// Scores every g-cell under the strict `Reject` policy and returns the
+/// scores alongside a CRC32 digest of their exact bit patterns — two runs
+/// print the same digest iff every score is bit-identical.
+fn score_design(
+    model: &dyn Classifier,
+    features: &FeatureMatrix,
+) -> Result<(Vec<f64>, String), DrcshapError> {
+    let n = features.n_samples();
+    let mut scores = Vec::with_capacity(n);
+    let mut bytes = Vec::with_capacity(n * 8);
+    for i in 0..n {
+        let s = model.score_checked(features.row(i), NanPolicy::Reject)?;
+        bytes.extend_from_slice(&s.to_bits().to_le_bytes());
+        scores.push(s);
+    }
+    Ok((scores, format!("crc32 {:#010x} over {} scores", crc32(&bytes), n)))
+}
+
+fn cmd_list() -> Result<(), DrcshapError> {
     println!(
         "{:<12} {:>5} {:>9} {:>10} {:>8} {:>10}",
         "design", "group", "g-cells", "hotspots", "macros", "cells (k)"
@@ -62,11 +104,11 @@ fn cmd_list() -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn cmd_build(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let spec = spec_arg(args)?;
-    let config = PipelineConfig { scale: parse_scale(args, 1), ..Default::default() };
+fn cmd_build(args: &[String]) -> Result<(), DrcshapError> {
+    let spec = spec_arg(args, 0)?;
+    let config = PipelineConfig { scale: parse_scale(args, 1)?, ..Default::default() };
     eprintln!("building {} at scale {}...", spec.name, config.scale);
-    let bundle = build_design(&spec, &config);
+    let bundle = try_build_design(&spec, &config)?;
     println!("{}", bundle.route);
     println!("{}", bundle.report.render_summary());
     println!(
@@ -79,11 +121,11 @@ fn cmd_build(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn trained_explainer(
-    spec: &drcshap::netlist::DesignSpec,
+    spec: &DesignSpec,
     config: &PipelineConfig,
-) -> (Explainer, drcshap::core::pipeline::DesignBundle) {
+) -> Result<(Explainer, drcshap::core::pipeline::DesignBundle), DrcshapError> {
     eprintln!("building the suite at scale {}...", config.scale);
-    let bundles = build_suite(&suite::all_specs(), config);
+    let bundles = try_build_suite(&suite::all_specs(), config)?;
     let train: Vec<_> =
         bundles.iter().filter(|b| b.design.spec.group != spec.group).cloned().collect();
     eprintln!("training RF on {} designs (group {} held out)...", train.len(), spec.group);
@@ -93,13 +135,13 @@ fn trained_explainer(
         .into_iter()
         .find(|b| b.design.spec.name == spec.name)
         .expect("target design in suite");
-    (explainer, bundle)
+    Ok((explainer, bundle))
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let spec = spec_arg(args)?;
-    let config = PipelineConfig { scale: parse_scale(args, 1), ..Default::default() };
-    let (explainer, bundle) = trained_explainer(&spec, &config);
+fn cmd_explain(args: &[String]) -> Result<(), DrcshapError> {
+    let spec = spec_arg(args, 0)?;
+    let config = PipelineConfig { scale: parse_scale(args, 1)?, ..Default::default() };
+    let (explainer, bundle) = trained_explainer(&spec, &config)?;
     if bundle.report.num_hotspots() == 0 {
         println!("{} has no DRC hotspots at this scale", spec.name);
         return Ok(());
@@ -114,26 +156,77 @@ fn cmd_explain(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn cmd_triage(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let spec = spec_arg(args)?;
-    let config = PipelineConfig { scale: parse_scale(args, 1), ..Default::default() };
-    let threshold: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.3);
-    let (explainer, bundle) = trained_explainer(&spec, &config);
+fn cmd_triage(args: &[String]) -> Result<(), DrcshapError> {
+    let spec = spec_arg(args, 0)?;
+    let config = PipelineConfig { scale: parse_scale(args, 1)?, ..Default::default() };
+    let threshold: f64 = match args.get(2) {
+        None => 0.3,
+        Some(s) => s
+            .parse()
+            .map_err(|_| DrcshapError::usage(format!("bad threshold {s:?}: expected a float")))?,
+    };
+    let (explainer, bundle) = trained_explainer(&spec, &config)?;
     println!("{}", explainer.triage(&bundle, threshold, 200).render());
     Ok(())
 }
 
-fn cmd_export(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let spec = spec_arg(args)?;
-    let dir = args.get(1).ok_or("missing output directory")?;
-    let config = PipelineConfig { scale: parse_scale(args, 2), ..Default::default() };
-    std::fs::create_dir_all(dir)?;
-    let bundle = build_design(&spec, &config);
-    let names = drcshap::features::FeatureSchema::paper_387().names().to_vec();
+fn cmd_export(args: &[String]) -> Result<(), DrcshapError> {
+    let spec = spec_arg(args, 0)?;
+    let dir = args.get(1).ok_or_else(|| DrcshapError::usage("missing output directory"))?;
+    let config = PipelineConfig { scale: parse_scale(args, 2)?, ..Default::default() };
+    std::fs::create_dir_all(dir).map_err(|e| DrcshapError::io(dir.clone(), e))?;
+    let bundle = try_build_design(&spec, &config)?;
+    let names = FeatureSchema::paper_387().names().to_vec();
     let csv = std::path::Path::new(dir).join(format!("{}.csv", spec.name));
-    std::fs::write(&csv, bundle.to_dataset().to_csv(Some(&names)))?;
+    std::fs::write(&csv, bundle.to_dataset().to_csv(Some(&names)))
+        .map_err(|e| DrcshapError::io(csv.display().to_string(), e))?;
     let def = std::path::Path::new(dir).join(format!("{}.def", spec.name));
-    std::fs::write(&def, write_def(&bundle.design))?;
+    std::fs::write(&def, write_def(&bundle.design))
+        .map_err(|e| DrcshapError::io(def.display().to_string(), e))?;
     println!("wrote {} and {}", csv.display(), def.display());
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), DrcshapError> {
+    let spec = spec_arg(args, 0)?;
+    let out = args
+        .get(1)
+        .ok_or_else(|| DrcshapError::usage("missing output model path (e.g. fft_1.model)"))?;
+    let config = PipelineConfig { scale: parse_scale(args, 2)?, ..Default::default() };
+    eprintln!("building {} at scale {}...", spec.name, config.scale);
+    let bundle = try_build_design(&spec, &config)?;
+    let data = bundle.to_dataset();
+    eprintln!(
+        "training RF on {} samples ({} hotspots)...",
+        data.n_samples(),
+        bundle.report.num_hotspots()
+    );
+    let trainer = RandomForestTrainer { n_trees: 100, ..Default::default() };
+    let model = SavedModel::Rf(trainer.fit(&data, 42));
+    let schema = FeatureSchema::paper_387();
+    save_model(out, &model, &schema)?;
+    let (_, digest) = score_design(model.as_classifier(), &bundle.features)?;
+    println!("saved {} model to {out}", model.kind());
+    println!("score digest: {digest}");
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), DrcshapError> {
+    let path = args.first().ok_or_else(|| DrcshapError::usage("missing model path"))?;
+    let spec = spec_arg(args, 1)?;
+    let config = PipelineConfig { scale: parse_scale(args, 2)?, ..Default::default() };
+    let schema = FeatureSchema::paper_387();
+    let model = load_model(path, &schema)?;
+    eprintln!("loaded {} model from {path}", model.kind());
+    eprintln!("building {} at scale {}...", spec.name, config.scale);
+    let bundle = try_build_design(&spec, &config)?;
+    let (scores, digest) = score_design(model.as_classifier(), &bundle.features)?;
+    let mut ranked: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("top predicted hotspots for {}:", spec.name);
+    for (i, s) in ranked.iter().take(10) {
+        println!("  g-cell {i:>6}  p = {s:.4}");
+    }
+    println!("score digest: {digest}");
     Ok(())
 }

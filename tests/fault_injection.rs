@@ -1,0 +1,205 @@
+//! Fault-injection suite for the hardened serving path: versioned artifacts
+//! and the validated predict boundary must turn every corruption into a
+//! typed error (or a defined degraded result) — never a panic, never a
+//! silently-wrong answer.
+
+use drcshap::core::artifact::{
+    decode_model, encode_model, load_model, save_model, ModelKind, SavedModel, HEADER_LEN, MAGIC,
+};
+use drcshap::core::faults::{run_artifact_faults, run_vector_faults, ArtifactFault, VectorFault};
+use drcshap::features::FeatureSchema;
+use drcshap::forest::{RandomForest, RandomForestTrainer};
+use drcshap::ml::{
+    ArtifactError, Classifier, Dataset, DrcshapError, InputError, NanPolicy, SchemaError, Trainer,
+};
+
+/// A small forest over `m` features (fast to train, non-trivial payload).
+fn forest(m: usize, seed: u64) -> RandomForest {
+    let n = 60;
+    let mut x = Vec::with_capacity(n * m);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        for j in 0..m {
+            x.push(((i * 31 + j * 7) % 17) as f32 / 17.0);
+        }
+        y.push((i * 31 % 17) > 8);
+    }
+    let data = Dataset::from_parts(x, y, vec![0; n], m);
+    RandomForestTrainer { n_trees: 6, ..Default::default() }.fit(&data, seed)
+}
+
+#[test]
+fn disk_round_trip_is_bit_exact() {
+    let schema = FeatureSchema::paper_387();
+    let rf = forest(schema.len(), 1);
+    let model = SavedModel::Rf(rf.clone());
+    let dir = std::env::temp_dir().join("drcshap_fault_injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("round_trip.model");
+    save_model(&path, &model, &schema).expect("save");
+    let restored = load_model(&path, &schema).expect("load");
+    assert_eq!(restored.kind(), ModelKind::Rf);
+    assert_eq!(restored.n_features(), 387);
+    let x: Vec<f32> = (0..387).map(|j| (j % 13) as f32 / 13.0).collect();
+    assert_eq!(
+        restored.as_classifier().score(&x).to_bits(),
+        rf.predict_proba(&x).to_bits(),
+        "restored model must score bit-identically"
+    );
+}
+
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let model = SavedModel::Rf(forest(4, 2));
+    let good = encode_model(&model, 0xfeed).expect("encode");
+    for offset in 0..good.len() {
+        for mask in [0x01u8, 0x80] {
+            let mut bad = good.clone();
+            bad[offset] ^= mask;
+            let e = decode_model(&bad, 0xfeed)
+                .expect_err(&format!("flip {mask:#04x} at byte {offset} must be detected"));
+            assert!(
+                matches!(e, DrcshapError::Artifact(_) | DrcshapError::Schema(_)),
+                "byte {offset}: unexpected error class {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn header_tampering_yields_the_matching_variant() {
+    let model = SavedModel::Rf(forest(4, 3));
+    let good = encode_model(&model, 5).expect("encode");
+    let decode_tampered = |offset: usize, value: u8| {
+        let mut bad = good.clone();
+        bad[offset] = value;
+        decode_model(&bad, 5).unwrap_err()
+    };
+    assert!(matches!(
+        decode_tampered(0, b'X'),
+        DrcshapError::Artifact(ArtifactError::BadMagic { .. })
+    ));
+    assert!(matches!(
+        decode_tampered(9, 0x7f),
+        DrcshapError::Artifact(ArtifactError::UnsupportedVersion { .. })
+    ));
+    assert!(matches!(
+        decode_tampered(10, 200),
+        DrcshapError::Artifact(ArtifactError::UnknownModelKind(200))
+    ));
+    assert!(matches!(
+        decode_tampered(11, 1),
+        DrcshapError::Artifact(ArtifactError::ReservedNonZero { offset: 11 })
+    ));
+    assert!(matches!(
+        decode_tampered(12, 0xaa),
+        DrcshapError::Schema(SchemaError::FingerprintMismatch { .. })
+    ));
+    assert!(matches!(
+        decode_tampered(20, good[20] ^ 0xff),
+        DrcshapError::Artifact(
+            ArtifactError::PayloadTruncated { .. } | ArtifactError::TrailingBytes { .. }
+        )
+    ));
+    assert!(matches!(
+        decode_tampered(28, good[28] ^ 0xff),
+        DrcshapError::Artifact(ArtifactError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn truncation_and_extension_are_detected_at_every_boundary() {
+    let model = SavedModel::Rf(forest(4, 4));
+    let good = encode_model(&model, 5).expect("encode");
+    for keep in [0, 1, 8, 16, HEADER_LEN - 1] {
+        assert!(matches!(
+            decode_model(&good[..keep], 5),
+            Err(DrcshapError::Artifact(ArtifactError::TooShort { .. })),
+            "keep={keep}"
+        ));
+    }
+    for keep in [HEADER_LEN, HEADER_LEN + 5, good.len() - 1] {
+        assert!(matches!(
+            decode_model(&good[..keep], 5),
+            Err(DrcshapError::Artifact(ArtifactError::PayloadTruncated { .. })),
+            "keep={keep}"
+        ));
+    }
+    let mut extended = good.clone();
+    extended.extend_from_slice(b"junk");
+    assert!(matches!(
+        decode_model(&extended, 5),
+        Err(DrcshapError::Artifact(ArtifactError::TrailingBytes { .. }))
+    ));
+}
+
+#[test]
+fn wrong_and_nan_vectors_yield_typed_errors_under_reject() {
+    let rf = forest(4, 5);
+    assert!(matches!(
+        rf.score_checked(&[0.1, 0.2], NanPolicy::Reject),
+        Err(DrcshapError::Input(InputError::LengthMismatch { expected: 4, found: 2 }))
+    ));
+    assert!(matches!(
+        rf.score_checked(&[0.1; 6], NanPolicy::Reject),
+        Err(DrcshapError::Input(InputError::LengthMismatch { expected: 4, found: 6 }))
+    ));
+    assert!(matches!(
+        rf.score_checked(&[0.1, f32::NAN, 0.3, 0.4], NanPolicy::Reject),
+        Err(DrcshapError::Input(InputError::NonFinite { index: 1, .. }))
+    ));
+    assert!(matches!(
+        rf.score_checked(&[0.1, 0.2, f32::INFINITY, 0.4], NanPolicy::Reject),
+        Err(DrcshapError::Input(InputError::NonFinite { index: 2, .. }))
+    ));
+    // The clean vector sails through and matches the raw score.
+    let x = [0.1, 0.2, 0.3, 0.4];
+    assert_eq!(rf.score_checked(&x, NanPolicy::Reject).unwrap().to_bits(), rf.score(&x).to_bits());
+}
+
+#[test]
+fn lenient_policies_return_defined_probabilities() {
+    let rf = forest(4, 6);
+    let dirty = [f32::NAN, 0.2, f32::INFINITY, 0.4];
+    for policy in [NanPolicy::ImputeZero, NanPolicy::NanAware] {
+        let p = rf.score_checked(&dirty, policy).unwrap();
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "{policy:?}: {p}");
+    }
+    // Lenient policies still reject wrong-length vectors.
+    for policy in [NanPolicy::ImputeZero, NanPolicy::NanAware] {
+        assert!(matches!(
+            rf.score_checked(&[0.5], policy),
+            Err(DrcshapError::Input(InputError::LengthMismatch { .. }))
+        ));
+    }
+}
+
+#[test]
+fn artifact_fault_battery_reports_zero_panics_and_zero_undetected() {
+    let model = SavedModel::Rf(forest(6, 7));
+    let bytes = encode_model(&model, 123).expect("encode");
+    let faults = ArtifactFault::battery(bytes.len());
+    assert!(faults.len() > 60, "battery should be substantial, got {}", faults.len());
+    let report = run_artifact_faults(&bytes, 123, &faults);
+    assert!(report.all_handled(), "{report}: {:?}", report.failures);
+    assert_eq!(report.rejected, report.total(), "{report}");
+}
+
+#[test]
+fn vector_fault_battery_reports_zero_panics_under_every_policy() {
+    let rf = forest(6, 8);
+    let x = [0.3f32; 6];
+    let faults = VectorFault::battery(x.len());
+    for policy in [NanPolicy::Reject, NanPolicy::ImputeZero, NanPolicy::NanAware] {
+        let report = run_vector_faults(&rf, &x, policy, &faults);
+        assert!(report.all_handled(), "{policy:?} {report}: {:?}", report.failures);
+    }
+}
+
+#[test]
+fn magic_constant_is_stable() {
+    // The on-disk format is a contract: changing MAGIC or the header size
+    // breaks every existing artifact.
+    assert_eq!(&MAGIC, b"DRCSHAP\0");
+    assert_eq!(HEADER_LEN, 32);
+}

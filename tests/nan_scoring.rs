@@ -1,0 +1,91 @@
+//! Property tests for the NaN-aware scoring path: on clean inputs it is
+//! indistinguishable from plain scoring (bit for bit), and no amount of
+//! injected NaN keeps it from returning a defined probability.
+
+use drcshap::forest::{RandomForest, RandomForestTrainer};
+use drcshap::ml::{Classifier, Dataset, NanPolicy, Trainer};
+use proptest::prelude::*;
+
+const N_FEATURES: usize = 5;
+
+/// A deterministic forest per seed: labels follow feature 0 with a
+/// seed-dependent threshold, so different seeds give different trees.
+fn forest(seed: u64) -> RandomForest {
+    let n = 80;
+    let threshold = 0.3 + (seed % 5) as f32 * 0.1;
+    let mut x = Vec::with_capacity(n * N_FEATURES);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        for j in 0..N_FEATURES {
+            let v = (((i * 131 + j * 17 + seed as usize * 7) % 97) as f32) / 97.0;
+            x.push(v);
+        }
+        y.push(x[i * N_FEATURES] > threshold);
+    }
+    let data = Dataset::from_parts(x, y, vec![0; n], N_FEATURES);
+    RandomForestTrainer { n_trees: 7, ..Default::default() }.fit(&data, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// On NaN-free inputs the NaN-aware policy is a pure pass-through:
+    /// every tree takes identical branches, so the ensemble mean is
+    /// bit-identical to plain scoring.
+    #[test]
+    fn nan_aware_equals_plain_on_finite_inputs(
+        seed in 0u64..6,
+        x in prop::collection::vec(-0.5f32..1.5, N_FEATURES),
+    ) {
+        let rf = forest(seed);
+        let plain = rf.score(&x);
+        let aware = rf.score_checked(&x, NanPolicy::NanAware).unwrap();
+        prop_assert_eq!(plain.to_bits(), aware.to_bits());
+        // Reject agrees too on clean inputs.
+        let strict = rf.score_checked(&x, NanPolicy::Reject).unwrap();
+        prop_assert_eq!(plain.to_bits(), strict.to_bits());
+    }
+
+    /// With any subset of features replaced by NaN (up to all of them), the
+    /// NaN-aware score is still a finite probability in [0, 1].
+    #[test]
+    fn nan_aware_returns_finite_probability_with_nans(
+        seed in 0u64..6,
+        x in prop::collection::vec(-0.5f32..1.5, N_FEATURES),
+        nan_mask in prop::collection::vec(any::<bool>(), N_FEATURES),
+    ) {
+        let rf = forest(seed);
+        let mut dirty = x;
+        for (v, &poison) in dirty.iter_mut().zip(&nan_mask) {
+            if poison {
+                *v = f32::NAN;
+            }
+        }
+        let p = rf.score_checked(&dirty, NanPolicy::NanAware).unwrap();
+        prop_assert!(p.is_finite(), "score {p} for {dirty:?}");
+        prop_assert!((0.0..=1.0).contains(&p), "score {p} out of range for {dirty:?}");
+    }
+
+    /// The zero-imputation policy is exactly "substitute 0.0 for every
+    /// non-finite value, then score normally" — no hidden extra behavior.
+    #[test]
+    fn impute_zero_matches_manual_substitution(
+        seed in 0u64..6,
+        x in prop::collection::vec(-0.5f32..1.5, N_FEATURES),
+        nan_mask in prop::collection::vec(0u8..3, N_FEATURES),
+    ) {
+        let rf = forest(seed);
+        let mut dirty = x;
+        for (v, &kind) in dirty.iter_mut().zip(&nan_mask) {
+            match kind {
+                1 => *v = f32::NAN,
+                2 => *v = f32::INFINITY,
+                _ => {}
+            }
+        }
+        let cleaned: Vec<f32> =
+            dirty.iter().map(|v| if v.is_finite() { *v } else { 0.0 }).collect();
+        let imputed = rf.score_checked(&dirty, NanPolicy::ImputeZero).unwrap();
+        prop_assert_eq!(imputed.to_bits(), rf.score(&cleaned).to_bits());
+    }
+}
