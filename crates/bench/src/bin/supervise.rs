@@ -1,0 +1,53 @@
+//! Supervised, resumable build of the full 14-design suite: per-stage
+//! checkpoints, a run manifest, optional per-stage deadlines, and
+//! panic-isolated retries. Re-running the same command after a crash or a
+//! kill resumes from the last good stage of every design.
+//!
+//! ```text
+//! # checkpointed suite build into runs/supervised
+//! cargo run --release -p drcshap-bench --bin supervise
+//! # custom directory and a 120 s per-stage deadline
+//! cargo run --release -p drcshap-bench --bin supervise -- runs/full 120
+//! # scale comes from the shared env knobs
+//! DRCSHAP_SCALE=0.1 cargo run --release -p drcshap-bench --bin supervise
+//! ```
+
+use std::time::Duration;
+
+use drcshap_bench::env_pipeline;
+use drcshap_core::supervisor::{run_supervised, SupervisorConfig};
+use drcshap_geom::CancelToken;
+use drcshap_netlist::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run_dir = args.first().map(String::as_str).unwrap_or("runs/supervised").to_string();
+    let deadline = args.get(1).map(|s| {
+        let secs: f64 = s.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad deadline {s:?}: expected seconds as a float");
+            std::process::exit(2);
+        });
+        Duration::from_secs_f64(secs)
+    });
+
+    let mut sup = SupervisorConfig::new(env_pipeline(), run_dir);
+    sup.stage_deadline = deadline;
+    eprintln!(
+        "supervised suite build at scale {} into {} (deadline: {:?})...",
+        sup.pipeline.scale,
+        sup.run_dir.display(),
+        sup.stage_deadline
+    );
+    match run_supervised(&suite::all_specs(), &sup, &CancelToken::new()) {
+        Ok(report) => {
+            println!("{}", report.render());
+            if report.completed() < report.designs.len() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -14,9 +14,15 @@
 use drcshap_core::pipeline::PipelineConfig;
 use drcshap_core::zoo::{ModelBudget, ModelFamily};
 
-/// Reads the pipeline configuration from the environment.
+/// Reads the pipeline configuration from the environment. A malformed or
+/// out-of-range `DRCSHAP_SCALE` prints the typed error and exits with
+/// status 2 — the harness binaries are non-interactive, so failing loudly
+/// up front beats running the wrong experiment.
 pub fn env_pipeline() -> PipelineConfig {
-    PipelineConfig::from_env()
+    PipelineConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Reads the training budget from `DRCSHAP_BUDGET`.

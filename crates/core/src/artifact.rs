@@ -188,36 +188,41 @@ const fn crc32_table() -> [u32; 256] {
     table
 }
 
-/// Serializes `model` into artifact bytes, stamping `schema_fingerprint`.
+/// Assembles a versioned, checksummed container around `payload`.
 ///
-/// # Errors
-///
-/// [`ArtifactError::Payload`] if JSON serialization fails (practically
-/// impossible for in-memory models).
-pub fn encode_model(model: &SavedModel, schema_fingerprint: u64) -> Result<Vec<u8>, DrcshapError> {
-    let payload = model.to_payload()?;
+/// The container is the generic carrier behind both model artifacts
+/// ([`encode_model`], kind = a [`ModelKind`] code) and the supervisor's
+/// stage checkpoints (`core::supervisor`, kind = a stage code). The `kind`
+/// byte and `fingerprint` are *not* interpreted here; callers define their
+/// own code spaces and bind the fingerprint to whatever identity matters
+/// (feature schema, pipeline config).
+pub fn encode_container(kind: u8, fingerprint: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.push(model.kind().code());
+    out.push(kind);
     out.push(0); // reserved
-    out.extend_from_slice(&schema_fingerprint.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
-    Ok(out)
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
 }
 
-/// Decodes artifact bytes, validating the full header chain (magic, version,
-/// kind, reserved byte, schema fingerprint, payload length, CRC32) before
-/// touching the payload.
+/// Validates a container's framing (magic, version, reserved byte,
+/// fingerprint, payload length, CRC32) and returns the kind byte and the
+/// payload slice. The kind byte is returned, not validated — its code space
+/// belongs to the caller.
 ///
 /// # Errors
 ///
 /// A precise [`ArtifactError`] variant for each corruption class, or
-/// [`SchemaError::FingerprintMismatch`] when the artifact was trained
-/// against a different schema than `expected_fingerprint`.
-pub fn decode_model(bytes: &[u8], expected_fingerprint: u64) -> Result<SavedModel, DrcshapError> {
+/// [`SchemaError::FingerprintMismatch`] when the container was stamped with
+/// a different fingerprint than `expected_fingerprint`.
+pub fn decode_container(
+    bytes: &[u8],
+    expected_fingerprint: u64,
+) -> Result<(u8, &[u8]), DrcshapError> {
     if bytes.len() < HEADER_LEN {
         return Err(ArtifactError::TooShort { needed: HEADER_LEN, found: bytes.len() }.into());
     }
@@ -233,7 +238,6 @@ pub fn decode_model(bytes: &[u8], expected_fingerprint: u64) -> Result<SavedMode
         }
         .into());
     }
-    let kind = ModelKind::from_code(bytes[10]).ok_or(ArtifactError::UnknownModelKind(bytes[10]))?;
     if bytes[11] != 0 {
         return Err(ArtifactError::ReservedNonZero { offset: 11 }.into());
     }
@@ -263,6 +267,31 @@ pub fn decode_model(bytes: &[u8], expected_fingerprint: u64) -> Result<SavedMode
     if stored != computed {
         return Err(ArtifactError::ChecksumMismatch { stored, computed }.into());
     }
+    Ok((bytes[10], payload))
+}
+
+/// Serializes `model` into artifact bytes, stamping `schema_fingerprint`.
+///
+/// # Errors
+///
+/// [`ArtifactError::Payload`] if JSON serialization fails (practically
+/// impossible for in-memory models).
+pub fn encode_model(model: &SavedModel, schema_fingerprint: u64) -> Result<Vec<u8>, DrcshapError> {
+    let payload = model.to_payload()?;
+    Ok(encode_container(model.kind().code(), schema_fingerprint, &payload))
+}
+
+/// Decodes artifact bytes, validating the full container framing and the
+/// model kind before touching the payload.
+///
+/// # Errors
+///
+/// Every [`decode_container`] rejection, plus
+/// [`ArtifactError::UnknownModelKind`] for a kind byte outside the
+/// [`ModelKind`] code space.
+pub fn decode_model(bytes: &[u8], expected_fingerprint: u64) -> Result<SavedModel, DrcshapError> {
+    let (code, payload) = decode_container(bytes, expected_fingerprint)?;
+    let kind = ModelKind::from_code(code).ok_or(ArtifactError::UnknownModelKind(code))?;
     SavedModel::from_payload(kind, payload)
 }
 
@@ -332,6 +361,27 @@ mod tests {
         // Standard IEEE CRC32 check value.
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn container_round_trips_any_kind_byte() {
+        let payload = br#"{"stage":"route"}"#;
+        let bytes = encode_container(0x13, 77, payload);
+        let (kind, body) = decode_container(&bytes, 77).expect("decode");
+        assert_eq!(kind, 0x13);
+        assert_eq!(body, payload.as_slice());
+        // Wrong fingerprint is rejected before the payload is touched.
+        assert!(matches!(
+            decode_container(&bytes, 78),
+            Err(DrcshapError::Schema(SchemaError::FingerprintMismatch { expected: 78, found: 77 }))
+        ));
+        // A payload bit-flip is caught by the checksum.
+        let mut flipped = bytes.clone();
+        flipped[HEADER_LEN + 3] ^= 0x20;
+        assert!(matches!(
+            decode_container(&flipped, 77),
+            Err(DrcshapError::Artifact(ArtifactError::ChecksumMismatch { .. }))
+        ));
     }
 
     #[test]

@@ -134,6 +134,33 @@ impl ArtifactFault {
     }
 }
 
+/// A deterministic fault injected at a stage boundary of a supervised run
+/// ([`crate::supervisor::run_supervised`]). Fires exactly once per run —
+/// the supervisor disarms it after the first match — so retry and resume
+/// paths proceed cleanly and the test can assert recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageFault {
+    /// Name of the design to fault.
+    pub design: String,
+    /// Stage at whose boundary the fault fires.
+    pub stage: crate::supervisor::Stage,
+    /// What the fault does.
+    pub kind: StageFaultKind,
+}
+
+/// The kinds of stage-boundary faults the supervisor can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageFaultKind {
+    /// Fire the run's cancel token just before the stage executes —
+    /// simulates an operator kill mid-run.
+    Cancel,
+    /// Panic inside the stage body — exercises panic isolation and retry.
+    Panic,
+    /// Flip a byte in the stage's checkpoint after writing it — exercises
+    /// CRC detection and recompute-on-resume.
+    CorruptCheckpoint,
+}
+
 /// Outcome tally from a fault suite.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultReport {

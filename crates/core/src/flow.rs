@@ -8,8 +8,9 @@
 //! not a synthetic congestion edit.
 
 use drcshap_features::extract_design;
+use drcshap_geom::budget::{BudgetState, Interrupted, StageBudget};
 use drcshap_geom::GcellId;
-use drcshap_route::{reroute_around, RouteConfig};
+use drcshap_route::{reroute_around_budgeted, RouteConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -40,6 +41,12 @@ pub struct FixLoopReport {
     pub remaining_hotspots: usize,
     /// Mean predicted probability over the remaining hotspots (0 if none).
     pub remaining_mean_risk: f64,
+    /// True when the loop stopped with hotspots still predicted — because a
+    /// round rerouted nothing, the wall-clock budget ran out, or the
+    /// iteration budget was exhausted. False when the loop converged (no
+    /// cell scores at or above the threshold any more).
+    #[serde(default)]
+    pub stalled: bool,
 }
 
 impl FixLoopReport {
@@ -80,10 +87,14 @@ fn predicted_hotspots(
 
 /// Runs up to `max_iterations` predict→reroute rounds on `bundle`, mutating
 /// its route and features in place. Stops early when nothing scores at or
-/// above `threshold` or a round reroutes nothing.
+/// above `threshold`, a round reroutes nothing, or `budget` runs out —
+/// whichever comes first; the report's `stalled` flag says whether hotspots
+/// were still predicted when the loop stopped.
 ///
 /// `targets_per_iter` caps how many hotspots each round attacks (the
-/// strongest predictions first).
+/// strongest predictions first). On cancellation mid-reroute the round's
+/// partial work is discarded and the bundle keeps its previous route.
+#[allow(clippy::too_many_arguments)] // established call signature + budget
 pub fn run_fix_loop(
     explainer: &Explainer,
     bundle: &mut DesignBundle,
@@ -92,10 +103,14 @@ pub fn run_fix_loop(
     targets_per_iter: usize,
     max_iterations: usize,
     seed: u64,
+    budget: &StageBudget,
 ) -> FixLoopReport {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut iterations = Vec::new();
     for _ in 0..max_iterations {
+        if budget.check() != BudgetState::Within {
+            break;
+        }
         let hits = predicted_hotspots(explainer, bundle, threshold);
         if hits.is_empty() {
             break;
@@ -106,9 +121,18 @@ pub fn run_fix_loop(
             .take(targets_per_iter)
             .map(|&(i, _)| bundle.design.grid.cell_at_index(i))
             .collect();
-        let (new_route, rerouted) =
-            reroute_around(&bundle.design, &bundle.route, &targets, config, &mut rng);
-        let stalled = rerouted == 0;
+        let (new_route, rerouted) = match reroute_around_budgeted(
+            &bundle.design,
+            &bundle.route,
+            &targets,
+            config,
+            &mut rng,
+            budget,
+        ) {
+            Ok(result) => result,
+            Err(Interrupted) => break,
+        };
+        let no_progress = rerouted == 0;
         iterations.push(FixIteration {
             predicted_hotspots: hits.len(),
             mean_risk,
@@ -117,7 +141,7 @@ pub fn run_fix_loop(
         });
         bundle.route = new_route;
         bundle.features = extract_design(&bundle.design, &bundle.route);
-        if stalled {
+        if no_progress {
             break;
         }
     }
@@ -127,7 +151,12 @@ pub fn run_fix_loop(
     } else {
         remaining.iter().map(|&(_, p)| p).sum::<f64>() / remaining.len() as f64
     };
-    FixLoopReport { iterations, remaining_hotspots: remaining.len(), remaining_mean_risk }
+    FixLoopReport {
+        iterations,
+        remaining_hotspots: remaining.len(),
+        remaining_mean_risk,
+        stalled: !remaining.is_empty(),
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +189,16 @@ mod tests {
                 / targets.len() as f64
         };
         let before = risk_of(&bundle);
-        let report = run_fix_loop(&explainer, &mut bundle, &route_config, 0.3, 10, 3, 11);
+        let report = run_fix_loop(
+            &explainer,
+            &mut bundle,
+            &route_config,
+            0.3,
+            10,
+            3,
+            11,
+            &StageBudget::unlimited(),
+        );
         assert!(!report.iterations.is_empty());
         assert!(report.iterations[0].rerouted_conns > 0, "nothing rerouted");
         let after = risk_of(&bundle);
@@ -180,8 +218,36 @@ mod tests {
         let explainer = Explainer::train(std::slice::from_ref(&bundle), &trainer, 1);
         let route_config = pconfig.route_for(&bundle.design.spec);
         // des_perf_b is DRC-clean: the self-trained model scores ~0 everywhere.
-        let report = run_fix_loop(&explainer, &mut bundle, &route_config, 0.5, 5, 3, 1);
+        let report = run_fix_loop(
+            &explainer,
+            &mut bundle,
+            &route_config,
+            0.5,
+            5,
+            3,
+            1,
+            &StageBudget::unlimited(),
+        );
         assert!(report.iterations.is_empty());
         assert_eq!(report.remaining_hotspots, 0);
+        assert!(!report.stalled, "a converged loop is not stalled");
+    }
+
+    #[test]
+    fn fix_loop_expired_budget_stops_early_and_reports_stall() {
+        let pconfig = PipelineConfig { scale: 0.25, ..Default::default() };
+        let mut bundle = build_design(&suite::spec("des_perf_1").unwrap(), &pconfig);
+        let trainer = RandomForestTrainer { n_trees: 10, ..Default::default() };
+        let explainer = Explainer::train(std::slice::from_ref(&bundle), &trainer, 7);
+        let route_config = pconfig.route_for(&bundle.design.spec);
+        assert!(
+            !predicted_hotspots(&explainer, &bundle, 0.3).is_empty(),
+            "no predicted hotspots to stall on"
+        );
+        let budget = StageBudget::with_deadline(std::time::Duration::ZERO);
+        let report = run_fix_loop(&explainer, &mut bundle, &route_config, 0.3, 10, 3, 11, &budget);
+        assert!(report.iterations.is_empty(), "expired budget must stop before any round");
+        assert!(report.stalled, "hotspots remain, so the loop stalled");
+        assert!(report.remaining_hotspots > 0);
     }
 }

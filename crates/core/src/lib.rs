@@ -20,7 +20,10 @@
 //! - [`artifact`] — versioned, checksummed on-disk model artifacts with
 //!   strict validation on load;
 //! - [`faults`] — a fault-injection harness proving that corrupted inputs
-//!   and artifacts produce typed errors, never panics.
+//!   and artifacts produce typed errors, never panics;
+//! - [`supervisor`] — supervised, resumable suite builds: per-stage
+//!   checkpoints, a run manifest, per-stage deadlines with degraded-mode
+//!   completion, cooperative cancellation, and panic-isolated retries.
 //!
 //! # Example
 //!
@@ -44,14 +47,22 @@ pub mod explain;
 pub mod faults;
 pub mod flow;
 pub mod pipeline;
+pub mod supervisor;
 pub mod zoo;
 
 pub use artifact::{decode_model, encode_model, load_model, save_model, ModelKind, SavedModel};
 pub use eval::{evaluate_models, DesignMetrics, EvalConfig, Table2};
 pub use explain::{CaseArchetype, Explainer, ExplanationCase, TriageReport, TriageRow};
-pub use faults::{run_artifact_faults, run_vector_faults, ArtifactFault, FaultReport, VectorFault};
+pub use faults::{
+    run_artifact_faults, run_vector_faults, ArtifactFault, FaultReport, StageFault, StageFaultKind,
+    VectorFault,
+};
 pub use flow::{run_fix_loop, FixIteration, FixLoopReport};
 pub use pipeline::{
     build_design, build_suite, try_build_design, try_build_suite, DesignBundle, PipelineConfig,
+};
+pub use supervisor::{
+    read_manifest, run_supervised, DesignOutcome, DesignStatus, RunManifest, Stage, SuiteReport,
+    SupervisorConfig,
 };
 pub use zoo::{ModelFamily, TrainedModel};

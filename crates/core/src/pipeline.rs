@@ -11,9 +11,10 @@ use drcshap_route::{route_design, RouteConfig, RouteOutcome};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// Pipeline parameters: dataset scale and the substrate configurations.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Linear design scale (1.0 = paper scale; the default 0.25 yields
     /// roughly 1/16 of the paper's ~146k samples).
@@ -42,17 +43,32 @@ impl PipelineConfig {
     /// Reads the scale from the environment: `DRCSHAP_FULL=1` selects paper
     /// scale, otherwise `DRCSHAP_SCALE` (a float in `(0, 1]`), otherwise the
     /// default 0.25.
-    pub fn from_env() -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`InputError::Usage`] when `DRCSHAP_SCALE` is set but not a number
+    /// (a silently ignored typo would run the wrong experiment);
+    /// [`InputError::InvalidScale`] when it parses but lies outside `(0, 1]`.
+    pub fn from_env() -> Result<Self, DrcshapError> {
         let mut config = Self::default();
         if std::env::var("DRCSHAP_FULL").is_ok_and(|v| v == "1") {
             config.scale = 1.0;
-        } else if let Some(s) =
-            std::env::var("DRCSHAP_SCALE").ok().and_then(|v| v.parse::<f64>().ok())
-        {
-            assert!(s > 0.0 && s <= 1.0, "DRCSHAP_SCALE must be in (0, 1]");
-            config.scale = s;
+        } else if let Ok(raw) = std::env::var("DRCSHAP_SCALE") {
+            config.scale = raw.parse::<f64>().map_err(|_| {
+                DrcshapError::usage(format!("DRCSHAP_SCALE is not a number: {raw:?}"))
+            })?;
+            config.validate()?;
         }
-        config
+        Ok(config)
+    }
+
+    /// A stable fingerprint of this configuration: CRC32 of its canonical
+    /// JSON, widened to `u64`. Stage checkpoints and run manifests are
+    /// stamped with it, so resuming a run under a different configuration is
+    /// rejected instead of silently mixing incompatible intermediate state.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_vec(self).expect("pipeline config serializes");
+        u64::from(crate::artifact::crc32(&json))
     }
 
     /// Checks the configuration is usable: `scale` must be a finite value
@@ -222,6 +238,37 @@ mod tests {
         for scale in [0.05, 0.25, 1.0] {
             assert!(PipelineConfig { scale, ..Default::default() }.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn from_env_rejects_malformed_and_out_of_range_scales() {
+        // Serialize access to the process environment within this test only;
+        // no other test reads DRCSHAP_SCALE at test time.
+        std::env::remove_var("DRCSHAP_FULL");
+
+        std::env::set_var("DRCSHAP_SCALE", "0.4");
+        let c = PipelineConfig::from_env().expect("valid scale");
+        assert_eq!(c.scale, 0.4);
+
+        std::env::set_var("DRCSHAP_SCALE", "not-a-number");
+        let e = PipelineConfig::from_env().unwrap_err();
+        assert!(matches!(&e, DrcshapError::Input(InputError::Usage(_))), "{e}");
+        assert!(e.to_string().contains("not-a-number"), "{e}");
+
+        std::env::set_var("DRCSHAP_SCALE", "3.0");
+        let e = PipelineConfig::from_env().unwrap_err();
+        assert!(matches!(e, DrcshapError::Input(InputError::InvalidScale { .. })), "{e}");
+
+        std::env::remove_var("DRCSHAP_SCALE");
+        assert_eq!(PipelineConfig::from_env().expect("default").scale, 0.25);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_parameters() {
+        let a = PipelineConfig::default();
+        let b = PipelineConfig { scale: 0.2, ..Default::default() };
+        assert_eq!(a.fingerprint(), PipelineConfig::default().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

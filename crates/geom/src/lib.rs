@@ -20,11 +20,13 @@
 //! assert_eq!((cell.x, cell.y), (0, 99));
 //! ```
 
+pub mod budget;
 mod grid;
 mod point;
 mod rect;
 mod window;
 
+pub use budget::{BudgetState, CancelToken, Interrupted, Pacer, StageBudget};
 pub use grid::{GcellGrid, GcellId};
 pub use point::Point;
 pub use rect::Rect;

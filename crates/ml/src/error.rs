@@ -27,6 +27,8 @@ pub enum DrcshapError {
         /// The underlying OS error.
         source: std::io::Error,
     },
+    /// A supervised data-acquisition run failed or was interrupted.
+    Pipeline(PipelineError),
 }
 
 impl DrcshapError {
@@ -48,6 +50,7 @@ impl fmt::Display for DrcshapError {
             DrcshapError::Schema(e) => write!(f, "schema error: {e}"),
             DrcshapError::Input(e) => write!(f, "input error: {e}"),
             DrcshapError::Io { path, source } => write!(f, "io error on {path}: {source}"),
+            DrcshapError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
     }
 }
@@ -78,6 +81,78 @@ impl From<InputError> for DrcshapError {
         DrcshapError::Input(e)
     }
 }
+
+impl From<PipelineError> for DrcshapError {
+    fn from(e: PipelineError) -> Self {
+        DrcshapError::Pipeline(e)
+    }
+}
+
+/// Why a supervised pipeline run (or one design within it) went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The run's cancel token fired while a stage was executing.
+    Cancelled {
+        /// Design being built when cancellation was observed.
+        design: String,
+        /// Stage name being executed.
+        stage: String,
+    },
+    /// A stage body panicked; the panic was caught at the design boundary.
+    StagePanicked {
+        /// Design whose stage panicked.
+        design: String,
+        /// Stage name that panicked.
+        stage: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A design failed all its attempts; the rest of the suite continued.
+    DesignFailed {
+        /// The failed design.
+        design: String,
+        /// Attempts made (including retries).
+        attempts: usize,
+        /// Rendering of the last attempt's error.
+        last_error: String,
+    },
+    /// A stage checkpoint on disk failed validation and could not be used.
+    CheckpointCorrupt {
+        /// Path of the rejected checkpoint file.
+        path: String,
+        /// What the validation found.
+        detail: String,
+    },
+    /// The on-disk run manifest disagrees with the requested run.
+    ManifestMismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Cancelled { design, stage } => {
+                write!(f, "run cancelled during {design}/{stage}")
+            }
+            PipelineError::StagePanicked { design, stage, message } => {
+                write!(f, "stage {design}/{stage} panicked: {message}")
+            }
+            PipelineError::DesignFailed { design, attempts, last_error } => {
+                write!(f, "design {design} failed after {attempts} attempts: {last_error}")
+            }
+            PipelineError::CheckpointCorrupt { path, detail } => {
+                write!(f, "checkpoint {path} is unusable: {detail}")
+            }
+            PipelineError::ManifestMismatch { detail } => {
+                write!(f, "run manifest mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Why a serialized model artifact was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -278,6 +353,30 @@ mod tests {
 
         let e = DrcshapError::usage("missing design name");
         assert!(e.to_string().contains("missing design name"));
+    }
+
+    #[test]
+    fn pipeline_errors_display_design_and_stage() {
+        let e = DrcshapError::from(PipelineError::Cancelled {
+            design: "fft_2".into(),
+            stage: "route".into(),
+        });
+        let s = e.to_string();
+        assert!(s.contains("pipeline error") && s.contains("fft_2/route"), "{s}");
+
+        let e = PipelineError::DesignFailed {
+            design: "des_perf_1".into(),
+            attempts: 2,
+            last_error: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("after 2 attempts") && s.contains("boom"), "{s}");
+
+        let e = PipelineError::CheckpointCorrupt {
+            path: "/run/fft_1/route.ckpt".into(),
+            detail: "payload CRC32 mismatch".into(),
+        };
+        assert!(e.to_string().contains("route.ckpt"));
     }
 
     #[test]

@@ -32,5 +32,5 @@ mod placer;
 mod rows;
 
 pub use density::DensityMap;
-pub use placer::{place, PlaceSummary};
+pub use placer::{place, place_budgeted, PlaceSummary};
 pub use rows::RowMap;

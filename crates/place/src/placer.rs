@@ -16,6 +16,7 @@
 //! deliberate hot regions — the substrate on which net synthesis, global
 //! routing and ultimately DRC labels build.
 
+use drcshap_geom::budget::{BudgetState, Interrupted, StageBudget};
 use drcshap_geom::{GcellId, Point};
 use drcshap_netlist::{CellId, Design};
 use rand::seq::SliceRandom;
@@ -39,6 +40,10 @@ pub struct PlaceSummary {
     pub hotspot_seeds: usize,
     /// Maximum measured per-g-cell density after placement.
     pub max_density: f64,
+    /// Whether the legalization loop ran out of wall-clock budget and
+    /// finished with the whole-die spill fallback for the remaining cells.
+    #[serde(default)]
+    pub deadline_degraded: bool,
 }
 
 /// Places every cell of `design` (see the module docs for the algorithm).
@@ -48,6 +53,29 @@ pub struct PlaceSummary {
 /// Panics if cells are already placed, or if the die cannot fit the cells
 /// (suite specs guarantee utilization ≤ 0.97).
 pub fn place<R: Rng>(design: &mut Design, rng: &mut R) -> PlaceSummary {
+    match place_budgeted(design, rng, &StageBudget::unlimited()) {
+        Ok(summary) => summary,
+        Err(Interrupted) => unreachable!("an unlimited budget cannot be cancelled"),
+    }
+}
+
+/// Budgeted variant of [`place`]: on deadline expiry the remaining cells skip
+/// the density-targeted g-cell fit and go straight to the whole-die spill
+/// scan (still legal, just less shapely); on cancellation the call returns
+/// [`Interrupted`] and the partially placed design should be discarded.
+///
+/// # Errors
+///
+/// [`Interrupted`] when the budget's cancel token fires.
+///
+/// # Panics
+///
+/// As [`place`].
+pub fn place_budgeted<R: Rng>(
+    design: &mut Design,
+    rng: &mut R,
+    budget: &StageBudget,
+) -> Result<PlaceSummary, Interrupted> {
     assert_eq!(design.placement.num_placed(), 0, "design already placed");
     design.placement.resize(design.netlist.num_cells());
 
@@ -71,10 +99,19 @@ pub fn place<R: Rng>(design: &mut Design, rng: &mut R) -> PlaceSummary {
         let c = design.netlist.cell(CellId::from_index(i));
         std::cmp::Reverse((c.multi_height as i64, c.width))
     });
+    let mut deadline_hit = false;
+    let mut pacer = budget.pacer(128);
     for idx in order {
+        if !deadline_hit {
+            match pacer.tick(budget) {
+                BudgetState::Cancelled => return Err(Interrupted),
+                BudgetState::DeadlineExpired => deadline_hit = true,
+                BudgetState::Within => {}
+            }
+        }
         let cell_id = CellId::from_index(idx);
         let g = assignment[idx];
-        if !try_place_in_gcell(design, &mut rows, cell_id, g, rng) {
+        if deadline_hit || !try_place_in_gcell(design, &mut rows, cell_id, g, rng) {
             spill_place(design, &mut rows, cell_id, rng);
             spilled += 1;
         }
@@ -83,7 +120,13 @@ pub fn place<R: Rng>(design: &mut Design, rng: &mut R) -> PlaceSummary {
     let _ = grid;
 
     let max_density = DensityMap::measured(design).max();
-    PlaceSummary { placed: design.placement.num_placed(), spilled, hotspot_seeds, max_density }
+    Ok(PlaceSummary {
+        placed: design.placement.num_placed(),
+        spilled,
+        hotspot_seeds,
+        max_density,
+        deadline_degraded: deadline_hit,
+    })
 }
 
 /// Builds the target cell-area field (DBU² per g-cell) and returns it with
@@ -340,6 +383,31 @@ mod tests {
         let hot_max = DensityMap::measured(&hot).max();
         let cool_mean = DensityMap::measured(&cool).mean();
         assert!(hot_max > 3.0 * cool_mean, "hotspots not denser: {hot_max} vs mean {cool_mean}");
+    }
+
+    #[test]
+    fn expired_deadline_still_places_every_cell() {
+        let spec = suite::spec("fft_1").unwrap().scaled(0.3);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        synth::generate_cells(&mut d, &mut rng);
+        let budget = StageBudget::with_deadline(std::time::Duration::ZERO);
+        let s = place_budgeted(&mut d, &mut rng, &budget).unwrap();
+        assert!(s.deadline_degraded);
+        assert_eq!(s.placed, d.netlist.num_cells());
+        assert_eq!(d.placement.num_placed(), d.netlist.num_cells());
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_placement() {
+        let spec = suite::spec("fft_1").unwrap().scaled(0.3);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        synth::generate_cells(&mut d, &mut rng);
+        let token = drcshap_geom::budget::CancelToken::new();
+        token.cancel();
+        let budget = StageBudget::unlimited().cancelled_by(token);
+        assert_eq!(place_budgeted(&mut d, &mut rng, &budget), Err(Interrupted));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! re-planned under negotiated congestion (patterns first, A* maze when the
 //! pattern still overflows), and layer assignment + via insertion rerun.
 
+use drcshap_geom::budget::{BudgetState, Interrupted, StageBudget};
 use drcshap_geom::GcellId;
 use drcshap_netlist::Design;
 use rand::Rng;
@@ -42,6 +43,33 @@ pub fn reroute_around<R: Rng>(
     config: &RouteConfig,
     rng: &mut R,
 ) -> (RouteOutcome, usize) {
+    match reroute_around_budgeted(design, prior, targets, config, rng, &StageBudget::unlimited()) {
+        Ok(result) => result,
+        Err(Interrupted) => unreachable!("an unlimited budget cannot be cancelled"),
+    }
+}
+
+/// Budgeted variant of [`reroute_around`]: on deadline expiry, victims not
+/// yet rerouted keep their *original* paths (recommitted unchanged) and the
+/// outcome is marked degraded; on cancellation the call returns
+/// [`Interrupted`] and the partial state is discarded.
+///
+/// # Errors
+///
+/// [`Interrupted`] when the budget's cancel token fires.
+///
+/// # Panics
+///
+/// As [`reroute_around`]: a prior path referencing a missing net, or a
+/// target outside the grid.
+pub fn reroute_around_budgeted<R: Rng>(
+    design: &Design,
+    prior: &RouteOutcome,
+    targets: &[GcellId],
+    config: &RouteConfig,
+    rng: &mut R,
+    budget: &StageBudget,
+) -> Result<(RouteOutcome, usize), Interrupted> {
     for &t in targets {
         assert!(design.grid.contains_cell(t), "target {t} outside the grid");
     }
@@ -81,17 +109,32 @@ pub fn reroute_around<R: Rng>(
             path.len() >= 2 && path[1..path.len() - 1].iter().any(|g| target_set.contains(g))
         })
         .collect();
-    let rerouted = victims.len();
 
     for &i in &victims {
         planar.commit(&paths[i], conns[i].demand, -1.0);
     }
+    let mut deadline_hit = false;
+    let mut skipped = 0usize;
+    let mut pacer = budget.pacer(16);
     for &i in &victims {
+        if !deadline_hit {
+            match pacer.tick(budget) {
+                BudgetState::Cancelled => return Err(Interrupted),
+                BudgetState::DeadlineExpired => deadline_hit = true,
+                BudgetState::Within => {}
+            }
+        }
+        if deadline_hit {
+            // Out of time: recommit the original path unchanged.
+            planar.commit(&paths[i], conns[i].demand, 1.0);
+            skipped += 1;
+            continue;
+        }
         let mut path = planar.route_patterns(&conns[i], rng);
         // Pattern routes may still cross a target; fall back to the maze,
         // which sees the target penalty.
         if path[1..path.len().saturating_sub(1)].iter().any(|g| target_set.contains(g)) {
-            if let Some(maze) = planar.route_maze(&conns[i]) {
+            if let Some(maze) = planar.route_maze(&conns[i], budget) {
                 path = maze;
             }
         }
@@ -99,8 +142,11 @@ pub fn reroute_around<R: Rng>(
         paths[i] = path;
     }
 
-    let outcome = finalize_routing(design, capacities, &conns, paths, prior.local_nets, rng);
-    (outcome, rerouted)
+    let rerouted = victims.len() - skipped;
+    let deadline = deadline_hit.then_some(skipped);
+    let outcome =
+        finalize_routing(design, capacities, &conns, paths, prior.local_nets, rng, deadline);
+    Ok((outcome, rerouted))
 }
 
 #[cfg(test)]

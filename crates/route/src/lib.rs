@@ -49,9 +49,9 @@ pub mod steiner;
 pub use config::{NetOrder, RouteConfig};
 pub use congestion::{CongestionMap, EdgeDir};
 pub use decompose::{decompose_net, TwoPinConn};
-pub use incremental::reroute_around;
+pub use incremental::{reroute_around, reroute_around_budgeted};
 pub use layers::{MetalLayer, ViaLayer, ALL_METALS, ALL_VIAS};
-pub use outcome::{RouteOutcome, RoutedConn, Segment};
+pub use outcome::{DegradeReason, RouteOutcome, RouteStatus, RoutedConn, Segment};
 pub use render::{cell_utilization, heat_glyph, render_heatmap, HeatSource};
-pub use router::route_design;
+pub use router::{route_design, route_design_budgeted};
 pub use steiner::{decompose_net_with, steiner_tree, Decomposition, SteinerTree};

@@ -50,9 +50,60 @@ impl RoutedConn {
     }
 }
 
+/// Why a routing run degraded instead of completing normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// The stage's wall-clock budget expired: remaining connections fell
+    /// back to uncosted L patterns and negotiation stopped early.
+    DeadlineExpired,
+    /// Layer assignment could not produce a normal route for some
+    /// connections; they carry fallback pattern routes instead.
+    Unassigned,
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradeReason::DeadlineExpired => "deadline expired",
+            DegradeReason::Unassigned => "unassigned connections",
+        })
+    }
+}
+
+/// Completion status of a routing run.
+///
+/// A `Degraded` outcome is still a *complete* routing state — every
+/// connection has a path, the congestion map is consistent, and the DRC
+/// oracle and feature extractor accept it — but `unrouted` connections got a
+/// cheap fallback (L/Z pattern without negotiation) and their overflow is
+/// recorded rather than negotiated away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RouteStatus {
+    /// Every connection was routed under full negotiation.
+    #[default]
+    Complete,
+    /// The run finished in degraded mode.
+    Degraded {
+        /// Connections that received a fallback pattern route.
+        unrouted: usize,
+        /// Why the run degraded.
+        reason: DegradeReason,
+    },
+}
+
+impl RouteStatus {
+    /// Whether this outcome is degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RouteStatus::Degraded { .. })
+    }
+}
+
 /// The outcome of global routing a design.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RouteOutcome {
+    /// Completion status ([`RouteStatus::Complete`] or degraded).
+    #[serde(default)]
+    pub status: RouteStatus,
     /// Final per-layer congestion map (capacities, loads).
     pub congestion: CongestionMap,
     /// All routed two-pin connections.
@@ -81,7 +132,11 @@ impl std::fmt::Display for RouteOutcome {
             self.edge_overflow,
             self.overflowed_edges,
             self.via_overflow
-        )
+        )?;
+        if let RouteStatus::Degraded { unrouted, reason } = self.status {
+            write!(f, " [DEGRADED: {unrouted} fallback routes, {reason}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -92,7 +147,8 @@ mod tests {
 
     #[test]
     fn outcome_display_summarizes() {
-        let out = RouteOutcome {
+        let mut out = RouteOutcome {
+            status: RouteStatus::Complete,
             congestion: CongestionMap::zeros(2, 2),
             conns: vec![],
             total_wirelength: 123,
@@ -105,6 +161,19 @@ mod tests {
         assert!(s.contains("wirelength 123"));
         assert!(s.contains("4 local nets"));
         assert!(s.contains("overflow 7.5 on 3 edges"));
+        assert!(!s.contains("DEGRADED"));
+        out.status = RouteStatus::Degraded { unrouted: 7, reason: DegradeReason::DeadlineExpired };
+        let s = out.to_string();
+        assert!(s.contains("DEGRADED: 7 fallback routes, deadline expired"), "{s}");
+        assert!(out.status.is_degraded());
+    }
+
+    #[test]
+    fn status_default_is_complete_and_round_trips() {
+        assert_eq!(RouteStatus::default(), RouteStatus::Complete);
+        let degraded = RouteStatus::Degraded { unrouted: 3, reason: DegradeReason::Unassigned };
+        let json = serde_json::to_string(&degraded).unwrap();
+        assert_eq!(serde_json::from_str::<RouteStatus>(&json).unwrap(), degraded);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use drcshap_geom::budget::{BudgetState, Interrupted, StageBudget};
 use drcshap_geom::GcellId;
 use drcshap_netlist::Design;
 use rand::seq::SliceRandom;
@@ -20,25 +21,68 @@ use crate::config::RouteConfig;
 use crate::congestion::{CongestionMap, EdgeDir};
 use crate::decompose::TwoPinConn;
 use crate::layers::{MetalLayer, ViaLayer, ALL_METALS};
-use crate::outcome::{RouteOutcome, RoutedConn, Segment};
+use crate::outcome::{DegradeReason, RouteOutcome, RouteStatus, RoutedConn, Segment};
 
 /// Globally routes `design` and returns the congestion map, routed
 /// connections and summary statistics.
 ///
-/// The run is deterministic for a given `rng` state.
+/// The run is deterministic for a given `rng` state. Equivalent to
+/// [`route_design_budgeted`] under an unlimited budget.
 ///
 /// # Panics
 ///
 /// Panics if any net has unplaced pins.
 pub fn route_design<R: Rng>(design: &Design, config: &RouteConfig, rng: &mut R) -> RouteOutcome {
+    match route_design_budgeted(design, config, rng, &StageBudget::unlimited()) {
+        Ok(outcome) => outcome,
+        Err(Interrupted) => unreachable!("an unlimited budget cannot be cancelled"),
+    }
+}
+
+/// The cheapest complete fallback for a connection: a straight or single-L
+/// pattern, with no congestion costing and no randomness.
+fn fallback_pattern(conn: &TwoPinConn) -> Vec<GcellId> {
+    let (a, b) = (conn.a, conn.b);
+    if a.x == b.x || a.y == b.y {
+        expand(&[a, b])
+    } else {
+        expand(&[a, GcellId::new(b.x, a.y), b])
+    }
+}
+
+/// Budgeted variant of [`route_design`]: polls `budget` at iteration
+/// granularity inside the initial pass, the rip-up-and-reroute negotiation
+/// rounds, and the A* maze search.
+///
+/// On **deadline expiry** the router degrades instead of dying: connections
+/// not yet routed fall back to uncosted L/Z patterns, remaining negotiation
+/// rounds are skipped, and the outcome's [`RouteStatus`] records how many
+/// connections were short-changed — the congestion map stays consistent and
+/// overflow is recorded, so labelling and feature extraction still work.
+///
+/// # Errors
+///
+/// [`Interrupted`] when the budget's cancel token fires; the partial state
+/// is discarded (a supervisor resumes from the previous stage checkpoint).
+pub fn route_design_budgeted<R: Rng>(
+    design: &Design,
+    config: &RouteConfig,
+    rng: &mut R,
+    budget: &StageBudget,
+) -> Result<RouteOutcome, Interrupted> {
     let congestion = CongestionMap::with_capacities(design, config);
     let (nx, ny) = design.grid.dims();
     let mut planar = PlanarState::from_congestion(&congestion, nx, ny, config);
 
-    // Decompose all nets.
+    // Decompose all nets. Decomposition is required for connectivity, so
+    // only cancellation (not the deadline) interrupts it.
     let mut conns: Vec<TwoPinConn> = Vec::new();
     let mut local_nets = 0usize;
+    let mut pacer = budget.pacer(256);
     for (net_id, _) in design.netlist.nets() {
+        if pacer.tick(budget) == BudgetState::Cancelled {
+            return Err(Interrupted);
+        }
         let cs = crate::steiner::decompose_net_with(design, net_id, config.decomposition);
         if cs.is_empty() {
             local_nets += 1;
@@ -56,14 +100,40 @@ pub fn route_design<R: Rng>(design: &Design, config: &RouteConfig, rng: &mut R) 
         crate::config::NetOrder::Random => order.shuffle(rng),
     }
     let mut paths: Vec<Vec<GcellId>> = vec![Vec::new(); conns.len()];
+    let mut deadline_hit = false;
+    let mut fallback_routes = 0usize;
+    let mut pacer = budget.pacer(64);
     for &i in &order {
-        let path = planar.route_patterns(&conns[i], rng);
+        if !deadline_hit {
+            match pacer.tick(budget) {
+                BudgetState::Cancelled => return Err(Interrupted),
+                BudgetState::DeadlineExpired => deadline_hit = true,
+                BudgetState::Within => {}
+            }
+        }
+        let path = if deadline_hit {
+            fallback_routes += 1;
+            fallback_pattern(&conns[i])
+        } else {
+            planar.route_patterns(&conns[i], rng)
+        };
         planar.commit(&path, conns[i].demand, 1.0);
         paths[i] = path;
     }
 
     // Negotiation: rip up and reroute connections crossing overflowed edges.
-    for round in 0..config.negotiation_rounds {
+    'rounds: for round in 0..config.negotiation_rounds {
+        if deadline_hit {
+            break;
+        }
+        match budget.check() {
+            BudgetState::Cancelled => return Err(Interrupted),
+            BudgetState::DeadlineExpired => {
+                deadline_hit = true;
+                break;
+            }
+            BudgetState::Within => {}
+        }
         planar.accumulate_history();
         let mut victims: Vec<usize> =
             (0..conns.len()).filter(|&i| planar.path_overflows(&paths[i])).collect();
@@ -74,11 +144,21 @@ pub fn route_design<R: Rng>(design: &Design, config: &RouteConfig, rng: &mut R) 
         let cap = ((conns.len() as f64 * config.max_reroute_fraction) as usize).max(64);
         victims.truncate(cap);
         let last_round = round + 1 == config.negotiation_rounds;
+        let mut pacer = budget.pacer(16);
         for i in victims {
+            // Poll *between* victims, so a rip-up is never left uncommitted.
+            match pacer.tick(budget) {
+                BudgetState::Cancelled => return Err(Interrupted),
+                BudgetState::DeadlineExpired => {
+                    deadline_hit = true;
+                    break 'rounds;
+                }
+                BudgetState::Within => {}
+            }
             planar.commit(&paths[i], conns[i].demand, -1.0);
             let mut path = planar.route_patterns(&conns[i], rng);
             if last_round && planar.path_would_overflow(&path, conns[i].demand) {
-                if let Some(maze) = planar.route_maze(&conns[i]) {
+                if let Some(maze) = planar.route_maze(&conns[i], budget) {
                     if planar.path_cost(&maze, conns[i].demand)
                         < planar.path_cost(&path, conns[i].demand)
                     {
@@ -91,13 +171,21 @@ pub fn route_design<R: Rng>(design: &Design, config: &RouteConfig, rng: &mut R) 
         }
     }
 
-    finalize_routing(design, congestion, &conns, paths, local_nets, rng)
+    let deadline = deadline_hit.then_some(fallback_routes);
+    Ok(finalize_routing(design, congestion, &conns, paths, local_nets, rng, deadline))
 }
 
 /// Layer-assigns planar paths, inserts via demand (bends, pin access, local
 /// nets) and assembles the final [`RouteOutcome`]. Shared by the full router
 /// and the incremental rerouter; `congestion` must carry capacities but no
 /// wire loads yet.
+///
+/// `deadline_fallbacks` is `Some(n)` when the caller's wall-clock budget
+/// expired after handing `n` connections an uncosted fallback pattern; the
+/// outcome is then marked [`RouteStatus::Degraded`]. Independently, any
+/// connection the assignment loop fails to produce (structurally impossible
+/// today, but formerly an `expect` panic) is given a fallback pattern route
+/// here and counted as degraded instead of aborting the run.
 pub(crate) fn finalize_routing<R: Rng>(
     design: &Design,
     mut congestion: CongestionMap,
@@ -105,6 +193,7 @@ pub(crate) fn finalize_routing<R: Rng>(
     mut paths: Vec<Vec<GcellId>>,
     local_nets: usize,
     rng: &mut R,
+    deadline_fallbacks: Option<usize>,
 ) -> RouteOutcome {
     // Assign layers in shuffled order (no connection systematically gets
     // the least-congested layers), but keep the output aligned with the
@@ -121,8 +210,31 @@ pub(crate) fn finalize_routing<R: Rng>(
         insert_vias(&path, &segments, conn.demand, &mut congestion);
         routed[i] = Some(RoutedConn { net: conn.net, path, segments });
     }
-    let routed: Vec<RoutedConn> =
-        routed.into_iter().map(|r| r.expect("every connection assigned")).collect();
+    let mut unassigned = 0usize;
+    let mut out: Vec<RoutedConn> = Vec::with_capacity(conns.len());
+    for (i, slot) in routed.into_iter().enumerate() {
+        match slot {
+            Some(r) => out.push(r),
+            None => {
+                // Degrade, don't die: give the connection a complete (if
+                // uncosted) pattern route so downstream stages can proceed.
+                unassigned += 1;
+                let path = fallback_pattern(&conns[i]);
+                total_wirelength += (path.len().saturating_sub(1)) as u64;
+                let segments = assign_layers(&path, conns[i].demand, &mut congestion, rng);
+                insert_vias(&path, &segments, conns[i].demand, &mut congestion);
+                out.push(RoutedConn { net: conns[i].net, path, segments });
+            }
+        }
+    }
+    let routed = out;
+    let status = match (deadline_fallbacks, unassigned) {
+        (None, 0) => RouteStatus::Complete,
+        (Some(n), u) => {
+            RouteStatus::Degraded { unrouted: n + u, reason: DegradeReason::DeadlineExpired }
+        }
+        (None, u) => RouteStatus::Degraded { unrouted: u, reason: DegradeReason::Unassigned },
+    };
 
     // Pin-access via demand: every pin consumes a V1 cut in its g-cell;
     // local nets additionally consume a V2 cut for the intra-cell jog.
@@ -153,6 +265,7 @@ pub(crate) fn finalize_routing<R: Rng>(
     let overflowed_edges = congestion.overflowed_edges();
     let via_overflow = congestion.total_via_overflow();
     RouteOutcome {
+        status,
         congestion,
         conns: routed,
         total_wirelength,
@@ -379,8 +492,14 @@ impl PlanarState {
             .expect("at least one pattern candidate")
     }
 
-    /// A* maze route on the planar grid; `None` only on pathological inputs.
-    pub(crate) fn route_maze(&self, conn: &TwoPinConn) -> Option<Vec<GcellId>> {
+    /// A* maze route on the planar grid; `None` on pathological inputs or
+    /// when `budget` runs out mid-search (the caller keeps its pattern
+    /// route — the degraded-but-complete fallback).
+    pub(crate) fn route_maze(
+        &self,
+        conn: &TwoPinConn,
+        budget: &StageBudget,
+    ) -> Option<Vec<GcellId>> {
         let (nx, ny) = (self.nx, self.ny);
         let idx = |g: GcellId| g.y as usize * nx + g.x as usize;
         let n = nx * ny;
@@ -398,13 +517,14 @@ impl PlanarState {
         let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
         heap.push(Reverse((key(h(start)), start as u32)));
         let mut pops = 0usize;
+        let mut pacer = budget.pacer(2048);
         while let Some(Reverse((_, u))) = heap.pop() {
             let u = u as usize;
             if u == goal {
                 break;
             }
             pops += 1;
-            if pops > 4 * n {
+            if pops > 4 * n || pacer.tick(budget) != BudgetState::Within {
                 return None;
             }
             let (x, y) = (u % nx, u / nx);
@@ -766,10 +886,71 @@ mod tests {
             b: GcellId::new(8, y as u32),
             demand: 1.0,
         };
-        let maze = planar.route_maze(&conn).expect("maze must succeed");
+        let maze = planar.route_maze(&conn, &StageBudget::unlimited()).expect("maze must succeed");
         assert_eq!(*maze.first().unwrap(), conn.a);
         assert_eq!(*maze.last().unwrap(), conn.b);
         // The detour leaves the saturated row.
         assert!(maze.iter().any(|g| g.y != y as u32), "maze did not detour");
+    }
+
+    #[test]
+    fn expired_deadline_degrades_but_completes() {
+        let spec = suite::spec("fft_1").unwrap().scaled(0.25);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(d.spec.seed());
+        synth::generate_cells(&mut d, &mut rng);
+        place(&mut d, &mut rng);
+        synth::generate_nets(&mut d, &mut rng);
+        let budget = StageBudget::with_deadline(std::time::Duration::ZERO);
+        let out = route_design_budgeted(&d, &RouteConfig::default(), &mut rng, &budget).unwrap();
+        match out.status {
+            RouteStatus::Degraded { unrouted, reason } => {
+                assert_eq!(reason, DegradeReason::DeadlineExpired);
+                assert!(unrouted > 0, "zero-deadline run must fall back on some connections");
+            }
+            RouteStatus::Complete => panic!("zero deadline must degrade"),
+        }
+        // Degraded is still a complete routing state: every connection has a
+        // contiguous path tiled by its segments.
+        assert!(!out.conns.is_empty());
+        for conn in &out.conns {
+            assert!(!conn.path.is_empty());
+            for w in conn.path.windows(2) {
+                assert_eq!(w[0].x.abs_diff(w[1].x) + w[0].y.abs_diff(w[1].y), 1);
+            }
+            let seg_len: u32 = conn.segments.iter().map(|s| s.len()).sum();
+            assert_eq!(seg_len, conn.wirelength());
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_routing() {
+        let spec = suite::spec("fft_1").unwrap().scaled(0.2);
+        let mut d = Design::new(spec);
+        let mut rng = ChaCha8Rng::seed_from_u64(d.spec.seed());
+        synth::generate_cells(&mut d, &mut rng);
+        place(&mut d, &mut rng);
+        synth::generate_nets(&mut d, &mut rng);
+        let token = drcshap_geom::budget::CancelToken::new();
+        token.cancel();
+        let budget = StageBudget::unlimited().cancelled_by(token);
+        let res = route_design_budgeted(&d, &RouteConfig::default(), &mut rng, &budget);
+        assert_eq!(res.err(), Some(Interrupted));
+    }
+
+    #[test]
+    fn fallback_pattern_connects_endpoints() {
+        let conn = TwoPinConn {
+            net: drcshap_netlist::NetId::from_index(0),
+            a: GcellId::new(2, 7),
+            b: GcellId::new(6, 1),
+            demand: 1.0,
+        };
+        let p = fallback_pattern(&conn);
+        assert_eq!(*p.first().unwrap(), conn.a);
+        assert_eq!(*p.last().unwrap(), conn.b);
+        for w in p.windows(2) {
+            assert_eq!(w[0].x.abs_diff(w[1].x) + w[0].y.abs_diff(w[1].y), 1);
+        }
     }
 }

@@ -31,8 +31,20 @@ fn main() {
     let route_config = config.route_for(&bundle.design.spec);
 
     println!("\nrunning the predict -> reroute loop on {target} (threshold 0.30):\n");
-    let report = run_fix_loop(&explainer, &mut bundle, &route_config, 0.30, 12, 4, 7);
+    let report = run_fix_loop(
+        &explainer,
+        &mut bundle,
+        &route_config,
+        0.30,
+        12,
+        4,
+        7,
+        &drcshap::geom::StageBudget::unlimited(),
+    );
     println!("{}", report.render());
+    if report.stalled {
+        println!("loop stalled with {} hotspots remaining", report.remaining_hotspots);
+    }
     println!(
         "note: rerouting can only remove congestion-driven risk; hotspots held\n\
          up by pin/cell density need a placement fix (see examples/whatif.rs)"

@@ -8,6 +8,9 @@
 //! drcshap export <design> <dir> [scale]    write CSV dataset + DEF
 //! drcshap train <design> <out.model> [scale]   fit RF, save a versioned artifact
 //! drcshap predict <model> <design> [scale]     load artifact, score the design
+//! drcshap run <dir> [scale] [--deadline <secs>]    supervised suite build with
+//!                                                  checkpoints into <dir>
+//! drcshap resume <dir> [--deadline <secs>]         resume a run from its manifest
 //! ```
 //!
 //! Every failure on the serving path surfaces as a typed
@@ -15,20 +18,25 @@
 //! (I/O, corrupted artifacts, schema mismatches) with status 1, and no
 //! input reachable from this binary panics.
 
+use std::time::Duration;
+
 use drcshap::core::artifact::crc32;
 use drcshap::core::explain::Explainer;
 use drcshap::core::pipeline::{try_build_design, try_build_suite, PipelineConfig};
-use drcshap::core::{load_model, save_model, SavedModel};
+use drcshap::core::{load_model, read_manifest, run_supervised, save_model};
+use drcshap::core::{SavedModel, SupervisorConfig};
 use drcshap::features::{FeatureMatrix, FeatureSchema};
 use drcshap::forest::RandomForestTrainer;
-use drcshap::ml::{Classifier, DrcshapError, InputError, NanPolicy, Trainer};
+use drcshap::geom::CancelToken;
+use drcshap::ml::{Classifier, DrcshapError, InputError, NanPolicy, PipelineError, Trainer};
 use drcshap::netlist::{suite, write_def, DesignSpec};
 use drcshap::route::{render_heatmap, HeatSource};
 use drcshap::shap::ForceOptions;
 
 const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
                      triage <design> [scale] [threshold] | export <design> <dir> [scale] | \
-                     train <design> <out.model> [scale] | predict <model> <design> [scale]>";
+                     train <design> <out.model> [scale] | predict <model> <design> [scale] | \
+                     run <dir> [scale] [--deadline <secs>] | resume <dir> [--deadline <secs>]>";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +48,8 @@ fn main() {
         Some("export") => cmd_export(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         _ => Err(DrcshapError::usage(USAGE)),
     };
     if let Err(e) = result {
@@ -209,6 +219,101 @@ fn cmd_train(args: &[String]) -> Result<(), DrcshapError> {
     println!("saved {} model to {out}", model.kind());
     println!("score digest: {digest}");
     Ok(())
+}
+
+/// Extracts an optional `--deadline <secs>` flag, removing it from `args`.
+fn parse_deadline(args: &mut Vec<String>) -> Result<Option<Duration>, DrcshapError> {
+    let Some(pos) = args.iter().position(|a| a == "--deadline") else {
+        return Ok(None);
+    };
+    let value = args
+        .get(pos + 1)
+        .ok_or_else(|| DrcshapError::usage("--deadline needs a value in seconds"))?;
+    let secs: f64 = value.parse().map_err(|_| {
+        DrcshapError::usage(format!("bad deadline {value:?}: expected seconds as a float"))
+    })?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(DrcshapError::usage(format!("bad deadline {secs}: must be positive")));
+    }
+    args.drain(pos..=pos + 1);
+    Ok(Some(Duration::from_secs_f64(secs)))
+}
+
+/// Runs the supervised suite build and prints the per-design table plus a
+/// CRC32 digest over the exact feature bit patterns of every completed
+/// design — a resumed run and an uninterrupted one print the same digest.
+fn run_and_report(sup: &SupervisorConfig) -> Result<(), DrcshapError> {
+    eprintln!(
+        "supervised suite build at scale {} into {}{}...",
+        sup.pipeline.scale,
+        sup.run_dir.display(),
+        match sup.stage_deadline {
+            Some(d) => format!(" (stage deadline {}s)", d.as_secs_f64()),
+            None => String::new(),
+        }
+    );
+    let report = run_supervised(&suite::all_specs(), sup, &CancelToken::new())?;
+    println!("{}", report.render());
+    let mut bytes = Vec::new();
+    for bundle in report.bundles.iter().flatten() {
+        for i in 0..bundle.features.n_samples() {
+            for v in bundle.features.row(i) {
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    println!(
+        "feature digest: crc32 {:#010x} over {} completed designs",
+        crc32(&bytes),
+        report.completed()
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), DrcshapError> {
+    let mut args = args.to_vec();
+    let deadline = parse_deadline(&mut args)?;
+    let dir = args
+        .first()
+        .ok_or_else(|| DrcshapError::usage("missing run directory (e.g. runs/full)"))?
+        .clone();
+    let scale = match args.get(1) {
+        None => PipelineConfig::from_env()?.scale,
+        Some(s) => s.parse().map_err(|_| {
+            DrcshapError::usage(format!("bad scale {s:?}: expected a float in (0, 1]"))
+        })?,
+    };
+    let mut sup = SupervisorConfig::new(PipelineConfig { scale, ..Default::default() }, dir);
+    sup.stage_deadline = deadline;
+    run_and_report(&sup)
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), DrcshapError> {
+    let mut args = args.to_vec();
+    let deadline = parse_deadline(&mut args)?;
+    let dir = args
+        .first()
+        .ok_or_else(|| DrcshapError::usage("missing run directory of the run to resume"))?
+        .clone();
+    let manifest = read_manifest(std::path::Path::new(&dir))?;
+    if let Some(s) = args.get(1) {
+        let requested: f64 = s.parse().map_err(|_| {
+            DrcshapError::usage(format!("bad scale {s:?}: expected a float in (0, 1]"))
+        })?;
+        if requested != manifest.scale {
+            return Err(PipelineError::ManifestMismatch {
+                detail: format!(
+                    "run was started at scale {}, cannot resume at {requested}",
+                    manifest.scale
+                ),
+            }
+            .into());
+        }
+    }
+    let pipeline = PipelineConfig { scale: manifest.scale, ..Default::default() };
+    let mut sup = SupervisorConfig::new(pipeline, dir);
+    sup.stage_deadline = deadline;
+    run_and_report(&sup)
 }
 
 fn cmd_predict(args: &[String]) -> Result<(), DrcshapError> {

@@ -1,17 +1,23 @@
-//! Fault-injection suite for the hardened serving path: versioned artifacts
-//! and the validated predict boundary must turn every corruption into a
-//! typed error (or a defined degraded result) — never a panic, never a
-//! silently-wrong answer.
+//! Fault-injection suite for the hardened serving path and the supervised
+//! pipeline: versioned artifacts, the validated predict boundary, and stage
+//! checkpoints must turn every corruption into a typed error (or a defined
+//! degraded result) — never a panic, never a silently-wrong answer.
 
 use drcshap::core::artifact::{
     decode_model, encode_model, load_model, save_model, ModelKind, SavedModel, HEADER_LEN, MAGIC,
 };
-use drcshap::core::faults::{run_artifact_faults, run_vector_faults, ArtifactFault, VectorFault};
+use drcshap::core::faults::{
+    run_artifact_faults, run_vector_faults, ArtifactFault, StageFault, StageFaultKind, VectorFault,
+};
+use drcshap::core::pipeline::{try_build_suite, DesignBundle, PipelineConfig};
+use drcshap::core::supervisor::{run_supervised, Stage, SuiteReport, SupervisorConfig};
 use drcshap::features::FeatureSchema;
 use drcshap::forest::{RandomForest, RandomForestTrainer};
+use drcshap::geom::CancelToken;
 use drcshap::ml::{
     ArtifactError, Classifier, Dataset, DrcshapError, InputError, NanPolicy, SchemaError, Trainer,
 };
+use drcshap::netlist::{suite, DesignSpec};
 
 /// A small forest over `m` features (fast to train, non-trivial payload).
 fn forest(m: usize, seed: u64) -> RandomForest {
@@ -202,4 +208,131 @@ fn magic_constant_is_stable() {
     // breaks every existing artifact.
     assert_eq!(&MAGIC, b"DRCSHAP\0");
     assert_eq!(HEADER_LEN, 32);
+}
+
+// ---- supervised pipeline: stage-boundary faults ------------------------
+
+const SUP_SCALE: f64 = 0.15;
+
+fn sup_specs() -> Vec<DesignSpec> {
+    vec![suite::spec("fft_1").unwrap(), suite::spec("fft_2").unwrap()]
+}
+
+fn sup_config(tag: &str) -> SupervisorConfig {
+    let dir = std::env::temp_dir().join(format!("drcshap-stagefault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    SupervisorConfig::new(PipelineConfig { scale: SUP_SCALE, ..Default::default() }, dir)
+}
+
+fn cleanup(sup: &SupervisorConfig) {
+    let _ = std::fs::remove_dir_all(&sup.run_dir);
+}
+
+/// Asserts the supervised bundles match a fresh unsupervised build of the
+/// same specs bit-exactly: same labels, same feature bit patterns.
+fn assert_matches_direct(report: &SuiteReport, direct: &[DesignBundle]) {
+    assert_eq!(report.bundles.len(), direct.len());
+    for (supervised, expected) in report.bundles.iter().zip(direct) {
+        let supervised = supervised.as_ref().expect("design completed");
+        assert_eq!(supervised.report.labels, expected.report.labels);
+        let n = expected.features.n_samples();
+        assert_eq!(supervised.features.n_samples(), n);
+        for i in 0..n {
+            let a: Vec<u32> = supervised.features.row(i).iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = expected.features.row(i).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "feature row {i} diverged");
+        }
+    }
+}
+
+#[test]
+fn supervised_suite_is_bit_identical_to_the_unsupervised_pipeline() {
+    let sup = sup_config("equiv");
+    let report = run_supervised(&sup_specs(), &sup, &CancelToken::new()).expect("run");
+    assert_eq!(report.completed(), 2, "{}", report.render());
+    assert!(!report.cancelled);
+    let direct = try_build_suite(&sup_specs(), &sup.pipeline).expect("direct build");
+    assert_matches_direct(&report, &direct);
+    cleanup(&sup);
+}
+
+#[test]
+fn cancellation_mid_route_is_resumable_bit_exactly() {
+    let mut sup = sup_config("cancel");
+    sup.fault = Some(StageFault {
+        design: "fft_2".to_string(),
+        stage: Stage::Route,
+        kind: StageFaultKind::Cancel,
+    });
+    let cancel = CancelToken::new();
+    let killed = run_supervised(&sup_specs(), &sup, &cancel).expect("cancelled run returns Ok");
+    assert!(killed.cancelled, "the injected cancel must mark the run cancelled");
+    let faulted = killed.designs.iter().find(|d| d.name == "fft_2").unwrap();
+    assert_ne!(
+        faulted.status,
+        drcshap::core::supervisor::DesignStatus::Completed,
+        "fft_2 was cancelled before its route stage"
+    );
+
+    // Resume without the fault: the run completes from the checkpoints and
+    // is bit-identical to a never-interrupted build.
+    sup.fault = None;
+    let resumed = run_supervised(&sup_specs(), &sup, &CancelToken::new()).expect("resume");
+    assert_eq!(resumed.completed(), 2, "{}", resumed.render());
+    let fft_2 = resumed.designs.iter().find(|d| d.name == "fft_2").unwrap();
+    assert!(
+        fft_2.stages_resumed >= 2,
+        "resume must reuse the synth and place checkpoints: {fft_2:?}"
+    );
+    let direct = try_build_suite(&sup_specs(), &sup.pipeline).expect("direct build");
+    assert_matches_direct(&resumed, &direct);
+    cleanup(&sup);
+}
+
+#[test]
+fn corrupt_route_checkpoint_is_recomputed_not_panicked() {
+    let sup = sup_config("corrupt");
+    let first = run_supervised(&sup_specs(), &sup, &CancelToken::new()).expect("run");
+    assert_eq!(first.completed(), 2);
+
+    // Flip one payload byte of fft_1's route checkpoint on disk.
+    let path = sup.run_dir.join("fft_1").join("route.ckpt");
+    let mut bytes = std::fs::read(&path).expect("route checkpoint exists");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let resumed = run_supervised(&sup_specs(), &sup, &CancelToken::new()).expect("resume");
+    assert_eq!(resumed.completed(), 2, "{}", resumed.render());
+    let fft_1 = resumed.designs.iter().find(|d| d.name == "fft_1").unwrap();
+    assert_eq!(fft_1.recovered_checkpoints, 1, "{fft_1:?}");
+    // synth + place resumed; route, drc, extract recomputed.
+    assert_eq!(fft_1.stages_resumed, 2, "{fft_1:?}");
+    assert_eq!(fft_1.stages_run, 3, "{fft_1:?}");
+    let direct = try_build_suite(&sup_specs(), &sup.pipeline).expect("direct build");
+    assert_matches_direct(&resumed, &direct);
+    cleanup(&sup);
+}
+
+#[test]
+fn expired_stage_deadline_degrades_but_the_suite_completes() {
+    let mut sup = sup_config("deadline");
+    sup.stage_deadline = Some(std::time::Duration::ZERO);
+    let report = run_supervised(&sup_specs(), &sup, &CancelToken::new()).expect("run");
+    assert_eq!(report.completed(), 2, "{}", report.render());
+    assert!(!report.cancelled);
+    for (outcome, bundle) in report.designs.iter().zip(&report.bundles) {
+        assert!(
+            outcome.degraded_stages.contains(&Stage::Route),
+            "a zero deadline must degrade routing: {outcome:?}"
+        );
+        let bundle = bundle.as_ref().expect("bundle produced despite degradation");
+        assert!(bundle.route.status.is_degraded());
+        // Labels and features are still produced at full dimensionality.
+        let n = bundle.design.grid.num_cells();
+        assert_eq!(bundle.report.labels.len(), n);
+        assert_eq!(bundle.features.n_samples(), n);
+        assert_eq!(bundle.features.n_features(), 387);
+    }
+    cleanup(&sup);
 }

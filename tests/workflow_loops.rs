@@ -39,7 +39,16 @@ fn fix_loop_through_the_facade_runs_and_reports() {
     let (explainer, mut bundle) = self_trained("des_perf_1", 0.22);
     let route_config =
         PipelineConfig { scale: 0.22, ..Default::default() }.route_for(&bundle.design.spec);
-    let report = run_fix_loop(&explainer, &mut bundle, &route_config, 0.3, 8, 2, 5);
+    let report = run_fix_loop(
+        &explainer,
+        &mut bundle,
+        &route_config,
+        0.3,
+        8,
+        2,
+        5,
+        &drcshap::geom::StageBudget::unlimited(),
+    );
     // Whatever happened, the report is well-formed and the bundle is
     // consistent after in-place mutation.
     assert_eq!(bundle.features.n_samples(), bundle.design.grid.num_cells());
