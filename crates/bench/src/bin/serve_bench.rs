@@ -1,0 +1,176 @@
+//! Serving-path throughput bench: per-sample `RandomForest::predict_proba`
+//! vs the serve engine's `CompiledForest::score_batch`, plus the NaN-aware
+//! batch path and the full micro-batching engine, reported as JSON.
+//!
+//! The compiled path must be *bit-identical* to the reference model — this
+//! bench verifies that on every row before timing anything and refuses to
+//! report numbers for a divergent build.
+//!
+//! ```text
+//! cargo run --release -p drcshap-bench --bin serve_bench [-- --out BENCH_serve.json]
+//! ```
+//!
+//! Environment knobs: `DRCSHAP_SERVE_TREES` (default 100),
+//! `DRCSHAP_SERVE_FEATURES` (default 64), `DRCSHAP_SERVE_SAMPLES`
+//! (default 4096, also the batch size; the acceptance floor is 256).
+
+use std::time::{Duration, Instant};
+
+use drcshap_forest::{RandomForest, RandomForestTrainer};
+use drcshap_ml::{Dataset, NanPolicy, Trainer};
+use drcshap_serve::{CompiledForest, ServeConfig, ServeEngine};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad value {s:?} for {name}");
+            std::process::exit(2);
+        }),
+        Err(_) => default,
+    }
+}
+
+/// Runs `body` (which processes `per_call` samples) until ~0.5 s of wall
+/// clock is spent, after one warmup call; returns samples/second.
+fn throughput(per_call: usize, mut body: impl FnMut()) -> f64 {
+    body(); // warmup
+    let target = Duration::from_millis(500);
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed() < target {
+        body();
+        calls += 1;
+    }
+    (calls * per_call as u64) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn train_forest(n_trees: usize, m: usize, rows: usize, seed: u64) -> RandomForest {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(rows * m);
+    let mut y = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut acc = 0.0f32;
+        for j in 0..m {
+            let v: f32 = rng.gen_range(0.0..1.0);
+            if j % 7 == 0 {
+                acc += v;
+            }
+            x.push(v);
+        }
+        y.push(acc > 0.5 * (m as f32 / 7.0));
+    }
+    let data = Dataset::from_parts(x, y, vec![0; rows], m);
+    RandomForestTrainer { n_trees, ..Default::default() }.fit(&data, seed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(pos) => Some(args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --out needs a path");
+            std::process::exit(2);
+        })),
+        None => None,
+    };
+
+    let n_trees = env_usize("DRCSHAP_SERVE_TREES", 100);
+    let m = env_usize("DRCSHAP_SERVE_FEATURES", 64);
+    let batch = env_usize("DRCSHAP_SERVE_SAMPLES", 4096);
+
+    eprintln!("training {n_trees}-tree forest on {m} features...");
+    let rf = train_forest(n_trees, m, 2000, 42);
+    let compiled = CompiledForest::compile(&rf);
+
+    // The probe batch: random rows, plus a NaN-laced copy for the NaN path.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let flat: Vec<f32> = (0..batch * m).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut flat_nan = flat.clone();
+    for (i, v) in flat_nan.iter_mut().enumerate() {
+        if i % 11 == 0 {
+            *v = f32::NAN;
+        }
+    }
+
+    // Bit-identity gate: every score must match the reference model exactly.
+    let batch_scores = compiled.score_batch(&flat);
+    let nan_scores = compiled.score_batch_nan_aware(&flat_nan);
+    for i in 0..batch {
+        let row = &flat[i * m..(i + 1) * m];
+        assert_eq!(
+            batch_scores[i].to_bits(),
+            rf.predict_proba(row).to_bits(),
+            "compiled score diverges from predict_proba at row {i}"
+        );
+        let nan_row = &flat_nan[i * m..(i + 1) * m];
+        assert_eq!(
+            nan_scores[i].to_bits(),
+            rf.predict_proba_nan_aware(nan_row).to_bits(),
+            "compiled NaN-aware score diverges at row {i}"
+        );
+    }
+    eprintln!("bit-identity verified on {batch} rows (plain and NaN-aware)");
+
+    let single = throughput(batch, || {
+        let mut acc = 0.0;
+        for i in 0..batch {
+            acc += rf.predict_proba(&flat[i * m..(i + 1) * m]);
+        }
+        std::hint::black_box(acc);
+    });
+    let compiled_tp = throughput(batch, || {
+        std::hint::black_box(compiled.score_batch(&flat));
+    });
+    let nan_tp = throughput(batch, || {
+        std::hint::black_box(compiled.score_batch_nan_aware(&flat_nan));
+    });
+
+    // The whole engine, queueing included: submit the batch as individual
+    // requests through a sliding window and wait them all out.
+    let config = ServeConfig {
+        max_batch: 256,
+        queue_capacity: batch.max(256),
+        nan_policy: NanPolicy::Reject,
+        ..Default::default()
+    };
+    let engine = ServeEngine::start(config, rf.clone(), 1).expect("engine start");
+    let engine_tp = throughput(batch, || {
+        let tickets: Vec<_> = (0..batch)
+            .map(|i| engine.submit(flat[i * m..(i + 1) * m].to_vec()).expect("submit"))
+            .collect();
+        for t in tickets {
+            std::hint::black_box(t.wait().expect("scored"));
+        }
+    });
+    let metrics = engine.metrics();
+    engine.shutdown();
+
+    let speedup = compiled_tp / single;
+    let report = serde_json::json!({
+        "bench": "serve_bench",
+        "trees": n_trees,
+        "features": m,
+        "batch": batch,
+        "threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "single_sample_per_s": single,
+        "compiled_batch_per_s": compiled_tp,
+        "nan_aware_batch_per_s": nan_tp,
+        "engine_per_s": engine_tp,
+        "speedup_compiled_vs_single": speedup,
+        "engine_mean_batch": metrics.mean_batch,
+        "engine_latency_p99_us": metrics.latency_p99_us,
+        "bit_identical": true,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{pretty}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{pretty}\n")).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+    eprintln!("speedup compiled-batch vs single-sample: {speedup:.1}x");
+}

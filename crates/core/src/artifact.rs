@@ -161,15 +161,50 @@ impl SavedModel {
     }
 }
 
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
 /// CRC32 (IEEE 802.3, reflected) of `data` — the checksum guarding the
 /// artifact payload. Table-driven, table built at compile time.
 pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc = !0u32;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finalize()
+}
+
+/// A streaming [`crc32`]: feed chunks with [`Crc32::update`] and close with
+/// [`Crc32::finalize`]. Digesting incrementally is what lets callers (the
+/// CLI's streaming score path, the serve smoke check) checksum unbounded
+/// streams without buffering them.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    !crc
+}
+
+impl Crc32 {
+    /// A fresh digest; equivalent to having hashed zero bytes.
+    pub fn new() -> Self {
+        Self { state: !0u32 }
+    }
+
+    /// Feeds `data` into the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state =
+                (self.state >> 8) ^ CRC32_TABLE[((self.state ^ u32::from(b)) & 0xff) as usize];
+        }
+    }
+
+    /// The CRC32 of everything fed so far. Does not consume the digest:
+    /// further [`Crc32::update`] calls continue the same stream.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
 }
 
 const fn crc32_table() -> [u32; 256] {
@@ -516,5 +551,22 @@ mod tests {
             assert_eq!(ModelKind::from_code(kind.code()), Some(kind));
         }
         assert_eq!(ModelKind::from_code(4), None);
+    }
+
+    #[test]
+    fn streaming_crc32_matches_one_shot() {
+        let data: Vec<u8> = (0u16..2048).map(|i| (i % 251) as u8).collect();
+        let reference = crc32(&data);
+        // Feed in ragged chunks, including empty ones.
+        let mut digest = Crc32::new();
+        for chunk in [&data[..1], &data[1..1], &data[1..700], &data[700..2048]] {
+            digest.update(chunk);
+        }
+        assert_eq!(digest.finalize(), reference);
+        // The known-answer vector for IEEE CRC32.
+        let mut check = Crc32::new();
+        check.update(b"123456789");
+        assert_eq!(check.finalize(), 0xcbf4_3926);
+        assert_eq!(Crc32::default().finalize(), crc32(&[]));
     }
 }

@@ -29,6 +29,12 @@ pub enum DrcshapError {
     },
     /// A supervised data-acquisition run failed or was interrupted.
     Pipeline(PipelineError),
+    /// The serving engine's request queue is full; the request was shed at
+    /// the admission boundary (backpressure, not failure — retry later).
+    Overloaded {
+        /// Queue capacity the engine was configured with.
+        capacity: usize,
+    },
 }
 
 impl DrcshapError {
@@ -51,6 +57,9 @@ impl fmt::Display for DrcshapError {
             DrcshapError::Input(e) => write!(f, "input error: {e}"),
             DrcshapError::Io { path, source } => write!(f, "io error on {path}: {source}"),
             DrcshapError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            DrcshapError::Overloaded { capacity } => {
+                write!(f, "overloaded: serve queue is at capacity ({capacity} requests)")
+            }
         }
     }
 }
@@ -353,6 +362,10 @@ mod tests {
 
         let e = DrcshapError::usage("missing design name");
         assert!(e.to_string().contains("missing design name"));
+
+        let e = DrcshapError::Overloaded { capacity: 4096 };
+        let s = e.to_string();
+        assert!(s.contains("overloaded") && s.contains("4096"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! A thread-safe LRU cache for SHAP explanations.
+//!
+//! Tree SHAP is deterministic: for a fixed model, the same feature vector
+//! always yields the same explanation. Repeated hot g-cells (the common
+//! case in fix-loop workloads, which re-query the same windows every
+//! iteration) can therefore skip the `O(trees · depth²)` path walk
+//! entirely. Entries are keyed by the *exact bit patterns* of the feature
+//! vector — no float-equality subtleties, no hash-collision false hits —
+//! and values are shared via [`Arc`], so a hit costs one lock plus a
+//! pointer bump.
+//!
+//! The cache is only valid for one model epoch; the serving engine clears
+//! it on every hot swap (`ServeEngine::swap`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use drcshap_shap::Explanation;
+
+/// Hit/miss/size counters of an [`ExplanationCache`], taken atomically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh explanation.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum resident entries (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when the cache has seen no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The exact-bits cache key of a feature vector.
+type Key = Vec<u32>;
+
+struct Entry {
+    value: Arc<Explanation>,
+    /// Recency tick; also the entry's key in `LruState::order`.
+    tick: u64,
+}
+
+#[derive(Default)]
+struct LruState {
+    map: HashMap<Key, Entry>,
+    /// Recency index: lowest tick = least recently used.
+    order: BTreeMap<u64, Key>,
+    clock: u64,
+}
+
+/// A bounded, thread-safe, least-recently-used explanation cache.
+pub struct ExplanationCache {
+    state: Mutex<LruState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for ExplanationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ExplanationCache")
+            .field("capacity", &stats.capacity)
+            .field("len", &stats.len)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl ExplanationCache {
+    /// Creates a cache holding at most `capacity` explanations. A capacity
+    /// of 0 disables caching: every lookup misses, inserts are dropped.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(LruState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    fn key_of(x: &[f32]) -> Key {
+        x.iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Looks up the explanation for `x`, refreshing its recency on a hit.
+    pub fn get(&self, x: &[f32]) -> Option<Arc<Explanation>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let key = Self::key_of(x);
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        let state = &mut *state;
+        match state.map.get_mut(&key) {
+            Some(entry) => {
+                state.order.remove(&entry.tick);
+                state.clock += 1;
+                entry.tick = state.clock;
+                state.order.insert(entry.tick, key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the explanation for `x`, evicting the least
+    /// recently used entry if the cache is full.
+    pub fn insert(&self, x: &[f32], value: Arc<Explanation>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = Self::key_of(x);
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        let state = &mut *state;
+        if let Some(entry) = state.map.get_mut(&key) {
+            state.order.remove(&entry.tick);
+            state.clock += 1;
+            entry.tick = state.clock;
+            entry.value = value;
+            state.order.insert(entry.tick, key);
+            return;
+        }
+        if state.map.len() >= self.capacity {
+            let oldest = state.order.keys().next().copied();
+            if let Some(oldest) = oldest {
+                if let Some(victim) = state.order.remove(&oldest) {
+                    state.map.remove(&victim);
+                }
+            }
+        }
+        state.clock += 1;
+        let tick = state.clock;
+        state.order.insert(tick, key.clone());
+        state.map.insert(key, Entry { value, tick });
+    }
+
+    /// Drops every entry (hot-swap invalidation). Hit/miss counters are
+    /// preserved — they describe the cache's lifetime, not one epoch.
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.map.clear();
+        state.order.clear();
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let len = self.state.lock().expect("cache lock poisoned").map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explanation(tag: f64) -> Arc<Explanation> {
+        Arc::new(Explanation { base_value: 0.1, prediction: tag, contributions: vec![tag] })
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let cache = ExplanationCache::new(4);
+        let x = [0.25f32, 0.5];
+        assert!(cache.get(&x).is_none());
+        let e = explanation(0.7);
+        cache.insert(&x, e.clone());
+        let back = cache.get(&x).expect("hit");
+        assert!(Arc::ptr_eq(&back, &e));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_bit_patterns_are_distinct_keys() {
+        let cache = ExplanationCache::new(4);
+        cache.insert(&[0.0], explanation(1.0));
+        // -0.0 has a different bit pattern than 0.0: a different key.
+        assert!(cache.get(&[-0.0]).is_none());
+        assert!(cache.get(&[0.0]).is_some());
+        // NaN keys are usable too (exact payload bits).
+        cache.insert(&[f32::NAN], explanation(2.0));
+        assert_eq!(cache.get(&[f32::NAN]).unwrap().prediction, 2.0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ExplanationCache::new(2);
+        cache.insert(&[1.0], explanation(1.0));
+        cache.insert(&[2.0], explanation(2.0));
+        // Touch [1.0] so [2.0] becomes the LRU victim.
+        assert!(cache.get(&[1.0]).is_some());
+        cache.insert(&[3.0], explanation(3.0));
+        assert!(cache.get(&[2.0]).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(&[1.0]).is_some());
+        assert!(cache.get(&[3.0]).is_some());
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = ExplanationCache::new(4);
+        cache.insert(&[1.0], explanation(1.0));
+        assert!(cache.get(&[1.0]).is_some());
+        cache.clear();
+        assert!(cache.get(&[1.0]).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.len, 0);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ExplanationCache::new(0);
+        cache.insert(&[1.0], explanation(1.0));
+        assert!(cache.get(&[1.0]).is_none());
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let cache = ExplanationCache::new(2);
+        cache.insert(&[1.0], explanation(1.0));
+        cache.insert(&[2.0], explanation(2.0));
+        cache.insert(&[1.0], explanation(9.0));
+        // [2.0] is now the LRU entry.
+        cache.insert(&[3.0], explanation(3.0));
+        assert!(cache.get(&[2.0]).is_none());
+        assert_eq!(cache.get(&[1.0]).unwrap().prediction, 9.0);
+    }
+}

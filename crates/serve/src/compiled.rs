@@ -1,0 +1,322 @@
+//! The compiled inference layout: a [`RandomForest`] flattened into
+//! structure-of-arrays node slabs for cache-friendly batched traversal.
+//!
+//! [`RandomForest::predict_proba`] walks `Vec<TreeNode>` nodes of 32 bytes
+//! each, touching the `cover` field it never needs at inference time. The
+//! compiled layout splits the hot fields (`feature`, `threshold`, children)
+//! into contiguous parallel arrays — 16 hot bytes per node — keeps the
+//! `f64` leaf values in their own slab, and precomputes each internal
+//! node's NaN default direction, so the NaN-aware path pays no `cover`
+//! comparison per visit. Trees are laid out back to back with *global*
+//! child indices, so traversal never re-bases per tree.
+//!
+//! Scoring is bit-equivalent to the reference paths by construction: for
+//! every sample, leaf values are accumulated in tree order into an `f64`
+//! and divided by the tree count — the exact operation sequence of
+//! [`RandomForest::predict_proba`] / `predict_proba_nan_aware`. The
+//! property tests in `tests/compiled_equivalence.rs` assert equality down
+//! to the bit pattern, NaN-laced inputs included.
+
+use drcshap_forest::RandomForest;
+use rayon::prelude::*;
+
+/// Child-index sentinel marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// Samples per work unit when parallelizing a batch over rayon. Within a
+/// block the loop is *tree-outer*, so one tree's slab stays hot in cache
+/// across all samples of the block.
+const BLOCK: usize = 64;
+
+/// A [`RandomForest`] compiled for batched inference: flat
+/// structure-of-arrays slabs, one contiguous region per tree, with
+/// precomputed NaN default directions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledForest {
+    n_features: usize,
+    /// Root node index (global) of each tree, in ensemble order.
+    roots: Vec<u32>,
+    /// Split feature per node (unused on leaves).
+    features: Vec<u32>,
+    /// Split threshold per node (unused on leaves).
+    thresholds: Vec<f32>,
+    /// Left child (global index) per node, [`LEAF`] on leaves.
+    lefts: Vec<u32>,
+    /// Right child (global index) per node, [`LEAF`] on leaves.
+    rights: Vec<u32>,
+    /// Node output value per node (read only at leaves).
+    values: Vec<f64>,
+    /// Whether a NaN routes left at this node (the heavier-cover child,
+    /// ties left — matching `DecisionTree::predict_nan_aware`).
+    default_left: Vec<bool>,
+}
+
+impl CompiledForest {
+    /// Flattens `forest` into the compiled layout. The forest itself is
+    /// not consumed; compilation is a one-time cost of one pass over the
+    /// nodes.
+    pub fn compile(forest: &RandomForest) -> Self {
+        let total = forest.total_nodes();
+        let mut compiled = CompiledForest {
+            n_features: forest.n_features(),
+            roots: Vec::with_capacity(forest.trees().len()),
+            features: Vec::with_capacity(total),
+            thresholds: Vec::with_capacity(total),
+            lefts: Vec::with_capacity(total),
+            rights: Vec::with_capacity(total),
+            values: Vec::with_capacity(total),
+            default_left: Vec::with_capacity(total),
+        };
+        for tree in forest.trees() {
+            let base = compiled.features.len() as u32;
+            compiled.roots.push(base);
+            let nodes = tree.nodes();
+            for node in nodes {
+                compiled.features.push(node.feature);
+                compiled.thresholds.push(node.threshold);
+                compiled.values.push(node.value);
+                if node.is_leaf() {
+                    compiled.lefts.push(LEAF);
+                    compiled.rights.push(LEAF);
+                    compiled.default_left.push(true);
+                } else {
+                    compiled.lefts.push(base + node.left as u32);
+                    compiled.rights.push(base + node.right as u32);
+                    let heavier_left =
+                        nodes[node.left as usize].cover >= nodes[node.right as usize].cover;
+                    compiled.default_left.push(heavier_left);
+                }
+            }
+        }
+        compiled
+    }
+
+    /// Number of features the source forest was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of trees in the compiled ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total node count across all trees.
+    pub fn total_nodes(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Scores one sample — bit-identical to
+    /// [`RandomForest::predict_proba`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than a split feature index requires.
+    pub fn score_one(&self, x: &[f32]) -> f64 {
+        let mut sum = 0.0f64;
+        for &root in &self.roots {
+            sum += self.walk::<false>(root as usize, x);
+        }
+        sum / self.roots.len() as f64
+    }
+
+    /// NaN-tolerant [`CompiledForest::score_one`] — bit-identical to
+    /// [`RandomForest::predict_proba_nan_aware`]: NaN values (and feature
+    /// indices past the end of a short vector) route down the precomputed
+    /// default direction; infinities take their natural comparison branch.
+    pub fn score_one_nan_aware(&self, x: &[f32]) -> f64 {
+        let mut sum = 0.0f64;
+        for &root in &self.roots {
+            sum += self.walk::<true>(root as usize, x);
+        }
+        sum / self.roots.len() as f64
+    }
+
+    /// Scores a batch of samples, parallelized over sample blocks with
+    /// rayon. `flat` is row-major with exactly `n_features` values per
+    /// row; returns one score per row, each bit-identical to
+    /// [`RandomForest::predict_proba`] on that row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` is not a multiple of `n_features`.
+    pub fn score_batch(&self, flat: &[f32]) -> Vec<f64> {
+        self.score_batch_impl::<false>(flat)
+    }
+
+    /// NaN-tolerant [`CompiledForest::score_batch`] — each row scored
+    /// bit-identically to [`RandomForest::predict_proba_nan_aware`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` is not a multiple of `n_features`.
+    pub fn score_batch_nan_aware(&self, flat: &[f32]) -> Vec<f64> {
+        self.score_batch_impl::<true>(flat)
+    }
+
+    fn score_batch_impl<const NAN_AWARE: bool>(&self, flat: &[f32]) -> Vec<f64> {
+        assert_eq!(
+            flat.len() % self.n_features,
+            0,
+            "flat batch length {} is not a multiple of the feature count {}",
+            flat.len(),
+            self.n_features
+        );
+        let rows = flat.len() / self.n_features;
+        let mut out = vec![0.0f64; rows];
+        out.par_chunks_mut(BLOCK)
+            .zip(flat.par_chunks(BLOCK * self.n_features))
+            .for_each(|(scores, xs)| self.score_block::<NAN_AWARE>(xs, scores));
+        out
+    }
+
+    /// Scores one block tree-outer: every tree is walked by all samples of
+    /// the block before moving on, keeping its slab region resident in
+    /// cache. Per-sample accumulation still runs in tree order, so the
+    /// floating-point operation sequence matches the reference exactly.
+    fn score_block<const NAN_AWARE: bool>(&self, xs: &[f32], scores: &mut [f64]) {
+        let m = self.n_features;
+        debug_assert_eq!(xs.len(), scores.len() * m);
+        for &root in &self.roots {
+            for (s, score) in scores.iter_mut().enumerate() {
+                *score += self.walk::<NAN_AWARE>(root as usize, &xs[s * m..(s + 1) * m]);
+            }
+        }
+        let n_trees = self.roots.len() as f64;
+        for score in scores.iter_mut() {
+            *score /= n_trees;
+        }
+    }
+
+    /// Routes `x` from node `start` to a leaf and returns its value.
+    #[inline]
+    fn walk<const NAN_AWARE: bool>(&self, start: usize, x: &[f32]) -> f64 {
+        let mut i = start;
+        loop {
+            let left = self.lefts[i];
+            if left == LEAF {
+                return self.values[i];
+            }
+            let f = self.features[i] as usize;
+            let next = if NAN_AWARE {
+                let v = x.get(f).copied().unwrap_or(f32::NAN);
+                if v.is_nan() {
+                    if self.default_left[i] {
+                        left
+                    } else {
+                        self.rights[i]
+                    }
+                } else if v <= self.thresholds[i] {
+                    left
+                } else {
+                    self.rights[i]
+                }
+            } else if x[f] <= self.thresholds[i] {
+                left
+            } else {
+                self.rights[i]
+            };
+            i = next as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcshap_forest::RandomForestTrainer;
+    use drcshap_ml::{Dataset, Trainer};
+
+    fn noisy(n: usize, seed: u64) -> Dataset {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(0.0..1.0);
+            let b: f32 = rng.gen_range(0.0..1.0);
+            let c: f32 = rng.gen_range(0.0..1.0);
+            x.extend_from_slice(&[a, b, c]);
+            y.push(a > 0.6 || (b > 0.8 && c > 0.3));
+        }
+        Dataset::from_parts(x, y, vec![0; n], 3)
+    }
+
+    #[test]
+    fn compile_preserves_shape() {
+        let data = noisy(200, 1);
+        let rf = RandomForestTrainer { n_trees: 12, ..Default::default() }.fit(&data, 5);
+        let cf = CompiledForest::compile(&rf);
+        assert_eq!(cf.n_trees(), 12);
+        assert_eq!(cf.n_features(), 3);
+        assert_eq!(cf.total_nodes(), rf.total_nodes());
+    }
+
+    #[test]
+    fn score_one_is_bit_identical() {
+        let data = noisy(300, 2);
+        let rf = RandomForestTrainer { n_trees: 20, ..Default::default() }.fit(&data, 3);
+        let cf = CompiledForest::compile(&rf);
+        for probe in [[0.1f32, 0.9, 0.5], [0.7, 0.2, 0.8], [0.5, 0.5, 0.5]] {
+            assert_eq!(cf.score_one(&probe).to_bits(), rf.predict_proba(&probe).to_bits());
+        }
+    }
+
+    #[test]
+    fn score_batch_is_bit_identical_across_block_boundaries() {
+        let data = noisy(300, 4);
+        let rf = RandomForestTrainer { n_trees: 15, ..Default::default() }.fit(&data, 9);
+        let cf = CompiledForest::compile(&rf);
+        // More rows than one block, not a multiple of the block size.
+        let rows = BLOCK * 2 + 17;
+        let mut flat = Vec::with_capacity(rows * 3);
+        for i in 0..rows {
+            let t = i as f32 / rows as f32;
+            flat.extend_from_slice(&[t, 1.0 - t, (i % 7) as f32 / 7.0]);
+        }
+        let batch = cf.score_batch(&flat);
+        assert_eq!(batch.len(), rows);
+        for (i, s) in batch.iter().enumerate() {
+            let reference = rf.predict_proba(&flat[i * 3..(i + 1) * 3]);
+            assert_eq!(s.to_bits(), reference.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn nan_aware_batch_matches_reference() {
+        let data = noisy(200, 6);
+        let rf = RandomForestTrainer { n_trees: 10, ..Default::default() }.fit(&data, 2);
+        let cf = CompiledForest::compile(&rf);
+        let rows: Vec<[f32; 3]> = vec![
+            [f32::NAN, 0.5, 0.5],
+            [0.5, f32::NAN, f32::NAN],
+            [f32::INFINITY, f32::NEG_INFINITY, f32::NAN],
+            [0.2, 0.8, 0.4],
+        ];
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let batch = cf.score_batch_nan_aware(&flat);
+        for (row, s) in rows.iter().zip(&batch) {
+            assert_eq!(s.to_bits(), rf.predict_proba_nan_aware(row).to_bits(), "{row:?}");
+            assert!((0.0..=1.0).contains(s));
+        }
+        assert_eq!(cf.score_one_nan_aware(&rows[0]).to_bits(), batch[0].to_bits());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let data = noisy(100, 7);
+        let rf = RandomForestTrainer { n_trees: 5, ..Default::default() }.fit(&data, 1);
+        let cf = CompiledForest::compile(&rf);
+        assert!(cf.score_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_batch_panics() {
+        let data = noisy(100, 8);
+        let rf = RandomForestTrainer { n_trees: 5, ..Default::default() }.fit(&data, 1);
+        let cf = CompiledForest::compile(&rf);
+        let _ = cf.score_batch(&[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,559 @@
+//! The serving engine: a bounded request queue with micro-batching, a
+//! worker pool draining it through the compiled forest, typed
+//! backpressure, hot model swap, and graceful shutdown.
+//!
+//! # Batching policy
+//!
+//! Requests accepted by [`ServeEngine::submit`] wait in a bounded queue.
+//! A worker flushes a batch when either `max_batch` requests are waiting
+//! or the oldest request has waited `max_wait` — the classic
+//! latency/throughput trade dial. When the queue is at `queue_capacity`,
+//! submission fails fast with [`DrcshapError::Overloaded`] instead of
+//! queueing without bound: load shedding at the admission boundary keeps
+//! tail latency bounded under overload.
+//!
+//! # Epochs
+//!
+//! Each worker loads the current [`crate::swap::ModelEpoch`] once per
+//! batch, so a hot swap ([`ServeEngine::swap`]) lands between batches:
+//! every response reports the single epoch that scored it, and no request
+//! is ever dropped or scored by a mix of models.
+//!
+//! # Shutdown
+//!
+//! [`ServeEngine::shutdown`] (also run on drop) stops admissions, wakes
+//! every worker, and joins them after they drain the queue — every
+//! accepted request still receives its response.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use drcshap_core::SavedModel;
+use drcshap_forest::RandomForest;
+use drcshap_ml::{DrcshapError, InputError, NanPolicy};
+use drcshap_shap::{explain_forest, Explanation};
+
+use crate::cache::ExplanationCache;
+use crate::metrics::{MetricsRegistry, ServeMetrics};
+use crate::swap::{EpochCell, ModelEpoch};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Flush a batch as soon as this many requests are waiting.
+    pub max_batch: usize,
+    /// Flush a batch once the oldest waiting request is this old.
+    pub max_wait: Duration,
+    /// Requests the queue holds before submissions are shed with
+    /// [`DrcshapError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// How non-finite feature values are treated at admission
+    /// ([`NanPolicy::NanAware`] batches take the NaN-aware compiled path).
+    pub nan_policy: NanPolicy,
+    /// Explanation-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 256,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 4096,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8),
+            nan_policy: NanPolicy::default(),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks the knobs for values that cannot run.
+    ///
+    /// # Errors
+    ///
+    /// A usage [`DrcshapError`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), DrcshapError> {
+        if self.max_batch == 0 {
+            return Err(DrcshapError::usage("serve config: max_batch must be at least 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(DrcshapError::usage("serve config: queue_capacity must be at least 1"));
+        }
+        if self.workers == 0 {
+            return Err(DrcshapError::usage("serve config: workers must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// One scored request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredResponse {
+    /// The predicted hotspot probability — bit-identical to the reference
+    /// `RandomForest` path for the epoch that scored it.
+    pub score: f64,
+    /// The model epoch that scored this request.
+    pub epoch: u64,
+    /// Size of the batch this request was flushed in.
+    pub batch_size: usize,
+}
+
+/// A pending response handle returned by [`ServeEngine::submit`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ScoredResponse, DrcshapError>>,
+}
+
+impl Ticket {
+    /// Blocks until the engine scores the request.
+    ///
+    /// # Errors
+    ///
+    /// The scoring error for this request, or a usage error if the engine
+    /// terminated without responding (worker panic — not reachable from
+    /// any input).
+    pub fn wait(self) -> Result<ScoredResponse, DrcshapError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => {
+                Err(DrcshapError::usage("serve engine dropped the request (worker terminated)"))
+            }
+        }
+    }
+}
+
+struct Pending {
+    x: Vec<f32>,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<ScoredResponse, DrcshapError>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    items: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: Mutex<QueueState>,
+    /// Signalled on submission and shutdown; workers wait on it.
+    flush: Condvar,
+    cell: EpochCell,
+    cache: ExplanationCache,
+    metrics: MetricsRegistry,
+}
+
+/// The in-process batched inference engine. Cheap to share: all methods
+/// take `&self`, and the engine is `Send + Sync`.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("config", &self.shared.config)
+            .field("epoch", &self.shared.cell.epoch())
+            .finish()
+    }
+}
+
+impl ServeEngine {
+    /// Compiles `forest`, installs it as epoch 1 bound to `fingerprint`,
+    /// and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// A usage error from [`ServeConfig::validate`], or an I/O error if a
+    /// worker thread cannot be spawned.
+    pub fn start(
+        config: ServeConfig,
+        forest: RandomForest,
+        fingerprint: u64,
+    ) -> Result<Self, DrcshapError> {
+        config.validate()?;
+        let cache_capacity = config.cache_capacity;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            flush: Condvar::new(),
+            cell: EpochCell::new(forest, fingerprint),
+            cache: ExplanationCache::new(cache_capacity),
+            metrics: MetricsRegistry::default(),
+            config,
+        });
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for i in 0..shared.config.workers {
+            let worker_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("drcshap-serve-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .map_err(|e| DrcshapError::io(format!("spawn serve worker {i}"), e))?;
+            workers.push(handle);
+        }
+        Ok(Self { shared, workers: Mutex::new(workers) })
+    }
+
+    /// [`ServeEngine::start`] from a loaded artifact model. Only Random
+    /// Forests have a compiled layout; other families are rejected with a
+    /// usage error.
+    ///
+    /// # Errors
+    ///
+    /// Every [`ServeEngine::start`] error, plus a usage error for a
+    /// non-RF model.
+    pub fn start_saved(
+        config: ServeConfig,
+        model: SavedModel,
+        fingerprint: u64,
+    ) -> Result<Self, DrcshapError> {
+        match model {
+            SavedModel::Rf(forest) => Self::start(config, forest, fingerprint),
+            other => Err(DrcshapError::usage(format!(
+                "serve engine requires an RF artifact, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The feature count of the currently serving model.
+    pub fn n_features(&self) -> usize {
+        self.shared.cell.load().compiled.n_features()
+    }
+
+    /// The currently serving model epoch.
+    pub fn model(&self) -> Arc<ModelEpoch> {
+        self.shared.cell.load()
+    }
+
+    /// Validates `x` under the configured [`NanPolicy`] and enqueues it,
+    /// returning a [`Ticket`] without blocking on the score.
+    ///
+    /// # Errors
+    ///
+    /// [`InputError::LengthMismatch`] / [`InputError::NonFinite`] from
+    /// admission validation; [`DrcshapError::Overloaded`] when the queue
+    /// is full; a usage error after shutdown.
+    pub fn submit(&self, x: Vec<f32>) -> Result<Ticket, DrcshapError> {
+        let expected = self.n_features();
+        if x.len() != expected {
+            return Err(InputError::LengthMismatch { expected, found: x.len() }.into());
+        }
+        let x = match self.shared.config.nan_policy {
+            NanPolicy::Reject => {
+                if let Some((index, value)) = x.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+                    return Err(InputError::NonFinite { index, value: *value }.into());
+                }
+                x
+            }
+            NanPolicy::ImputeZero => {
+                let mut x = x;
+                for v in x.iter_mut() {
+                    if !v.is_finite() {
+                        *v = 0.0;
+                    }
+                }
+                x
+            }
+            NanPolicy::NanAware => x,
+        };
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock poisoned");
+            if q.shutdown {
+                return Err(DrcshapError::usage("serve engine is shut down"));
+            }
+            if q.items.len() >= self.shared.config.queue_capacity {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(DrcshapError::Overloaded {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            q.items.push_back(Pending { x, enqueued: Instant::now(), tx });
+            self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.queue_depth.store(q.items.len() as u64, Ordering::Relaxed);
+        }
+        self.shared.flush.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits `x` and blocks for the response —
+    /// [`ServeEngine::submit`] + [`Ticket::wait`].
+    ///
+    /// # Errors
+    ///
+    /// Every [`ServeEngine::submit`] and [`Ticket::wait`] error.
+    pub fn score(&self, x: Vec<f32>) -> Result<ScoredResponse, DrcshapError> {
+        self.submit(x)?.wait()
+    }
+
+    /// SHAP-explains one sample, consulting the explanation cache first: a
+    /// hit returns the shared explanation without walking a single tree.
+    /// Non-finite values are rejected under [`NanPolicy::Reject`] and
+    /// zero-imputed otherwise (tree SHAP has no NaN default-direction
+    /// variant).
+    ///
+    /// # Errors
+    ///
+    /// [`InputError::LengthMismatch`], or [`InputError::NonFinite`] under
+    /// the reject policy.
+    pub fn explain(&self, x: &[f32]) -> Result<Arc<Explanation>, DrcshapError> {
+        let model = self.shared.cell.load();
+        let expected = model.compiled.n_features();
+        if x.len() != expected {
+            return Err(InputError::LengthMismatch { expected, found: x.len() }.into());
+        }
+        let needs_clean = x.iter().any(|v| !v.is_finite());
+        let cleaned: Vec<f32>;
+        let key: &[f32] = if needs_clean {
+            if self.shared.config.nan_policy == NanPolicy::Reject {
+                let (index, value) = x
+                    .iter()
+                    .enumerate()
+                    .find(|(_, v)| !v.is_finite())
+                    .map(|(i, v)| (i, *v))
+                    .expect("non-finite value present");
+                return Err(InputError::NonFinite { index, value }.into());
+            }
+            cleaned = x.iter().map(|&v| if v.is_finite() { v } else { 0.0 }).collect();
+            &cleaned
+        } else {
+            x
+        };
+        self.shared.metrics.explains.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = self.shared.cache.get(key) {
+            return Ok(hit);
+        }
+        let explanation = Arc::new(explain_forest(&model.forest, key));
+        self.shared.cache.insert(key, Arc::clone(&explanation));
+        Ok(explanation)
+    }
+
+    /// Hot-swaps the serving model (see [`EpochCell::swap`]) and clears
+    /// the explanation cache, which is only valid within one epoch.
+    ///
+    /// # Errors
+    ///
+    /// The [`EpochCell::swap`] schema-validation errors; on error the
+    /// serving model and cache are untouched.
+    pub fn swap(&self, forest: RandomForest, fingerprint: u64) -> Result<u64, DrcshapError> {
+        let epoch = self.shared.cell.swap(forest, fingerprint)?;
+        self.shared.cache.clear();
+        self.shared.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
+    }
+
+    /// [`ServeEngine::swap`] from a loaded artifact model; non-RF models
+    /// are rejected with a usage error.
+    ///
+    /// # Errors
+    ///
+    /// Every [`ServeEngine::swap`] error, plus a usage error for a non-RF
+    /// model.
+    pub fn swap_saved(&self, model: SavedModel, fingerprint: u64) -> Result<u64, DrcshapError> {
+        match model {
+            SavedModel::Rf(forest) => self.swap(forest, fingerprint),
+            other => Err(DrcshapError::usage(format!(
+                "serve engine requires an RF artifact, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Snapshots the serving metrics.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.shared.metrics.snapshot(self.shared.cache.stats(), self.shared.cell.epoch())
+    }
+
+    /// Stops admissions, drains every queued request through the workers,
+    /// and joins the pool. Idempotent; also run on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock poisoned");
+            q.shutdown = true;
+        }
+        self.shared.flush.notify_all();
+        let mut workers = self.workers.lock().expect("worker registry poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: wait for a flush condition, drain up to `max_batch`
+/// requests, score them against a single model epoch, respond.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if q.shutdown || q.items.len() >= shared.config.max_batch {
+                    break;
+                }
+                match q.items.front() {
+                    Some(front) => {
+                        let age = front.enqueued.elapsed();
+                        if age >= shared.config.max_wait {
+                            break;
+                        }
+                        let (guard, _) = shared
+                            .flush
+                            .wait_timeout(q, shared.config.max_wait - age)
+                            .expect("queue lock poisoned");
+                        q = guard;
+                    }
+                    None => {
+                        q = shared.flush.wait(q).expect("queue lock poisoned");
+                    }
+                }
+            }
+            if q.items.is_empty() {
+                if q.shutdown {
+                    return;
+                }
+                continue;
+            }
+            let take = q.items.len().min(shared.config.max_batch);
+            let batch: Vec<Pending> = q.items.drain(..take).collect();
+            shared.metrics.queue_depth.store(q.items.len() as u64, Ordering::Relaxed);
+            // More than a batch left (burst): hand the rest to a peer.
+            if !q.items.is_empty() {
+                shared.flush.notify_one();
+            }
+            batch
+        };
+
+        let model = shared.cell.load();
+        let m = model.compiled.n_features();
+        let mut flat = Vec::with_capacity(batch.len() * m);
+        let mut accepted = Vec::with_capacity(batch.len());
+        for pending in batch {
+            // Length is validated at submit and swaps preserve the feature
+            // count, so this arm is unreachable; kept so a future invariant
+            // break degrades to a typed error instead of a panic.
+            if pending.x.len() == m {
+                flat.extend_from_slice(&pending.x);
+                accepted.push(pending);
+            } else {
+                let _ = pending.tx.send(Err(InputError::LengthMismatch {
+                    expected: m,
+                    found: pending.x.len(),
+                }
+                .into()));
+            }
+        }
+        if accepted.is_empty() {
+            continue;
+        }
+        let scores = match shared.config.nan_policy {
+            NanPolicy::NanAware => model.compiled.score_batch_nan_aware(&flat),
+            _ => model.compiled.score_batch(&flat),
+        };
+        let batch_size = accepted.len();
+        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.samples.fetch_add(batch_size as u64, Ordering::Relaxed);
+        for (pending, score) in accepted.into_iter().zip(scores) {
+            shared.metrics.latency.record(pending.enqueued.elapsed());
+            let _ = pending.tx.send(Ok(ScoredResponse { score, epoch: model.epoch, batch_size }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcshap_forest::RandomForestTrainer;
+    use drcshap_ml::{Dataset, Trainer};
+
+    fn forest(seed: u64) -> RandomForest {
+        let n = 80;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i % 10) as f32 / 10.0;
+            let b = ((i * 3) % 10) as f32 / 10.0;
+            x.extend_from_slice(&[a, b]);
+            y.push(a > 0.5);
+        }
+        let data = Dataset::from_parts(x, y, vec![0; n], 2);
+        RandomForestTrainer { n_trees: 9, ..Default::default() }.fit(&data, seed)
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+            workers: 2,
+            cache_capacity: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scores_match_the_reference_model() {
+        let rf = forest(1);
+        let engine = ServeEngine::start(quick_config(), rf.clone(), 7).expect("start");
+        for probe in [[0.1f32, 0.9], [0.7, 0.2], [0.55, 0.5]] {
+            let response = engine.score(probe.to_vec()).expect("scored");
+            assert_eq!(response.score.to_bits(), rf.predict_proba(&probe).to_bits());
+            assert_eq!(response.epoch, 1);
+            assert!(response.batch_size >= 1);
+        }
+        let metrics = engine.metrics();
+        assert_eq!(metrics.requests_total, 3);
+        assert_eq!(metrics.samples_scored, 3);
+        assert!(metrics.batches_total >= 1);
+    }
+
+    #[test]
+    fn admission_validates_inputs() {
+        let engine = ServeEngine::start(quick_config(), forest(2), 7).expect("start");
+        let e = engine.score(vec![0.5]).unwrap_err();
+        assert!(
+            matches!(e, DrcshapError::Input(InputError::LengthMismatch { expected: 2, found: 1 })),
+            "{e}"
+        );
+        let e = engine.score(vec![0.5, f32::NAN]).unwrap_err();
+        assert!(matches!(e, DrcshapError::Input(InputError::NonFinite { index: 1, .. })), "{e}");
+    }
+
+    #[test]
+    fn nan_aware_engine_uses_the_nan_path() {
+        let rf = forest(3);
+        let config = ServeConfig { nan_policy: NanPolicy::NanAware, ..quick_config() };
+        let engine = ServeEngine::start(config, rf.clone(), 7).expect("start");
+        let probe = [f32::NAN, 0.4];
+        let response = engine.score(probe.to_vec()).expect("scored");
+        assert_eq!(response.score.to_bits(), rf.predict_proba_nan_aware(&probe).to_bits());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let bad = ServeConfig { max_batch: 0, ..Default::default() };
+        assert!(ServeEngine::start(bad, forest(4), 7).is_err());
+        let bad = ServeConfig { workers: 0, ..Default::default() };
+        assert!(ServeEngine::start(bad, forest(4), 7).is_err());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_a_typed_error() {
+        let engine = ServeEngine::start(quick_config(), forest(5), 7).expect("start");
+        engine.shutdown();
+        let e = engine.submit(vec![0.5, 0.5]).unwrap_err();
+        assert!(matches!(e, DrcshapError::Input(InputError::Usage(_))), "{e}");
+    }
+}

@@ -1,0 +1,39 @@
+//! drcshap-serve: the in-process batched inference engine.
+//!
+//! This crate owns the serving hot path for DRC hotspot prediction:
+//!
+//! - [`CompiledForest`] — a Random Forest flattened into a
+//!   structure-of-arrays node layout, built once per model, scoring whole
+//!   batches in parallel with scores bit-identical to the reference
+//!   `RandomForest::predict_proba` / `predict_proba_nan_aware`.
+//! - [`ServeEngine`] — a bounded request queue with micro-batching
+//!   (flush at `max_batch` or `max_wait`), a worker pool, typed
+//!   backpressure ([`drcshap_ml::DrcshapError::Overloaded`]) when the
+//!   queue is full, and graceful shutdown that drains in-flight work.
+//! - [`ExplanationCache`] — a thread-safe LRU cache of SHAP explanations
+//!   keyed by the exact bit patterns of the feature vector; a hit skips
+//!   the tree-walk entirely.
+//! - [`EpochCell`] — epoch-guarded hot model swap: a new validated
+//!   artifact replaces the model between batches without dropping
+//!   requests, and swaps with a different schema fingerprint are
+//!   rejected.
+//! - [`ServeMetrics`] — a serializable snapshot of request/batch
+//!   counters, cache hit rate, queue depth, and log-bucketed latency
+//!   quantiles.
+//!
+//! The binary surface lives in the root crate (`drcshap serve`) and in
+//! `drcshap-bench` (`serve_bench`); this crate is the library they share.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod compiled;
+pub mod engine;
+pub mod metrics;
+pub mod swap;
+
+pub use cache::{CacheStats, ExplanationCache};
+pub use compiled::CompiledForest;
+pub use engine::{ScoredResponse, ServeConfig, ServeEngine, Ticket};
+pub use metrics::{LatencyHistogram, MetricsRegistry, ServeMetrics};
+pub use swap::{EpochCell, ModelEpoch};

@@ -1,0 +1,127 @@
+//! Property tests pinning the compiled forest to the reference model:
+//! `CompiledForest::score_batch` / `score_batch_nan_aware` must be
+//! *bit-identical* to `RandomForest::predict_proba` /
+//! `predict_proba_nan_aware` on every input — random forests, random
+//! batches, NaN-laced rows, odd batch sizes straddling the parallel block
+//! boundary. Bit-equality (not tolerance) is the contract: the serving
+//! path may never drift from the model the paper's numbers come from.
+
+use drcshap_forest::{RandomForest, RandomForestTrainer};
+use drcshap_ml::{Dataset, Trainer};
+use drcshap_serve::CompiledForest;
+use proptest::prelude::*;
+
+const N_FEATURES: usize = 5;
+
+/// A deterministic forest per (seed, n_trees): labels follow feature 0
+/// with a seed-dependent threshold and some feature-1 interaction, so
+/// different seeds give structurally different trees.
+fn forest(seed: u64, n_trees: usize) -> RandomForest {
+    let n = 90;
+    let threshold = 0.25 + (seed % 5) as f32 * 0.1;
+    let mut x = Vec::with_capacity(n * N_FEATURES);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        for j in 0..N_FEATURES {
+            let v = (((i * 131 + j * 17 + seed as usize * 7) % 97) as f32) / 97.0;
+            x.push(v);
+        }
+        let (a, b) = (x[i * N_FEATURES], x[i * N_FEATURES + 1]);
+        y.push(a > threshold || (b > 0.8 && a > 0.1));
+    }
+    let data = Dataset::from_parts(x, y, vec![0; n], N_FEATURES);
+    RandomForestTrainer { n_trees, ..Default::default() }.fit(&data, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Finite batches: every compiled score equals the reference score to
+    /// the bit, for both the plain and the NaN-aware entry point (which
+    /// must agree with plain scoring when nothing is NaN).
+    #[test]
+    fn score_batch_is_bit_exact_on_finite_rows(
+        seed in 0u64..5,
+        n_trees in 1usize..9,
+        rows in prop::collection::vec(
+            prop::collection::vec(-0.5f32..1.5, N_FEATURES),
+            1..90,
+        ),
+    ) {
+        let rf = forest(seed, n_trees);
+        let compiled = CompiledForest::compile(&rf);
+        prop_assert_eq!(compiled.n_trees(), n_trees);
+        prop_assert_eq!(compiled.n_features(), N_FEATURES);
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let batch = compiled.score_batch(&flat);
+        let nan_batch = compiled.score_batch_nan_aware(&flat);
+        prop_assert_eq!(batch.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let reference = rf.predict_proba(row);
+            prop_assert_eq!(
+                batch[i].to_bits(), reference.to_bits(),
+                "row {} diverged: compiled {} vs reference {}", i, batch[i], reference
+            );
+            prop_assert_eq!(batch[i].to_bits(), compiled.score_one(row).to_bits());
+            // Without NaN both walks take identical branches.
+            prop_assert_eq!(nan_batch[i].to_bits(), reference.to_bits());
+        }
+    }
+
+    /// NaN-laced batches: the compiled NaN-aware walk routes every NaN to
+    /// the same default child as the reference, so scores stay bit-equal.
+    #[test]
+    fn nan_aware_batch_is_bit_exact_with_nans(
+        seed in 0u64..5,
+        n_trees in 1usize..9,
+        rows in prop::collection::vec(
+            prop::collection::vec(-0.5f32..1.5, N_FEATURES),
+            1..60,
+        ),
+        masks in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), N_FEATURES),
+            60,
+        ),
+    ) {
+        let rf = forest(seed, n_trees);
+        let compiled = CompiledForest::compile(&rf);
+        let dirty: Vec<Vec<f32>> = rows
+            .iter()
+            .zip(&masks)
+            .map(|(row, mask)| {
+                row.iter()
+                    .zip(mask)
+                    .map(|(&v, &poison)| if poison { f32::NAN } else { v })
+                    .collect()
+            })
+            .collect();
+        let flat: Vec<f32> = dirty.iter().flatten().copied().collect();
+        let batch = compiled.score_batch_nan_aware(&flat);
+        for (i, row) in dirty.iter().enumerate() {
+            let reference = rf.predict_proba_nan_aware(row);
+            prop_assert_eq!(
+                batch[i].to_bits(), reference.to_bits(),
+                "NaN row {} diverged: compiled {} vs reference {}", i, batch[i], reference
+            );
+            prop_assert_eq!(batch[i].to_bits(), compiled.score_one_nan_aware(row).to_bits());
+        }
+    }
+}
+
+/// Batch sizes around the internal parallel block boundary (64) must all
+/// agree with per-row reference scoring — off-by-one chunking bugs live
+/// exactly here.
+#[test]
+fn block_boundary_batches_are_bit_exact() {
+    let rf = forest(3, 12);
+    let compiled = CompiledForest::compile(&rf);
+    for n in [1usize, 63, 64, 65, 127, 128, 129, 300] {
+        let flat: Vec<f32> = (0..n * N_FEATURES).map(|i| ((i * 37) % 101) as f32 / 101.0).collect();
+        let batch = compiled.score_batch(&flat);
+        assert_eq!(batch.len(), n);
+        for i in 0..n {
+            let row = &flat[i * N_FEATURES..(i + 1) * N_FEATURES];
+            assert_eq!(batch[i].to_bits(), rf.predict_proba(row).to_bits(), "n={n} row={i}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Engine-level integration tests: backpressure at queue capacity,
+//! graceful shutdown draining every accepted request, hot model swap under
+//! concurrent load (every response scored by exactly one model epoch, no
+//! request dropped or mixed), and the explanation cache short-circuiting
+//! repeat lookups.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use drcshap_forest::{RandomForest, RandomForestTrainer};
+use drcshap_ml::{Dataset, DrcshapError, NanPolicy, SchemaError, Trainer};
+use drcshap_serve::{ServeConfig, ServeEngine};
+
+const N_FEATURES: usize = 3;
+
+/// A deterministic forest per seed; different seeds produce forests with
+/// different scores on the same probes.
+fn forest(seed: u64) -> RandomForest {
+    let n = 100;
+    let threshold = 0.25 + (seed % 5) as f32 * 0.12;
+    let mut x = Vec::with_capacity(n * N_FEATURES);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        for j in 0..N_FEATURES {
+            x.push((((i * 131 + j * 17 + seed as usize * 7) % 97) as f32) / 97.0);
+        }
+        y.push(x[i * N_FEATURES] > threshold);
+    }
+    let data = Dataset::from_parts(x, y, vec![0; n], N_FEATURES);
+    RandomForestTrainer { n_trees: 8, ..Default::default() }.fit(&data, seed)
+}
+
+/// A config whose worker pool cannot flush on its own: one worker, a batch
+/// size and wait the test never reaches — queue behavior is then fully
+/// deterministic.
+fn frozen_config(queue_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch: 64,
+        max_wait: Duration::from_secs(3600),
+        queue_capacity,
+        workers: 1,
+        nan_policy: NanPolicy::Reject,
+        cache_capacity: 16,
+    }
+}
+
+#[test]
+fn overloaded_fires_exactly_at_queue_capacity_and_shutdown_drains() {
+    let rf = forest(1);
+    let engine = ServeEngine::start(frozen_config(4), rf.clone(), 7).expect("start");
+    let probe = vec![0.6f32, 0.3, 0.9];
+
+    // Fill the queue to capacity; nothing flushes (frozen config).
+    let tickets: Vec<_> =
+        (0..4).map(|_| engine.submit(probe.clone()).expect("within capacity")).collect();
+    // The fifth request is shed with the typed backpressure error.
+    let e = engine.submit(probe.clone()).unwrap_err();
+    assert!(matches!(e, DrcshapError::Overloaded { capacity: 4 }), "{e}");
+    let metrics = engine.metrics();
+    assert_eq!(metrics.rejected_total, 1);
+    assert_eq!(metrics.requests_total, 4);
+    assert_eq!(metrics.queue_depth, 4);
+
+    // Shutdown must drain: every accepted request still gets its score.
+    engine.shutdown();
+    let expected = rf.predict_proba(&probe);
+    for ticket in tickets {
+        let response = ticket.wait().expect("drained on shutdown");
+        assert_eq!(response.score.to_bits(), expected.to_bits());
+        assert_eq!(response.epoch, 1);
+    }
+    assert_eq!(engine.metrics().samples_scored, 4);
+}
+
+#[test]
+fn swap_validation_rejects_wrong_identity_through_the_engine() {
+    let engine = ServeEngine::start(frozen_config(8), forest(1), 7).expect("start");
+    let e = engine.swap(forest(2), 8).unwrap_err();
+    assert!(matches!(e, DrcshapError::Schema(SchemaError::FingerprintMismatch { .. })), "{e}");
+    // Failed swaps leave the serving epoch untouched.
+    assert_eq!(engine.metrics().model_epoch, 1);
+    assert_eq!(engine.metrics().swaps_total, 0);
+    let epoch = engine.swap(forest(2), 7).expect("valid swap");
+    assert_eq!(epoch, 2);
+    assert_eq!(engine.metrics().swaps_total, 1);
+}
+
+#[test]
+fn hot_swap_under_load_never_drops_or_mixes_requests() {
+    let model_a = forest(1);
+    let model_b = forest(4);
+    let probes: Vec<Vec<f32>> = (0..8)
+        .map(|i| (0..N_FEATURES).map(|j| (((i * 13 + j * 29) % 23) as f32) / 23.0).collect())
+        .collect();
+    // Per-probe reference scores for both models; the two must differ on at
+    // least one probe or the test cannot detect mixing.
+    let ref_a: Vec<u64> = probes.iter().map(|p| model_a.predict_proba(p).to_bits()).collect();
+    let ref_b: Vec<u64> = probes.iter().map(|p| model_b.predict_proba(p).to_bits()).collect();
+    assert!(ref_a.iter().zip(&ref_b).any(|(a, b)| a != b), "models must disagree somewhere");
+
+    let config = ServeConfig {
+        max_batch: 8,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 4096,
+        workers: 2,
+        nan_policy: NanPolicy::Reject,
+        cache_capacity: 0,
+    };
+    let engine = Arc::new(ServeEngine::start(config, model_a.clone(), 7).expect("start"));
+
+    // Swapper: alternate A/B while producers hammer the queue. Odd epochs
+    // serve model A (epoch 1 is the initial A), even epochs model B.
+    let swapper = {
+        let engine = Arc::clone(&engine);
+        let (a, b) = (model_a.clone(), model_b.clone());
+        std::thread::spawn(move || {
+            for round in 0..30 {
+                let next = if round % 2 == 0 { b.clone() } else { a.clone() };
+                engine.swap(next, 7).expect("swap");
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        })
+    };
+
+    let producers: Vec<_> = (0..4)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let probes = probes.clone();
+            std::thread::spawn(move || {
+                let mut responses = Vec::new();
+                for i in 0..250 {
+                    let p = (t * 31 + i * 7) % probes.len();
+                    let ticket = engine.submit(probes[p].clone()).expect("capacity is ample");
+                    responses.push((p, ticket.wait().expect("scored")));
+                }
+                responses
+            })
+        })
+        .collect();
+
+    let mut total = 0usize;
+    let mut epochs_seen = std::collections::HashSet::new();
+    for producer in producers {
+        for (p, response) in producer.join().expect("producer thread") {
+            total += 1;
+            epochs_seen.insert(response.epoch);
+            // The response's epoch determines exactly one model; the score
+            // must be that model's, bit for bit — a mixed batch or a torn
+            // swap would break this.
+            let expected = if response.epoch % 2 == 1 { ref_a[p] } else { ref_b[p] };
+            assert_eq!(
+                response.score.to_bits(),
+                expected,
+                "probe {p} scored by epoch {} returned the wrong model's score",
+                response.epoch
+            );
+        }
+    }
+    swapper.join().expect("swapper thread");
+    // Nothing dropped: all 4 * 250 requests answered.
+    assert_eq!(total, 1000);
+    assert!(!epochs_seen.is_empty());
+    let metrics = engine.metrics();
+    assert_eq!(metrics.samples_scored, 1000);
+    assert_eq!(metrics.rejected_total, 0);
+    assert_eq!(metrics.swaps_total, 30);
+}
+
+#[test]
+fn explanation_cache_short_circuits_repeat_lookups() {
+    let rf = forest(2);
+    let engine = ServeEngine::start(frozen_config(8), rf, 7).expect("start");
+    let probe = [0.7f32, 0.1, 0.4];
+    let first = engine.explain(&probe).expect("explain");
+    assert!(first.local_accuracy_gap() < 1e-9);
+    let second = engine.explain(&probe).expect("explain");
+    // Same Arc: the hit path returned the cached explanation without
+    // walking a single tree.
+    assert!(Arc::ptr_eq(&first, &second));
+    let metrics = engine.metrics();
+    assert_eq!(metrics.explains_total, 2);
+    assert_eq!(metrics.cache_hits, 1);
+    assert_eq!(metrics.cache_misses, 1);
+
+    // A swap invalidates the cache: same probe, fresh explanation for the
+    // new model.
+    engine.swap(forest(5), 7).expect("swap");
+    let third = engine.explain(&probe).expect("explain after swap");
+    assert!(!Arc::ptr_eq(&second, &third), "stale explanation served after swap");
+    assert!(third.local_accuracy_gap() < 1e-9);
+}

@@ -5,7 +5,7 @@ use drcshap_forest::{DecisionTree, RandomForest};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::tree_shap::tree_shap;
+use crate::tree_shap::{tree_shap, tree_shap_into, TreeShapScratch};
 
 /// A SHAP explanation of one prediction: the paper's Eq. (1) decomposition
 /// `f(x) = E[f(x)] + Σⱼ φⱼ`.
@@ -77,7 +77,9 @@ pub fn explain_tree(tree: &DecisionTree, x: &[f32]) -> Explanation {
 /// Explains a Random Forest prediction: SHAP values of the ensemble are the
 /// means of the per-tree SHAP values (the forest output is the mean of tree
 /// outputs, and SHAP is linear in the model). Trees are explained in
-/// parallel.
+/// parallel; each rayon worker reuses one [`TreeShapScratch`] and one
+/// accumulator across every tree it takes, so the whole forest walk costs a
+/// handful of allocations rather than two per tree.
 ///
 /// # Panics
 ///
@@ -88,7 +90,14 @@ pub fn explain_forest(forest: &RandomForest, x: &[f32]) -> Explanation {
     let contributions = forest
         .trees()
         .par_iter()
-        .map(|t| tree_shap(t, x))
+        .fold(
+            || (TreeShapScratch::new(), vec![0.0; forest.n_features()]),
+            |(mut scratch, mut acc), t| {
+                tree_shap_into(t, x, &mut scratch, &mut acc);
+                (scratch, acc)
+            },
+        )
+        .map(|(_, acc)| acc)
         .reduce(
             || vec![0.0; forest.n_features()],
             |mut acc, phi| {

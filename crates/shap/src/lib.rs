@@ -48,4 +48,4 @@ pub use explain::{explain_forest, explain_tree, Explanation};
 pub use force::{render_force, render_waterfall, ForceOptions};
 pub use interactions::{forest_shap_interactions, tree_shap_interactions, InteractionValues};
 pub use summary::{summarize, GlobalImportance};
-pub use tree_shap::tree_shap;
+pub use tree_shap::{tree_shap, tree_shap_into, TreeShapScratch};

@@ -8,6 +8,18 @@
 //! feature's Shapley sum with the correct combinatorial weight — no subset
 //! enumeration, no feature-independence assumption (interactions are
 //! captured by the tree structure itself, §III-C of the reproduced paper).
+//!
+//! # Allocation
+//!
+//! The recursion keeps all live decision paths in one flat arena owned by
+//! [`TreeShapScratch`]: each call's path occupies a contiguous region, the
+//! "hot" child gets a copy appended after it, and the "cold" child reuses
+//! the parent's region in place. A whole tree walk therefore costs zero
+//! allocations once the arena is warm, and [`tree_shap_into`] lets callers
+//! (the forest explainer, the serving engine) reuse one scratch across
+//! thousands of trees. The arithmetic — operand values, operation order —
+//! is identical to the textbook per-call-`Vec` formulation, so results are
+//! bit-for-bit unchanged.
 
 use drcshap_forest::{DecisionTree, TreeNode};
 
@@ -24,38 +36,92 @@ struct PathElem {
     w: f64,
 }
 
+const EMPTY: PathElem = PathElem { d: -1, z: 0.0, o: 0.0, w: 0.0 };
+
+/// Reusable scratch memory for the tree explainer: the flat path arena.
+///
+/// Create one per thread and pass it to [`tree_shap_into`] for every tree;
+/// it grows to the working-set high-water mark (`O(depth²)` elements) and
+/// is never shrunk, so steady-state explanation allocates nothing.
+#[derive(Debug, Default)]
+pub struct TreeShapScratch {
+    arena: Vec<PathElem>,
+}
+
+impl TreeShapScratch {
+    /// An empty scratch; the arena grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes the SHAP values of `tree` for sample `x`.
 ///
 /// Returns one value per feature; `Σ φ + E[f] = f(x)` exactly (up to
 /// floating-point error), where `E[f]` is the cover-weighted expectation of
 /// the tree (its root value).
 ///
+/// Allocates a fresh scratch per call; hot paths that explain many trees
+/// should hold a [`TreeShapScratch`] and call [`tree_shap_into`].
+///
 /// # Panics
 ///
 /// Panics if `x.len() != tree.n_features()`.
 pub fn tree_shap(tree: &DecisionTree, x: &[f32]) -> Vec<f64> {
-    assert_eq!(x.len(), tree.n_features(), "feature count mismatch");
     let mut phi = vec![0.0; tree.n_features()];
-    recurse(tree.nodes(), 0, Vec::new(), 1.0, 1.0, -1, x, &mut phi);
+    let mut scratch = TreeShapScratch::new();
+    tree_shap_into(tree, x, &mut scratch, &mut phi);
     phi
 }
 
+/// Accumulates the SHAP values of `tree` for sample `x` into `phi`
+/// (`phi[j] += φⱼ`), reusing `scratch` for all intermediate state.
+///
+/// The accumulate-don't-overwrite contract is what forest explanation
+/// wants (per-tree values are summed anyway); callers after a single
+/// tree's values must zero `phi` first.
+///
+/// # Panics
+///
+/// Panics if `x.len()` or `phi.len()` differs from `tree.n_features()`.
+pub fn tree_shap_into(
+    tree: &DecisionTree,
+    x: &[f32],
+    scratch: &mut TreeShapScratch,
+    phi: &mut [f64],
+) {
+    assert_eq!(x.len(), tree.n_features(), "feature count mismatch");
+    assert_eq!(phi.len(), tree.n_features(), "phi length mismatch");
+    recurse(tree.nodes(), 0, 0, 0, 1.0, 1.0, -1, x, phi, &mut scratch.arena);
+}
+
+/// The recursion. The current call's path lives in
+/// `arena[start .. start + len]`; everything below `start` belongs to
+/// ancestors and is never touched.
 #[allow(clippy::too_many_arguments)]
 fn recurse(
     nodes: &[TreeNode],
     j: usize,
-    path: Vec<PathElem>,
+    start: usize,
+    len: usize,
     pz: f64,
     po: f64,
     pi: i32,
     x: &[f32],
     phi: &mut [f64],
+    arena: &mut Vec<PathElem>,
 ) {
-    let m = extend(path, pz, po, pi);
+    if arena.len() < start + len + 1 {
+        arena.resize(start + len + 1, EMPTY);
+    }
+    extend(&mut arena[start..start + len + 1], pz, po, pi);
+    let mut len = len + 1;
+
     let node = &nodes[j];
     if node.is_leaf() {
-        for i in 1..m.len() {
-            let w = unwound_sum(&m, i);
+        let m = &arena[start..start + len];
+        for i in 1..len {
+            let w = unwound_sum(m, i);
             phi[m[i].d as usize] += w * (m[i].o - m[i].z) * node.value;
         }
         return;
@@ -71,34 +137,47 @@ fn recurse(
     // If this feature already split above, undo its path entry and inherit
     // its fractions (each feature appears at most once on the path).
     let (mut iz, mut io) = (1.0, 1.0);
-    let mut m = m;
-    if let Some(k) = m.iter().skip(1).position(|e| e.d == node.feature as i32) {
+    if let Some(k) = arena[start + 1..start + len].iter().position(|e| e.d == node.feature as i32) {
         let k = k + 1;
-        iz = m[k].z;
-        io = m[k].o;
-        m = unwind(m, k);
+        iz = arena[start + k].z;
+        io = arena[start + k].o;
+        unwind(&mut arena[start..start + len], k);
+        len -= 1;
     }
 
     let rj = node.cover.max(1e-12);
     let hot_frac = nodes[hot].cover / rj;
     let cold_frac = nodes[cold].cover / rj;
-    recurse(nodes, hot, m.clone(), iz * hot_frac, io, node.feature as i32, x, phi);
-    recurse(nodes, cold, m, iz * cold_frac, 0.0, node.feature as i32, x, phi);
-}
 
-/// Grows the path by one split, updating the permutation weights.
-fn extend(mut m: Vec<PathElem>, pz: f64, po: f64, pi: i32) -> Vec<PathElem> {
-    let l = m.len();
-    m.push(PathElem { d: pi, z: pz, o: po, w: if l == 0 { 1.0 } else { 0.0 } });
-    for i in (0..l).rev() {
-        m[i + 1].w += po * m[i].w * (i + 1) as f64 / (l + 1) as f64;
-        m[i].w = pz * m[i].w * (l - i) as f64 / (l + 1) as f64;
+    // Hot child: append a copy of this path after the current region (the
+    // arena equivalent of `m.clone()`); the child only ever writes at or
+    // beyond its own region, so ours survives for the cold branch.
+    let child_start = start + len;
+    if arena.len() < child_start + len {
+        arena.resize(child_start + len, EMPTY);
     }
-    m
+    arena.copy_within(start..start + len, child_start);
+    recurse(nodes, hot, child_start, len, iz * hot_frac, io, node.feature as i32, x, phi, arena);
+    // Cold child: reuses this region in place (the `m` move).
+    recurse(nodes, cold, start, len, iz * cold_frac, 0.0, node.feature as i32, x, phi, arena);
 }
 
-/// Removes path element `i`, exactly inverting [`extend`].
-fn unwind(mut m: Vec<PathElem>, i: usize) -> Vec<PathElem> {
+/// Grows the path by one split, updating the permutation weights. The new
+/// element lands in `m[l]` where `l = m.len() - 1` (the caller reserves the
+/// slot).
+fn extend(m: &mut [PathElem], pz: f64, po: f64, pi: i32) {
+    let l = m.len() - 1;
+    m[l] = PathElem { d: pi, z: pz, o: po, w: if l == 0 { 1.0 } else { 0.0 } };
+    for i in (0..l).rev() {
+        let w = m[i].w;
+        m[i + 1].w += po * w * (i + 1) as f64 / (l + 1) as f64;
+        m[i].w = pz * w * (l - i) as f64 / (l + 1) as f64;
+    }
+}
+
+/// Removes path element `i`, exactly inverting [`extend`]. The logical
+/// length shrinks by one; the caller drops the trailing slot.
+fn unwind(m: &mut [PathElem], i: usize) {
     let l = m.len() - 1;
     let (o, z) = (m[i].o, m[i].z);
     let mut n = m[l].w;
@@ -116,8 +195,6 @@ fn unwind(mut m: Vec<PathElem>, i: usize) -> Vec<PathElem> {
         m[j].z = m[j + 1].z;
         m[j].o = m[j + 1].o;
     }
-    m.pop();
-    m
 }
 
 /// The total permutation weight if element `i` were unwound (without
@@ -239,5 +316,60 @@ mod tests {
         let phi = tree_shap(&tree, &[0.5, 9.9, -1.0]);
         assert_eq!(phi[1], 0.0);
         assert_eq!(phi[2], 0.0);
+    }
+
+    #[test]
+    fn into_variant_accumulates_and_matches_bit_for_bit() {
+        let data = dataset(&[
+            (&[0.0, 0.0, 0.3], false),
+            (&[0.0, 1.0, 0.7], true),
+            (&[1.0, 0.0, 0.2], true),
+            (&[1.0, 1.0, 0.9], false),
+            (&[0.5, 0.5, 0.1], true),
+        ]);
+        let tree = TreeTrainer::default().fit(&data, 0);
+        let probe = [0.4f32, 0.6, 0.5];
+        let reference = tree_shap(&tree, &probe);
+
+        let mut scratch = TreeShapScratch::new();
+        let mut phi = vec![0.0; 3];
+        tree_shap_into(&tree, &probe, &mut scratch, &mut phi);
+        for (a, b) in phi.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "into variant must be bit-identical");
+        }
+
+        // Second call accumulates: exactly doubles every value.
+        tree_shap_into(&tree, &probe, &mut scratch, &mut phi);
+        for (a, b) in phi.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), (b * 2.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_trees_and_samples() {
+        let deep = dataset(&[
+            (&[0.1], false),
+            (&[0.3], true),
+            (&[0.5], false),
+            (&[0.7], true),
+            (&[0.9], false),
+        ]);
+        let shallow = dataset(&[(&[0.0], false), (&[1.0], true)]);
+        let deep_tree = TreeTrainer::default().fit(&deep, 0);
+        let shallow_tree = TreeTrainer::default().fit(&shallow, 0);
+
+        let mut scratch = TreeShapScratch::new();
+        // Deep first (grows the arena), then shallow (partially reuses it),
+        // then deep again — each must match the fresh-scratch answer.
+        for _ in 0..2 {
+            for (tree, probe) in
+                [(&deep_tree, [0.6f32]), (&shallow_tree, [0.2]), (&deep_tree, [0.3])]
+            {
+                let mut phi = vec![0.0; 1];
+                tree_shap_into(tree, &probe, &mut scratch, &mut phi);
+                let reference = tree_shap(tree, &probe);
+                assert_eq!(phi[0].to_bits(), reference[0].to_bits());
+            }
+        }
     }
 }

@@ -11,6 +11,13 @@
 //! drcshap run <dir> [scale] [--deadline <secs>]    supervised suite build with
 //!                                                  checkpoints into <dir>
 //! drcshap resume <dir> [--deadline <secs>]         resume a run from its manifest
+//! drcshap serve <model> [--design <name>] [--scale <s>] [--batch <n>]
+//!               [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware]
+//!               [--stats]
+//!     batched inference through the serve engine: scores JSONL feature rows
+//!     from stdin (one JSON array per line) to JSONL on stdout, or a whole
+//!     built design with `--design`; `--stats` dumps serving metrics as JSON
+//!     on stderr at the end
 //! ```
 //!
 //! Every failure on the serving path surfaces as a typed
@@ -18,9 +25,11 @@
 //! (I/O, corrupted artifacts, schema mismatches) with status 1, and no
 //! input reachable from this binary panics.
 
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
 use std::time::Duration;
 
-use drcshap::core::artifact::crc32;
+use drcshap::core::artifact::{crc32, Crc32};
 use drcshap::core::explain::Explainer;
 use drcshap::core::pipeline::{try_build_design, try_build_suite, PipelineConfig};
 use drcshap::core::{load_model, read_manifest, run_supervised, save_model};
@@ -31,12 +40,15 @@ use drcshap::geom::CancelToken;
 use drcshap::ml::{Classifier, DrcshapError, InputError, NanPolicy, PipelineError, Trainer};
 use drcshap::netlist::{suite, write_def, DesignSpec};
 use drcshap::route::{render_heatmap, HeatSource};
+use drcshap::serve::{ServeConfig, ServeEngine, Ticket};
 use drcshap::shap::ForceOptions;
 
 const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
                      triage <design> [scale] [threshold] | export <design> <dir> [scale] | \
                      train <design> <out.model> [scale] | predict <model> <design> [scale] | \
-                     run <dir> [scale] [--deadline <secs>] | resume <dir> [--deadline <secs>]>";
+                     run <dir> [scale] [--deadline <secs>] | resume <dir> [--deadline <secs>] | \
+                     serve <model> [--design <name>] [--scale <s>] [--batch <n>] \
+                     [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware] [--stats]>";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +62,7 @@ fn main() {
         Some("predict") => cmd_predict(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => Err(DrcshapError::usage(USAGE)),
     };
     if let Err(e) = result {
@@ -82,22 +95,40 @@ fn spec_arg(args: &[String], position: usize) -> Result<DesignSpec, DrcshapError
         .ok_or_else(|| DrcshapError::usage(format!("unknown design {name:?} (try `drcshap list`)")))
 }
 
-/// Scores every g-cell under the strict `Reject` policy and returns the
-/// scores alongside a CRC32 digest of their exact bit patterns — two runs
-/// print the same digest iff every score is bit-identical.
-fn score_design(
+/// Streams rows through the model under the strict `Reject` policy,
+/// keeping only `O(top_k)` state: the top-scored rows (ranked by score
+/// descending, index ascending on ties) and an incremental CRC32 digest of
+/// the exact score bit patterns — two runs print the same digest iff every
+/// score is bit-identical. Memory stays bounded no matter how many rows
+/// stream through.
+fn stream_scores<'a>(
     model: &dyn Classifier,
-    features: &FeatureMatrix,
-) -> Result<(Vec<f64>, String), DrcshapError> {
-    let n = features.n_samples();
-    let mut scores = Vec::with_capacity(n);
-    let mut bytes = Vec::with_capacity(n * 8);
-    for i in 0..n {
-        let s = model.score_checked(features.row(i), NanPolicy::Reject)?;
-        bytes.extend_from_slice(&s.to_bits().to_le_bytes());
-        scores.push(s);
+    rows: impl Iterator<Item = &'a [f32]>,
+    top_k: usize,
+) -> Result<(Vec<(usize, f64)>, String), DrcshapError> {
+    let mut digest = Crc32::new();
+    let mut top: Vec<(usize, f64)> = Vec::with_capacity(top_k + 1);
+    let mut n = 0usize;
+    for (i, row) in rows.enumerate() {
+        let s = model.score_checked(row, NanPolicy::Reject)?;
+        digest.update(&s.to_bits().to_le_bytes());
+        n += 1;
+        if top_k == 0 {
+            continue;
+        }
+        top.push((i, s));
+        if top.len() > top_k {
+            top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            top.truncate(top_k);
+        }
     }
-    Ok((scores, format!("crc32 {:#010x} over {} scores", crc32(&bytes), n)))
+    top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    Ok((top, format!("crc32 {:#010x} over {n} scores", digest.finalize())))
+}
+
+/// All rows of a feature matrix, in g-cell order.
+fn matrix_rows(features: &FeatureMatrix) -> impl Iterator<Item = &[f32]> {
+    (0..features.n_samples()).map(|i| features.row(i))
 }
 
 fn cmd_list() -> Result<(), DrcshapError> {
@@ -215,7 +246,7 @@ fn cmd_train(args: &[String]) -> Result<(), DrcshapError> {
     let model = SavedModel::Rf(trainer.fit(&data, 42));
     let schema = FeatureSchema::paper_387();
     save_model(out, &model, &schema)?;
-    let (_, digest) = score_design(model.as_classifier(), &bundle.features)?;
+    let (_, digest) = stream_scores(model.as_classifier(), matrix_rows(&bundle.features), 0)?;
     println!("saved {} model to {out}", model.kind());
     println!("score digest: {digest}");
     Ok(())
@@ -325,13 +356,190 @@ fn cmd_predict(args: &[String]) -> Result<(), DrcshapError> {
     eprintln!("loaded {} model from {path}", model.kind());
     eprintln!("building {} at scale {}...", spec.name, config.scale);
     let bundle = try_build_design(&spec, &config)?;
-    let (scores, digest) = score_design(model.as_classifier(), &bundle.features)?;
-    let mut ranked: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let (ranked, digest) = stream_scores(model.as_classifier(), matrix_rows(&bundle.features), 10)?;
     println!("top predicted hotspots for {}:", spec.name);
-    for (i, s) in ranked.iter().take(10) {
+    for (i, s) in &ranked {
         println!("  g-cell {i:>6}  p = {s:.4}");
     }
     println!("score digest: {digest}");
+    Ok(())
+}
+
+/// Extracts `--flag <value>` from `args`, removing both tokens.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, DrcshapError> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let value = args
+        .get(pos + 1)
+        .ok_or_else(|| DrcshapError::usage(format!("{flag} needs a value")))?
+        .clone();
+    args.drain(pos..=pos + 1);
+    Ok(Some(value))
+}
+
+/// Extracts a boolean `--flag` from `args`, removing it.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, DrcshapError> {
+    match take_value(args, flag)? {
+        None => Ok(default),
+        Some(s) => {
+            s.parse().map_err(|_| DrcshapError::usage(format!("bad value {s:?} for {flag}")))
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), DrcshapError> {
+    let mut args = args.to_vec();
+    let stats = take_switch(&mut args, "--stats");
+    let nan_aware = take_switch(&mut args, "--nan-aware");
+    let design = take_value(&mut args, "--design")?;
+    let scale: f64 = parse_flag(&mut args, "--scale", 0.25)?;
+    let defaults = ServeConfig::default();
+    let wait_ms: f64 = parse_flag(&mut args, "--wait-ms", defaults.max_wait.as_secs_f64() * 1e3)?;
+    if !wait_ms.is_finite() || wait_ms < 0.0 {
+        return Err(DrcshapError::usage(format!("bad value {wait_ms} for --wait-ms")));
+    }
+    let config = ServeConfig {
+        max_batch: parse_flag(&mut args, "--batch", defaults.max_batch)?,
+        max_wait: Duration::from_secs_f64(wait_ms / 1e3),
+        queue_capacity: parse_flag(&mut args, "--queue", defaults.queue_capacity)?,
+        workers: parse_flag(&mut args, "--workers", defaults.workers)?,
+        nan_policy: if nan_aware { NanPolicy::NanAware } else { NanPolicy::Reject },
+        ..defaults
+    };
+    let path = args.first().cloned().ok_or_else(|| DrcshapError::usage("missing model path"))?;
+    if args.len() > 1 {
+        return Err(DrcshapError::usage(format!("unexpected argument {:?}", args[1])));
+    }
+    let schema = FeatureSchema::paper_387();
+    let model = load_model(&path, &schema)?;
+    eprintln!("loaded {} model from {path}", model.kind());
+    // Never let the in-flight window outrun the queue: the submit loop keeps
+    // at most `window` unresolved tickets, so `Overloaded` cannot fire.
+    let window = config.queue_capacity;
+    let engine = ServeEngine::start_saved(config, model, schema.fingerprint())?;
+    match design {
+        Some(name) => {
+            let spec = suite::spec(&name).ok_or_else(|| {
+                DrcshapError::usage(format!("unknown design {name:?} (try `drcshap list`)"))
+            })?;
+            serve_design(&engine, &spec, scale, window)?;
+        }
+        None => serve_jsonl(&engine, window)?,
+    }
+    if stats {
+        let metrics = engine.metrics();
+        eprintln!("{}", serde_json::to_string(&metrics).expect("metrics serialize"));
+    }
+    engine.shutdown();
+    Ok(())
+}
+
+/// Waits out the oldest in-flight ticket, returning its row index and score.
+fn resolve(window: &mut VecDeque<(usize, Ticket)>) -> Result<(usize, f64), DrcshapError> {
+    let (index, ticket) = window.pop_front().expect("resolve called on empty window");
+    let response = ticket.wait()?;
+    Ok((index, response.score))
+}
+
+/// Scores a built design through the serve engine, printing the same
+/// top-10 ranking and score digest as `drcshap predict` — the scores are
+/// bit-identical by construction, so the digests must match.
+fn serve_design(
+    engine: &ServeEngine,
+    spec: &DesignSpec,
+    scale: f64,
+    window_cap: usize,
+) -> Result<(), DrcshapError> {
+    let config = PipelineConfig { scale, ..Default::default() };
+    eprintln!("building {} at scale {}...", spec.name, config.scale);
+    let bundle = try_build_design(spec, &config)?;
+    let mut digest = Crc32::new();
+    let mut top: Vec<(usize, f64)> = Vec::new();
+    let mut n = 0usize;
+    let mut window: VecDeque<(usize, Ticket)> = VecDeque::new();
+    let mut take = |window: &mut VecDeque<(usize, Ticket)>| -> Result<(), DrcshapError> {
+        let (i, s) = resolve(window)?;
+        digest.update(&s.to_bits().to_le_bytes());
+        n += 1;
+        top.push((i, s));
+        if top.len() > 10 {
+            top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            top.truncate(10);
+        }
+        Ok(())
+    };
+    for i in 0..bundle.features.n_samples() {
+        if window.len() == window_cap {
+            take(&mut window)?;
+        }
+        window.push_back((i, engine.submit(bundle.features.row(i).to_vec())?));
+    }
+    while !window.is_empty() {
+        take(&mut window)?;
+    }
+    top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("top predicted hotspots for {}:", spec.name);
+    for (i, s) in &top {
+        println!("  g-cell {i:>6}  p = {s:.4}");
+    }
+    println!("score digest: crc32 {:#010x} over {n} scores", digest.finalize());
+    Ok(())
+}
+
+/// The JSONL loop: each stdin line is a JSON array of feature values; each
+/// stdout line is `{"line":..,"score":..,"epoch":..,"batch":..}` in input
+/// order. A sliding window of in-flight tickets keeps batches full without
+/// ever tripping the engine's backpressure.
+fn serve_jsonl(engine: &ServeEngine, window_cap: usize) -> Result<(), DrcshapError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut window: VecDeque<(usize, Ticket)> = VecDeque::new();
+    let mut emit = |window: &mut VecDeque<(usize, Ticket)>| -> Result<(), DrcshapError> {
+        let (line, ticket) = window.pop_front().expect("emit called on empty window");
+        let response = ticket.wait()?;
+        writeln!(
+            out,
+            "{{\"line\":{line},\"score\":{},\"epoch\":{},\"batch\":{}}}",
+            response.score, response.epoch, response.batch_size
+        )
+        .map_err(|e| DrcshapError::io("stdout", e))?;
+        Ok(())
+    };
+    for (lineno, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| DrcshapError::io("stdin", e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let x: Vec<f32> = serde_json::from_str(&line).map_err(|e| {
+            DrcshapError::from(InputError::Malformed {
+                line: lineno + 1,
+                message: format!("expected a JSON array of numbers: {e}"),
+            })
+        })?;
+        if window.len() == window_cap {
+            emit(&mut window)?;
+        }
+        window.push_back((lineno + 1, engine.submit(x)?));
+    }
+    while !window.is_empty() {
+        emit(&mut window)?;
+    }
+    out.flush().map_err(|e| DrcshapError::io("stdout", e))?;
     Ok(())
 }

@@ -18,7 +18,10 @@
 //! - [`shap`] — the SHAP tree explainer, exact brute-force reference and
 //!   sampling baseline;
 //! - [`core`] — the paper's end-to-end workflow: pipeline, grouped
-//!   evaluation protocol and the explanation service.
+//!   evaluation protocol and the explanation service;
+//! - [`serve`] — the batched inference engine: compiled forests,
+//!   micro-batching with backpressure, an LRU explanation cache, hot model
+//!   swap and serving metrics.
 //!
 //! # Quickstart
 //!
@@ -52,5 +55,6 @@ pub use drcshap_netlist as netlist;
 pub use drcshap_nn as nn;
 pub use drcshap_place as place;
 pub use drcshap_route as route;
+pub use drcshap_serve as serve;
 pub use drcshap_shap as shap;
 pub use drcshap_svm as svm;
