@@ -73,7 +73,10 @@ fn main() {
         RandomForestTrainer { n_trees: 60, min_samples_leaf: 16.0, ..Default::default() },
     ];
     for metric in [SelectionMetric::Auprc, SelectionMetric::Auroc] {
-        let out = grid_search(&grid, &train, metric, 42);
+        let out = grid_search(&grid, &train, metric, 42).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
         let best = &grid[out.best_index];
         let rf = best.fit(&train, 42);
         let ap = average_precision(&rf.score_dataset(&test), test.labels());

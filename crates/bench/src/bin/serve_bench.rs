@@ -8,7 +8,18 @@
 //!
 //! ```text
 //! cargo run --release -p drcshap-bench --bin serve_bench [-- --out BENCH_serve.json]
+//! # CI regression gate against a committed baseline
+//! cargo run --release -p drcshap-bench --bin serve_bench -- --gate BENCH_serve.json
+//! # record the engine's flush spans as a Chrome trace
+//! cargo run --release -p drcshap-bench --bin serve_bench -- --trace serve.json --stats
 //! ```
+//!
+//! `--gate <baseline.json>` compares the fresh run against a committed
+//! baseline: it fails (exit 1) when the baseline was not bit-identical,
+//! when the baseline's `compiled_batch_per_s` is null or non-positive
+//! (a placeholder that never got regenerated), or when fresh compiled
+//! throughput regresses more than `DRCSHAP_BENCH_TOLERANCE` (default
+//! 0.25, i.e. 25%) below the baseline.
 //!
 //! Environment knobs: `DRCSHAP_SERVE_TREES` (default 100),
 //! `DRCSHAP_SERVE_FEATURES` (default 64), `DRCSHAP_SERVE_SAMPLES`
@@ -19,11 +30,22 @@ use std::time::{Duration, Instant};
 use drcshap_forest::{RandomForest, RandomForestTrainer};
 use drcshap_ml::{Dataset, NanPolicy, Trainer};
 use drcshap_serve::{CompiledForest, ServeConfig, ServeEngine};
+use drcshap_telemetry as telemetry;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad value {s:?} for {name}");
+            std::process::exit(2);
+        }),
+        Err(_) => default,
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
     match std::env::var(name) {
         Ok(s) => s.parse().unwrap_or_else(|_| {
             eprintln!("error: bad value {s:?} for {name}");
@@ -66,19 +88,93 @@ fn train_forest(n_trees: usize, m: usize, rows: usize, seed: u64) -> RandomFores
     RandomForestTrainer { n_trees, ..Default::default() }.fit(&data, seed)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = match args.iter().position(|a| a == "--out") {
-        Some(pos) => Some(args.get(pos + 1).cloned().unwrap_or_else(|| {
-            eprintln!("error: --out needs a path");
-            std::process::exit(2);
-        })),
-        None => None,
+/// Extracts `--flag <value>` from `args`, removing both tokens.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args[pos + 1].clone();
+    args.drain(pos..=pos + 1);
+    Some(value)
+}
+
+/// A finite, positive throughput from a baseline field — anything else
+/// (missing, null, zero, the unregenerated placeholder) is `None`.
+fn baseline_throughput(report: &serde_json::Value, field: &str) -> Option<f64> {
+    report.get(field)?.as_f64().filter(|v| v.is_finite() && *v > 0.0)
+}
+
+/// The CI regression gate: fresh vs committed baseline. Exits non-zero on
+/// a null/placeholder baseline, a non-bit-identical baseline, or a fresh
+/// compiled throughput more than `tolerance` below the baseline.
+fn run_gate(baseline_path: &str, fresh_compiled: f64, tolerance: f64) {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("gate: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(1);
+    });
+    let baseline: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("gate: baseline {baseline_path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    if baseline.get("bit_identical").and_then(serde_json::Value::as_bool) != Some(true) {
+        eprintln!("gate: baseline {baseline_path} was not bit-identical — rejecting it");
+        std::process::exit(1);
+    }
+    let Some(base_compiled) = baseline_throughput(&baseline, "compiled_batch_per_s") else {
+        eprintln!(
+            "gate: baseline {baseline_path} has a null or non-positive compiled_batch_per_s \
+             — regenerate it with `serve_bench --out {baseline_path}`"
+        );
+        std::process::exit(1);
     };
+    let floor = base_compiled * (1.0 - tolerance);
+    let ratio = fresh_compiled / base_compiled;
+    eprintln!(
+        "gate: fresh compiled {fresh_compiled:.3e}/s vs baseline {base_compiled:.3e}/s \
+         ({:.1}% of baseline, floor {:.0}%)",
+        ratio * 100.0,
+        (1.0 - tolerance) * 100.0
+    );
+    if fresh_compiled < floor {
+        eprintln!(
+            "gate: FAIL — compiled throughput regressed more than {:.0}% below the baseline",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!("gate: PASS");
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = take_value(&mut args, "--out");
+    let gate_path = take_value(&mut args, "--gate");
+    let trace_path = take_value(&mut args, "--trace");
+    let stats = match args.iter().position(|a| a == "--stats") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
+    if let Some(extra) = args.first() {
+        eprintln!("error: unexpected argument {extra:?}");
+        std::process::exit(2);
+    }
+    if trace_path.is_some() || stats {
+        telemetry::enable();
+    }
 
     let n_trees = env_usize("DRCSHAP_SERVE_TREES", 100);
     let m = env_usize("DRCSHAP_SERVE_FEATURES", 64);
     let batch = env_usize("DRCSHAP_SERVE_SAMPLES", 4096);
+    let tolerance = env_f64("DRCSHAP_BENCH_TOLERANCE", 0.25);
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!("error: DRCSHAP_BENCH_TOLERANCE must be in [0, 1), got {tolerance}");
+        std::process::exit(2);
+    }
 
     eprintln!("training {n_trees}-tree forest on {m} features...");
     let rf = train_forest(n_trees, m, 2000, 42);
@@ -150,6 +246,7 @@ fn main() {
     let speedup = compiled_tp / single;
     let report = serde_json::json!({
         "bench": "serve_bench",
+        "status": "measured",
         "trees": n_trees,
         "features": m,
         "batch": batch,
@@ -166,6 +263,15 @@ fn main() {
     let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
     println!("{pretty}");
     if let Some(path) = out_path {
+        // Never overwrite a baseline with numbers the gate would reject.
+        for (field, value) in
+            [("single", single), ("compiled", compiled_tp), ("nan", nan_tp), ("engine", engine_tp)]
+        {
+            if !value.is_finite() || value <= 0.0 {
+                eprintln!("error: refusing to write {path}: {field} throughput is {value}");
+                std::process::exit(1);
+            }
+        }
         std::fs::write(&path, format!("{pretty}\n")).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
@@ -173,4 +279,18 @@ fn main() {
         eprintln!("wrote {path}");
     }
     eprintln!("speedup compiled-batch vs single-sample: {speedup:.1}x");
+    if let Some(path) = trace_path {
+        std::fs::write(&path, telemetry::hub().chrome_trace()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if stats {
+        let summary = telemetry::hub().summary();
+        eprintln!("{}", serde_json::to_string_pretty(&summary).expect("summary serialize"));
+    }
+    if let Some(path) = gate_path {
+        run_gate(&path, compiled_tp, tolerance);
+    }
 }

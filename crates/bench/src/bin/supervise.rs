@@ -10,6 +10,8 @@
 //! cargo run --release -p drcshap-bench --bin supervise -- runs/full 120
 //! # scale comes from the shared env knobs
 //! DRCSHAP_SCALE=0.1 cargo run --release -p drcshap-bench --bin supervise
+//! # record a Chrome trace of every stage and a span/counter summary
+//! cargo run --release -p drcshap-bench --bin supervise -- --trace run.json --stats
 //! ```
 
 use std::time::Duration;
@@ -18,9 +20,54 @@ use drcshap_bench::env_pipeline;
 use drcshap_core::supervisor::{run_supervised, SupervisorConfig};
 use drcshap_geom::CancelToken;
 use drcshap_netlist::suite;
+use drcshap_telemetry as telemetry;
+
+/// Strips `--trace <path>` / `--stats` from `args`; either enables
+/// recording. Returns the trace path and the stats switch.
+fn telemetry_flags(args: &mut Vec<String>) -> (Option<String>, bool) {
+    let trace = match args.iter().position(|a| a == "--trace") {
+        Some(pos) => {
+            if pos + 1 >= args.len() {
+                eprintln!("error: --trace needs a path");
+                std::process::exit(2);
+            }
+            let path = args[pos + 1].clone();
+            args.drain(pos..=pos + 1);
+            Some(path)
+        }
+        None => None,
+    };
+    let stats = match args.iter().position(|a| a == "--stats") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
+    if trace.is_some() || stats {
+        telemetry::enable();
+    }
+    (trace, stats)
+}
+
+/// Writes the Chrome trace and prints the summary, as requested.
+fn telemetry_finish(trace: &Option<String>, stats: bool) {
+    if let Some(path) = trace {
+        if let Err(e) = std::fs::write(path, telemetry::hub().chrome_trace()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if stats {
+        let summary = telemetry::hub().summary();
+        eprintln!("{}", serde_json::to_string_pretty(&summary).expect("summary serialize"));
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace, stats) = telemetry_flags(&mut args);
     let run_dir = args.first().map(String::as_str).unwrap_or("runs/supervised").to_string();
     let deadline = args.get(1).map(|s| {
         let secs: f64 = s.parse().unwrap_or_else(|_| {
@@ -41,12 +88,14 @@ fn main() {
     match run_supervised(&suite::all_specs(), &sup, &CancelToken::new()) {
         Ok(report) => {
             println!("{}", report.render());
+            telemetry_finish(&trace, stats);
             if report.completed() < report.designs.len() {
                 std::process::exit(1);
             }
         }
         Err(e) => {
             eprintln!("error: {e}");
+            telemetry_finish(&trace, stats);
             std::process::exit(1);
         }
     }

@@ -23,7 +23,10 @@
 //!   and artifacts produce typed errors, never panics;
 //! - [`supervisor`] — supervised, resumable suite builds: per-stage
 //!   checkpoints, a run manifest, per-stage deadlines with degraded-mode
-//!   completion, cooperative cancellation, and panic-isolated retries.
+//!   completion, cooperative cancellation, and panic-isolated retries;
+//! - [`telemetry`] — workspace-wide spans and counters (re-export of
+//!   `drcshap-telemetry`): enable with [`telemetry::enable`], export a
+//!   JSON summary or Chrome trace from [`telemetry::hub`].
 //!
 //! # Example
 //!
@@ -49,6 +52,8 @@ pub mod flow;
 pub mod pipeline;
 pub mod supervisor;
 pub mod zoo;
+
+pub use drcshap_telemetry as telemetry;
 
 pub use artifact::{decode_model, encode_model, load_model, save_model, ModelKind, SavedModel};
 pub use eval::{evaluate_models, DesignMetrics, EvalConfig, Table2};

@@ -8,6 +8,7 @@ use drcshap_ml::{Dataset, DrcshapError, InputError};
 use drcshap_netlist::{suite::DesignSpec, synth, Design};
 use drcshap_place::place;
 use drcshap_route::{route_design, RouteConfig, RouteOutcome};
+use drcshap_telemetry as telemetry;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -142,14 +143,30 @@ pub fn try_build_design(
 ) -> Result<DesignBundle, DrcshapError> {
     config.validate()?;
     let spec = spec.scaled(config.scale);
+    let _design_span = telemetry::span_with("pipeline/design", || spec.name.clone());
     let mut design = Design::new(spec.clone());
     let mut rng = ChaCha8Rng::seed_from_u64(spec.seed());
-    synth::generate_cells(&mut design, &mut rng);
-    place(&mut design, &mut rng);
-    synth::generate_nets(&mut design, &mut rng);
-    let route = route_design(&design, &config.route_for(&spec), &mut rng);
-    let report = run_drc(&design, &route, &config.drc, &mut rng);
-    let features = extract_design(&design, &route);
+    {
+        let _s = telemetry::span("stage/synth");
+        synth::generate_cells(&mut design, &mut rng);
+    }
+    {
+        let _s = telemetry::span("stage/place");
+        place(&mut design, &mut rng);
+        synth::generate_nets(&mut design, &mut rng);
+    }
+    let route = {
+        let _s = telemetry::span("stage/route");
+        route_design(&design, &config.route_for(&spec), &mut rng)
+    };
+    let report = {
+        let _s = telemetry::span("stage/drc");
+        run_drc(&design, &route, &config.drc, &mut rng)
+    };
+    let features = {
+        let _s = telemetry::span("stage/extract");
+        extract_design(&design, &route)
+    };
     Ok(DesignBundle { design, route, report, features })
 }
 

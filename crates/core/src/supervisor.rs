@@ -38,6 +38,7 @@ use drcshap_ml::{DrcshapError, PipelineError};
 use drcshap_netlist::{suite::DesignSpec, synth, Design};
 use drcshap_place::place_budgeted;
 use drcshap_route::{route_design_budgeted, RouteConfig, RouteOutcome};
+use drcshap_telemetry as telemetry;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -88,6 +89,17 @@ impl Stage {
     /// disjoint from the model-artifact kind codes).
     pub fn code(self) -> u8 {
         0x10 + self as u8
+    }
+
+    /// Telemetry span name for this stage (`stage/<name>`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Stage::Synth => "stage/synth",
+            Stage::Place => "stage/place",
+            Stage::Route => "stage/route",
+            Stage::Drc => "stage/drc",
+            Stage::Extract => "stage/extract",
+        }
     }
 }
 
@@ -410,6 +422,7 @@ fn execute_stage(
     if inject_panic {
         panic!("injected fault at {}/{}", spec.name, stage);
     }
+    let _stage_span = telemetry::span_with(stage.span_name(), || spec.name.clone());
     let cancelled =
         || PipelineError::Cancelled { design: spec.name.clone(), stage: stage.name().to_string() };
     if budget.check() == BudgetState::Cancelled {
@@ -500,6 +513,7 @@ fn run_design_attempt(
                         StagePayload::Extract(f) => state.features = Some(*f),
                     }
                     stats.stages_resumed += 1;
+                    telemetry::counter("supervisor/stages_resumed", 1);
                     continue;
                 }
                 Ok(None) => resuming = false,
@@ -507,6 +521,7 @@ fn run_design_attempt(
                     // Corrupt checkpoint: recompute from here on. The CRC
                     // caught it; recovery is recomputation, never a panic.
                     stats.recovered += 1;
+                    telemetry::counter("supervisor/checkpoints_recovered", 1);
                     resuming = false;
                 }
             }
@@ -556,6 +571,7 @@ fn run_design_attempt(
             }
         };
         stats.stages_run += 1;
+        telemetry::counter("supervisor/stages_run", 1);
         if degraded {
             stats.degraded.push(stage);
         }
@@ -610,6 +626,7 @@ fn supervise_design(
     manifest: &Mutex<RunManifest>,
     manifest_path: &Path,
 ) -> (Option<DesignBundle>, DesignOutcome) {
+    let _design_span = telemetry::span_with("supervisor/design", || spec.name.clone());
     let mut stats = DesignStats::default();
     let max_attempts = sup.max_attempts.max(1);
     let mut attempts = 0;

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use drcshap_forest::{RandomForestTrainer, RusBoostTrainer};
 use drcshap_ml::tune::SelectionMetric;
-use drcshap_ml::{grid_search, Classifier, Dataset, GridSearchOutcome, Trainer};
+use drcshap_ml::{grid_search, Classifier, Dataset, DrcshapError, GridSearchOutcome, Trainer};
 use drcshap_nn::NnTrainer;
 use drcshap_svm::SvmTrainer;
 use serde::{Deserialize, Serialize};
@@ -49,7 +49,28 @@ impl ModelFamily {
 
     /// Grid-searches this family on `train` (grouped CV on AUPRC, per the
     /// paper) and retrains the winner on all of `train`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` has fewer than two distinct design groups; use
+    /// [`ModelFamily::try_tune_and_fit`] on paths that must not panic.
     pub fn tune_and_fit(self, train: &Dataset, budget: ModelBudget, seed: u64) -> TrainedModel {
+        self.try_tune_and_fit(train, budget, seed)
+            .expect("training data must span at least two design groups")
+    }
+
+    /// Validated variant of [`ModelFamily::tune_and_fit`].
+    ///
+    /// # Errors
+    ///
+    /// [`drcshap_ml::InputError::DegenerateGroups`] when `train` has fewer
+    /// than two distinct design groups (grouped CV cannot form a fold).
+    pub fn try_tune_and_fit(
+        self,
+        train: &Dataset,
+        budget: ModelBudget,
+        seed: u64,
+    ) -> Result<TrainedModel, DrcshapError> {
         match self {
             ModelFamily::Rf => tune_family(self, &budget.rf_grid(), train, seed),
             ModelFamily::SvmRbf => tune_family(self, &budget.svm_grid(), train, seed),
@@ -183,18 +204,23 @@ pub struct TrainedModel {
     pub fit_seconds: f64,
 }
 
-fn tune_family<T>(family: ModelFamily, grid: &[T], train: &Dataset, seed: u64) -> TrainedModel
+fn tune_family<T>(
+    family: ModelFamily,
+    grid: &[T],
+    train: &Dataset,
+    seed: u64,
+) -> Result<TrainedModel, DrcshapError>
 where
     T: Trainer,
     T::Model: 'static,
 {
     let t0 = Instant::now();
-    let tune = grid_search(grid, train, SelectionMetric::Auprc, seed);
+    let tune = grid_search(grid, train, SelectionMetric::Auprc, seed)?;
     let tune_seconds = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let model = grid[tune.best_index].fit(train, seed);
     let fit_seconds = t1.elapsed().as_secs_f64();
-    TrainedModel { model: Box::new(model), family, tune, tune_seconds, fit_seconds }
+    Ok(TrainedModel { model: Box::new(model), family, tune, tune_seconds, fit_seconds })
 }
 
 #[cfg(test)]

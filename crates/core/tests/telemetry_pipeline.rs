@@ -1,0 +1,83 @@
+//! End-to-end telemetry coverage: a supervised pipeline run with recording
+//! enabled must emit spans for every supervisor stage, the router, the
+//! placer's legalization, and feature extraction — and export a valid,
+//! deterministic Chrome trace.
+//!
+//! The whole file is one `#[test]` because telemetry state is global:
+//! splitting the assertions into separate tests would race on the shared
+//! hub under the parallel test runner.
+
+use drcshap_core::supervisor::{run_supervised, SupervisorConfig};
+use drcshap_core::telemetry;
+use drcshap_core::PipelineConfig;
+use drcshap_geom::CancelToken;
+use drcshap_netlist::suite;
+
+#[test]
+fn supervised_run_emits_spans_for_every_stage() {
+    let run_dir =
+        std::env::temp_dir().join(format!("drcshap-telemetry-pipeline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&run_dir);
+
+    telemetry::hub().reset();
+    telemetry::enable();
+    let specs = vec![suite::spec("fft_1").expect("fft_1 in suite")];
+    let sup = SupervisorConfig::new(
+        PipelineConfig { scale: 0.05, ..Default::default() },
+        run_dir.clone(),
+    );
+    let report =
+        run_supervised(&specs, &sup, &CancelToken::new()).expect("supervised run succeeds");
+    telemetry::disable();
+    assert_eq!(report.completed(), 1, "{}", report.render());
+
+    let summary = telemetry::hub().summary();
+    for stage in ["stage/synth", "stage/place", "stage/route", "stage/drc", "stage/extract"] {
+        let stats = summary
+            .spans
+            .get(stage)
+            .unwrap_or_else(|| panic!("no {stage} span; got {:?}", summary.spans.keys()));
+        assert!(stats.count >= 1, "{stage} recorded {} times", stats.count);
+        assert!(stats.total_ms >= 0.0 && stats.p99_us >= stats.p50_us);
+    }
+    for span in [
+        "supervisor/design",
+        "route/design",
+        "route/initial_pass",
+        "route/finalize",
+        "place/legalize",
+        "extract/design",
+    ] {
+        assert!(summary.spans.contains_key(span), "no {span} span: {:?}", summary.spans.keys());
+    }
+    assert!(
+        summary.counters.get("supervisor/stages_run").copied().unwrap_or(0) >= 5,
+        "counters: {:?}",
+        summary.counters
+    );
+    assert!(summary.counters.get("extract/gcells").copied().unwrap_or(0) > 0);
+
+    // The Chrome trace is valid JSON, carries the required keys, and two
+    // consecutive exports of the same recording are byte-identical.
+    let trace = telemetry::hub().chrome_trace();
+    assert_eq!(trace, telemetry::hub().chrome_trace(), "export is not deterministic");
+    let parsed: serde_json::Value = serde_json::from_str(&trace).expect("trace parses");
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(e.get(key).is_some(), "event missing {key}: {e}");
+        }
+    }
+
+    // Disabled again: nothing new is recorded.
+    telemetry::hub().reset();
+    {
+        let _s = telemetry::span("stage/synth");
+        telemetry::counter("supervisor/stages_run", 1);
+    }
+    let after = telemetry::hub().summary();
+    assert!(after.spans.is_empty(), "disabled mode recorded spans: {:?}", after.spans.keys());
+
+    let _ = std::fs::remove_dir_all(&run_dir);
+}

@@ -3,6 +3,7 @@
 use drcshap_geom::{GcellGrid, Window3x3};
 use drcshap_netlist::{Design, NetKind};
 use drcshap_route::{RouteOutcome, ALL_METALS, ALL_VIAS};
+use drcshap_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::schema::{FeatureSchema, CONGESTION_QUANTITIES, PLACEMENT_QUANTITIES};
@@ -228,6 +229,7 @@ pub fn extract_window(
 ///
 /// Row `i` of the result corresponds to g-cell `grid.cell_at_index(i)`.
 pub fn extract_design(design: &Design, route: &RouteOutcome) -> FeatureMatrix {
+    let _extract_span = telemetry::span_with("extract/design", || design.spec.name.clone());
     let schema = FeatureSchema::paper_387();
     let stats = DesignStats::compute(design);
     let grid = &design.grid;
@@ -238,6 +240,7 @@ pub fn extract_design(design: &Design, route: &RouteOutcome) -> FeatureMatrix {
         let window = Window3x3::around(grid, center);
         fill_row(&mut data[i * m..(i + 1) * m], route, &stats, &window, grid);
     }
+    telemetry::counter("extract/gcells", n as u64);
     FeatureMatrix { schema, n_samples: n, data }
 }
 

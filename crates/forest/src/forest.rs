@@ -3,6 +3,7 @@
 //! paper's proposed model (500 unpruned trees, §IV-A).
 
 use drcshap_ml::{Classifier, Dataset, ModelComplexity, Trainer};
+use drcshap_telemetry as telemetry;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -70,6 +71,9 @@ impl Trainer for RandomForestTrainer {
     fn fit(&self, data: &Dataset, seed: u64) -> RandomForest {
         assert!(self.n_trees > 0, "forest needs at least one tree");
         assert!(data.n_samples() > 0, "empty training set");
+        let _fit_span = telemetry::span_with("rf/fit", || {
+            format!("{} trees x {} samples", self.n_trees, data.n_samples())
+        });
         let k = self.max_features.resolve(data.n_features());
         let tree_config = TreeTrainer {
             max_depth: self.max_depth,
@@ -81,6 +85,8 @@ impl Trainer for RandomForestTrainer {
         let trees: Vec<DecisionTree> = (0..self.n_trees)
             .into_par_iter()
             .map(|t| {
+                let _tree_span = telemetry::span("rf/fit_tree");
+                telemetry::counter("rf/trees_fit", 1);
                 let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9e37_79b9 + t as u64));
                 // Bootstrap: sample n with replacement, expressed as weights.
                 let mut weights = vec![0f64; n];

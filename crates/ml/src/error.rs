@@ -312,6 +312,12 @@ pub enum InputError {
         /// The rejected value.
         value: f64,
     },
+    /// A dataset offered for grouped cross-validation has too few distinct
+    /// design groups to form folds (leave-one-group-out needs at least two).
+    DegenerateGroups {
+        /// Distinct groups actually present.
+        found: usize,
+    },
     /// A malformed structured input (CSV, DEF, ...) with a line number.
     Malformed {
         /// 1-based line of the offending input.
@@ -335,6 +341,10 @@ impl fmt::Display for InputError {
             InputError::InvalidScale { value } => {
                 write!(f, "scale {value} invalid: must be a finite value in (0, 1]")
             }
+            InputError::DegenerateGroups { found } => write!(
+                f,
+                "grouped cross-validation needs at least two distinct design groups, found {found}"
+            ),
             InputError::Malformed { line, message } => write!(f, "line {line}: {message}"),
             InputError::Usage(msg) => f.write_str(msg),
         }
@@ -362,6 +372,10 @@ mod tests {
 
         let e = DrcshapError::usage("missing design name");
         assert!(e.to_string().contains("missing design name"));
+
+        let e = DrcshapError::from(InputError::DegenerateGroups { found: 1 });
+        let s = e.to_string();
+        assert!(s.contains("two distinct design groups") && s.contains("found 1"), "{s}");
 
         let e = DrcshapError::Overloaded { capacity: 4096 };
         let s = e.to_string();

@@ -6,10 +6,12 @@
 //! Validation never sees samples of a design that also appears in training,
 //! matching the paper's data-availability argument.
 
+use drcshap_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::{Classifier, Trainer};
 use crate::dataset::Dataset;
+use crate::error::{DrcshapError, InputError};
 use crate::metrics;
 
 /// The model-selection metric.
@@ -46,35 +48,42 @@ pub struct CvOutcome {
 /// Folds whose validation group lacks positive or negative samples are
 /// skipped (the metric is undefined there).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `data` has fewer than two distinct groups.
+/// [`InputError::DegenerateGroups`] if `data` has fewer than two distinct
+/// groups — leave-one-group-out cannot form a single train/validation split.
 pub fn cross_validate<T: Trainer>(
     trainer: &T,
     data: &Dataset,
     metric: SelectionMetric,
     seed: u64,
-) -> CvOutcome {
+) -> Result<CvOutcome, DrcshapError> {
     let groups = data.distinct_groups();
-    assert!(groups.len() >= 2, "grouped CV needs at least two groups");
+    if groups.len() < 2 {
+        return Err(InputError::DegenerateGroups { found: groups.len() }.into());
+    }
+    let _cv_span = telemetry::span_with("cv/cross_validate", || trainer.describe());
     let mut fold_scores = Vec::with_capacity(groups.len());
     for (k, &held_out) in groups.iter().enumerate() {
+        let _fold_span = telemetry::span_with("cv/fold", || format!("held-out group {held_out}"));
         let val = data.filter_groups(|g| g == held_out);
         let pos = val.num_positives();
         if pos == 0 || pos == val.n_samples() {
+            telemetry::counter("cv/folds_skipped", 1);
             continue; // metric undefined on this fold
         }
         let train = data.filter_groups(|g| g != held_out);
         let model = trainer.fit(&train, seed.wrapping_add(k as u64));
         let scores = model.score_dataset(&val);
         fold_scores.push(metric.evaluate(&scores, val.labels()));
+        telemetry::counter("cv/folds_scored", 1);
     }
     let mean = if fold_scores.is_empty() {
         0.0
     } else {
         fold_scores.iter().sum::<f64>() / fold_scores.len() as f64
     };
-    CvOutcome { fold_scores, mean }
+    Ok(CvOutcome { fold_scores, mean })
 }
 
 /// Grid-search result: per-candidate CV outcomes and the winner.
@@ -91,29 +100,39 @@ pub struct GridSearchOutcome {
 /// Cross-validates every candidate and picks the best by mean score —
 /// the paper's "grid search with 4-fold cross validation".
 ///
+/// # Errors
+///
+/// [`InputError::DegenerateGroups`] if `data` has fewer than two distinct
+/// groups.
+///
 /// # Panics
 ///
-/// Panics if `candidates` is empty or `data` has fewer than two groups.
+/// Panics if `candidates` is empty (a programming error, unlike the
+/// data-dependent group count).
 pub fn grid_search<T: Trainer>(
     candidates: &[T],
     data: &Dataset,
     metric: SelectionMetric,
     seed: u64,
-) -> GridSearchOutcome {
+) -> Result<GridSearchOutcome, DrcshapError> {
     assert!(!candidates.is_empty(), "empty hyperparameter grid");
-    let results: Vec<CvOutcome> =
-        candidates.iter().map(|t| cross_validate(t, data, metric, seed)).collect();
+    let _grid_span =
+        telemetry::span_with("cv/grid_search", || format!("{} candidates", candidates.len()));
+    let results: Vec<CvOutcome> = candidates
+        .iter()
+        .map(|t| cross_validate(t, data, metric, seed))
+        .collect::<Result<_, _>>()?;
     let best_index = results
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.mean.total_cmp(&b.1.mean))
         .map(|(i, _)| i)
         .expect("non-empty grid");
-    GridSearchOutcome {
+    Ok(GridSearchOutcome {
         best_index,
         descriptions: candidates.iter().map(|t| t.describe()).collect(),
         results,
-    }
+    })
 }
 
 /// Random hyperparameter search: draws `n_candidates` trainers from
@@ -124,16 +143,21 @@ pub fn grid_search<T: Trainer>(
 /// Returns the outcome together with the sampled candidates so the caller
 /// can refit the winner.
 ///
+/// # Errors
+///
+/// [`InputError::DegenerateGroups`] if `data` has fewer than two distinct
+/// groups.
+///
 /// # Panics
 ///
-/// Panics if `n_candidates == 0` or `data` has fewer than two groups.
+/// Panics if `n_candidates == 0`.
 pub fn random_search<T, F>(
     sample: F,
     n_candidates: usize,
     data: &Dataset,
     metric: SelectionMetric,
     seed: u64,
-) -> (GridSearchOutcome, Vec<T>)
+) -> Result<(GridSearchOutcome, Vec<T>), DrcshapError>
 where
     T: Trainer,
     F: Fn(&mut rand_chacha::ChaCha8Rng) -> T,
@@ -141,8 +165,8 @@ where
     assert!(n_candidates > 0, "need at least one candidate");
     let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed);
     let candidates: Vec<T> = (0..n_candidates).map(|_| sample(&mut rng)).collect();
-    let outcome = grid_search(&candidates, data, metric, seed);
-    (outcome, candidates)
+    let outcome = grid_search(&candidates, data, metric, seed)?;
+    Ok((outcome, candidates))
 }
 
 #[cfg(test)]
@@ -206,8 +230,10 @@ mod tests {
     #[test]
     fn cv_scores_good_model_high() {
         let data = separable();
-        let good = cross_validate(&LinearStub { weight: 1.0 }, &data, SelectionMetric::Auprc, 0);
-        let bad = cross_validate(&LinearStub { weight: -1.0 }, &data, SelectionMetric::Auprc, 0);
+        let good =
+            cross_validate(&LinearStub { weight: 1.0 }, &data, SelectionMetric::Auprc, 0).unwrap();
+        let bad =
+            cross_validate(&LinearStub { weight: -1.0 }, &data, SelectionMetric::Auprc, 0).unwrap();
         assert_eq!(good.fold_scores.len(), 3);
         assert!((good.mean - 1.0).abs() < 1e-9);
         assert!(bad.mean < good.mean);
@@ -221,7 +247,7 @@ mod tests {
             LinearStub { weight: 1.0 },
             LinearStub { weight: -0.5 },
         ];
-        let out = grid_search(&grid, &data, SelectionMetric::Auprc, 0);
+        let out = grid_search(&grid, &data, SelectionMetric::Auprc, 0).unwrap();
         assert_eq!(out.best_index, 1);
         assert_eq!(out.descriptions[1], "w=1");
         assert_eq!(out.results.len(), 3);
@@ -242,14 +268,16 @@ mod tests {
             }
         }
         let data = Dataset::from_parts(x, y, g, 1);
-        let out = cross_validate(&LinearStub { weight: 1.0 }, &data, SelectionMetric::Auprc, 0);
+        let out =
+            cross_validate(&LinearStub { weight: 1.0 }, &data, SelectionMetric::Auprc, 0).unwrap();
         assert_eq!(out.fold_scores.len(), 2);
     }
 
     #[test]
     fn auroc_metric_is_supported() {
         let data = separable();
-        let out = cross_validate(&LinearStub { weight: 1.0 }, &data, SelectionMetric::Auroc, 0);
+        let out =
+            cross_validate(&LinearStub { weight: 1.0 }, &data, SelectionMetric::Auroc, 0).unwrap();
         assert!((out.mean - 1.0).abs() < 1e-9);
     }
 
@@ -263,7 +291,8 @@ mod tests {
             &data,
             SelectionMetric::Auprc,
             7,
-        );
+        )
+        .unwrap();
         assert_eq!(candidates.len(), 16);
         // The winner must have a positive weight (the correct sign).
         assert!(candidates[out.best_index].weight > 0.0);
@@ -271,9 +300,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two groups")]
-    fn cv_requires_groups() {
+    fn degenerate_groups_are_a_typed_error_not_a_panic() {
         let data = Dataset::from_parts(vec![0.0, 1.0], vec![true, false], vec![0, 0], 1);
-        let _ = cross_validate(&LinearStub { weight: 1.0 }, &data, SelectionMetric::Auprc, 0);
+        let err = cross_validate(&LinearStub { weight: 1.0 }, &data, SelectionMetric::Auprc, 0)
+            .unwrap_err();
+        assert!(
+            matches!(err, DrcshapError::Input(InputError::DegenerateGroups { found: 1 })),
+            "{err}"
+        );
+        // The same guard propagates through grid search and random search.
+        let err = grid_search(&[LinearStub { weight: 1.0 }], &data, SelectionMetric::Auprc, 0)
+            .unwrap_err();
+        assert!(matches!(err, DrcshapError::Input(InputError::DegenerateGroups { .. })), "{err}");
+        let err =
+            random_search(|_| LinearStub { weight: 1.0 }, 2, &data, SelectionMetric::Auprc, 0)
+                .unwrap_err();
+        assert!(matches!(err, DrcshapError::Input(InputError::DegenerateGroups { .. })), "{err}");
     }
 }

@@ -19,6 +19,7 @@
 use drcshap_geom::budget::{BudgetState, Interrupted, StageBudget};
 use drcshap_geom::{GcellId, Point};
 use drcshap_netlist::{CellId, Design};
+use drcshap_telemetry as telemetry;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -100,22 +101,27 @@ pub fn place_budgeted<R: Rng>(
         std::cmp::Reverse((c.multi_height as i64, c.width))
     });
     let mut deadline_hit = false;
-    let mut pacer = budget.pacer(128);
-    for idx in order {
-        if !deadline_hit {
-            match pacer.tick(budget) {
-                BudgetState::Cancelled => return Err(Interrupted),
-                BudgetState::DeadlineExpired => deadline_hit = true,
-                BudgetState::Within => {}
+    {
+        let _legalize_span =
+            telemetry::span_with("place/legalize", || format!("{} cells", order.len()));
+        let mut pacer = budget.pacer(128);
+        for idx in order {
+            if !deadline_hit {
+                match pacer.tick(budget) {
+                    BudgetState::Cancelled => return Err(Interrupted),
+                    BudgetState::DeadlineExpired => deadline_hit = true,
+                    BudgetState::Within => {}
+                }
+            }
+            let cell_id = CellId::from_index(idx);
+            let g = assignment[idx];
+            if deadline_hit || !try_place_in_gcell(design, &mut rows, cell_id, g, rng) {
+                spill_place(design, &mut rows, cell_id, rng);
+                spilled += 1;
             }
         }
-        let cell_id = CellId::from_index(idx);
-        let g = assignment[idx];
-        if deadline_hit || !try_place_in_gcell(design, &mut rows, cell_id, g, rng) {
-            spill_place(design, &mut rows, cell_id, rng);
-            spilled += 1;
-        }
     }
+    telemetry::counter("place/spilled", spilled as u64);
     debug_assert_eq!(design.placement.num_placed(), design.netlist.num_cells());
     let _ = grid;
 

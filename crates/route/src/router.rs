@@ -14,6 +14,7 @@ use std::collections::BinaryHeap;
 use drcshap_geom::budget::{BudgetState, Interrupted, StageBudget};
 use drcshap_geom::GcellId;
 use drcshap_netlist::Design;
+use drcshap_telemetry as telemetry;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -70,6 +71,7 @@ pub fn route_design_budgeted<R: Rng>(
     rng: &mut R,
     budget: &StageBudget,
 ) -> Result<RouteOutcome, Interrupted> {
+    let _route_span = telemetry::span("route/design");
     let congestion = CongestionMap::with_capacities(design, config);
     let (nx, ny) = design.grid.dims();
     let mut planar = PlanarState::from_congestion(&congestion, nx, ny, config);
@@ -102,23 +104,27 @@ pub fn route_design_budgeted<R: Rng>(
     let mut paths: Vec<Vec<GcellId>> = vec![Vec::new(); conns.len()];
     let mut deadline_hit = false;
     let mut fallback_routes = 0usize;
-    let mut pacer = budget.pacer(64);
-    for &i in &order {
-        if !deadline_hit {
-            match pacer.tick(budget) {
-                BudgetState::Cancelled => return Err(Interrupted),
-                BudgetState::DeadlineExpired => deadline_hit = true,
-                BudgetState::Within => {}
+    {
+        let _pass_span =
+            telemetry::span_with("route/initial_pass", || format!("{} conns", conns.len()));
+        let mut pacer = budget.pacer(64);
+        for &i in &order {
+            if !deadline_hit {
+                match pacer.tick(budget) {
+                    BudgetState::Cancelled => return Err(Interrupted),
+                    BudgetState::DeadlineExpired => deadline_hit = true,
+                    BudgetState::Within => {}
+                }
             }
+            let path = if deadline_hit {
+                fallback_routes += 1;
+                fallback_pattern(&conns[i])
+            } else {
+                planar.route_patterns(&conns[i], rng)
+            };
+            planar.commit(&path, conns[i].demand, 1.0);
+            paths[i] = path;
         }
-        let path = if deadline_hit {
-            fallback_routes += 1;
-            fallback_pattern(&conns[i])
-        } else {
-            planar.route_patterns(&conns[i], rng)
-        };
-        planar.commit(&path, conns[i].demand, 1.0);
-        paths[i] = path;
     }
 
     // Negotiation: rip up and reroute connections crossing overflowed edges.
@@ -134,6 +140,8 @@ pub fn route_design_budgeted<R: Rng>(
             }
             BudgetState::Within => {}
         }
+        let _round_span =
+            telemetry::span_with("route/negotiate_round", || format!("round {round}"));
         planar.accumulate_history();
         let mut victims: Vec<usize> =
             (0..conns.len()).filter(|&i| planar.path_overflows(&paths[i])).collect();
@@ -143,6 +151,7 @@ pub fn route_design_budgeted<R: Rng>(
         victims.shuffle(rng);
         let cap = ((conns.len() as f64 * config.max_reroute_fraction) as usize).max(64);
         victims.truncate(cap);
+        telemetry::counter("route/ripups", victims.len() as u64);
         let last_round = round + 1 == config.negotiation_rounds;
         let mut pacer = budget.pacer(16);
         for i in victims {
@@ -158,11 +167,13 @@ pub fn route_design_budgeted<R: Rng>(
             planar.commit(&paths[i], conns[i].demand, -1.0);
             let mut path = planar.route_patterns(&conns[i], rng);
             if last_round && planar.path_would_overflow(&path, conns[i].demand) {
+                telemetry::counter("route/maze_attempts", 1);
                 if let Some(maze) = planar.route_maze(&conns[i], budget) {
                     if planar.path_cost(&maze, conns[i].demand)
                         < planar.path_cost(&path, conns[i].demand)
                     {
                         path = maze;
+                        telemetry::counter("route/maze_accepted", 1);
                     }
                 }
             }
@@ -171,6 +182,7 @@ pub fn route_design_budgeted<R: Rng>(
         }
     }
 
+    telemetry::counter("route/fallback_patterns", fallback_routes as u64);
     let deadline = deadline_hit.then_some(fallback_routes);
     Ok(finalize_routing(design, congestion, &conns, paths, local_nets, rng, deadline))
 }
@@ -195,6 +207,7 @@ pub(crate) fn finalize_routing<R: Rng>(
     rng: &mut R,
     deadline_fallbacks: Option<usize>,
 ) -> RouteOutcome {
+    let _finalize_span = telemetry::span("route/finalize");
     // Assign layers in shuffled order (no connection systematically gets
     // the least-congested layers), but keep the output aligned with the
     // input connection order.
@@ -500,6 +513,7 @@ impl PlanarState {
         conn: &TwoPinConn,
         budget: &StageBudget,
     ) -> Option<Vec<GcellId>> {
+        let _maze_span = telemetry::span("route/maze");
         let (nx, ny) = (self.nx, self.ny);
         let idx = |g: GcellId| g.y as usize * nx + g.x as usize;
         let n = nx * ny;

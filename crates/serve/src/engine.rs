@@ -35,6 +35,7 @@ use drcshap_core::SavedModel;
 use drcshap_forest::RandomForest;
 use drcshap_ml::{DrcshapError, InputError, NanPolicy};
 use drcshap_shap::{explain_forest, Explanation};
+use drcshap_telemetry as telemetry;
 
 use crate::cache::ExplanationCache;
 use crate::metrics::{MetricsRegistry, ServeMetrics};
@@ -458,13 +459,19 @@ fn worker_loop(shared: &Shared) {
         if accepted.is_empty() {
             continue;
         }
-        let scores = match shared.config.nan_policy {
-            NanPolicy::NanAware => model.compiled.score_batch_nan_aware(&flat),
-            _ => model.compiled.score_batch(&flat),
+        let scores = {
+            let _flush_span =
+                telemetry::span_with("serve/flush", || format!("{} samples", accepted.len()));
+            match shared.config.nan_policy {
+                NanPolicy::NanAware => model.compiled.score_batch_nan_aware(&flat),
+                _ => model.compiled.score_batch(&flat),
+            }
         };
         let batch_size = accepted.len();
         shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
         shared.metrics.samples.fetch_add(batch_size as u64, Ordering::Relaxed);
+        telemetry::counter("serve/batches", 1);
+        telemetry::counter("serve/samples", batch_size as u64);
         for (pending, score) in accepted.into_iter().zip(scores) {
             shared.metrics.latency.record(pending.enqueued.elapsed());
             let _ = pending.tx.send(Ok(ScoredResponse { score, epoch: model.epoch, batch_size }));

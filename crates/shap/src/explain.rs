@@ -2,6 +2,7 @@
 //! trees and forests.
 
 use drcshap_forest::{DecisionTree, RandomForest};
+use drcshap_telemetry as telemetry;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,9 @@ pub fn explain_tree(tree: &DecisionTree, x: &[f32]) -> Explanation {
 /// Panics if `x.len() != forest.n_features()`.
 pub fn explain_forest(forest: &RandomForest, x: &[f32]) -> Explanation {
     assert_eq!(x.len(), forest.n_features(), "feature count mismatch");
+    let _span =
+        telemetry::span_with("shap/explain_forest", || format!("{} trees", forest.trees().len()));
+    telemetry::counter("shap/trees_explained", forest.trees().len() as u64);
     let n_trees = forest.trees().len() as f64;
     let contributions = forest
         .trees()

@@ -5,6 +5,7 @@
 
 use drcshap_forest::RandomForest;
 use drcshap_ml::Dataset;
+use drcshap_telemetry as telemetry;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +61,7 @@ pub fn summarize(forest: &RandomForest, data: &Dataset, max_samples: usize) -> G
     let n = data.n_samples();
     let step = (n / max_samples.max(1)).max(1);
     let indices: Vec<usize> = (0..n).step_by(step).collect();
+    let _span = telemetry::span_with("shap/summarize", || format!("{} samples", indices.len()));
     let m = data.n_features();
     let (abs_sum, sum) = indices
         .par_iter()

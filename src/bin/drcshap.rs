@@ -8,8 +8,9 @@
 //! drcshap export <design> <dir> [scale]    write CSV dataset + DEF
 //! drcshap train <design> <out.model> [scale]   fit RF, save a versioned artifact
 //! drcshap predict <model> <design> [scale]     load artifact, score the design
-//! drcshap run <dir> [scale] [--deadline <secs>]    supervised suite build with
-//!                                                  checkpoints into <dir>
+//! drcshap run <dir> [scale] [--deadline <secs>] [--design <name>]
+//!     supervised suite build with checkpoints into <dir>; `--design`
+//!     restricts the run to one design
 //! drcshap resume <dir> [--deadline <secs>]         resume a run from its manifest
 //! drcshap serve <model> [--design <name>] [--scale <s>] [--batch <n>]
 //!               [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware]
@@ -19,6 +20,12 @@
 //!     built design with `--design`; `--stats` dumps serving metrics as JSON
 //!     on stderr at the end
 //! ```
+//!
+//! Every verb also accepts the global telemetry flags, stripped before
+//! dispatch: `--trace <out.json>` records spans and counters and writes a
+//! Chrome trace-event file (open in `chrome://tracing` or Perfetto), and
+//! `--stats` prints the span/counter summary as JSON on stderr (for
+//! `serve`, alongside the engine metrics it already printed).
 //!
 //! Every failure on the serving path surfaces as a typed
 //! [`DrcshapError`] — usage mistakes exit with status 2, runtime failures
@@ -42,16 +49,72 @@ use drcshap::netlist::{suite, write_def, DesignSpec};
 use drcshap::route::{render_heatmap, HeatSource};
 use drcshap::serve::{ServeConfig, ServeEngine, Ticket};
 use drcshap::shap::ForceOptions;
+use drcshap::telemetry;
 
 const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
                      triage <design> [scale] [threshold] | export <design> <dir> [scale] | \
                      train <design> <out.model> [scale] | predict <model> <design> [scale] | \
-                     run <dir> [scale] [--deadline <secs>] | resume <dir> [--deadline <secs>] | \
+                     run <dir> [scale] [--deadline <secs>] [--design <name>] | \
+                     resume <dir> [--deadline <secs>] | \
                      serve <model> [--design <name>] [--scale <s>] [--batch <n>] \
-                     [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware] [--stats]>";
+                     [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware] [--stats]> \
+                     -- every verb also accepts --trace <out.json> and --stats";
+
+/// The global telemetry flags, stripped from the argument list before the
+/// verb dispatch: `--trace <out.json>` writes a Chrome trace-event file,
+/// `--stats` prints the span/counter summary on stderr. Either flag
+/// enables span and counter recording for the whole invocation.
+struct TelemetryOpts {
+    trace: Option<String>,
+    stats: bool,
+}
+
+impl TelemetryOpts {
+    fn parse(args: &mut Vec<String>) -> Result<Self, DrcshapError> {
+        let trace = take_value(args, "--trace")?;
+        let stats = take_switch(args, "--stats");
+        if trace.is_some() || stats {
+            telemetry::enable();
+        }
+        Ok(Self { trace, stats })
+    }
+
+    /// Exports whatever the run recorded. Called on success and on
+    /// failure alike, so a trace of a failing run is still written.
+    fn finish(&self) -> Result<(), DrcshapError> {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, telemetry::hub().chrome_trace())
+                .map_err(|e| DrcshapError::io(path.clone(), e))?;
+            eprintln!("wrote Chrome trace to {path}");
+        }
+        if self.stats {
+            let summary = telemetry::hub().summary();
+            eprintln!("{}", serde_json::to_string_pretty(&summary).expect("summary serialize"));
+        }
+        Ok(())
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let result = run_cli(&mut args);
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        let code = match &e {
+            DrcshapError::Input(InputError::Usage(_))
+            | DrcshapError::Input(InputError::InvalidScale { .. }) => 2,
+            _ => 1,
+        };
+        std::process::exit(code);
+    }
+}
+
+/// Strips the global telemetry flags, dispatches the verb, then exports
+/// the trace/summary. Export runs even when the verb fails — a trace of a
+/// failing run is exactly when you want one — and the verb's error wins
+/// over any export error.
+fn run_cli(args: &mut Vec<String>) -> Result<(), DrcshapError> {
+    let telem = TelemetryOpts::parse(args)?;
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("build") => cmd_build(&args[1..]),
@@ -62,17 +125,12 @@ fn main() {
         Some("predict") => cmd_predict(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
-        Some("serve") => cmd_serve(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..], telem.stats),
         _ => Err(DrcshapError::usage(USAGE)),
     };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        let code = match &e {
-            DrcshapError::Input(InputError::Usage(_))
-            | DrcshapError::Input(InputError::InvalidScale { .. }) => 2,
-            _ => 1,
-        };
-        std::process::exit(code);
+    match (result, telem.finish()) {
+        (Err(e), _) => Err(e),
+        (Ok(()), export) => export,
     }
 }
 
@@ -273,7 +331,7 @@ fn parse_deadline(args: &mut Vec<String>) -> Result<Option<Duration>, DrcshapErr
 /// Runs the supervised suite build and prints the per-design table plus a
 /// CRC32 digest over the exact feature bit patterns of every completed
 /// design — a resumed run and an uninterrupted one print the same digest.
-fn run_and_report(sup: &SupervisorConfig) -> Result<(), DrcshapError> {
+fn run_and_report(specs: &[DesignSpec], sup: &SupervisorConfig) -> Result<(), DrcshapError> {
     eprintln!(
         "supervised suite build at scale {} into {}{}...",
         sup.pipeline.scale,
@@ -283,7 +341,7 @@ fn run_and_report(sup: &SupervisorConfig) -> Result<(), DrcshapError> {
             None => String::new(),
         }
     );
-    let report = run_supervised(&suite::all_specs(), sup, &CancelToken::new())?;
+    let report = run_supervised(specs, sup, &CancelToken::new())?;
     println!("{}", report.render());
     let mut bytes = Vec::new();
     for bundle in report.bundles.iter().flatten() {
@@ -304,6 +362,12 @@ fn run_and_report(sup: &SupervisorConfig) -> Result<(), DrcshapError> {
 fn cmd_run(args: &[String]) -> Result<(), DrcshapError> {
     let mut args = args.to_vec();
     let deadline = parse_deadline(&mut args)?;
+    let specs = match take_value(&mut args, "--design")? {
+        None => suite::all_specs(),
+        Some(name) => vec![suite::spec(&name).ok_or_else(|| {
+            DrcshapError::usage(format!("unknown design {name:?} (try `drcshap list`)"))
+        })?],
+    };
     let dir = args
         .first()
         .ok_or_else(|| DrcshapError::usage("missing run directory (e.g. runs/full)"))?
@@ -316,7 +380,7 @@ fn cmd_run(args: &[String]) -> Result<(), DrcshapError> {
     };
     let mut sup = SupervisorConfig::new(PipelineConfig { scale, ..Default::default() }, dir);
     sup.stage_deadline = deadline;
-    run_and_report(&sup)
+    run_and_report(&specs, &sup)
 }
 
 fn cmd_resume(args: &[String]) -> Result<(), DrcshapError> {
@@ -344,7 +408,7 @@ fn cmd_resume(args: &[String]) -> Result<(), DrcshapError> {
     let pipeline = PipelineConfig { scale: manifest.scale, ..Default::default() };
     let mut sup = SupervisorConfig::new(pipeline, dir);
     sup.stage_deadline = deadline;
-    run_and_report(&sup)
+    run_and_report(&suite::all_specs(), &sup)
 }
 
 fn cmd_predict(args: &[String]) -> Result<(), DrcshapError> {
@@ -402,9 +466,8 @@ fn parse_flag<T: std::str::FromStr>(
     }
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), DrcshapError> {
+fn cmd_serve(args: &[String], stats: bool) -> Result<(), DrcshapError> {
     let mut args = args.to_vec();
-    let stats = take_switch(&mut args, "--stats");
     let nan_aware = take_switch(&mut args, "--nan-aware");
     let design = take_value(&mut args, "--design")?;
     let scale: f64 = parse_flag(&mut args, "--scale", 0.25)?;

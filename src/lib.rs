@@ -21,7 +21,9 @@
 //!   evaluation protocol and the explanation service;
 //! - [`serve`] — the batched inference engine: compiled forests,
 //!   micro-batching with backpressure, an LRU explanation cache, hot model
-//!   swap and serving metrics.
+//!   swap and serving metrics;
+//! - [`telemetry`] — workspace-wide spans and counters with JSON-summary
+//!   and Chrome-trace export (`--trace` / `--stats` on the CLI).
 //!
 //! # Quickstart
 //!
@@ -58,3 +60,4 @@ pub use drcshap_route as route;
 pub use drcshap_serve as serve;
 pub use drcshap_shap as shap;
 pub use drcshap_svm as svm;
+pub use drcshap_telemetry as telemetry;
