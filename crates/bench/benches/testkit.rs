@@ -1,0 +1,52 @@
+//! Criterion benches for the conformance engine itself: the cost of one
+//! full oracle sweep at each scenario size, and of the individual heavy
+//! oracles. The conformance run is a CI gate, so its wall-clock budget is
+//! a first-class artifact — a regression here slows every merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcshap_testkit::{registry, scenario, SizeLevel};
+use std::hint::black_box;
+
+fn sweep_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testkit_sweep");
+    group.sample_size(10);
+    for level in [SizeLevel(0), SizeLevel(1), SizeLevel(2)] {
+        group.bench_with_input(
+            BenchmarkId::new("all_checks_one_seed", level.0),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    for check in registry() {
+                        black_box((check.run)(7, level)).expect("conformance check failed");
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn oracle_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testkit_oracle");
+    group.sample_size(10);
+    let heavy = ["tree-shap-vs-exact", "serve-vs-offline", "metrics-vs-reference"];
+    for name in heavy {
+        let registry = registry();
+        let check = registry.iter().find(|c| c.name == name).expect("registered check");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box((check.run)(7, SizeLevel::DEFAULT)).expect("check failed"));
+        });
+    }
+    group.finish();
+}
+
+fn scenario_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testkit_scenario");
+    group.bench_function("forest_default_level", |b| {
+        b.iter(|| black_box(scenario::forest(7, SizeLevel::DEFAULT)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweep_benches, oracle_benches, scenario_benches);
+criterion_main!(benches);

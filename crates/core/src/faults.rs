@@ -1,12 +1,15 @@
 //! Fault-injection harness for the serving path.
 //!
 //! Exercises two corruption surfaces — feature vectors fed to
-//! [`Classifier::score_checked`](drcshap_ml::Classifier::score_checked) and
-//! artifact bytes fed to [`decode_model`](crate::artifact::decode_model) —
+//! [`Classifier::score_checked`] and
+//! artifact bytes fed to [`decode_model`] —
 //! and asserts a single contract: **every corruption yields either a typed
 //! error or a defined degraded result; nothing panics.** Each probe runs
 //! under `catch_unwind`, so a regression that reintroduces a panic shows up
 //! as a counted failure in the [`FaultReport`], not a crashed process.
+//!
+//! [`Classifier::score_checked`]: drcshap_ml::Classifier::score_checked
+//! [`decode_model`]: crate::artifact::decode_model
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -18,13 +21,27 @@ use crate::artifact::{decode_model, SavedModel};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum VectorFault {
     /// Overwrite the element at `index % len` with NaN.
-    InjectNan { index: usize },
+    InjectNan {
+        /// Position to corrupt, wrapped into the vector length.
+        index: usize,
+    },
     /// Overwrite the element at `index % len` with +∞ or −∞.
-    InjectInf { index: usize, negative: bool },
+    InjectInf {
+        /// Position to corrupt, wrapped into the vector length.
+        index: usize,
+        /// Inject −∞ instead of +∞.
+        negative: bool,
+    },
     /// Drop the last `count` elements.
-    Truncate { count: usize },
+    Truncate {
+        /// How many trailing elements to drop.
+        count: usize,
+    },
     /// Append `count` zero elements.
-    Extend { count: usize },
+    Extend {
+        /// How many zero elements to append.
+        count: usize,
+    },
 }
 
 impl VectorFault {
@@ -49,7 +66,7 @@ impl VectorFault {
                 v.truncate(keep);
             }
             VectorFault::Extend { count } => {
-                v.extend(std::iter::repeat(0.0).take(count));
+                v.resize(v.len() + count, 0.0);
             }
         }
         v
@@ -77,13 +94,31 @@ impl VectorFault {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArtifactFault {
     /// XOR the byte at `offset` with `mask` (single- or multi-bit flip).
-    FlipBits { offset: usize, mask: u8 },
+    FlipBits {
+        /// Byte position, wrapped into the artifact length.
+        offset: usize,
+        /// XOR mask (zero is a deliberate no-op fault).
+        mask: u8,
+    },
     /// Keep only the first `keep` bytes.
-    Truncate { keep: usize },
+    Truncate {
+        /// How many leading bytes survive.
+        keep: usize,
+    },
     /// Append `count` bytes of `fill`.
-    Extend { count: usize, fill: u8 },
+    Extend {
+        /// How many bytes to append.
+        count: usize,
+        /// The byte value appended.
+        fill: u8,
+    },
     /// Overwrite one header byte at `offset` (< 32) with `value`.
-    TamperHeader { offset: usize, value: u8 },
+    TamperHeader {
+        /// Header byte position (silently skipped when past the end).
+        offset: usize,
+        /// The value written over it.
+        value: u8,
+    },
 }
 
 impl ArtifactFault {
@@ -99,7 +134,7 @@ impl ArtifactFault {
             }
             ArtifactFault::Truncate { keep } => b.truncate(keep),
             ArtifactFault::Extend { count, fill } => {
-                b.extend(std::iter::repeat(fill).take(count));
+                b.resize(b.len() + count, fill);
             }
             ArtifactFault::TamperHeader { offset, value } => {
                 if offset < b.len() {

@@ -131,7 +131,7 @@ impl Pacer {
     #[inline]
     pub fn tick(&mut self, budget: &StageBudget) -> BudgetState {
         if self.count == 0 {
-            self.count = self.every;
+            self.count = self.every - 1;
             budget.check()
         } else {
             self.count -= 1;

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IsotonicCalibrator {
-    /// Block-boundary scores, ascending.
+    /// Block-start scores (each block's lowest training score), ascending.
     boundaries: Vec<f64>,
     /// Calibrated probability per block (non-decreasing).
     values: Vec<f64>,
@@ -58,9 +58,14 @@ impl IsotonicCalibrator {
                 if blocks[n - 2].1 <= blocks[n - 1].1 {
                     break;
                 }
-                let (s2, m2, w2) = blocks.pop().expect("n >= 2");
+                let (_s2, m2, w2) = blocks.pop().expect("n >= 2");
                 let (s1, m1, w1) = blocks.pop().expect("n >= 2");
-                blocks.push((s2.max(s1), (m1 * w1 + m2 * w2) / (w1 + w2), w1 + w2));
+                // The merged block's boundary is its *first* score (points
+                // arrive in ascending order, so that is `s1`): `probability`
+                // looks up "last block whose start <= score", and keeping the
+                // last score here instead would misassign every interior
+                // training point to the preceding block's value.
+                blocks.push((s1, (m1 * w1 + m2 * w2) / (w1 + w2), w1 + w2));
             }
         }
         Self {
@@ -178,6 +183,65 @@ mod tests {
                 prop_assert!(p >= prev - 1e-12);
                 prop_assert!((0.0..=1.0).contains(&p));
                 prev = p;
+            }
+        }
+
+        #[test]
+        fn prop_block_values_are_sorted(
+            scores in prop::collection::vec(0.0f64..1.0, 2..80),
+            flips in prop::collection::vec(any::<bool>(), 2..80),
+        ) {
+            // The fitted map itself (not just sampled outputs) must be
+            // monotone: PAVA's invariant is non-decreasing block values.
+            let n = scores.len().min(flips.len());
+            let cal = IsotonicCalibrator::fit(&scores[..n], &flips[..n]);
+            for w in cal.values.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-12, "blocks {} > {}", w[0], w[1]);
+            }
+            for w in cal.boundaries.windows(2) {
+                prop_assert!(w[0] < w[1], "boundaries not strictly ascending");
+            }
+        }
+
+        #[test]
+        fn prop_calibration_preserves_base_rate(
+            scores in prop::collection::vec(0.0f64..1.0, 2..80),
+            flips in prop::collection::vec(any::<bool>(), 2..80),
+        ) {
+            // Isotonic regression is a least-squares projection onto the
+            // monotone cone: the mean of the fitted values over the
+            // training points equals the empirical positive rate.
+            let n = scores.len().min(flips.len());
+            let (scores, labels) = (&scores[..n], &flips[..n]);
+            let cal = IsotonicCalibrator::fit(scores, labels);
+            let mean: f64 = cal.probabilities(scores).iter().sum::<f64>() / n as f64;
+            let base = labels.iter().filter(|&&l| l).count() as f64 / n as f64;
+            prop_assert!((mean - base).abs() < 1e-9, "mean {mean} vs base rate {base}");
+        }
+
+        #[test]
+        fn prop_calibration_never_inverts_a_pair(
+            scores in prop::collection::vec(0.0f64..1.0, 4..60),
+            flips in prop::collection::vec(any::<bool>(), 4..60),
+        ) {
+            // Ranking is preserved up to ties: a lower score never receives
+            // a higher calibrated probability. (Pooling *can* merge distinct
+            // scores into ties — tie-grouped AUC may move — but it can never
+            // invert a pair.)
+            let n = scores.len().min(flips.len());
+            let (scores, labels) = (&scores[..n], &flips[..n]);
+            let cal = IsotonicCalibrator::fit(scores, labels);
+            let probs = cal.probabilities(scores);
+            for i in 0..n {
+                for j in 0..n {
+                    if scores[i] < scores[j] {
+                        prop_assert!(
+                            probs[i] <= probs[j] + 1e-12,
+                            "scores {} < {} but probs {} > {}",
+                            scores[i], scores[j], probs[i], probs[j]
+                        );
+                    }
+                }
             }
         }
     }

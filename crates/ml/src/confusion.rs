@@ -1,6 +1,6 @@
 //! Thresholded-classification diagnostics: the confusion matrix and the
 //! derived single-threshold metrics prior DRC-prediction works report
-//! (TPR/FPR in [2], [3], [5], [6]), plus probability-quality measures
+//! (TPR/FPR in \[2\], \[3\], \[5\], \[6\]), plus probability-quality measures
 //! (Brier score, calibration curve) for models that output probabilities.
 
 use serde::{Deserialize, Serialize};
@@ -255,6 +255,57 @@ mod tests {
             let n = probs.len().min(flips.len());
             let b = brier_score(&probs[..n], &flips[..n]);
             prop_assert!((0.0..=1.0).contains(&b));
+        }
+
+        #[test]
+        fn prop_counts_conserve_class_totals(
+            scores in prop::collection::vec(0.0f64..1.0, 1..100),
+            flips in prop::collection::vec(any::<bool>(), 1..100),
+            threshold in 0.0f64..1.0,
+        ) {
+            // Count conservation: the matrix partitions each class exactly.
+            let n = scores.len().min(flips.len());
+            let (scores, labels) = (&scores[..n], &flips[..n]);
+            let cm = ConfusionMatrix::at_threshold(scores, labels, threshold);
+            let pos = labels.iter().filter(|&&l| l).count();
+            prop_assert_eq!(cm.tp + cm.fn_, pos);
+            prop_assert_eq!(cm.fp + cm.tn, n - pos);
+            prop_assert_eq!(cm.total(), n);
+        }
+
+        #[test]
+        fn prop_raising_threshold_never_adds_positives(
+            scores in prop::collection::vec(0.0f64..1.0, 1..100),
+            lo in 0.0f64..1.0,
+            hi in 0.0f64..1.0,
+        ) {
+            let labels: Vec<bool> = scores.iter().map(|&s| s > 0.6).collect();
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let at_lo = ConfusionMatrix::at_threshold(&scores, &labels, lo);
+            let at_hi = ConfusionMatrix::at_threshold(&scores, &labels, hi);
+            prop_assert!(at_hi.tp <= at_lo.tp);
+            prop_assert!(at_hi.fp <= at_lo.fp);
+            prop_assert!(at_hi.recall() <= at_lo.recall() + 1e-12);
+            prop_assert!(at_hi.fpr() <= at_lo.fpr() + 1e-12);
+        }
+
+        #[test]
+        fn prop_counts_invariant_under_permutation(
+            scores in prop::collection::vec(0.0f64..1.0, 2..60),
+            rotation in 0usize..60,
+            threshold in 0.0f64..1.0,
+        ) {
+            // Sample order carries no information: rotating (score, label)
+            // pairs leaves every count unchanged.
+            let labels: Vec<bool> = scores.iter().map(|&s| s > 0.4).collect();
+            let r = rotation % scores.len();
+            let mut rotated: Vec<(f64, bool)> =
+                scores.iter().copied().zip(labels.iter().copied()).collect();
+            rotated.rotate_left(r);
+            let (rs, rl): (Vec<f64>, Vec<bool>) = rotated.into_iter().unzip();
+            let a = ConfusionMatrix::at_threshold(&scores, &labels, threshold);
+            let b = ConfusionMatrix::at_threshold(&rs, &rl, threshold);
+            prop_assert_eq!(a, b);
         }
     }
 }

@@ -64,7 +64,7 @@ impl Dataset {
         if n_features == 0 {
             return Err(DrcshapError::usage("need at least one feature"));
         }
-        if x.len() % n_features != 0 {
+        if !x.len().is_multiple_of(n_features) {
             return Err(DrcshapError::usage(format!(
                 "matrix size not divisible by n_features: {} values, {n_features} features",
                 x.len()

@@ -24,20 +24,37 @@ pub struct OperatingPoint {
     pub precision: f64,
 }
 
+/// Ranking order for scores: higher is more confident, and NaN ranks below
+/// every real number (a score the model could not produce must not be
+/// treated as the most confident prediction, which is where descending
+/// `total_cmp` would put a positive NaN). All NaNs compare equal so they
+/// form a single tie group and tie-grouped sweeps terminate.
+fn rank_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("both finite-or-inf"),
+    }
+}
+
 /// Sweeps thresholds from high to low, yielding cumulative confusion counts
-/// `(threshold, tp, fp)` at each distinct score.
+/// `(threshold, tp, fp)` at each distinct score. NaN scores form the final
+/// (least-confident) tie group.
 fn sweep(scores: &[f64], labels: &[bool]) -> Vec<(f64, usize, usize)> {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
     assert!(!scores.is_empty(), "empty inputs");
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    order.sort_by(|&a, &b| rank_cmp(scores[b], scores[a]));
     let mut out = Vec::new();
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut i = 0usize;
     while i < order.len() {
         let threshold = scores[order[i]];
-        // Consume the whole tie group.
-        while i < order.len() && scores[order[i]] == threshold {
+        // Consume the whole tie group. Equality via `rank_cmp`, not `==`:
+        // `NaN == NaN` is false, which used to leave `i` stuck on a NaN
+        // score and loop forever.
+        while i < order.len() && rank_cmp(scores[order[i]], threshold).is_eq() {
             if labels[order[i]] {
                 tp += 1;
             } else {
@@ -159,7 +176,7 @@ pub fn precision_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
     assert!(k > 0, "k must be positive");
     let k = k.min(scores.len());
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    order.sort_by(|&a, &b| rank_cmp(scores[b], scores[a]));
     let hits = order[..k].iter().filter(|&&i| labels[i]).count();
     hits as f64 / k as f64
 }
@@ -309,6 +326,50 @@ mod tests {
     #[should_panic(expected = "outside (0, 1]")]
     fn lift_rejects_bad_fraction() {
         let _ = lift_curve(&[0.5, 0.4], &[true, false], &[0.0]);
+    }
+
+    #[test]
+    fn nan_scores_terminate_and_rank_last() {
+        // Regression: `sweep` grouped ties with `==`, so a NaN threshold
+        // never matched itself and the sweep looped forever. NaNs must also
+        // rank *below* every real score (descending `total_cmp` put positive
+        // NaN above +inf, i.e. "most confident").
+        let scores = [f64::NAN, 0.9, f64::NAN, 0.1, -f64::NAN];
+        let labels = [false, true, false, false, false];
+        let auc = roc_auc(&scores, &labels);
+        // The single positive outranks every finite negative; only the NaN
+        // group (ranked last) trails it, so AUC is 1 - 0 = ... the 0.1
+        // negative is below 0.9, NaNs below that: perfect separation.
+        assert!((auc - 1.0).abs() < 1e-12, "auc {auc}");
+        let op = tpr_prec_at_fpr(&scores, &labels, 0.5);
+        assert!(op.tpr > 0.0);
+        assert!(op.fpr <= 0.5);
+        // precision_at_k must not surface NaN-scored rows first.
+        assert_eq!(precision_at_k(&scores, &labels, 1), 1.0);
+    }
+
+    #[test]
+    fn all_nan_scores_form_one_tie_group() {
+        let scores = [f64::NAN; 4];
+        let labels = [true, false, true, false];
+        // One tie group: curve is (0,0) plus a single point at (1,1).
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[1], (1.0, 1.0));
+        // AP collapses to the base rate, like any constant-score ranking.
+        let ap = average_precision(&scores, &labels);
+        assert!((ap - 0.5).abs() < 1e-12, "ap {ap}");
+    }
+
+    #[test]
+    fn negative_zero_ties_with_positive_zero() {
+        // rank_cmp must not use total_cmp for the tie grouping: -0.0 and 0.0
+        // are the same score and belong in one tie group.
+        let scores = [0.0, -0.0, -1.0];
+        let labels = [true, false, false];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[1], (0.5, 1.0));
     }
 
     proptest! {

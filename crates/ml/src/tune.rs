@@ -176,7 +176,7 @@ mod tests {
 
     /// Predicts with a fixed weight on feature 0 (fit is a no-op), so CV
     /// outcomes are exactly predictable in tests.
-    #[derive(Clone)]
+    #[derive(Clone, Debug)]
     struct LinearStub {
         weight: f64,
     }

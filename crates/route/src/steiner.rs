@@ -84,7 +84,7 @@ pub struct SteinerTree {
 /// Builds an iterated-1-Steiner tree over `terminals`.
 ///
 /// Repeatedly inserts the Hanan-grid point that shrinks the MST the most,
-/// until no candidate improves or [`MAX_STEINER_POINTS`] is reached. Degree-2
+/// until no candidate improves or `MAX_STEINER_POINTS` is reached. Degree-2
 /// Steiner points left over after reconstruction are harmless (they lie on
 /// the path anyway).
 ///

@@ -4,10 +4,14 @@
 //! always yields the same explanation. Repeated hot g-cells (the common
 //! case in fix-loop workloads, which re-query the same windows every
 //! iteration) can therefore skip the `O(trees · depth²)` path walk
-//! entirely. Entries are keyed by the *exact bit patterns* of the feature
+//! entirely. Entries are keyed by the *bit patterns* of the feature
 //! vector — no float-equality subtleties, no hash-collision false hits —
-//! and values are shared via [`Arc`], so a hit costs one lock plus a
-//! pointer bump.
+//! with two canonicalizations that are provably explanation-preserving
+//! for tree traversal (`x[f] <= threshold` plus NaN default-direction):
+//! `-0.0` keys as `+0.0` (IEEE `<=` ignores zero sign), and every NaN
+//! payload keys as the canonical quiet NaN (any NaN fails every
+//! comparison identically). Values are shared via [`Arc`], so a hit
+//! costs one lock plus a pointer bump.
 //!
 //! The cache is only valid for one model epoch; the serving engine clears
 //! it on every hot swap (`ServeEngine::swap`).
@@ -93,7 +97,21 @@ impl ExplanationCache {
     }
 
     fn key_of(x: &[f32]) -> Key {
-        x.iter().map(|v| v.to_bits()).collect()
+        x.iter()
+            .map(|&v| {
+                if v.is_nan() {
+                    // All NaN payloads (and signs) fail every node
+                    // comparison the same way: one canonical key.
+                    f32::NAN.to_bits()
+                } else if v == 0.0 {
+                    // -0.0 == 0.0 under every IEEE comparison a tree
+                    // performs: key both as +0.0.
+                    0.0f32.to_bits()
+                } else {
+                    v.to_bits()
+                }
+            })
+            .collect()
     }
 
     /// Looks up the explanation for `x`, refreshing its recency on a hit.
@@ -195,15 +213,24 @@ mod tests {
     }
 
     #[test]
-    fn distinct_bit_patterns_are_distinct_keys() {
-        let cache = ExplanationCache::new(4);
+    fn zero_sign_and_nan_payload_canonicalize() {
+        // Pins the intended key semantics: keys collapse exactly when tree
+        // traversal cannot distinguish the inputs.
+        let cache = ExplanationCache::new(8);
+        // -0.0 and +0.0 compare equal at every split: one entry.
         cache.insert(&[0.0], explanation(1.0));
-        // -0.0 has a different bit pattern than 0.0: a different key.
-        assert!(cache.get(&[-0.0]).is_none());
-        assert!(cache.get(&[0.0]).is_some());
-        // NaN keys are usable too (exact payload bits).
+        assert_eq!(cache.get(&[-0.0]).expect("zero-sign hit").prediction, 1.0);
+        // Every NaN (any payload, either sign) takes the default direction
+        // at every split: one entry.
         cache.insert(&[f32::NAN], explanation(2.0));
-        assert_eq!(cache.get(&[f32::NAN]).unwrap().prediction, 2.0);
+        let odd_payload = f32::from_bits(f32::NAN.to_bits() | 0x1357);
+        assert!(odd_payload.is_nan());
+        assert_eq!(cache.get(&[odd_payload]).expect("payload hit").prediction, 2.0);
+        assert_eq!(cache.get(&[-f32::NAN]).expect("sign hit").prediction, 2.0);
+        // NaN does not collapse into zero or any real value.
+        assert!(cache.get(&[1.0]).is_none());
+        assert_eq!(cache.get(&[0.0]).unwrap().prediction, 1.0);
+        assert_eq!(cache.stats().len, 2);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Slow, independent reference implementations of the paper's metrics.
+//!
+//! These are the "second opinion" side of the metric differential oracles:
+//! written without sorting or cumulative sweeps, they re-derive every
+//! curve point by an `O(n)` full scan per distinct threshold (`O(n²)`
+//! total) and AUC by the pairwise probability identity. They share *no
+//! code* with `drcshap_ml::metrics` — only the semantic contract:
+//!
+//! - samples with equal scores enter the confusion counts together;
+//! - a NaN score ranks below every real score, and all NaNs tie.
+
+use std::cmp::Ordering;
+
+/// The ranking contract (duplicated from `ml::metrics` on purpose — the
+/// oracle must not import the implementation under test).
+fn rank_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN"),
+    }
+}
+
+/// Distinct thresholds in descending rank order (all NaNs collapse into
+/// one trailing group).
+fn distinct_thresholds(scores: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = Vec::new();
+    for &s in scores {
+        if !out.iter().any(|&t| rank_cmp(s, t) == Ordering::Equal) {
+            out.push(s);
+        }
+    }
+    out.sort_by(|a, b| rank_cmp(*b, *a));
+    out
+}
+
+/// Cumulative `(tp, fp)` at threshold `t` by a full scan: everything
+/// ranking at or above `t` is predicted positive.
+fn counts_at(scores: &[f64], labels: &[bool], t: f64) -> (usize, usize) {
+    let (mut tp, mut fp) = (0, 0);
+    for (&s, &l) in scores.iter().zip(labels) {
+        if rank_cmp(s, t) != Ordering::Less {
+            if l {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+    }
+    (tp, fp)
+}
+
+/// Average precision `Σ (Rₙ − Rₙ₋₁) · Pₙ` over the distinct-threshold
+/// curve, each point recomputed from scratch.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    let pos = labels.iter().filter(|&&l| l).count();
+    assert!(pos > 0, "reference AP undefined without positives");
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for t in distinct_thresholds(scores) {
+        let (tp, fp) = counts_at(scores, labels, t);
+        let recall = tp as f64 / pos as f64;
+        let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+    }
+    ap
+}
+
+/// ROC AUC by the pairwise probability identity: the chance a random
+/// positive outranks a random negative, ties counting half. Equal to the
+/// tie-grouped trapezoidal area, but derived without building a curve.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    let mut wins = 0.0f64;
+    let mut pairs = 0.0f64;
+    for (i, (&sp, &lp)) in scores.iter().zip(labels).enumerate() {
+        if !lp {
+            continue;
+        }
+        for (j, (&sn, &ln)) in scores.iter().zip(labels).enumerate() {
+            if ln || i == j {
+                continue;
+            }
+            pairs += 1.0;
+            wins += match rank_cmp(sp, sn) {
+                Ordering::Greater => 1.0,
+                Ordering::Equal => 0.5,
+                Ordering::Less => 0.0,
+            };
+        }
+    }
+    assert!(pairs > 0.0, "reference AUC undefined without both classes");
+    wins / pairs
+}
+
+/// The `(threshold, tpr, fpr, precision)` operating point with the most
+/// predictions whose FPR still fits `max_fpr` — the paper's `TPR*` /
+/// `Prec*` contract. Returns the degenerate predict-nothing point
+/// `(∞, 0, 0, 0)` when even the top tie group busts the budget.
+pub fn tpr_prec_at_fpr(scores: &[f64], labels: &[bool], max_fpr: f64) -> (f64, f64, f64, f64) {
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    assert!(pos > 0 && neg > 0, "reference operating point needs both classes");
+    let mut best = (f64::INFINITY, 0.0, 0.0, 0.0);
+    let mut best_predicted = 0;
+    for t in distinct_thresholds(scores) {
+        let (tp, fp) = counts_at(scores, labels, t);
+        let fpr = fp as f64 / neg as f64;
+        if fpr > max_fpr {
+            continue;
+        }
+        if tp + fp >= best_predicted {
+            best_predicted = tp + fp;
+            let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+            best = (t, tp as f64 / pos as f64, fpr, precision);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_scores_give_base_rate_ap_and_half_auc() {
+        let scores = [0.5; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i < 3).collect();
+        assert!((average_precision(&scores, &labels) - 0.3).abs() < 1e-12);
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_ranks_last() {
+        let scores = [f64::NAN, 0.9, 0.1];
+        let labels = [false, true, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operating_point_respects_budget() {
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let labels = [true, false, true, true];
+        let (_, tpr, fpr, _) = tpr_prec_at_fpr(&scores, &labels, 0.0);
+        assert_eq!(fpr, 0.0);
+        assert!((tpr - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

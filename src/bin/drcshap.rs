@@ -19,6 +19,13 @@
 //!     from stdin (one JSON array per line) to JSONL on stdout, or a whole
 //!     built design with `--design`; `--stats` dumps serving metrics as JSON
 //!     on stderr at the end
+//! drcshap testkit run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>]
+//!     sweep every conformance check over n consecutive seeds, then
+//!     chaos-soak the serve engine for t seconds; each failure prints a
+//!     replay line with the minimized seed/level
+//! drcshap testkit replay --check <name> --seed <s> [--level <l>]
+//!     re-run one check on the exact scenario a failure reported
+//! drcshap testkit list                     the conformance check registry
 //! ```
 //!
 //! Every verb also accepts the global telemetry flags, stripped before
@@ -50,6 +57,7 @@ use drcshap::route::{render_heatmap, HeatSource};
 use drcshap::serve::{ServeConfig, ServeEngine, Ticket};
 use drcshap::shap::ForceOptions;
 use drcshap::telemetry;
+use drcshap::testkit::{self, ChaosConfig, SizeLevel};
 
 const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
                      triage <design> [scale] [threshold] | export <design> <dir> [scale] | \
@@ -57,7 +65,9 @@ const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <de
                      run <dir> [scale] [--deadline <secs>] [--design <name>] | \
                      resume <dir> [--deadline <secs>] | \
                      serve <model> [--design <name>] [--scale <s>] [--batch <n>] \
-                     [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware] [--stats]> \
+                     [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware] [--stats] | \
+                     testkit <run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>] | \
+                     replay --check <name> --seed <s> [--level <l>] | list>> \
                      -- every verb also accepts --trace <out.json> and --stats";
 
 /// The global telemetry flags, stripped from the argument list before the
@@ -126,6 +136,7 @@ fn run_cli(args: &mut Vec<String>) -> Result<(), DrcshapError> {
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("serve") => cmd_serve(&args[1..], telem.stats),
+        Some("testkit") => cmd_testkit(&args[1..]),
         _ => Err(DrcshapError::usage(USAGE)),
     };
     match (result, telem.finish()) {
@@ -510,6 +521,91 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), DrcshapError> {
     }
     engine.shutdown();
     Ok(())
+}
+
+/// `drcshap testkit run|replay|list` — the conformance engine front end.
+/// A failing run or replay prints every (minimized) failure with its
+/// replay line and exits with status 1.
+fn cmd_testkit(args: &[String]) -> Result<(), DrcshapError> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for check in testkit::registry() {
+                println!("{}", check.name);
+            }
+            Ok(())
+        }
+        Some("run") => {
+            let mut args = args[1..].to_vec();
+            let seeds: u64 = parse_flag(&mut args, "--seeds", 16)?;
+            let base_seed: u64 = parse_flag(&mut args, "--base-seed", 0)?;
+            let soak_secs: f64 = parse_flag(&mut args, "--soak-secs", 2.0)?;
+            if !soak_secs.is_finite() || soak_secs < 0.0 {
+                return Err(DrcshapError::usage(format!("bad value {soak_secs} for --soak-secs")));
+            }
+            if let Some(extra) = args.first() {
+                return Err(DrcshapError::usage(format!("unexpected argument {extra:?}")));
+            }
+            if seeds == 0 {
+                return Err(DrcshapError::usage("--seeds must be at least 1"));
+            }
+            let report = testkit::run_all(base_seed, seeds);
+            for (name, passed) in &report.passes {
+                println!("conformance {name}: {passed}/{seeds} seeds ok");
+            }
+            for failure in &report.failures {
+                eprintln!("FAIL {failure}");
+            }
+            if !report.ok() {
+                eprintln!("{} conformance failure(s)", report.failures.len());
+                std::process::exit(1);
+            }
+            if soak_secs > 0.0 {
+                let config = ChaosConfig {
+                    duration: Duration::from_secs_f64(soak_secs),
+                    ..ChaosConfig::default()
+                };
+                match testkit::chaos_soak(base_seed, &config) {
+                    Ok(soak) => println!("chaos soak ({soak_secs}s): {soak}"),
+                    Err(detail) => {
+                        eprintln!(
+                            "FAIL chaos soak ({soak_secs}s, seed {base_seed}): {detail}\n  \
+                             replay: drcshap testkit run --base-seed {base_seed} --seeds 1 \
+                             --soak-secs {soak_secs}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            Ok(())
+        }
+        Some("replay") => {
+            let mut args = args[1..].to_vec();
+            let check = take_value(&mut args, "--check")?
+                .ok_or_else(|| DrcshapError::usage("replay needs --check <name>"))?;
+            let seed: u64 = parse_flag(&mut args, "--seed", u64::MAX)?;
+            if seed == u64::MAX {
+                return Err(DrcshapError::usage("replay needs --seed <s>"));
+            }
+            let level: u8 = parse_flag(&mut args, "--level", SizeLevel::DEFAULT.0)?;
+            if let Some(extra) = args.first() {
+                return Err(DrcshapError::usage(format!("unexpected argument {extra:?}")));
+            }
+            match testkit::replay(&check, seed, SizeLevel::new(level)) {
+                Ok(()) => {
+                    println!("replay {check} seed {seed} level {level}: ok");
+                    Ok(())
+                }
+                Err(detail) if detail.starts_with("unknown check") => {
+                    Err(DrcshapError::usage(detail))
+                }
+                Err(detail) => {
+                    eprintln!("FAIL {check} seed {seed} level {level}: {detail}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => Err(DrcshapError::usage("usage: drcshap testkit <run | replay | list>")),
+    }
 }
 
 /// Waits out the oldest in-flight ticket, returning its row index and score.

@@ -23,7 +23,12 @@
 //!   micro-batching with backpressure, an LRU explanation cache, hot model
 //!   swap and serving metrics;
 //! - [`telemetry`] — workspace-wide spans and counters with JSON-summary
-//!   and Chrome-trace export (`--trace` / `--stats` on the CLI).
+//!   and Chrome-trace export (`--trace` / `--stats` on the CLI);
+//! - [`testkit`] — the deterministic conformance engine: seeded scenario
+//!   generators, differential oracles against independent reference
+//!   implementations, metamorphic properties, and a chaos/soak harness
+//!   for the serve engine, all replayable from a single seed
+//!   (`drcshap testkit run | replay | list`).
 //!
 //! # Quickstart
 //!
@@ -61,3 +66,4 @@ pub use drcshap_serve as serve;
 pub use drcshap_shap as shap;
 pub use drcshap_svm as svm;
 pub use drcshap_telemetry as telemetry;
+pub use drcshap_testkit as testkit;

@@ -118,18 +118,22 @@ fn truncation_and_extension_are_detected_at_every_boundary() {
     let model = SavedModel::Rf(forest(4, 4));
     let good = encode_model(&model, 5).expect("encode");
     for keep in [0, 1, 8, 16, HEADER_LEN - 1] {
-        assert!(matches!(
-            decode_model(&good[..keep], 5),
-            Err(DrcshapError::Artifact(ArtifactError::TooShort { .. })),
+        assert!(
+            matches!(
+                decode_model(&good[..keep], 5),
+                Err(DrcshapError::Artifact(ArtifactError::TooShort { .. }))
+            ),
             "keep={keep}"
-        ));
+        );
     }
     for keep in [HEADER_LEN, HEADER_LEN + 5, good.len() - 1] {
-        assert!(matches!(
-            decode_model(&good[..keep], 5),
-            Err(DrcshapError::Artifact(ArtifactError::PayloadTruncated { .. })),
+        assert!(
+            matches!(
+                decode_model(&good[..keep], 5),
+                Err(DrcshapError::Artifact(ArtifactError::PayloadTruncated { .. }))
+            ),
             "keep={keep}"
-        ));
+        );
     }
     let mut extended = good.clone();
     extended.extend_from_slice(b"junk");

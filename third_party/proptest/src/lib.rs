@@ -1,0 +1,512 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro over
+//! `arg in strategy` bindings, `prop_assert*` macros, range / `any` /
+//! tuple / `prop_map` / `collection::{vec, hash_set}` strategies, and
+//! `ProptestConfig { cases, .. }`. Test cases are generated from a ChaCha8
+//! stream seeded per test (deterministic by default; override with
+//! `PROPTEST_RNG_SEED`). There is **no shrinking**: a failure reports the
+//! case's seed, persists it to `proptest-regressions/<module>.txt` (the
+//! same directory layout the real crate uses), and replays persisted seeds
+//! first on later runs.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// A generator of values for property tests. Unlike the real crate there
+/// is no value tree: `generate` draws a value directly and failures are
+/// replayed, not shrunk.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy producing any value of `T` via the `Standard` distribution.
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rand::Rng::gen(rng)
+    }
+}
+
+/// A strategy for a fixed value (`Just` in the real crate).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection-size specification: an exact `usize` or a `Range<usize>`.
+pub trait IntoSizeRange {
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+pub mod collection {
+    use super::{IntoSizeRange, Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a *distinct* size drawn from
+    /// `size`; gives up growing (returning a smaller set) if the element
+    /// domain is too small, rather than looping forever.
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: IntoSizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: IntoSizeRange,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.sample_len(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(100) + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Mirror of `proptest::test_runner::Config` — only `cases` matters.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for source compatibility; persistence is always the
+        /// `proptest-regressions/` directory.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256, max_shrink_iters: 0, max_global_rejects: 1024 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Base seed for a test: `PROPTEST_RNG_SEED` if set, else a stable
+    /// hash of the test's path so runs are reproducible by default.
+    fn base_seed(test_path: &str) -> u64 {
+        match std::env::var("PROPTEST_RNG_SEED") {
+            Ok(v) => v.parse::<u64>().unwrap_or_else(|_| fnv1a(v.as_bytes())),
+            Err(_) => fnv1a(test_path.as_bytes()),
+        }
+    }
+
+    fn regression_file(module_path: &str) -> Option<std::path::PathBuf> {
+        let root = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+        let sanitized: String = module_path
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        Some(std::path::Path::new(&root).join("proptest-regressions").join(format!("{sanitized}.txt")))
+    }
+
+    fn persisted_seeds(module_path: &str, test_name: &str) -> Vec<u64> {
+        let Some(path) = regression_file(module_path) else { return Vec::new() };
+        let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+        text.lines()
+            .filter_map(|line| {
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some("cc"), Some(name), Some(seed)) if name == test_name => {
+                        seed.parse().ok()
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    fn persist_failure(module_path: &str, test_name: &str, seed: u64) {
+        let Some(path) = regression_file(module_path) else { return };
+        if persisted_seeds(module_path, test_name).contains(&seed) {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let header = if path.exists() {
+            String::new()
+        } else {
+            "# Seeds found by the vendored proptest stand-in. Each line is\n\
+             # `cc <test-name> <seed>`; replayed before random cases. Do not\n\
+             # edit by hand; delete lines once the underlying bug is fixed.\n"
+                .to_string()
+        };
+        let line = format!("{header}cc {test_name} {seed}\n");
+        use std::io::Write;
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+
+    /// Drives one property: replays persisted failure seeds, then runs
+    /// `config.cases` fresh cases. Failures print and persist the case
+    /// seed so `PROPTEST_RNG_SEED=<seed> cargo test <name>` reproduces.
+    pub fn run<S, F>(test_name: &str, module_path: &str, config: &Config, strategy: S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = base_seed(&format!("{module_path}::{test_name}"));
+        let replay = persisted_seeds(module_path, test_name);
+        let fresh = (0..u64::from(config.cases)).map(|i| base.wrapping_add(i));
+        for (case, seed) in replay.into_iter().chain(fresh).enumerate() {
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    persist_failure(module_path, test_name, seed);
+                    panic!(
+                        "proptest case failed: {test_name} (case {case}, seed {seed}): {msg}\n\
+                         replay with PROPTEST_RNG_SEED={seed} PROPTEST_CASES=1"
+                    );
+                }
+                Err(panic_payload) => {
+                    persist_failure(module_path, test_name, seed);
+                    eprintln!(
+                        "proptest case panicked: {test_name} (case {case}, seed {seed}); \
+                         replay with PROPTEST_RNG_SEED={seed}"
+                    );
+                    resume_unwind(panic_payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    pub use super::{Just, MapStrategy, Strategy};
+}
+
+pub mod prelude {
+    pub use super::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use super::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The `proptest!` macro: wraps `fn name(arg in strategy, ...) { body }`
+/// items into seeded `#[test]` functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                stringify!($name),
+                module_path!(),
+                &($config),
+                ($($strat,)+),
+                |($($arg,)+)| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Fails the current property case (with an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Fails the case unless the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..10, y in -1.5f64..2.5) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0i64..5, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+
+        #[test]
+        fn hash_set_distinct(s in prop::collection::hash_set(0u32..1000, 4..12)) {
+            prop_assert!(s.len() < 12);
+        }
+
+        #[test]
+        fn prop_map_applies(r in (0i64..10, 0i64..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0..19).contains(&r));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0u64..1000, 5..20);
+        let a: Vec<u64> = strat.generate(&mut crate::TestRng::seed_from_u64(9));
+        let b: Vec<u64> = strat.generate(&mut crate::TestRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,632 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! workspace vendors the *API subset it actually uses*, wired in through
+//! `[patch.crates-io]`. The algorithms mirror rand 0.8 (PCG32-based
+//! `seed_from_u64`, Lemire widening-multiply uniform integers, the
+//! scale-and-offset uniform floats, the fixed-point Bernoulli) so seeded
+//! streams match the real crate where the subset overlaps.
+//!
+//! Remove the `[patch.crates-io]` entry to build against the real crate.
+
+/// Error type of [`RngCore::try_fill_bytes`]. Infallible for every RNG in
+/// this stand-in; present so signatures line up with the real crate.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of every random number generator: raw word output.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A seedable RNG. `seed_from_u64` expands the word through PCG32 exactly
+/// like `rand_core` 0.6, so seeded constructions match the real crate.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let state = *state;
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = pcg32(&mut state);
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Seeds from the system clock — the stand-in has no OS entropy source,
+    /// which is more than good enough for tests and benches.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        Self::seed_from_u64(nanos ^ (std::process::id() as u64) << 32)
+    }
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: uniform over all values for integers
+    /// and bool, uniform in `[0, 1)` for floats (53-/24-bit precision,
+    /// matching rand 0.8).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty => $m:ident),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$m() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                  i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                  u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            // rand 0.8 draws the high half first.
+            let hi = rng.next_u64();
+            let lo = rng.next_u64();
+            (u128::from(hi) << 64) | u128::from(lo)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            // rand 0.8: the highest bit of a u32.
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            let value = rng.next_u64() >> 11;
+            value as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> 8;
+            value as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Fixed-point Bernoulli, bit-identical to rand 0.8.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Bernoulli {
+        p_int: u64,
+    }
+
+    const ALWAYS_TRUE: u64 = u64::MAX;
+    const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+    impl Bernoulli {
+        pub fn new(p: f64) -> Result<Self, BernoulliError> {
+            if !(0.0..1.0).contains(&p) {
+                if p == 1.0 {
+                    return Ok(Self { p_int: ALWAYS_TRUE });
+                }
+                return Err(BernoulliError::InvalidProbability);
+            }
+            Ok(Self { p_int: (p * SCALE) as u64 })
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum BernoulliError {
+        InvalidProbability,
+    }
+
+    impl std::fmt::Display for BernoulliError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "p is outside [0, 1]")
+        }
+    }
+
+    impl std::error::Error for BernoulliError {}
+
+    impl Distribution<bool> for Bernoulli {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            if self.p_int == ALWAYS_TRUE {
+                return true;
+            }
+            rng.next_u64() < self.p_int
+        }
+    }
+
+    pub mod uniform {
+        use super::super::RngCore;
+
+        /// `T` can be drawn uniformly from a range. The two required
+        /// functions carry the per-type sampling algorithm so that
+        /// [`SampleRange`] can have a single generic impl per range form —
+        /// exactly like the real crate, which is what lets integer-literal
+        /// range bounds unify with the surrounding expression's type.
+        pub trait SampleUniform: Sized {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self)
+                -> Self;
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self)
+                -> Self;
+        }
+
+        /// A range form accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+            fn is_empty_range(&self) -> bool;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(rng, self.start, self.end)
+            }
+            fn is_empty_range(&self) -> bool {
+                !(self.start < self.end)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (start, end) = self.into_inner();
+                T::sample_inclusive(rng, start, end)
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty, $u:ty, $large:ty, $next:ident);*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: $t,
+                        high: $t,
+                    ) -> $t {
+                        assert!(low < high, "cannot sample empty range");
+                        let range = high.wrapping_sub(low) as $u as $large;
+                        // Lemire widening-multiply rejection, as in rand 0.8.
+                        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v: $large = rng.$next() as $large;
+                            let m = (v as u128).wrapping_mul(range as u128);
+                            let hi = (m >> <$large>::BITS) as $large;
+                            let lo = m as $large;
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $t);
+                            }
+                        }
+                    }
+
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: $t,
+                        high: $t,
+                    ) -> $t {
+                        assert!(low <= high, "cannot sample empty range");
+                        let range = (high.wrapping_sub(low) as $u as $large).wrapping_add(1);
+                        if range == 0 {
+                            // Full domain.
+                            return rng.$next() as $t;
+                        }
+                        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v: $large = rng.$next() as $large;
+                            let m = (v as u128).wrapping_mul(range as u128);
+                            let hi = (m >> <$large>::BITS) as $large;
+                            let lo = m as $large;
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $t);
+                            }
+                        }
+                    }
+                }
+            )*};
+        }
+
+        uniform_int!(
+            u8, u8, u32, next_u32;
+            u16, u16, u32, next_u32;
+            u32, u32, u32, next_u32;
+            i8, u8, u32, next_u32;
+            i16, u16, u32, next_u32;
+            i32, u32, u32, next_u32;
+            u64, u64, u64, next_u64;
+            i64, u64, u64, next_u64;
+            usize, usize, u64, next_u64;
+            isize, usize, u64, next_u64
+        );
+
+        macro_rules! uniform_float {
+            ($($t:ty, $u:ty, $next:ident, $discard:expr, $exp_bits:expr, $bias:expr);*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: $t,
+                        high: $t,
+                    ) -> $t {
+                        assert!(low < high, "cannot sample empty range");
+                        let scale = high - low;
+                        // Uniform in [1, 2), shifted and scaled — rand 0.8's
+                        // sample_single for floats.
+                        let fraction = rng.$next() >> $discard;
+                        let value1_2 =
+                            <$t>::from_bits(fraction | (($bias as $u) << $exp_bits));
+                        let value0_1 = value1_2 - 1.0;
+                        value0_1 * scale + low
+                    }
+
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: $t,
+                        high: $t,
+                    ) -> $t {
+                        assert!(low <= high, "cannot sample empty range");
+                        let scale = high - low;
+                        let fraction = rng.$next() >> $discard;
+                        let value1_2 =
+                            <$t>::from_bits(fraction | (($bias as $u) << $exp_bits));
+                        let value0_1 = value1_2 - 1.0;
+                        let v = value0_1 * scale + low;
+                        if v > high { high } else { v }
+                    }
+                }
+            )*};
+        }
+
+        uniform_float!(
+            f64, u64, next_u64, 12, 52, 1023u64;
+            f32, u32, next_u32, 9, 23, 127u32
+        );
+    }
+}
+
+pub use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Bernoulli, Distribution, Standard};
+
+/// Convenience layer over [`RngCore`], blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let d = Bernoulli::new(p).expect("p is outside [0, 1]");
+        d.sample(self)
+    }
+
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Uniform index below `ubound`, with rand 0.8's width switch so the
+    /// consumed stream matches the real `SliceRandom::shuffle`.
+    fn gen_index<R: Rng + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= (u32::MAX as usize) {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Random selection methods on slices.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: Rng + ?Sized;
+
+        fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+        where
+            R: Rng + ?Sized;
+
+        /// Chooses one element with probability proportional to
+        /// `weight(element)`. Mirrors rand 0.8's `WeightedIndex` sampling:
+        /// one uniform draw in `0..total`, resolved against the cumulative
+        /// weights.
+        fn choose_weighted<R, F, W>(
+            &self,
+            rng: &mut R,
+            weight: F,
+        ) -> Result<&Self::Item, WeightedError>
+        where
+            R: Rng + ?Sized,
+            F: Fn(&Self::Item) -> W,
+            W: Into<f64>;
+    }
+
+    /// Errors from [`SliceRandom::choose_weighted`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WeightedError {
+        NoItem,
+        InvalidWeight,
+        AllWeightsZero,
+    }
+
+    impl core::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            let msg = match self {
+                WeightedError::NoItem => "cannot sample from an empty collection",
+                WeightedError::InvalidWeight => "a weight is negative or non-finite",
+                WeightedError::AllWeightsZero => "all weights are zero",
+            };
+            f.write_str(msg)
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: Rng + ?Sized,
+        {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R>(&self, rng: &mut R) -> Option<&T>
+        where
+            R: Rng + ?Sized,
+        {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+
+        fn choose_weighted<R, F, W>(&self, rng: &mut R, weight: F) -> Result<&T, WeightedError>
+        where
+            R: Rng + ?Sized,
+            F: Fn(&T) -> W,
+            W: Into<f64>,
+        {
+            if self.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            let mut cumulative = Vec::with_capacity(self.len());
+            let mut total = 0.0f64;
+            for item in self {
+                let w: f64 = weight(item).into();
+                if !(w >= 0.0) || !w.is_finite() {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            let x = rng.gen_range(0.0..total);
+            let idx = cumulative.partition_point(|&c| c <= x).min(self.len() - 1);
+            Ok(&self[idx])
+        }
+    }
+
+    pub mod index {
+        use super::super::Rng;
+
+        /// Sampled indices (always the `u32` flavour here; the workspace
+        /// never samples from >4G-element domains).
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<u32>);
+
+        impl IndexVec {
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().map(|&i| i as usize)
+            }
+
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0.into_iter().map(|i| i as usize).collect()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::iter::Map<std::vec::IntoIter<u32>, fn(u32) -> usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter().map(|i| i as usize)
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` via a partial
+        /// Fisher-Yates (rand's `sample_inplace`). The real crate picks
+        /// between three algorithms on a size heuristic; the workspace's
+        /// domains are small enough that inplace is always the right one.
+        pub fn sample<R>(rng: &mut R, length: usize, amount: usize) -> IndexVec
+        where
+            R: Rng + ?Sized,
+        {
+            assert!(amount <= length, "cannot sample {amount} from {length}");
+            let length =
+                u32::try_from(length).expect("sample stand-in supports u32 domains only");
+            let amount = amount as u32;
+            let mut indices: Vec<u32> = (0..length).collect();
+            for i in 0..amount {
+                let j: u32 = rng.gen_range(i..length);
+                indices.swap(i as usize, j as usize);
+            }
+            indices.truncate(amount as usize);
+            IndexVec(indices)
+        }
+    }
+}
+
+pub mod rngs {
+    //! Placeholder module mirroring `rand::rngs`; the workspace constructs
+    //! its RNGs from `rand_chacha` directly.
+}
+
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&i));
+            let u: usize = rng.gen_range(0..5usize);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut rng = Counter(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_yields_distinct_indices() {
+        let mut rng = Counter(3);
+        let picked = seq::index::sample(&mut rng, 100, 10);
+        let set: std::collections::HashSet<usize> = picked.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(set.iter().all(|&i| i < 100));
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The container this workspace builds in has no crates.io access, so this
+//! crate provides the parallel-iterator API surface the workspace uses,
+//! executed *sequentially* on the calling thread. Every combinator keeps
+//! rayon's signatures (notably `fold(identity_fn, op)` and
+//! `reduce(identity_fn, op)`), so code written against the real crate
+//! compiles unchanged and produces identical results — parallel speedup is
+//! the only thing lost. Remove the `[patch.crates-io]` entry to restore it.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator with
+/// rayon-shaped combinators.
+#[derive(Debug, Clone)]
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, U, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<J>(self, other: J) -> Par<std::iter::Zip<I, <J as IntoParallelIterator>::Iter>>
+    where
+        J: IntoParallelIterator,
+    {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    pub fn cloned<'a, T>(self) -> Par<std::iter::Cloned<I>>
+    where
+        T: 'a + Clone,
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.cloned())
+    }
+
+    pub fn copied<'a, T>(self) -> Par<std::iter::Copied<I>>
+    where
+        T: 'a + Copy,
+        I: Iterator<Item = &'a T>,
+    {
+        Par(self.0.copied())
+    }
+
+    /// Sequential stand-in: a single accumulator folded over all items.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min_by<F>(self, f: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.0.min_by(f)
+    }
+
+    pub fn max_by<F>(self, f: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.0.max_by(f)
+    }
+
+    pub fn any<F: FnMut(I::Item) -> bool>(self, mut f: F) -> bool {
+        let mut it = self.0;
+        it.any(&mut f)
+    }
+
+    pub fn all<F: FnMut(I::Item) -> bool>(self, mut f: F) -> bool {
+        let mut it = self.0;
+        it.all(&mut f)
+    }
+
+    pub fn with_min_len(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn with_max_len(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn chunks(self, n: usize) -> Par<std::vec::IntoIter<Vec<I::Item>>> {
+        assert!(n > 0, "chunk size must be positive");
+        let mut out: Vec<Vec<I::Item>> = Vec::new();
+        let mut current = Vec::with_capacity(n);
+        for item in self.0 {
+            current.push(item);
+            if current.len() == n {
+                out.push(std::mem::replace(&mut current, Vec::with_capacity(n)));
+            }
+        }
+        if !current.is_empty() {
+            out.push(current);
+        }
+        Par(out.into_iter())
+    }
+}
+
+/// Conversion into a "parallel" iterator by value.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter` on `&self`, for any collection whose reference iterates.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Par<Self::Iter>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: 'data,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter_mut` on `&mut self`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+    <&'data mut C as IntoIterator>::Item: 'data,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Chunked views of slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+    fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
+        Par(self.windows(window_size))
+    }
+}
+
+/// Mutable chunked views of slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The number of threads the real crate would use (1: this stand-in runs
+/// everything on the calling thread).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod iter {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par,
+    };
+}
+
+pub mod slice {
+    pub use super::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_round_trips() {
+        let v: Vec<i32> = (0..10).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_sequential() {
+        let data: Vec<u64> = (1..=100).collect();
+        let total = data
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .map(|acc| acc)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn chunks_zip_for_each() {
+        let src: Vec<f64> = (0..12).map(f64::from).collect();
+        let mut dst = vec![0.0f64; 4];
+        dst.par_chunks_mut(1).zip(src.par_chunks(3)).for_each(|(d, s)| {
+            d[0] = s.iter().sum();
+        });
+        assert_eq!(dst, vec![3.0, 12.0, 21.0, 30.0]);
+    }
+}

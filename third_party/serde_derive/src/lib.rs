@@ -1,0 +1,457 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` crate's [`Serialize`] /
+//! [`Deserialize`] traits (the collapsed value-tree protocol) without
+//! depending on `syn` or `quote`: the input item is scanned directly as a
+//! `proc_macro::TokenStream` and the impl is emitted as a formatted string.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named/tuple/unit structs and enums with unit, newtype, tuple, and struct
+//! variants (externally tagged, like real serde). The only recognized field
+//! attribute is `#[serde(default)]`; any other `#[serde(...)]` input is a
+//! compile-time panic so unsupported semantics fail loudly instead of
+//! silently drifting from the real crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_input(input);
+    gen_serialize(&name, &kind).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_input(input);
+    gen_deserialize(&name, &kind).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> (String, Kind) {
+    let mut iter = input.into_iter().peekable();
+    let name;
+    let is_enum;
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: consume the bracket group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    is_enum = word == "enum";
+                    match iter.next() {
+                        Some(TokenTree::Ident(n)) => name = n.to_string(),
+                        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+                    }
+                    break;
+                }
+                // Visibility or `union` etc.; `union` is unsupported.
+                assert!(word != "union", "serde_derive stub: unions are not supported");
+            }
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct or enum in derive input"),
+        }
+    }
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let kind = if is_enum {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde_derive stub: expected struct body, got {other:?}"),
+        }
+    };
+    (name, kind)
+}
+
+/// Consumes leading attributes; returns whether a `#[serde(default)]` was
+/// among them. Any other `#[serde(...)]` content panics.
+fn take_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut default = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        let group = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive stub: malformed attribute, got {other:?}"),
+        };
+        let mut inner = group.stream().into_iter();
+        let is_serde =
+            matches!(inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) => g,
+            other => panic!("serde_derive stub: malformed #[serde] attribute, got {other:?}"),
+        };
+        for tt in args.stream() {
+            match tt {
+                TokenTree::Ident(w) if w.to_string() == "default" => default = true,
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => panic!(
+                    "serde_derive stub: unsupported #[serde(...)] attribute content: {other}"
+                ),
+            }
+        }
+    }
+    default
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let default = take_attrs(&mut iter);
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break,
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut pending = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if pending {
+                    count += 1;
+                    pending = false;
+                }
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Variant-level attrs: `#[default]`, docs. `#[serde(default)]` has
+        // no meaning on a variant, so a panic from take_attrs is fine.
+        let _ = take_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        let shape = if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace)
+        {
+            let Some(TokenTree::Group(g)) = iter.next() else { unreachable!() };
+            Shape::Named(parse_fields(g.stream()))
+        } else if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            let Some(TokenTree::Group(g)) = iter.next() else { unreachable!() };
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        } else {
+            Shape::Unit
+        };
+        // Skip to the separating comma (also skips `= discr` on C-like enums).
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], map: &str, accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "{map}.insert(\"{n}\".to_string(), ::serde::Serialize::serialize_value({a}));\n",
+            n = f.name,
+            a = accessor(&f.name),
+        ));
+    }
+    out
+}
+
+fn gen_serialize(name: &str, kind: &Kind) -> String {
+    let body = match kind {
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Named(fields) => format!(
+            "let mut __map = ::serde::Map::new();\n{}::serde::Value::Object(__map)",
+            ser_named_fields(fields, "__map", |f| format!("&self.{f}"))
+        ),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "Self::{vn}(__f0) => {{\n\
+                         let mut __map = ::serde::Map::new();\n\
+                         __map.insert(\"{vn}\".to_string(), \
+                         ::serde::Serialize::serialize_value(__f0));\n\
+                         ::serde::Value::Object(__map)\n}}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{vn}({}) => {{\n\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(__map)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {} }} => {{\n\
+                             let mut __inner = ::serde::Map::new();\n\
+                             {}\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{vn}\".to_string(), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__map)\n}}\n",
+                            binds.join(", "),
+                            ser_named_fields(fields, "__inner", |f| f.to_string())
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// One `field: <expr>` initializer line for deserialization from map
+/// `{map}`; honors `#[serde(default)]` and treats a missing field as null
+/// (so missing `Option`s become `None`, like real serde).
+fn de_named_fields(ty: &str, fields: &[Field], map: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "::serde::Deserialize::deserialize_value(&::serde::Value::Null)\
+                 .map_err(|_| ::serde::Error::custom(\
+                 \"missing field `{n}` in `{ty}`\"))?"
+            )
+        };
+        out.push_str(&format!(
+            "{n}: match {map}.get(\"{n}\") {{\n\
+             Some(__field) => ::serde::Deserialize::deserialize_value(__field)?,\n\
+             None => {missing},\n}},\n"
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(name: &str, kind: &Kind) -> String {
+    let body = match kind {
+        Kind::Unit => format!(
+            "match __value {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+             \"expected null for unit struct `{name}`\")),\n}}"
+        ),
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::deserialize_value(__value)?))"
+        ),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = match __value {{\n\
+                 ::serde::Value::Array(a) if a.len() == {n}usize => a,\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected array of length {n} for `{name}`\")),\n}};\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Named(fields) => format!(
+            "let __map = match __value {{\n\
+             ::serde::Value::Object(m) => m,\n\
+             _ => return ::std::result::Result::Err(::serde::Error::custom(\
+             \"expected object for `{name}`\")),\n}};\n\
+             ::std::result::Result::Ok({name} {{\n{}}})",
+            de_named_fields(name, fields, "__map")
+        ),
+        Kind::Enum(variants) => {
+            let mut string_arms = String::new();
+            let mut object_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => string_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => object_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}(\
+                         ::serde::Deserialize::deserialize_value(__val)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        object_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = match __val {{\n\
+                             ::serde::Value::Array(a) if a.len() == {n}usize => a,\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"expected array of length {n} for variant `{vn}` of `{name}`\")),\n\
+                             }};\n\
+                             ::std::result::Result::Ok(Self::{vn}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => object_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let __inner = match __val {{\n\
+                         ::serde::Value::Object(m) => m,\n\
+                         _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected object for variant `{vn}` of `{name}`\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok(Self::{vn} {{\n{}}})\n}}\n",
+                        de_named_fields(name, fields, "__inner")
+                    )),
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {string_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown unit variant `{{__other}}` for `{name}`\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __val) = __m.iter().next().expect(\"len 1\");\n\
+                 match __k.as_str() {{\n\
+                 {object_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for `{name}`\"))),\n}}\n}}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for enum `{name}`\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Works against the vendored `serde` crate's collapsed value-model
+//! protocol: serialization renders a [`Value`] tree and prints it;
+//! deserialization parses JSON text into a [`Value`] and rebuilds the
+//! target type from it. Output details mirror the real crate where tests
+//! could notice: compact vs two-space pretty printing, `null` for
+//! non-finite floats, `1.0` keeping its decimal point, escaped control
+//! characters, and full-input consumption on parse.
+
+pub use serde::{Map, Number, Value};
+
+use serde::{de::DeserializeOwned, Serialize};
+
+mod parse;
+
+/// Error type for serialization and deserialization failures.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self { msg: e.to_string() }
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_compact(&value.serialize_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_pretty(&value.serialize_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: ?Sized + Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes `value` as pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: ?Sized + Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Parses a JSON string into a typed value. The entire input must be
+/// consumed (trailing non-whitespace is an error, like the real crate).
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON bytes (must be UTF-8) into a typed value.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+#[doc(hidden)]
+pub fn __value_of<T: ?Sized + Serialize>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Builds a [`Value`] from JSON-like syntax, mirroring `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut __array = ::std::vec::Vec::new();
+        $crate::json_array_munch!(__array () $($tt)+);
+        $crate::Value::Array(__array)
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __object = $crate::Map::new();
+        $crate::json_object_munch!(__object () () $($tt)+);
+        $crate::Value::Object(__object)
+    }};
+    ($other:expr) => { $crate::__value_of(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_munch {
+    ($map:ident () ()) => {};
+    ($map:ident () () $key:tt : $($rest:tt)*) => {
+        $crate::json_object_munch!($map ($key) () $($rest)*)
+    };
+    ($map:ident ($key:tt) ($($val:tt)+) , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json!($($val)+));
+        $crate::json_object_munch!($map () () $($rest)*)
+    };
+    ($map:ident ($key:tt) ($($val:tt)+)) => {
+        $map.insert(($key).to_string(), $crate::json!($($val)+));
+    };
+    ($map:ident ($key:tt) ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object_munch!($map ($key) ($($val)* $next) $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_munch {
+    ($vec:ident ()) => {};
+    ($vec:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $vec.push($crate::json!($($val)+));
+        $crate::json_array_munch!($vec () $($rest)*)
+    };
+    ($vec:ident ($($val:tt)+)) => {
+        $vec.push($crate::json!($($val)+));
+    };
+    ($vec:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_array_munch!($vec ($($val)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let depth = 3u32;
+        let v = json!({
+            "name": "span",
+            "pi": 3.5,
+            "flag": true,
+            "nested": { "depth": depth },
+            "list": [1, 2, 3],
+        });
+        assert_eq!(v["name"].as_str(), Some("span"));
+        assert_eq!(v["nested"]["depth"].as_u64(), Some(3));
+        assert_eq!(v["list"].as_array().map(Vec::len), Some(3));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({
+            "a": [1, -2, 1.5],
+            "b": { "c": null, "d": "es\"cape\n" },
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back_pretty: Value = from_str(&pretty).unwrap();
+        assert_eq!(back_pretty, v);
+    }
+
+    #[test]
+    fn float_kind_survives_round_trip() {
+        let text = to_string(&json!({ "x": 1.0 })).unwrap();
+        assert_eq!(text, r#"{"x":1.0}"#);
+        let back: Value = from_str(&text).unwrap();
+        assert!(matches!(back["x"], Value::Number(Number::Float(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(from_str::<Value>("{} x").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn index_mut_inserts_into_objects() {
+        let mut v = json!({ "depth": 1 });
+        v["detail"] = Value::from("hello".to_string());
+        assert_eq!(v["detail"].as_str(), Some("hello"));
+    }
+}
