@@ -1,0 +1,225 @@
+//! Per-tenant admission control: token buckets with priority floors.
+//!
+//! Each tenant owns one token bucket (capacity `burst` tokens, refilled
+//! continuously at `refill_per_sec`). A request costs one token, but a
+//! request may only drain the bucket down to its priority class's
+//! *reserve floor*: low-priority traffic cannot take the last 30% of a
+//! tenant's burst, normal traffic the last 10%, and high-priority traffic
+//! drains to zero. Under a tenant burst, background work is shed first
+//! and interactive traffic last — graceful degradation instead of a
+//! fair-share collapse, stacked *in front of* the engines' own
+//! `Overloaded` queue backpressure.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use drcshap_ml::DrcshapError;
+
+/// Request priority class, driving the admission reserve floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Interactive traffic: may drain the tenant bucket to zero.
+    High,
+    /// Standard traffic: shed once the bucket is below 10% of burst.
+    #[default]
+    Normal,
+    /// Background traffic: shed once the bucket is below 30% of burst.
+    Low,
+}
+
+impl Priority {
+    /// Fraction of the burst capacity this class must leave behind in the
+    /// bucket after taking its token.
+    #[must_use]
+    pub fn reserve_fraction(self) -> f64 {
+        match self {
+            Priority::High => 0.0,
+            Priority::Normal => 0.10,
+            Priority::Low => 0.30,
+        }
+    }
+
+    /// Canonical lowercase name — the CLI/JSONL wire form.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+impl std::str::FromStr for Priority {
+    type Err = DrcshapError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(DrcshapError::usage(format!(
+                "unknown priority '{other}' (expected high|normal|low)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-tenant quota knobs. `None` in `GatewayConfig::quota` disables
+/// admission quotas entirely (every request is admitted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaConfig {
+    /// Bucket capacity in tokens: the largest burst a tenant may send.
+    pub burst: f64,
+    /// Steady-state refill rate in tokens per second.
+    pub refill_per_sec: f64,
+}
+
+impl QuotaConfig {
+    /// Checks the knobs for values that cannot run.
+    ///
+    /// # Errors
+    ///
+    /// A usage [`DrcshapError`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), DrcshapError> {
+        if !self.burst.is_finite() || self.burst < 1.0 {
+            return Err(DrcshapError::usage("gateway quota: burst must be at least 1 token"));
+        }
+        if !self.refill_per_sec.is_finite() || self.refill_per_sec <= 0.0 {
+            return Err(DrcshapError::usage("gateway quota: refill_per_sec must be positive"));
+        }
+        Ok(())
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    refreshed: Instant,
+}
+
+/// The gateway-side admission controller: one lazily created bucket per
+/// tenant behind a single mutex. The critical section is a handful of
+/// float operations, so contention is negligible next to a forest walk.
+pub(crate) struct Admission {
+    quota: Option<QuotaConfig>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl Admission {
+    pub(crate) fn new(quota: Option<QuotaConfig>) -> Self {
+        Self { quota, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// Whether one request from `tenant` at `priority` may pass right now.
+    /// `false` means the caller must shed it with `Overloaded`.
+    pub(crate) fn admit(&self, tenant: &str, priority: Priority, now: Instant) -> bool {
+        let Some(quota) = self.quota else { return true };
+        let mut buckets = self.buckets.lock().expect("admission lock poisoned");
+        let bucket = buckets
+            .entry(tenant.to_owned())
+            .or_insert_with(|| Bucket { tokens: quota.burst, refreshed: now });
+        let elapsed = now.saturating_duration_since(bucket.refreshed).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * quota.refill_per_sec).min(quota.burst);
+        bucket.refreshed = now;
+        let floor = quota.burst * priority.reserve_fraction();
+        // The 1e-9 slack keeps exact-boundary draws (e.g. the last
+        // high-priority token) from being lost to float rounding.
+        if bucket.tokens - 1.0 >= floor - 1e-9 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The configured burst capacity, for `Overloaded { capacity }`
+    /// reporting; 0 when quotas are disabled.
+    pub(crate) fn capacity(&self) -> usize {
+        self.quota.map_or(0, |q| q.burst as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn controller(burst: f64, refill: f64) -> Admission {
+        Admission::new(Some(QuotaConfig { burst, refill_per_sec: refill }))
+    }
+
+    #[test]
+    fn disabled_quota_admits_everything() {
+        let admission = Admission::new(None);
+        let now = Instant::now();
+        for _ in 0..10_000 {
+            assert!(admission.admit("t", Priority::Low, now));
+        }
+    }
+
+    #[test]
+    fn burst_is_bounded_and_refills_over_time() {
+        let admission = controller(3.0, 10.0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(admission.admit("t", Priority::High, t0));
+        }
+        assert!(!admission.admit("t", Priority::High, t0), "burst exhausted");
+        // 200 ms at 10 tokens/s refills 2 tokens.
+        let t1 = t0 + Duration::from_millis(200);
+        assert!(admission.admit("t", Priority::High, t1));
+        assert!(admission.admit("t", Priority::High, t1));
+        assert!(!admission.admit("t", Priority::High, t1));
+    }
+
+    #[test]
+    fn low_priority_is_shed_before_high() {
+        let admission = controller(10.0, 1.0);
+        let now = Instant::now();
+        // Low may draw the bucket down to 30% of burst: 7 tokens.
+        let mut low_admitted = 0;
+        while admission.admit("t", Priority::Low, now) {
+            low_admitted += 1;
+        }
+        assert_eq!(low_admitted, 7);
+        // Normal still has headroom down to 10%: 2 more tokens.
+        assert!(admission.admit("t", Priority::Normal, now));
+        assert!(admission.admit("t", Priority::Normal, now));
+        assert!(!admission.admit("t", Priority::Normal, now));
+        // High drains the reserve to zero: 1 last token.
+        assert!(admission.admit("t", Priority::High, now));
+        assert!(!admission.admit("t", Priority::High, now));
+    }
+
+    #[test]
+    fn tenants_have_independent_buckets() {
+        let admission = controller(1.0, 1.0);
+        let now = Instant::now();
+        assert!(admission.admit("a", Priority::High, now));
+        assert!(!admission.admit("a", Priority::High, now));
+        assert!(admission.admit("b", Priority::High, now), "tenant b has its own bucket");
+    }
+
+    #[test]
+    fn priority_parses_and_prints_round_trip() {
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            assert_eq!(p.as_str().parse::<Priority>().unwrap(), p);
+            assert_eq!(p.to_string(), p.as_str());
+        }
+        assert!("urgent".parse::<Priority>().is_err());
+    }
+
+    #[test]
+    fn quota_config_validates() {
+        assert!(QuotaConfig { burst: 0.5, refill_per_sec: 1.0 }.validate().is_err());
+        assert!(QuotaConfig { burst: 1.0, refill_per_sec: 0.0 }.validate().is_err());
+        assert!(QuotaConfig { burst: 8.0, refill_per_sec: 100.0 }.validate().is_ok());
+    }
+}

@@ -35,6 +35,30 @@ pub enum DrcshapError {
         /// Queue capacity the engine was configured with.
         capacity: usize,
     },
+    /// The serving engine (or a gateway shard) is draining for shutdown;
+    /// the request was refused, never silently dropped. Another replica may
+    /// still accept it — retryable.
+    ShuttingDown,
+    /// The request's deadline expired before it could be scored; it was
+    /// shed instead of wasting work on an answer nobody is waiting for.
+    DeadlineExceeded {
+        /// True when the deadline was already expired at admission, so the
+        /// request was shed in O(1) without touching a shard queue; false
+        /// when it expired while queued and a worker shed it before work.
+        shard_untouched: bool,
+    },
+    /// A cooperative cancel token fired while the request was in flight;
+    /// the work unwound cleanly and can be resubmitted.
+    Interrupted,
+    /// A staged fleet rollout aborted: the canary shard's response digest
+    /// diverged from the candidate model's reference scores, and every
+    /// already-swapped shard was rolled back to the previous model.
+    RolloutAborted {
+        /// The canary (or failing) shard.
+        shard: usize,
+        /// What the digest comparison found.
+        detail: String,
+    },
 }
 
 impl DrcshapError {
@@ -46,6 +70,28 @@ impl DrcshapError {
     /// A CLI / API usage error with a free-form message.
     pub fn usage(message: impl Into<String>) -> Self {
         DrcshapError::Input(InputError::Usage(message.into()))
+    }
+
+    /// Whether resubmitting the same request may succeed.
+    ///
+    /// Transient serving conditions — a full queue ([`Overloaded`]), a
+    /// draining replica ([`ShuttingDown`]), a fired cancel token
+    /// ([`Interrupted`]) — are retryable: the fleet may have capacity
+    /// elsewhere or a moment later. Everything that reflects the *request*
+    /// or the *artifact* being wrong (schema and checksum mismatches,
+    /// malformed inputs, I/O failures, an expired deadline, an aborted
+    /// rollout) is not: retrying reproduces the same failure.
+    ///
+    /// [`Overloaded`]: DrcshapError::Overloaded
+    /// [`ShuttingDown`]: DrcshapError::ShuttingDown
+    /// [`Interrupted`]: DrcshapError::Interrupted
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DrcshapError::Overloaded { .. }
+                | DrcshapError::ShuttingDown
+                | DrcshapError::Interrupted
+        )
     }
 }
 
@@ -59,6 +105,20 @@ impl fmt::Display for DrcshapError {
             DrcshapError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             DrcshapError::Overloaded { capacity } => {
                 write!(f, "overloaded: serve queue is at capacity ({capacity} requests)")
+            }
+            DrcshapError::ShuttingDown => {
+                f.write_str("shutting down: the serving engine is draining and refused the request")
+            }
+            DrcshapError::DeadlineExceeded { shard_untouched } => write!(
+                f,
+                "deadline exceeded: request shed {} scoring work",
+                if *shard_untouched { "before reaching a shard, without any" } else { "before" }
+            ),
+            DrcshapError::Interrupted => {
+                f.write_str("interrupted: the request's cancel token fired before scoring")
+            }
+            DrcshapError::RolloutAborted { shard, detail } => {
+                write!(f, "rollout aborted at shard {shard}: {detail}")
             }
         }
     }
@@ -380,6 +440,44 @@ mod tests {
         let e = DrcshapError::Overloaded { capacity: 4096 };
         let s = e.to_string();
         assert!(s.contains("overloaded") && s.contains("4096"), "{s}");
+
+        let s = DrcshapError::ShuttingDown.to_string();
+        assert!(s.contains("shutting down") && s.contains("refused"), "{s}");
+
+        let s = DrcshapError::DeadlineExceeded { shard_untouched: true }.to_string();
+        assert!(s.contains("deadline exceeded") && s.contains("without any"), "{s}");
+        let s = DrcshapError::DeadlineExceeded { shard_untouched: false }.to_string();
+        assert!(s.contains("deadline exceeded") && !s.contains("without any"), "{s}");
+
+        let s = DrcshapError::Interrupted.to_string();
+        assert!(s.contains("interrupted"), "{s}");
+
+        let e = DrcshapError::RolloutAborted { shard: 0, detail: "digest drift".into() };
+        let s = e.to_string();
+        assert!(s.contains("rollout aborted at shard 0") && s.contains("digest drift"), "{s}");
+    }
+
+    #[test]
+    fn retryability_classifies_transient_vs_permanent() {
+        // Transient serving conditions: resubmitting may succeed elsewhere.
+        assert!(DrcshapError::Overloaded { capacity: 8 }.is_retryable());
+        assert!(DrcshapError::ShuttingDown.is_retryable());
+        assert!(DrcshapError::Interrupted.is_retryable());
+        // The request or artifact itself is wrong: retrying reproduces it.
+        assert!(!DrcshapError::DeadlineExceeded { shard_untouched: true }.is_retryable());
+        assert!(!DrcshapError::from(ArtifactError::ChecksumMismatch { stored: 1, computed: 2 })
+            .is_retryable());
+        assert!(!DrcshapError::from(SchemaError::FingerprintMismatch { expected: 1, found: 2 })
+            .is_retryable());
+        assert!(!DrcshapError::from(InputError::LengthMismatch { expected: 2, found: 1 })
+            .is_retryable());
+        assert!(!DrcshapError::usage("bad flag").is_retryable());
+        assert!(!DrcshapError::io(
+            "/tmp/x",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone")
+        )
+        .is_retryable());
+        assert!(!DrcshapError::RolloutAborted { shard: 0, detail: String::new() }.is_retryable());
     }
 
     #[test]

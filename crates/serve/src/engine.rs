@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use drcshap_core::SavedModel;
 use drcshap_forest::RandomForest;
+use drcshap_geom::{BudgetState, StageBudget};
 use drcshap_ml::{DrcshapError, InputError, NanPolicy};
 use drcshap_shap::{explain_forest, Explanation};
 use drcshap_telemetry as telemetry;
@@ -127,11 +128,25 @@ impl Ticket {
             }
         }
     }
+
+    /// Waits up to `timeout` for the response without consuming the ticket.
+    /// `None` means the request is still in flight — poll again, hedge it
+    /// to another shard, or keep waiting with [`Ticket::wait`].
+    pub fn wait_for(&self, timeout: Duration) -> Option<Result<ScoredResponse, DrcshapError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(DrcshapError::usage(
+                "serve engine dropped the request (worker terminated)",
+            ))),
+        }
+    }
 }
 
 struct Pending {
     x: Vec<f32>,
     enqueued: Instant,
+    budget: StageBudget,
     tx: mpsc::Sender<Result<ScoredResponse, DrcshapError>>,
 }
 
@@ -241,8 +256,35 @@ impl ServeEngine {
     ///
     /// [`InputError::LengthMismatch`] / [`InputError::NonFinite`] from
     /// admission validation; [`DrcshapError::Overloaded`] when the queue
-    /// is full; a usage error after shutdown.
+    /// is full; [`DrcshapError::ShuttingDown`] once a drain has begun.
     pub fn submit(&self, x: Vec<f32>) -> Result<Ticket, DrcshapError> {
+        self.submit_with_budget(x, StageBudget::unlimited())
+    }
+
+    /// [`ServeEngine::submit`] with a deadline/cancellation budget attached
+    /// to the request. An already-exhausted budget is shed in O(1) here at
+    /// admission — no queue slot, no worker wakeup, no scoring work — and a
+    /// budget that expires *while queued* is shed by the worker before any
+    /// scoring, so a full queue of stale requests costs no forest walks.
+    ///
+    /// # Errors
+    ///
+    /// Every [`ServeEngine::submit`] error, plus
+    /// [`DrcshapError::DeadlineExceeded`] / [`DrcshapError::Interrupted`]
+    /// when the budget is exhausted at admission.
+    pub fn submit_with_budget(
+        &self,
+        x: Vec<f32>,
+        budget: StageBudget,
+    ) -> Result<Ticket, DrcshapError> {
+        match budget.check() {
+            BudgetState::Within => {}
+            BudgetState::DeadlineExpired => {
+                self.shared.metrics.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(DrcshapError::DeadlineExceeded { shard_untouched: true });
+            }
+            BudgetState::Cancelled => return Err(DrcshapError::Interrupted),
+        }
         let expected = self.n_features();
         if x.len() != expected {
             return Err(InputError::LengthMismatch { expected, found: x.len() }.into());
@@ -269,7 +311,11 @@ impl ServeEngine {
         {
             let mut q = self.shared.queue.lock().expect("queue lock poisoned");
             if q.shutdown {
-                return Err(DrcshapError::usage("serve engine is shut down"));
+                // The drain flag is checked under the queue lock, so a
+                // submission racing `shutdown` either lands in the queue
+                // (and is drained to a response) or gets this typed error —
+                // never a silent drop.
+                return Err(DrcshapError::ShuttingDown);
             }
             if q.items.len() >= self.shared.config.queue_capacity {
                 self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
@@ -277,7 +323,7 @@ impl ServeEngine {
                     capacity: self.shared.config.queue_capacity,
                 });
             }
-            q.items.push_back(Pending { x, enqueued: Instant::now(), tx });
+            q.items.push_back(Pending { x, enqueued: Instant::now(), budget, tx });
             self.shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
             self.shared.metrics.queue_depth.store(q.items.len() as u64, Ordering::Relaxed);
         }
@@ -442,6 +488,24 @@ fn worker_loop(shared: &Shared) {
         let mut flat = Vec::with_capacity(batch.len() * m);
         let mut accepted = Vec::with_capacity(batch.len());
         for pending in batch {
+            // Shed-before-work: a request whose budget was exhausted while
+            // it sat in the queue gets its typed error now, before a single
+            // tree is walked — under overload, stale requests cost nothing.
+            match pending.budget.check() {
+                BudgetState::Within => {}
+                BudgetState::DeadlineExpired => {
+                    shared.metrics.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = pending
+                        .tx
+                        .send(Err(DrcshapError::DeadlineExceeded { shard_untouched: false }));
+                    continue;
+                }
+                BudgetState::Cancelled => {
+                    shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                    let _ = pending.tx.send(Err(DrcshapError::Interrupted));
+                    continue;
+                }
+            }
             // Length is validated at submit and swaps preserve the feature
             // count, so this arm is unreachable; kept so a future invariant
             // break degrades to a typed error instead of a panic.
@@ -561,6 +625,53 @@ mod tests {
         let engine = ServeEngine::start(quick_config(), forest(5), 7).expect("start");
         engine.shutdown();
         let e = engine.submit(vec![0.5, 0.5]).unwrap_err();
-        assert!(matches!(e, DrcshapError::Input(InputError::Usage(_))), "{e}");
+        assert!(matches!(e, DrcshapError::ShuttingDown), "{e}");
+        assert!(e.is_retryable(), "a draining replica is a transient condition");
+    }
+
+    #[test]
+    fn expired_budget_is_shed_at_admission_without_queueing() {
+        let engine = ServeEngine::start(quick_config(), forest(6), 7).expect("start");
+        let budget = StageBudget::with_deadline(Duration::ZERO);
+        let e = engine.submit_with_budget(vec![0.5, 0.5], budget).unwrap_err();
+        assert!(matches!(e, DrcshapError::DeadlineExceeded { shard_untouched: true }), "{e}");
+        let metrics = engine.metrics();
+        assert_eq!(metrics.requests_total, 0, "shed request must never enter the queue");
+        assert_eq!(metrics.deadline_shed_total, 1);
+    }
+
+    #[test]
+    fn cancelled_budget_is_rejected_at_admission() {
+        let engine = ServeEngine::start(quick_config(), forest(6), 7).expect("start");
+        let token = drcshap_geom::CancelToken::new();
+        token.cancel();
+        let budget = StageBudget::unlimited().cancelled_by(token);
+        let e = engine.submit_with_budget(vec![0.5, 0.5], budget).unwrap_err();
+        assert!(matches!(e, DrcshapError::Interrupted), "{e}");
+    }
+
+    #[test]
+    fn budget_expiring_in_queue_is_shed_by_the_worker_before_work() {
+        // One worker, giant batch/wait: requests sit in the queue until
+        // shutdown drains them, by which time the budget has expired.
+        let config = ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(3600),
+            queue_capacity: 8,
+            workers: 1,
+            ..quick_config()
+        };
+        let engine = ServeEngine::start(config, forest(7), 7).expect("start");
+        let budget = StageBudget::with_deadline(Duration::from_millis(20));
+        let stale = engine.submit_with_budget(vec![0.5, 0.5], budget).expect("queued");
+        let fresh = engine.submit(vec![0.5, 0.5]).expect("queued");
+        std::thread::sleep(Duration::from_millis(40));
+        engine.shutdown();
+        let e = stale.wait().unwrap_err();
+        assert!(matches!(e, DrcshapError::DeadlineExceeded { shard_untouched: false }), "{e}");
+        fresh.wait().expect("unbudgeted request still scored");
+        let metrics = engine.metrics();
+        assert_eq!(metrics.deadline_shed_total, 1);
+        assert_eq!(metrics.samples_scored, 1);
     }
 }

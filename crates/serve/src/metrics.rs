@@ -75,6 +75,11 @@ pub struct MetricsRegistry {
     pub requests: AtomicU64,
     /// Requests shed with `Overloaded` at the admission boundary.
     pub rejected: AtomicU64,
+    /// Requests shed with `DeadlineExceeded` — at admission or by a worker
+    /// before scoring work.
+    pub deadline_shed: AtomicU64,
+    /// Requests dropped with `Interrupted` after their cancel token fired.
+    pub cancelled: AtomicU64,
     /// Batches flushed to the compiled forest.
     pub batches: AtomicU64,
     /// Samples scored across all batches.
@@ -98,6 +103,8 @@ impl MetricsRegistry {
         ServeMetrics {
             requests_total: self.requests.load(Ordering::Relaxed),
             rejected_total: self.rejected.load(Ordering::Relaxed),
+            deadline_shed_total: self.deadline_shed.load(Ordering::Relaxed),
+            cancelled_total: self.cancelled.load(Ordering::Relaxed),
             batches_total: batches,
             samples_scored: samples,
             mean_batch: if batches == 0 { 0.0 } else { samples as f64 / batches as f64 },
@@ -123,6 +130,10 @@ pub struct ServeMetrics {
     pub requests_total: u64,
     /// Requests shed with `Overloaded` backpressure.
     pub rejected_total: u64,
+    /// Requests shed with `DeadlineExceeded` before any scoring work.
+    pub deadline_shed_total: u64,
+    /// Requests dropped with `Interrupted` by a fired cancel token.
+    pub cancelled_total: u64,
     /// Batches flushed.
     pub batches_total: u64,
     /// Samples scored.
@@ -156,9 +167,12 @@ impl std::fmt::Display for ServeMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests {} (rejected {}), batches {} (mean {:.1}), queue depth {}",
+            "requests {} (rejected {}, deadline-shed {}, cancelled {}), batches {} (mean {:.1}), \
+             queue depth {}",
             self.requests_total,
             self.rejected_total,
+            self.deadline_shed_total,
+            self.cancelled_total,
             self.batches_total,
             self.mean_batch,
             self.queue_depth

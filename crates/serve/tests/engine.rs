@@ -166,6 +166,73 @@ fn hot_swap_under_load_never_drops_or_mixes_requests() {
     assert_eq!(metrics.swaps_total, 30);
 }
 
+/// Regression test for the shutdown race: a request submitted concurrently
+/// with a drain must either be accepted (and then drained to a real score)
+/// or refused with the typed `ShuttingDown` error — never silently dropped,
+/// and never a panic or an untyped failure. Runs several rounds so the
+/// submit/shutdown interleaving lands on both sides of the drain flag.
+#[test]
+fn submit_racing_shutdown_is_answered_or_typed_never_dropped() {
+    for round in 0..8u64 {
+        let rf = forest(round);
+        let expected = rf.predict_proba(&[0.6, 0.3, 0.9]).to_bits();
+        let config = ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(100),
+            queue_capacity: 1024,
+            workers: 2,
+            nan_policy: NanPolicy::Reject,
+            cache_capacity: 0,
+        };
+        let engine = Arc::new(ServeEngine::start(config, rf, 7).expect("start"));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let submitters: Vec<_> = (0..3)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut accepted = 0u64;
+                    let mut refused = 0u64;
+                    for _ in 0..200 {
+                        match engine.submit(vec![0.6, 0.3, 0.9]) {
+                            Ok(ticket) => {
+                                // Accepted concurrently with the drain: the
+                                // response must still arrive, bit-exact.
+                                let response = ticket.wait().expect("accepted => drained");
+                                assert_eq!(response.score.to_bits(), expected);
+                                accepted += 1;
+                            }
+                            Err(DrcshapError::ShuttingDown) => {
+                                refused += 1;
+                                // Sticky: once draining, every later submit
+                                // from this thread is refused the same way.
+                                let e = engine.submit(vec![0.6, 0.3, 0.9]).unwrap_err();
+                                assert!(matches!(e, DrcshapError::ShuttingDown), "{e}");
+                                break;
+                            }
+                            Err(e) => panic!("unexpected submit error during drain race: {e}"),
+                        }
+                    }
+                    (accepted, refused)
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Let the submitters land a few requests, then drain mid-stream.
+        std::thread::sleep(Duration::from_micros(300));
+        engine.shutdown();
+        let mut total_accepted = 0;
+        for handle in submitters {
+            let (accepted, _) = handle.join().expect("submitter thread");
+            total_accepted += accepted;
+        }
+        // Every accepted request was scored — the engine's own ledger must
+        // agree with the per-thread counts (nothing vanished in the queue).
+        assert_eq!(engine.metrics().samples_scored, total_accepted);
+    }
+}
+
 #[test]
 fn explanation_cache_short_circuits_repeat_lookups() {
     let rf = forest(2);

@@ -83,11 +83,19 @@ struct SpanRecord {
     depth: u32,
 }
 
+/// Per-thread span cap: a hot loop traced for minutes (the gateway chaos
+/// soak records one span per request) must not grow memory and the trace
+/// file without bound. Past the cap, spans are counted in
+/// [`SpanSink::dropped`] instead of stored; counters are unaffected.
+const SPAN_CAP: usize = 1 << 18;
+
 /// Per-thread span buffer, registered once with the hub. The mutex is
 /// uncontended in steady state (only export locks it from another thread).
 struct SpanSink {
     tid: u64,
     spans: Mutex<Vec<SpanRecord>>,
+    /// Spans discarded after this sink hit [`SPAN_CAP`].
+    dropped: AtomicU64,
 }
 
 thread_local! {
@@ -137,6 +145,7 @@ fn local_sink() -> Arc<SpanSink> {
         let sink = Arc::new(SpanSink {
             tid: h.next_tid.fetch_add(1, Ordering::Relaxed),
             spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
         });
         lock_ignore_poison(&h.sinks).push(Arc::clone(&sink));
         *slot = Some(Arc::clone(&sink));
@@ -177,7 +186,12 @@ impl Drop for SpanGuard {
             depth: self.depth,
         };
         let sink = local_sink();
-        lock_ignore_poison(&sink.spans).push(record);
+        let mut spans = lock_ignore_poison(&sink.spans);
+        if spans.len() < SPAN_CAP {
+            spans.push(record);
+        } else {
+            sink.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -269,6 +283,9 @@ pub struct TelemetrySummary {
     pub spans: BTreeMap<String, SpanStats>,
     /// Final value per counter name.
     pub counters: BTreeMap<String, u64>,
+    /// Spans discarded after a thread's buffer hit its cap (the stats
+    /// above cover only the retained prefix of such threads).
+    pub dropped_spans: u64,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (`q` in `[0, 1]`).
@@ -297,6 +314,15 @@ impl TelemetryHub {
         merged
     }
 
+    /// Total spans discarded across all threads after their buffers hit
+    /// the per-thread cap.
+    pub fn dropped_spans(&self) -> u64 {
+        lock_ignore_poison(&self.sinks)
+            .iter()
+            .map(|sink| sink.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Builds the JSON-ready summary: per-span count/total/mean/p50/p99 and
     /// final counter values.
     pub fn summary(&self) -> TelemetrySummary {
@@ -323,7 +349,7 @@ impl TelemetryHub {
             .iter()
             .map(|(&name, value)| (name.to_string(), value.load(Ordering::Relaxed)))
             .collect();
-        TelemetrySummary { spans, counters }
+        TelemetrySummary { spans, counters, dropped_spans: self.dropped_spans() }
     }
 
     /// Renders every recorded span (and final counter values) in Chrome
@@ -363,6 +389,19 @@ impl TelemetryHub {
                 "args": { "value": value.load(Ordering::Relaxed) },
             }));
         }
+        // Make a truncated trace say so, in the trace itself.
+        let dropped = self.dropped_spans();
+        if dropped > 0 {
+            events.push(serde_json::json!({
+                "name": "telemetry/spans_dropped",
+                "cat": "drcshap",
+                "ph": "C",
+                "ts": last_ts_us,
+                "pid": 1,
+                "tid": 0,
+                "args": { "value": dropped },
+            }));
+        }
         let trace = serde_json::json!({
             "traceEvents": events,
             "displayTimeUnit": "ms",
@@ -376,6 +415,7 @@ impl TelemetryHub {
     pub fn reset(&self) {
         for sink in lock_ignore_poison(&self.sinks).iter() {
             lock_ignore_poison(&sink.spans).clear();
+            sink.dropped.store(0, Ordering::Relaxed);
         }
         for value in lock_ignore_poison(&self.counters).values() {
             value.store(0, Ordering::Relaxed);
@@ -515,6 +555,30 @@ mod tests {
         let _guard = exclusive();
         disable();
         let _s = span_with("test/lazy", || unreachable!("detail built while disabled"));
+        teardown();
+    }
+
+    #[test]
+    fn span_buffer_is_capped_and_drops_are_reported() {
+        let _guard = exclusive();
+        for _ in 0..SPAN_CAP + 100 {
+            let _s = span("test/capped");
+        }
+        let summary = hub().summary();
+        assert_eq!(summary.spans["test/capped"].count as usize, SPAN_CAP);
+        assert_eq!(summary.dropped_spans, 100);
+        // The trace itself says it was truncated.
+        let trace = hub().chrome_trace();
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        let drop_event = events
+            .iter()
+            .find(|e| e["name"] == "telemetry/spans_dropped")
+            .expect("truncated trace must carry a spans_dropped counter");
+        assert_eq!(drop_event["args"]["value"], 100);
+        // reset() rearms the buffer and zeroes the drop count.
+        hub().reset();
+        assert_eq!(hub().summary().dropped_spans, 0);
         teardown();
     }
 }

@@ -22,6 +22,8 @@
 //! the invariants above hold under *every* interleaving, which is the
 //! point of soaking).
 
+pub mod gateway;
+
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};

@@ -15,7 +15,9 @@
 //!   (additivity, dummy-feature nullity, monotone-transform invariance).
 //! - [`chaos`]: a multi-threaded soak of the serve engine under hot
 //!   swaps, overload bursts, and a shutdown drain, with bitwise
-//!   epoch-consistency validation of every response.
+//!   epoch-consistency validation of every response. [`chaos::gateway`]
+//!   lifts the same invariants to the multi-shard gateway: killed and
+//!   slowed shards, quota overload, and a staged rollout mid-load.
 //!
 //! The CLI front end is `drcshap testkit run | replay | list`; a failing
 //! check prints a `drcshap testkit replay --check NAME --seed S --level L`
@@ -30,6 +32,7 @@ pub mod oracle;
 pub mod reference;
 pub mod scenario;
 
+pub use chaos::gateway::{gateway_chaos_soak, GatewayChaosConfig, GatewayChaosReport};
 pub use chaos::{chaos_soak, ChaosConfig, ChaosReport};
 pub use oracle::{registry, Check, Failure};
 pub use scenario::SizeLevel;

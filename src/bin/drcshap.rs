@@ -19,9 +19,25 @@
 //!     from stdin (one JSON array per line) to JSONL on stdout, or a whole
 //!     built design with `--design`; `--stats` dumps serving metrics as JSON
 //!     on stderr at the end
+//! drcshap gateway <model> [--shards <n>] [--batch <n>] [--wait-ms <ms>]
+//!                 [--workers <n>] [--queue <n>] [--nan-aware]
+//!                 [--deadline-ms <ms>] [--hedge-ms <ms>] [--retries <n>]
+//!                 [--quota-burst <b>] [--quota-refill <r>]
+//!                 [--listen <addr>] [--max-conns <n>] [--stats]
+//!     multi-shard serving through the gateway: scores JSONL requests from
+//!     stdin — each line either a bare JSON feature array or an object
+//!     {"x":[..],"tenant":"..","priority":"high|normal|low",
+//!     "deadline_ms":..,"key":..} — to JSONL on stdout; typed sheds
+//!     (overload, deadline) are emitted as JSON error lines, not process
+//!     failures. `--listen <addr>` starts a minimal TCP front end serving
+//!     the same protocol per connection (`--max-conns` bounds how many
+//!     before exiting); `--stats` dumps gateway metrics as JSON on stderr
 //! drcshap testkit run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>]
+//!                     [--gateway-soak-secs <t>]
 //!     sweep every conformance check over n consecutive seeds, then
-//!     chaos-soak the serve engine for t seconds; each failure prints a
+//!     chaos-soak the serve engine for t seconds and the multi-shard
+//!     gateway (slow shard, killed shard, quota overload, staged rollout
+//!     mid-load) for the gateway soak duration; each failure prints a
 //!     replay line with the minimized seed/level
 //! drcshap testkit replay --check <name> --seed <s> [--level <l>]
 //!     re-run one check on the exact scenario a failure reported
@@ -50,6 +66,7 @@ use drcshap::core::{load_model, read_manifest, run_supervised, save_model};
 use drcshap::core::{SavedModel, SupervisorConfig};
 use drcshap::features::{FeatureMatrix, FeatureSchema};
 use drcshap::forest::RandomForestTrainer;
+use drcshap::gateway::{Gateway, GatewayConfig, Priority, QuotaConfig, Request};
 use drcshap::geom::CancelToken;
 use drcshap::ml::{Classifier, DrcshapError, InputError, NanPolicy, PipelineError, Trainer};
 use drcshap::netlist::{suite, write_def, DesignSpec};
@@ -57,7 +74,7 @@ use drcshap::route::{render_heatmap, HeatSource};
 use drcshap::serve::{ServeConfig, ServeEngine, Ticket};
 use drcshap::shap::ForceOptions;
 use drcshap::telemetry;
-use drcshap::testkit::{self, ChaosConfig, SizeLevel};
+use drcshap::testkit::{self, ChaosConfig, GatewayChaosConfig, SizeLevel};
 
 const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
                      triage <design> [scale] [threshold] | export <design> <dir> [scale] | \
@@ -66,7 +83,12 @@ const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <de
                      resume <dir> [--deadline <secs>] | \
                      serve <model> [--design <name>] [--scale <s>] [--batch <n>] \
                      [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware] [--stats] | \
-                     testkit <run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>] | \
+                     gateway <model> [--shards <n>] [--batch <n>] [--wait-ms <ms>] \
+                     [--workers <n>] [--queue <n>] [--nan-aware] [--deadline-ms <ms>] \
+                     [--hedge-ms <ms>] [--retries <n>] [--quota-burst <b>] \
+                     [--quota-refill <r>] [--listen <addr>] [--max-conns <n>] [--stats] | \
+                     testkit <run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>] \
+                     [--gateway-soak-secs <t>] | \
                      replay --check <name> --seed <s> [--level <l>] | list>> \
                      -- every verb also accepts --trace <out.json> and --stats";
 
@@ -136,6 +158,7 @@ fn run_cli(args: &mut Vec<String>) -> Result<(), DrcshapError> {
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("serve") => cmd_serve(&args[1..], telem.stats),
+        Some("gateway") => cmd_gateway(&args[1..], telem.stats),
         Some("testkit") => cmd_testkit(&args[1..]),
         _ => Err(DrcshapError::usage(USAGE)),
     };
@@ -523,6 +546,198 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), DrcshapError> {
     Ok(())
 }
 
+/// `drcshap gateway <model> [flags]` — multi-shard serving behind the
+/// gateway: JSONL requests from stdin, or the same protocol per TCP
+/// connection with `--listen`.
+fn cmd_gateway(args: &[String], stats: bool) -> Result<(), DrcshapError> {
+    let mut args = args.to_vec();
+    let nan_aware = take_switch(&mut args, "--nan-aware");
+    let listen = take_value(&mut args, "--listen")?;
+    let max_conns: u64 = parse_flag(&mut args, "--max-conns", 0)?;
+    let defaults = ServeConfig::default();
+    let wait_ms: f64 = parse_flag(&mut args, "--wait-ms", defaults.max_wait.as_secs_f64() * 1e3)?;
+    if !wait_ms.is_finite() || wait_ms < 0.0 {
+        return Err(DrcshapError::usage(format!("bad value {wait_ms} for --wait-ms")));
+    }
+    let serve = ServeConfig {
+        max_batch: parse_flag(&mut args, "--batch", defaults.max_batch)?,
+        max_wait: Duration::from_secs_f64(wait_ms / 1e3),
+        queue_capacity: parse_flag(&mut args, "--queue", defaults.queue_capacity)?,
+        workers: parse_flag(&mut args, "--workers", defaults.workers)?,
+        nan_policy: if nan_aware { NanPolicy::NanAware } else { NanPolicy::Reject },
+        ..defaults
+    };
+    let gateway_defaults = GatewayConfig::default();
+    let deadline_ms: f64 = parse_flag(&mut args, "--deadline-ms", 0.0)?;
+    let hedge_ms: f64 = parse_flag(&mut args, "--hedge-ms", 0.0)?;
+    if !deadline_ms.is_finite() || deadline_ms < 0.0 || !hedge_ms.is_finite() || hedge_ms < 0.0 {
+        return Err(DrcshapError::usage("--deadline-ms and --hedge-ms must be non-negative"));
+    }
+    let quota_burst: f64 = parse_flag(&mut args, "--quota-burst", 0.0)?;
+    let quota_refill: f64 = parse_flag(&mut args, "--quota-refill", 0.0)?;
+    let quota = match (quota_burst > 0.0, quota_refill > 0.0) {
+        (true, true) => Some(QuotaConfig { burst: quota_burst, refill_per_sec: quota_refill }),
+        (false, false) => None,
+        _ => {
+            return Err(DrcshapError::usage(
+                "--quota-burst and --quota-refill must be given together",
+            ))
+        }
+    };
+    let config = GatewayConfig {
+        shards: parse_flag(&mut args, "--shards", gateway_defaults.shards)?,
+        serve,
+        default_deadline: (deadline_ms > 0.0).then(|| Duration::from_secs_f64(deadline_ms / 1e3)),
+        max_retries: parse_flag(&mut args, "--retries", gateway_defaults.max_retries)?,
+        hedge_after: (hedge_ms > 0.0).then(|| Duration::from_secs_f64(hedge_ms / 1e3)),
+        quota,
+        ..gateway_defaults
+    };
+    let path = args.first().cloned().ok_or_else(|| DrcshapError::usage("missing model path"))?;
+    if args.len() > 1 {
+        return Err(DrcshapError::usage(format!("unexpected argument {:?}", args[1])));
+    }
+    let schema = FeatureSchema::paper_387();
+    let model = load_model(&path, &schema)?;
+    eprintln!("loaded {} model from {path}", model.kind());
+    let gateway = Gateway::start_saved(config, model, schema.fingerprint())?;
+    eprintln!("gateway up: {} shards", gateway.n_shards());
+    match listen {
+        Some(addr) => gateway_listen(&gateway, &addr, max_conns)?,
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            gateway_jsonl(&gateway, stdin.lock(), &mut out)?;
+            out.flush().map_err(|e| DrcshapError::io("stdout", e))?;
+        }
+    }
+    if stats {
+        let metrics = gateway.metrics();
+        eprintln!("{}", serde_json::to_string(&metrics).expect("metrics serialize"));
+    }
+    gateway.shutdown();
+    Ok(())
+}
+
+/// One JSONL request line: either a bare feature array or this object.
+#[derive(serde::Deserialize)]
+struct GatewayLine {
+    x: Vec<f32>,
+    tenant: Option<String>,
+    priority: Option<String>,
+    deadline_ms: Option<f64>,
+    key: Option<u64>,
+}
+
+/// Parses one request line (bare array or object form) into a [`Request`].
+fn parse_gateway_line(lineno: usize, line: &str) -> Result<Request, DrcshapError> {
+    let malformed =
+        |message: String| DrcshapError::from(InputError::Malformed { line: lineno, message });
+    if line.trim_start().starts_with('[') {
+        let x: Vec<f32> = serde_json::from_str(line)
+            .map_err(|e| malformed(format!("expected a JSON array of numbers: {e}")))?;
+        return Ok(Request::new(x));
+    }
+    let parsed: GatewayLine = serde_json::from_str(line)
+        .map_err(|e| malformed(format!("expected a feature array or a request object: {e}")))?;
+    let mut request = Request::new(parsed.x);
+    if let Some(tenant) = parsed.tenant {
+        request = request.tenant(tenant);
+    }
+    if let Some(priority) = parsed.priority {
+        request = request.priority(priority.parse::<Priority>()?);
+    }
+    if let Some(ms) = parsed.deadline_ms {
+        if !ms.is_finite() || ms <= 0.0 {
+            return Err(malformed(format!("bad deadline_ms {ms}: must be positive")));
+        }
+        request = request.deadline_in(Duration::from_secs_f64(ms / 1e3));
+    }
+    if let Some(key) = parsed.key {
+        request = request.key(key);
+    }
+    Ok(request)
+}
+
+/// The gateway JSONL loop: requests in, one JSON response line out per
+/// request, in input order. Typed sheds (overload, deadline) are part of
+/// the protocol — emitted as `{"line":..,"error":..}` — while anything
+/// non-retryable and untyped (malformed input, schema mismatch) aborts.
+fn gateway_jsonl(
+    gateway: &Gateway,
+    input: impl BufRead,
+    out: &mut impl Write,
+) -> Result<(), DrcshapError> {
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| DrcshapError::io("request input", e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let request = parse_gateway_line(lineno, &line)?;
+        match gateway.score(request) {
+            Ok(r) => writeln!(
+                out,
+                "{{\"line\":{lineno},\"score\":{},\"epoch\":{},\"shard\":{},\"attempts\":{}\
+                 ,\"hedged\":{}}}",
+                r.score, r.epoch, r.shard, r.attempts, r.hedged
+            ),
+            Err(DrcshapError::Overloaded { capacity }) => writeln!(
+                out,
+                "{{\"line\":{lineno},\"error\":\"overloaded\",\"capacity\":{capacity}}}"
+            ),
+            Err(DrcshapError::DeadlineExceeded { shard_untouched }) => writeln!(
+                out,
+                "{{\"line\":{lineno},\"error\":\"deadline exceeded\",\
+                 \"shard_untouched\":{shard_untouched}}}"
+            ),
+            Err(e) => return Err(e),
+        }
+        .map_err(|e| DrcshapError::io("response output", e))?;
+        // Flush per response: a lockstep socket client (one request, wait
+        // for its reply) must not deadlock on a buffered answer.
+        out.flush().map_err(|e| DrcshapError::io("response output", e))?;
+    }
+    Ok(())
+}
+
+/// The minimal socket front end: accepts TCP connections and speaks the
+/// JSONL protocol on each, concurrently. A bad request line closes its
+/// connection (reported on stderr), never the process. `max_conns > 0`
+/// exits after that many connections; 0 serves until killed.
+fn gateway_listen(gateway: &Gateway, addr: &str, max_conns: u64) -> Result<(), DrcshapError> {
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| DrcshapError::io(format!("bind {addr}"), e))?;
+    let local = listener.local_addr().map_err(|e| DrcshapError::io("local addr", e))?;
+    eprintln!("gateway listening on {local}");
+    std::thread::scope(|scope| -> Result<(), DrcshapError> {
+        let mut accepted = 0u64;
+        for conn in listener.incoming() {
+            let stream = conn.map_err(|e| DrcshapError::io(format!("accept on {local}"), e))?;
+            accepted += 1;
+            scope.spawn(move || {
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "<unknown>".into());
+                let reader = std::io::BufReader::new(stream.try_clone().expect("clone TCP stream"));
+                let mut writer = std::io::BufWriter::new(stream);
+                match gateway_jsonl(gateway, reader, &mut writer)
+                    .and_then(|()| writer.flush().map_err(|e| DrcshapError::io("socket", e)))
+                {
+                    Ok(()) => eprintln!("connection {peer} done"),
+                    Err(e) => eprintln!("connection {peer} closed: {e}"),
+                }
+            });
+            if max_conns > 0 && accepted >= max_conns {
+                break;
+            }
+        }
+        Ok(())
+    })
+}
+
 /// `drcshap testkit run|replay|list` — the conformance engine front end.
 /// A failing run or replay prints every (minimized) failure with its
 /// replay line and exits with status 1.
@@ -541,6 +756,12 @@ fn cmd_testkit(args: &[String]) -> Result<(), DrcshapError> {
             let soak_secs: f64 = parse_flag(&mut args, "--soak-secs", 2.0)?;
             if !soak_secs.is_finite() || soak_secs < 0.0 {
                 return Err(DrcshapError::usage(format!("bad value {soak_secs} for --soak-secs")));
+            }
+            let gateway_soak_secs: f64 = parse_flag(&mut args, "--gateway-soak-secs", 2.0)?;
+            if !gateway_soak_secs.is_finite() || gateway_soak_secs < 0.0 {
+                return Err(DrcshapError::usage(format!(
+                    "bad value {gateway_soak_secs} for --gateway-soak-secs"
+                )));
             }
             if let Some(extra) = args.first() {
                 return Err(DrcshapError::usage(format!("unexpected argument {extra:?}")));
@@ -571,6 +792,23 @@ fn cmd_testkit(args: &[String]) -> Result<(), DrcshapError> {
                             "FAIL chaos soak ({soak_secs}s, seed {base_seed}): {detail}\n  \
                              replay: drcshap testkit run --base-seed {base_seed} --seeds 1 \
                              --soak-secs {soak_secs}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            if gateway_soak_secs > 0.0 {
+                let config = GatewayChaosConfig {
+                    duration: Duration::from_secs_f64(gateway_soak_secs),
+                    ..GatewayChaosConfig::default()
+                };
+                match testkit::gateway_chaos_soak(base_seed, &config) {
+                    Ok(soak) => println!("gateway chaos soak ({gateway_soak_secs}s): {soak}"),
+                    Err(detail) => {
+                        eprintln!(
+                            "FAIL gateway chaos soak ({gateway_soak_secs}s, seed {base_seed}): \
+                             {detail}\n  replay: drcshap testkit run --base-seed {base_seed} \
+                             --seeds 1 --soak-secs 0 --gateway-soak-secs {gateway_soak_secs}"
                         );
                         std::process::exit(1);
                     }

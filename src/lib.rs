@@ -22,6 +22,11 @@
 //! - [`serve`] — the batched inference engine: compiled forests,
 //!   micro-batching with backpressure, an LRU explanation cache, hot model
 //!   swap and serving metrics;
+//! - [`gateway`] — the multi-shard serving front end: consistent-hash
+//!   routing over a fleet of serve engines, per-tenant admission quotas
+//!   with priority shedding, deadline propagation, shard health with
+//!   circuit breaking and failover, hedged requests, and staged
+//!   (canary-verified) fleet rollouts with automatic rollback;
 //! - [`telemetry`] — workspace-wide spans and counters with JSON-summary
 //!   and Chrome-trace export (`--trace` / `--stats` on the CLI);
 //! - [`testkit`] — the deterministic conformance engine: seeded scenario
@@ -56,6 +61,7 @@ pub use drcshap_core as core;
 pub use drcshap_drc as drc;
 pub use drcshap_features as features;
 pub use drcshap_forest as forest;
+pub use drcshap_gateway as gateway;
 pub use drcshap_geom as geom;
 pub use drcshap_ml as ml;
 pub use drcshap_netlist as netlist;
