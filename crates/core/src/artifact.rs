@@ -357,7 +357,40 @@ pub fn save_model(
     let path = path.as_ref();
     check_feature_count(model, schema)?;
     let bytes = encode_model(model, schema.fingerprint())?;
-    std::fs::write(path, bytes).map_err(|e| DrcshapError::io(path.display().to_string(), e))
+    write_atomic(path, &bytes)
+}
+
+/// Publishes `bytes` at `path` with full crash-atomic discipline: write to
+/// a `*.tmp` sibling, fsync the file, rename over `path`, fsync the parent
+/// directory. After a crash at any point, `path` holds either the complete
+/// old content or the complete new content — never a torn mix.
+///
+/// # Errors
+///
+/// [`DrcshapError::Io`] naming the path of the failing step.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), DrcshapError> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let io = |p: &Path| {
+        let p = p.display().to_string();
+        move |e: std::io::Error| DrcshapError::io(p.clone(), e)
+    };
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp).map_err(io(&tmp))?;
+        file.write_all(bytes).map_err(io(&tmp))?;
+        file.sync_all().map_err(io(&tmp))?;
+    }
+    std::fs::rename(&tmp, path).map_err(io(path))?;
+    // Make the rename itself durable: without the directory fsync a crash
+    // can still roll the directory entry back to the old file.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let dir = std::fs::File::open(parent).map_err(io(parent))?;
+        dir.sync_all().map_err(io(parent))?;
+    }
+    Ok(())
 }
 
 /// Loads and fully validates a model artifact from `path` against `schema`.

@@ -350,12 +350,11 @@ struct StageState {
     features: Option<FeatureMatrix>,
 }
 
-/// Writes `bytes` to `path` via a temporary file and an atomic rename, so a
-/// kill mid-write never leaves a half-written checkpoint or manifest.
+/// Writes `bytes` to `path` with the workspace-wide crash-atomic publish
+/// discipline (temp file, fsync, rename, parent-dir fsync), so a kill at
+/// any point never leaves a half-written checkpoint or manifest.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DrcshapError> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes).map_err(|e| DrcshapError::io(tmp.display().to_string(), e))?;
-    std::fs::rename(&tmp, path).map_err(|e| DrcshapError::io(path.display().to_string(), e))
+    crate::artifact::write_atomic(path, bytes)
 }
 
 /// Applies `update` to the shared manifest and rewrites it atomically.

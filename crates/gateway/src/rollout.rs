@@ -19,8 +19,10 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use drcshap_core::artifact::Crc32;
+use drcshap_core::SavedModel;
 use drcshap_forest::RandomForest;
 use drcshap_ml::{DrcshapError, NanPolicy};
+use drcshap_store::RegistryWatch;
 use drcshap_telemetry as telemetry;
 use serde::Serialize;
 
@@ -125,6 +127,41 @@ impl Gateway {
             canary_digest: expected,
             epochs,
         })
+    }
+
+    /// Polls `watch` for a generation published since the last poll and,
+    /// if one is there, rolls it out with the full canary discipline of
+    /// [`Gateway::staged_rollout`]. The registry has already verified the
+    /// generation end to end (journal record, content hash, container
+    /// CRC32, schema fingerprint), so what reaches the canary digest check
+    /// is bit-identical to what the trainer published.
+    ///
+    /// Returns `Ok(None)` when the registry holds nothing newer.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcshapError::usage`] if the new generation is not a Random
+    /// Forest (the gateway serves nothing else; the generation counts as
+    /// seen, so a bad publish cannot wedge the watch); otherwise the
+    /// errors of [`RegistryWatch::poll`] and [`Gateway::staged_rollout`].
+    pub fn rollout_from_watch(
+        &self,
+        watch: &mut RegistryWatch,
+    ) -> Result<Option<RolloutReport>, DrcshapError> {
+        let Some(loaded) = watch.poll()? else {
+            return Ok(None);
+        };
+        let forest = match loaded.model {
+            SavedModel::Rf(forest) => forest,
+            other => {
+                return Err(DrcshapError::usage(format!(
+                    "registry generation {} is {}, gateway requires an RF artifact",
+                    loaded.generation,
+                    other.kind()
+                )))
+            }
+        };
+        self.staged_rollout(forest, loaded.fingerprint).map(Some)
     }
 
     /// CRC32 over the reference scores the candidate model must produce

@@ -59,6 +59,9 @@ pub enum DrcshapError {
         /// What the digest comparison found.
         detail: String,
     },
+    /// The crash-safe model registry rejected an operation (empty registry,
+    /// corrupt journal, missing or quarantined blob).
+    Store(StoreError),
 }
 
 impl DrcshapError {
@@ -120,6 +123,7 @@ impl fmt::Display for DrcshapError {
             DrcshapError::RolloutAborted { shard, detail } => {
                 write!(f, "rollout aborted at shard {shard}: {detail}")
             }
+            DrcshapError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -156,6 +160,69 @@ impl From<PipelineError> for DrcshapError {
         DrcshapError::Pipeline(e)
     }
 }
+
+impl From<StoreError> for DrcshapError {
+    fn from(e: StoreError) -> Self {
+        DrcshapError::Store(e)
+    }
+}
+
+/// Why the crash-safe model registry refused an operation.
+///
+/// Recovery itself never errors on corruption — torn journal tails are
+/// truncated and bad blobs quarantined — so these variants describe the
+/// states that remain *after* recovery did its best, plus outright misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The registry holds no verified generation (never published into, or
+    /// every generation's blob was quarantined).
+    Empty,
+    /// The generation journal is unusable beyond torn-tail repair (e.g. the
+    /// directory layout exists but the journal cannot be read back at all).
+    Journal {
+        /// Byte offset in the journal where reading stopped.
+        offset: u64,
+        /// What the journal scan found.
+        detail: String,
+    },
+    /// A generation's blob failed CRC / fingerprint verification and was
+    /// quarantined.
+    BlobCorrupt {
+        /// The generation whose blob was rejected.
+        generation: u64,
+        /// Content hash the journal recorded for the blob.
+        hash: u64,
+        /// What verification found.
+        detail: String,
+    },
+    /// A journal record points at a blob that is not in the blob directory
+    /// (garbage-collected, quarantined earlier, or lost).
+    BlobMissing {
+        /// The generation whose blob is gone.
+        generation: u64,
+        /// Content hash the journal recorded for the blob.
+        hash: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Empty => f.write_str("registry has no verified generation"),
+            StoreError::Journal { offset, detail } => {
+                write!(f, "journal unusable at offset {offset}: {detail}")
+            }
+            StoreError::BlobCorrupt { generation, hash, detail } => {
+                write!(f, "generation {generation} blob {hash:#018x} failed verification: {detail}")
+            }
+            StoreError::BlobMissing { generation, hash } => {
+                write!(f, "generation {generation} blob {hash:#018x} is missing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// Why a supervised pipeline run (or one design within it) went wrong.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -455,6 +522,20 @@ mod tests {
         let e = DrcshapError::RolloutAborted { shard: 0, detail: "digest drift".into() };
         let s = e.to_string();
         assert!(s.contains("rollout aborted at shard 0") && s.contains("digest drift"), "{s}");
+
+        let s = DrcshapError::from(StoreError::Empty).to_string();
+        assert!(s.contains("store error") && s.contains("no verified generation"), "{s}");
+        let s = StoreError::BlobCorrupt {
+            generation: 3,
+            hash: 0xabcd,
+            detail: "payload CRC32 mismatch".into(),
+        }
+        .to_string();
+        assert!(s.contains("generation 3") && s.contains("0x000000000000abcd"), "{s}");
+        let s = StoreError::BlobMissing { generation: 7, hash: 1 }.to_string();
+        assert!(s.contains("generation 7") && s.contains("missing"), "{s}");
+        let s = StoreError::Journal { offset: 12, detail: "unreadable".into() }.to_string();
+        assert!(s.contains("offset 12") && s.contains("unreadable"), "{s}");
     }
 
     #[test]
@@ -478,6 +559,7 @@ mod tests {
         )
         .is_retryable());
         assert!(!DrcshapError::RolloutAborted { shard: 0, detail: String::new() }.is_retryable());
+        assert!(!DrcshapError::from(StoreError::Empty).is_retryable());
     }
 
     #[test]

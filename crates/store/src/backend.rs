@@ -1,0 +1,187 @@
+//! The storage abstraction the registry runs on.
+//!
+//! [`StorageBackend`] is the narrow set of filesystem operations the
+//! registry needs, expressed over registry-relative string paths so the
+//! same journal and recovery code runs against the real filesystem
+//! ([`FsBackend`]) and the crash-simulating in-memory backends in
+//! [`crate::fault`]. Durability is explicit: `write`/`append`/`rename`
+//! only change the *visible* state, and nothing is guaranteed to survive
+//! a crash until the matching `sync` (file contents) and `sync_dir`
+//! (namespace changes: creates, renames, removes) have returned.
+
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Filesystem operations the registry is built from.
+///
+/// Paths are `/`-separated and relative to the registry root (e.g. `LOG`,
+/// `blobs/00ab.blob`). Implementations must be safe to share across
+/// threads; the registry serializes mutations itself.
+pub trait StorageBackend: Send + Sync {
+    /// Reads the whole file at `path`.
+    fn read(&self, path: &str) -> io::Result<Vec<u8>>;
+    /// Creates or truncates `path` with `bytes`. Not durable until
+    /// [`sync`](Self::sync) (content) and, for a new file,
+    /// [`sync_dir`](Self::sync_dir) on the parent (namespace).
+    fn write(&self, path: &str, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes` to `path`, creating it if absent. Not durable until
+    /// synced.
+    fn append(&self, path: &str, bytes: &[u8]) -> io::Result<()>;
+    /// Truncates `path` to `len` bytes (journal torn-tail repair).
+    fn truncate(&self, path: &str, len: u64) -> io::Result<()>;
+    /// fsyncs the file contents at `path`.
+    fn sync(&self, path: &str) -> io::Result<()>;
+    /// fsyncs the directory at `path`, making entry creates / renames /
+    /// removes inside it durable.
+    fn sync_dir(&self, path: &str) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (same registry). Durable only
+    /// after `sync_dir` on the parent(s).
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove(&self, path: &str) -> io::Result<()>;
+    /// Creates `path` and any missing parents as directories.
+    fn create_dir_all(&self, path: &str) -> io::Result<()>;
+    /// File names (not paths) directly inside directory `path`.
+    fn list(&self, path: &str) -> io::Result<Vec<String>>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &str) -> bool;
+}
+
+/// Publishes `bytes` at `path` through `backend` with the full atomic
+/// discipline: write `path.tmp`, sync it, rename over `path`, sync the
+/// parent directory. This is the only way registry code writes a file
+/// whose torn state would be dangerous.
+pub fn publish_file(backend: &dyn StorageBackend, path: &str, bytes: &[u8]) -> io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    backend.write(&tmp, bytes)?;
+    backend.sync(&tmp)?;
+    backend.rename(&tmp, path)?;
+    backend.sync_dir(parent_of(path))?;
+    Ok(())
+}
+
+/// The parent directory of a registry-relative path (`""` is the root).
+pub(crate) fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(i) => &path[..i],
+        None => "",
+    }
+}
+
+/// The real filesystem rooted at a directory, with every durability point
+/// honored: file writes fsync before they count, renames are followed by a
+/// parent-directory fsync.
+pub struct FsBackend {
+    root: PathBuf,
+}
+
+impl FsBackend {
+    /// A backend rooted at `root` (created if missing).
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Arc<Self>> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Arc::new(FsBackend { root }))
+    }
+
+    /// The directory this backend is rooted at.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn abs(&self, path: &str) -> PathBuf {
+        if path.is_empty() {
+            self.root.clone()
+        } else {
+            self.root.join(path)
+        }
+    }
+}
+
+impl StorageBackend for FsBackend {
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.abs(path))
+    }
+
+    fn write(&self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(self.abs(path), bytes)
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut file = OpenOptions::new().create(true).append(true).open(self.abs(path))?;
+        file.write_all(bytes)
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> io::Result<()> {
+        let file = OpenOptions::new().write(true).open(self.abs(path))?;
+        file.set_len(len)?;
+        file.sync_all()
+    }
+
+    fn sync(&self, path: &str) -> io::Result<()> {
+        std::fs::File::open(self.abs(path))?.sync_all()
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        std::fs::File::open(self.abs(path))?.sync_all()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        std::fs::rename(self.abs(from), self.abs(to))
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        std::fs::remove_file(self.abs(path))
+    }
+
+    fn create_dir_all(&self, path: &str) -> io::Result<()> {
+        std::fs::create_dir_all(self.abs(path))
+    }
+
+    fn list(&self, path: &str) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(self.abs(path))? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.abs(path).is_file()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_of_splits_registry_paths() {
+        assert_eq!(parent_of("LOG"), "");
+        assert_eq!(parent_of("blobs/ab.blob"), "blobs");
+        assert_eq!(parent_of("a/b/c"), "a/b");
+    }
+
+    #[test]
+    fn fs_backend_round_trips_and_lists() {
+        let dir = std::env::temp_dir().join(format!("drcshap-store-be-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let be = FsBackend::new(&dir).unwrap();
+        be.create_dir_all("blobs").unwrap();
+        publish_file(be.as_ref(), "blobs/a.blob", b"hello").unwrap();
+        assert_eq!(be.read("blobs/a.blob").unwrap(), b"hello");
+        assert!(!be.exists("blobs/a.blob.tmp"), "tmp file must be renamed away");
+        be.append("LOG", b"one").unwrap();
+        be.append("LOG", b"two").unwrap();
+        assert_eq!(be.read("LOG").unwrap(), b"onetwo");
+        be.truncate("LOG", 3).unwrap();
+        assert_eq!(be.read("LOG").unwrap(), b"one");
+        assert_eq!(be.list("blobs").unwrap(), vec!["a.blob".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,636 @@
+//! Crash-simulating storage: an in-memory filesystem with explicit
+//! durability semantics, plus a fault-injecting wrapper.
+//!
+//! [`MemBackend`] models what a real filesystem guarantees — and, more
+//! importantly, what it does *not*. Every file tracks its visible content
+//! separately from its synced content, and every namespace change (create,
+//! rename, remove) stays provisional until the parent directory is
+//! fsynced. A [`power cycle`](FaultBackend::power_cycle) resolves all
+//! provisional state adversarially under a seeded RNG: unsynced writes
+//! survive fully, tear to a prefix (optionally with garbage bytes — a
+//! sector half-written when the power died), or vanish; un-fsynced renames
+//! persist or revert; un-fsynced creates persist or disappear.
+//!
+//! [`FaultBackend`] wraps it with an operation counter and a
+//! [`FaultPlan`]: crash exactly at the Nth storage call (which also covers
+//! "partial fsync" — a crash scheduled *on* a sync op means the sync never
+//! completed), or fail one op with `ENOSPC`/`EIO` without crashing. The
+//! testkit crash soak drives every syscall boundary of a registry publish
+//! through this and asserts recovery always lands on a verified
+//! generation.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Mutex;
+
+use crate::backend::{parent_of, StorageBackend};
+
+/// xorshift64* — a tiny seeded RNG so fault resolution is deterministic
+/// per seed without pulling RNG crates into the storage layer.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    // Decisions draw from the high half of the output: xorshift64*'s
+    // quality lives in the upper bits, and nearby seeds share low bits.
+    fn coin(&mut self) -> bool {
+        self.next() >> 63 == 1
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            ((self.next() >> 32) % n as u64) as usize
+        }
+    }
+}
+
+/// One in-memory file: what a reader sees now vs. what a crash preserves.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Content visible to reads right now.
+    visible: Vec<u8>,
+    /// Content guaranteed flushed for this inode (what the platter holds).
+    synced: Vec<u8>,
+    /// The name→inode entry survives a crash (parent dir was fsynced
+    /// after the entry appeared, or the file predates the last crash).
+    entry_durable: bool,
+}
+
+impl Node {
+    /// The content that survives a crash, resolved adversarially: the
+    /// synced bytes, the full visible bytes (they happened to hit disk),
+    /// or a torn prefix — never shorter than what was synced — possibly
+    /// followed by garbage from a half-written sector.
+    fn crash_content(&self, rng: &mut Rng) -> Vec<u8> {
+        if self.visible == self.synced {
+            return self.synced.clone();
+        }
+        match rng.below(4) {
+            0 => self.synced.clone(),
+            1 => self.visible.clone(),
+            _ => {
+                let cut = self.synced.len()
+                    + rng.below(self.visible.len().saturating_sub(self.synced.len()) + 1);
+                let mut torn = self.visible[..cut.min(self.visible.len())].to_vec();
+                if rng.coin() {
+                    for _ in 0..rng.below(16) + 1 {
+                        torn.push(rng.next() as u8);
+                    }
+                }
+                torn
+            }
+        }
+    }
+}
+
+/// A rename that has not been made durable by a parent-directory fsync.
+#[derive(Debug, Clone)]
+struct PendingRename {
+    from: String,
+    to: String,
+    /// Node `to` held before the rename replaced it (it resurfaces if the
+    /// crash reverts the rename), if any.
+    displaced: Option<Node>,
+}
+
+/// A remove that has not been made durable by a parent-directory fsync.
+#[derive(Debug, Clone)]
+struct PendingRemove {
+    path: String,
+    node: Node,
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    files: BTreeMap<String, Node>,
+    /// Visible directories. Directory *entries for directories* are modeled
+    /// as durable on creation: recovery re-creates the layout anyway, so
+    /// simulating lost directories adds noise without new failure modes.
+    dirs: Vec<String>,
+    pending_renames: Vec<PendingRename>,
+    pending_removes: Vec<PendingRemove>,
+}
+
+/// The in-memory filesystem with crash semantics. Usually used through
+/// [`FaultBackend`]; usable alone as a fast, hermetic backend for tests.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    state: Mutex<MemState>,
+}
+
+impl MemBackend {
+    /// An empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulates a power loss: resolves every provisional state under
+    /// `seed` and leaves the filesystem crash-consistent (everything that
+    /// survived is now durable).
+    pub fn crash(&self, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let state = &mut *self.state.lock().unwrap();
+        // Un-fsynced renames persist or revert, independently.
+        for pending in std::mem::take(&mut state.pending_renames) {
+            if rng.coin() {
+                // The rename hit disk. If it replaced an entry that was
+                // already durable, the *name* is durable no matter what:
+                // a crash picks which inode the entry references, it can
+                // never un-exist the entry itself.
+                if pending.displaced.as_ref().is_some_and(|d| d.entry_durable) {
+                    if let Some(node) = state.files.get_mut(&pending.to) {
+                        node.entry_durable = true;
+                    }
+                }
+                continue;
+            }
+            // Reverted: the inode answers to its old name again; whatever
+            // the rename displaced at `to` resurfaces (if it was durable).
+            if let Some(node) = state.files.remove(&pending.to) {
+                state.files.insert(pending.from.clone(), node);
+            }
+            match pending.displaced {
+                Some(node) if node.entry_durable => {
+                    state.files.insert(pending.to.clone(), node);
+                }
+                _ => {}
+            }
+        }
+        // Un-fsynced removes: the entry may come back.
+        for pending in std::mem::take(&mut state.pending_removes) {
+            if !rng.coin() && pending.node.entry_durable {
+                state.files.entry(pending.path.clone()).or_insert(pending.node);
+            }
+        }
+        // Resolve file contents; un-fsynced entries may vanish outright.
+        let files = std::mem::take(&mut state.files);
+        for (path, node) in files {
+            if !node.entry_durable && rng.coin() {
+                continue; // the create never reached the directory
+            }
+            let content = node.crash_content(&mut rng);
+            state.files.insert(
+                path,
+                Node { visible: content.clone(), synced: content, entry_durable: true },
+            );
+        }
+    }
+
+    /// Flips bit `bit` of byte `offset` in the file at `path` — durable
+    /// bit rot, surviving future crashes. Errors if the file or offset
+    /// does not exist.
+    pub fn corrupt(&self, path: &str, offset: usize, bit: u8) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        let node = state.files.get_mut(path).ok_or_else(not_found)?;
+        if offset >= node.visible.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "corrupt offset out of range"));
+        }
+        node.visible[offset] ^= 1 << (bit % 8);
+        if offset < node.synced.len() {
+            node.synced[offset] ^= 1 << (bit % 8);
+        }
+        Ok(())
+    }
+
+    /// The length of the file at `path`, if it exists.
+    pub fn len(&self, path: &str) -> Option<usize> {
+        self.state.lock().unwrap().files.get(path).map(|n| n.visible.len())
+    }
+
+    fn dir_exists(state: &MemState, dir: &str) -> bool {
+        dir.is_empty() || state.dirs.iter().any(|d| d == dir)
+    }
+}
+
+fn not_found() -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, "no such file")
+}
+
+impl StorageBackend for MemBackend {
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        let state = self.state.lock().unwrap();
+        state.files.get(path).map(|n| n.visible.clone()).ok_or_else(not_found)
+    }
+
+    fn write(&self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        if !Self::dir_exists(&state, parent_of(path)) {
+            return Err(not_found());
+        }
+        match state.files.get_mut(path) {
+            Some(node) => {
+                // Truncate + rewrite of an existing inode: nothing about
+                // the new content is synced.
+                node.visible = bytes.to_vec();
+                node.synced.clear();
+            }
+            None => {
+                state.files.insert(
+                    path.to_string(),
+                    Node { visible: bytes.to_vec(), synced: Vec::new(), entry_durable: false },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        if !Self::dir_exists(&state, parent_of(path)) {
+            return Err(not_found());
+        }
+        match state.files.get_mut(path) {
+            Some(node) => node.visible.extend_from_slice(bytes),
+            None => {
+                state.files.insert(
+                    path.to_string(),
+                    Node { visible: bytes.to_vec(), synced: Vec::new(), entry_durable: false },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        let node = state.files.get_mut(path).ok_or_else(not_found)?;
+        node.visible.truncate(len as usize);
+        node.synced.truncate(len as usize);
+        Ok(())
+    }
+
+    fn sync(&self, path: &str) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        let node = state.files.get_mut(path).ok_or_else(not_found)?;
+        node.synced = node.visible.clone();
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        if !Self::dir_exists(&state, path) {
+            return Err(not_found());
+        }
+        // Commit every provisional namespace change inside this directory.
+        let renames = std::mem::take(&mut state.pending_renames);
+        for pending in renames {
+            if parent_of(&pending.to) == path || parent_of(&pending.from) == path {
+                if let Some(node) = state.files.get_mut(&pending.to) {
+                    node.entry_durable = true;
+                }
+            } else {
+                state.pending_renames.push(pending);
+            }
+        }
+        let removes = std::mem::take(&mut state.pending_removes);
+        for pending in removes {
+            if parent_of(&pending.path) != path {
+                state.pending_removes.push(pending);
+            }
+        }
+        for (file, node) in state.files.iter_mut() {
+            if parent_of(file) == path {
+                node.entry_durable = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        if !Self::dir_exists(&state, parent_of(to)) {
+            return Err(not_found());
+        }
+        let node = state.files.remove(from).ok_or_else(not_found)?;
+        let displaced = state.files.insert(to.to_string(), node);
+        state.pending_renames.push(PendingRename {
+            from: from.to_string(),
+            to: to.to_string(),
+            displaced,
+        });
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        let node = state.files.remove(path).ok_or_else(not_found)?;
+        state.pending_removes.push(PendingRemove { path: path.to_string(), node });
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &str) -> io::Result<()> {
+        if path.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock().unwrap();
+        let mut prefix = String::new();
+        for part in path.split('/') {
+            if !prefix.is_empty() {
+                prefix.push('/');
+            }
+            prefix.push_str(part);
+            if !state.dirs.iter().any(|d| d == &prefix) {
+                state.dirs.push(prefix.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn list(&self, path: &str) -> io::Result<Vec<String>> {
+        let state = self.state.lock().unwrap();
+        if !Self::dir_exists(&state, path) {
+            return Err(not_found());
+        }
+        Ok(state
+            .files
+            .keys()
+            .filter(|f| parent_of(f) == path)
+            .map(|f| f.rsplit('/').next().unwrap_or(f).to_string())
+            .collect())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.state.lock().unwrap().files.contains_key(path)
+    }
+}
+
+/// Which error a scheduled non-crash fault surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `ENOSPC`: the disk filled up mid-operation.
+    Enospc,
+    /// `EIO`: the device returned an I/O error.
+    Eio,
+}
+
+impl FaultKind {
+    fn error(self) -> io::Error {
+        match self {
+            FaultKind::Enospc => {
+                io::Error::new(io::ErrorKind::StorageFull, "injected ENOSPC: no space left")
+            }
+            FaultKind::Eio => io::Error::other("injected EIO: device error"),
+        }
+    }
+}
+
+/// A seeded fault schedule for one arming of a [`FaultBackend`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Crash *instead of executing* the Nth storage operation (0-based,
+    /// counted from [`FaultBackend::arm`]). Every later operation fails
+    /// until [`FaultBackend::power_cycle`].
+    pub crash_at_op: Option<u64>,
+    /// Fail the Nth storage operation once with the given error, without
+    /// crashing (the caller sees a typed I/O failure and must recover).
+    pub fail_at_op: Option<(u64, FaultKind)>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    ops: u64,
+    plan: FaultPlan,
+    crashed: bool,
+}
+
+/// A [`StorageBackend`] that injects scheduled faults in front of a
+/// [`MemBackend`]. Read-only probes (`exists`) are free; every other
+/// operation advances the op counter the [`FaultPlan`] indexes.
+#[derive(Debug, Default)]
+pub struct FaultBackend {
+    mem: MemBackend,
+    fault: Mutex<FaultState>,
+}
+
+impl FaultBackend {
+    /// A fault backend over an empty in-memory filesystem, with no faults
+    /// armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The filesystem underneath (for corruption injection and probes).
+    pub fn mem(&self) -> &MemBackend {
+        &self.mem
+    }
+
+    /// Installs `plan` and resets the op counter to zero, so plan indices
+    /// address the operations of exactly the next registry action.
+    pub fn arm(&self, plan: FaultPlan) {
+        let mut fault = self.fault.lock().unwrap();
+        fault.ops = 0;
+        fault.plan = plan;
+        fault.crashed = false;
+    }
+
+    /// Operations executed since the last [`arm`](Self::arm).
+    pub fn ops(&self) -> u64 {
+        self.fault.lock().unwrap().ops
+    }
+
+    /// Whether a scheduled crash has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.fault.lock().unwrap().crashed
+    }
+
+    /// Ends a crash: resolves all provisional filesystem state under
+    /// `seed` (see [`MemBackend::crash`]) and clears the fault schedule,
+    /// as if the machine rebooted.
+    pub fn power_cycle(&self, seed: u64) {
+        self.mem.crash(seed);
+        let mut fault = self.fault.lock().unwrap();
+        fault.ops = 0;
+        fault.plan = FaultPlan::default();
+        fault.crashed = false;
+    }
+
+    fn gate(&self) -> io::Result<()> {
+        let mut fault = self.fault.lock().unwrap();
+        if fault.crashed {
+            return Err(io::Error::other("simulated crash: backend down until power cycle"));
+        }
+        let op = fault.ops;
+        fault.ops += 1;
+        if fault.plan.crash_at_op == Some(op) {
+            fault.crashed = true;
+            return Err(io::Error::other("simulated crash at op boundary"));
+        }
+        if let Some((at, kind)) = fault.plan.fail_at_op {
+            if at == op {
+                fault.plan.fail_at_op = None;
+                return Err(kind.error());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StorageBackend for FaultBackend {
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        self.gate()?;
+        self.mem.read(path)
+    }
+
+    fn write(&self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        self.gate()?;
+        self.mem.write(path, bytes)
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        self.gate()?;
+        self.mem.append(path, bytes)
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> io::Result<()> {
+        self.gate()?;
+        self.mem.truncate(path, len)
+    }
+
+    fn sync(&self, path: &str) -> io::Result<()> {
+        self.gate()?;
+        self.mem.sync(path)
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        self.gate()?;
+        self.mem.sync_dir(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.gate()?;
+        self.mem.rename(from, to)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.gate()?;
+        self.mem.remove(path)
+    }
+
+    fn create_dir_all(&self, path: &str) -> io::Result<()> {
+        self.gate()?;
+        self.mem.create_dir_all(path)
+    }
+
+    fn list(&self, path: &str) -> io::Result<Vec<String>> {
+        self.gate()?;
+        self.mem.list(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.mem.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::publish_file;
+
+    #[test]
+    fn synced_content_survives_any_crash() {
+        for seed in 0..64 {
+            let mem = MemBackend::new();
+            mem.create_dir_all("blobs").unwrap();
+            publish_file(&mem, "blobs/a", b"durable").unwrap();
+            // A later unsynced scribble must never damage the synced bytes.
+            mem.append("blobs/a", b" tail").unwrap();
+            mem.crash(seed);
+            let got = mem.read("blobs/a").unwrap();
+            assert!(got.starts_with(b"durable"), "seed {seed}: synced prefix lost: {got:?}");
+        }
+    }
+
+    #[test]
+    fn unsynced_write_can_tear_or_vanish() {
+        let mut outcomes = std::collections::BTreeSet::new();
+        for seed in 0..256 {
+            let mem = MemBackend::new();
+            mem.create_dir_all("blobs").unwrap();
+            mem.write("blobs/t.tmp", b"0123456789").unwrap();
+            mem.crash(seed);
+            match mem.read("blobs/t.tmp") {
+                Err(_) => {
+                    outcomes.insert("absent");
+                }
+                Ok(b) if b == b"0123456789" => {
+                    outcomes.insert("full");
+                }
+                Ok(_) => {
+                    outcomes.insert("torn");
+                }
+            }
+        }
+        assert!(outcomes.len() == 3, "expected absent/full/torn across seeds, saw {outcomes:?}");
+    }
+
+    #[test]
+    fn unsynced_rename_can_revert() {
+        let mut saw_old = false;
+        let mut saw_new = false;
+        for seed in 0..64 {
+            let mem = MemBackend::new();
+            mem.create_dir_all("blobs").unwrap();
+            publish_file(&mem, "blobs/a.tmp", b"x").unwrap();
+            mem.rename("blobs/a.tmp", "blobs/a").unwrap();
+            // No sync_dir: the rename is provisional.
+            mem.crash(seed);
+            saw_old |= mem.exists("blobs/a.tmp");
+            saw_new |= mem.exists("blobs/a");
+            assert!(
+                mem.exists("blobs/a") != mem.exists("blobs/a.tmp"),
+                "seed {seed}: rename must persist or revert, not both"
+            );
+        }
+        assert!(saw_old && saw_new, "both rename outcomes must be reachable");
+    }
+
+    #[test]
+    fn fault_backend_crashes_at_scheduled_op_and_recovers() {
+        let be = FaultBackend::new();
+        be.create_dir_all("d").unwrap();
+        be.arm(FaultPlan { crash_at_op: Some(2), ..Default::default() });
+        be.write("d/a", b"one").unwrap(); // op 0
+        be.write("d/b", b"two").unwrap(); // op 1
+        let err = be.write("d/c", b"three").unwrap_err(); // op 2: crash
+        assert!(err.to_string().contains("crash"), "{err}");
+        assert!(be.is_crashed());
+        assert!(be.write("d/d", b"four").is_err(), "all ops fail while down");
+        be.power_cycle(7);
+        be.write("d/d", b"four").unwrap();
+    }
+
+    #[test]
+    fn fault_backend_injects_one_shot_enospc() {
+        let be = FaultBackend::new();
+        be.create_dir_all("d").unwrap();
+        be.arm(FaultPlan { fail_at_op: Some((1, FaultKind::Enospc)), ..Default::default() });
+        be.write("d/a", b"one").unwrap();
+        let err = be.write("d/b", b"two").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        be.write("d/b", b"two").unwrap();
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let mem = MemBackend::new();
+        mem.create_dir_all("blobs").unwrap();
+        publish_file(&mem, "blobs/a", &[0u8; 4]).unwrap();
+        mem.corrupt("blobs/a", 2, 3).unwrap();
+        assert_eq!(mem.read("blobs/a").unwrap(), vec![0, 0, 8, 0]);
+        mem.crash(1);
+        assert_eq!(mem.read("blobs/a").unwrap(), vec![0, 0, 8, 0], "bit rot is durable");
+    }
+}

@@ -1,0 +1,233 @@
+//! The append-only, CRC-framed generation journal (`LOG`).
+//!
+//! Each frame is `[payload_len: u32 LE][crc32(payload): u32 LE][payload]`
+//! where the payload is one JSON [`Record`] naming a generation and the
+//! content-addressed blob that holds it. Because the journal is
+//! append-only, only its *tail* can ever be torn: a scan reads frames
+//! front to back and stops at the first one that is short, oversized,
+//! checksum-mismatched, unparseable, or non-monotonic in generation —
+//! everything before that offset is committed history, everything from it
+//! on is discarded by truncation during recovery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::backend::StorageBackend;
+
+/// Frame header: payload length + payload CRC32, both little-endian.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Upper bound on one record's JSON payload. Real records are ~150 bytes;
+/// anything larger is a torn length field, not a record.
+pub const MAX_RECORD_LEN: u32 = 4096;
+
+/// One committed generation: which blob holds it and how to verify it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Monotonic generation number, starting at 1.
+    pub generation: u64,
+    /// FNV-1a 64 content hash of the blob bytes; also names the blob file
+    /// (`blobs/<hash:016x>.blob`).
+    pub hash: u64,
+    /// Blob size in bytes.
+    pub len: u64,
+    /// CRC32 of the blob bytes.
+    pub crc32: u32,
+    /// Feature-schema fingerprint the contained model was bound to.
+    pub fingerprint: u64,
+    /// Artifact kind byte of the contained model (see
+    /// [`drcshap_core::artifact::ModelKind`]).
+    pub kind: u8,
+}
+
+impl Record {
+    /// The registry-relative path of this record's blob.
+    pub fn blob_path(&self) -> String {
+        format!("blobs/{:016x}.blob", self.hash)
+    }
+
+    /// The registry-relative quarantine path for this record's blob.
+    pub fn quarantine_path(&self) -> String {
+        format!("quarantine/{:016x}.blob", self.hash)
+    }
+}
+
+/// Encodes one record as a journal frame.
+pub fn encode_frame(record: &Record) -> Vec<u8> {
+    let payload = serde_json::to_vec(record).expect("journal record serializes");
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&drcshap_core::artifact::crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// The result of scanning a journal byte string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scan {
+    /// Every committed record, in append order.
+    pub records: Vec<Record>,
+    /// Byte offset of the first invalid frame — the truncation point. If
+    /// it equals the journal length, the journal is clean.
+    pub valid_len: u64,
+    /// Why the scan stopped early, if it did.
+    pub torn: Option<String>,
+}
+
+/// Scans `bytes` front to back, accepting frames until the first invalid
+/// one. Never fails: a damaged journal yields the committed prefix plus
+/// the offset to truncate at.
+pub fn scan(bytes: &[u8]) -> Scan {
+    let mut records: Vec<Record> = Vec::new();
+    let mut offset = 0usize;
+    let torn = loop {
+        if offset == bytes.len() {
+            break None;
+        }
+        let rest = &bytes[offset..];
+        if rest.len() < FRAME_HEADER_LEN {
+            break Some(format!("{}-byte partial frame header", rest.len()));
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD_LEN {
+            break Some(format!("implausible frame length {len}"));
+        }
+        let end = FRAME_HEADER_LEN + len as usize;
+        if rest.len() < end {
+            break Some(format!(
+                "torn frame: header declares {len} payload bytes, {} present",
+                rest.len() - FRAME_HEADER_LEN
+            ));
+        }
+        let payload = &rest[FRAME_HEADER_LEN..end];
+        let computed = drcshap_core::artifact::crc32(payload);
+        if computed != crc {
+            break Some(format!(
+                "frame CRC32 mismatch: stored {crc:#010x}, computed {computed:#010x}"
+            ));
+        }
+        let record: Record = match serde_json::from_slice(payload) {
+            Ok(record) => record,
+            Err(e) => break Some(format!("frame payload unparseable: {e}")),
+        };
+        // Strictly increasing, but not necessarily contiguous: gc
+        // compaction keeps only the newest records under their original
+        // generation numbers.
+        let floor = records.last().map_or(0, |r: &Record| r.generation);
+        if record.generation <= floor {
+            break Some(format!(
+                "generation {} out of order (must exceed {floor})",
+                record.generation
+            ));
+        }
+        records.push(record);
+        offset += end;
+    };
+    Scan { records, valid_len: offset as u64, torn }
+}
+
+/// Reads and scans the journal at `path`, treating a missing journal as
+/// empty. I/O errors (other than not-found) propagate.
+pub fn load(backend: &dyn StorageBackend, path: &str) -> std::io::Result<Scan> {
+    match backend.read(path) {
+        Ok(bytes) => Ok(scan(&bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Ok(Scan { records: Vec::new(), valid_len: 0, torn: None })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(generation: u64) -> Record {
+        Record {
+            generation,
+            hash: 0x1234 + generation,
+            len: 100,
+            crc32: 0xdead_beef,
+            fingerprint: 42,
+            kind: 1,
+        }
+    }
+
+    fn journal(n: u64) -> Vec<u8> {
+        (1..=n).flat_map(|g| encode_frame(&record(g))).collect()
+    }
+
+    #[test]
+    fn clean_journal_round_trips() {
+        let scan = scan(&journal(3));
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.valid_len, journal(3).len() as u64);
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.records[2], record(3));
+    }
+
+    #[test]
+    fn empty_journal_is_clean() {
+        let scan = scan(&[]);
+        assert!(scan.records.is_empty() && scan.torn.is_none() && scan.valid_len == 0);
+    }
+
+    #[test]
+    fn every_truncation_of_the_tail_preserves_the_committed_prefix() {
+        let two = journal(2).len();
+        let three = journal(3);
+        for cut in two + 1..three.len() {
+            let scan = scan(&three[..cut]);
+            assert_eq!(scan.records.len(), 2, "cut at {cut}");
+            assert_eq!(scan.valid_len as usize, two, "cut at {cut}");
+            assert!(scan.torn.is_some(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_the_tail_frame_is_caught() {
+        let two = journal(2).len();
+        let three = journal(3);
+        for byte in two..three.len() {
+            for bit in 0..8 {
+                let mut bytes = three.clone();
+                bytes[byte] ^= 1 << bit;
+                let scan = scan(&bytes);
+                assert!(
+                    scan.records.len() == 2 && scan.torn.is_some(),
+                    "flip at byte {byte} bit {bit} accepted: {:?}",
+                    scan.torn
+                );
+                assert_eq!(scan.records[..2], super::scan(&three).records[..2]);
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_tail_is_rejected() {
+        let mut bytes = journal(2);
+        bytes.extend_from_slice(&[0xff; 23]);
+        let scan = scan(&bytes);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, journal(2).len() as u64);
+        assert!(scan.torn.unwrap().contains("implausible"));
+    }
+
+    #[test]
+    fn non_monotonic_generation_stops_the_scan() {
+        let mut bytes = journal(2);
+        bytes.extend_from_slice(&encode_frame(&record(2)));
+        let scan = scan(&bytes);
+        assert_eq!(scan.records.len(), 2);
+        assert!(scan.torn.unwrap().contains("out of order"));
+    }
+
+    #[test]
+    fn gapped_generations_are_accepted() {
+        let mut bytes = encode_frame(&record(5));
+        bytes.extend_from_slice(&encode_frame(&record(9)));
+        let scan = scan(&bytes);
+        assert_eq!(scan.records.len(), 2, "{:?}", scan.torn);
+        assert!(scan.torn.is_none());
+    }
+}

@@ -25,13 +25,15 @@
 //! [`DeadlineExceeded`]: DrcshapError::DeadlineExceeded
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use drcshap_core::SavedModel;
 use drcshap_forest::RandomForest;
 use drcshap_gateway::{Gateway, GatewayConfig, Priority, QuotaConfig, Request};
 use drcshap_ml::{DrcshapError, NanPolicy};
 use drcshap_serve::ServeConfig;
+use drcshap_store::{FsBackend, Registry, StorageBackend};
 use rand::Rng;
 
 use crate::scenario::{self, SizeLevel};
@@ -275,7 +277,23 @@ pub fn gateway_chaos_soak(
         hedge_after: Some(Duration::from_millis(3)),
         ..GatewayConfig::default()
     };
-    let gateway = Gateway::start(gateway_config, variants[0].clone(), fingerprint)
+    // The fleet is fed from a real on-disk crash-safe registry: variant 0
+    // is published as generation 1 and the gateway boots from
+    // `open_latest` (so even epoch 1 scores prove the disk round trip is
+    // bit-exact); the mid-load rollout is later *published* by the driver
+    // and pulled through `Registry::watch`.
+    let registry_dir =
+        std::env::temp_dir().join(format!("drcshap-gw-soak-{}-{seed:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let backend = FsBackend::new(&registry_dir).map_err(|e| format!("registry dir: {e}"))?;
+    let registry = Registry::open(backend as Arc<dyn StorageBackend>)
+        .map_err(|e| format!("registry open: {e}"))?;
+    registry
+        .publish_model(&SavedModel::Rf(variants[0].clone()), fingerprint)
+        .map_err(|e| format!("registry publish (boot): {e}"))?;
+    let boot = registry.open_latest().map_err(|e| format!("registry open_latest: {e}"))?;
+    let mut watch = registry.watch().map_err(|e| format!("registry watch: {e}"))?;
+    let gateway = Gateway::start_saved(gateway_config, boot.model, boot.fingerprint)
         .map_err(|e| format!("gateway start: {e}"))?;
     let shards = gateway.n_shards();
     // Every shard boots at epoch 1 on variant 0; the single clean rollout
@@ -288,6 +306,7 @@ pub fn gateway_chaos_soak(
     let mut deferred: Vec<(Vec<f32>, u64, usize, f64)> = Vec::new();
 
     let outcome: Result<(), String> = std::thread::scope(|scope| {
+        let watch = &mut watch;
         let driver = scope.spawn(|| -> Result<(Option<usize>, Option<usize>, bool), String> {
             let mut rng = scenario::rng_for(seed ^ 0xD21F);
             let fifth = config.duration / 5;
@@ -315,9 +334,19 @@ pub fn gateway_chaos_soak(
             }
             std::thread::sleep(fifth / 2);
             if config.rollout_mid_run {
-                gateway
-                    .staged_rollout(variants[1].clone(), fingerprint)
+                // The rollout arrives the way production updates do: the
+                // trainer publishes a new generation into the registry,
+                // and the gateway pulls it through its watch — same
+                // canary digest discipline, now sourced from disk.
+                registry
+                    .publish_model(&SavedModel::Rf(variants[1].clone()), fingerprint)
+                    .map_err(|e| format!("registry publish (rollout): {e}"))?;
+                let report = gateway
+                    .rollout_from_watch(watch)
                     .map_err(|e| format!("mid-load staged rollout failed: {e}"))?;
+                if report.is_none() {
+                    return Err("watch did not deliver the published generation".into());
+                }
                 rolled_out = true;
             }
             // Let the slow shard recover for the tail of the run, unless
@@ -390,6 +419,7 @@ pub fn gateway_chaos_soak(
     }
     let metrics = gateway.metrics();
     gateway.shutdown();
+    let _ = std::fs::remove_dir_all(&registry_dir);
 
     // Deferred responses must all validate now that the run is over.
     for (probe, epoch, shard, score) in &deferred {

@@ -1,0 +1,383 @@
+//! Registry crash soak: every publish syscall boundary, killed and
+//! recovered, thousands of times.
+//!
+//! One [`FaultBackend`]-backed registry lives through the whole soak.
+//! Each iteration publishes a forest from a small seeded pool while the
+//! fault schedule either crashes the backend at one exact syscall
+//! boundary of the publish protocol (cycling through *all* of them),
+//! injects a one-shot `ENOSPC`/`EIO`, flips a durable bit in the newest
+//! committed blob, or lets the publish land cleanly. After every fault
+//! the registry is power-cycled, re-opened (recovery: torn-tail
+//! truncation, temp-file sweep), `verify`d, and interrogated:
+//!
+//! - **No committed generation is ever lost.** A publish that returned
+//!   `Ok` must be served by `open_latest` — bit-identical,
+//!   fingerprint-valid — until it is superseded, garbage-collected, or
+//!   deliberately bit-flipped by the soak itself.
+//! - **No garbage is ever served.** `open_latest` only ever yields a
+//!   model that was actually published (committed, or the exact model of
+//!   the interrupted publish when its journal record happened to land).
+//! - **Quarantine sticks.** A generation whose blob was flipped is never
+//!   served again — unless a later publish of bit-identical content
+//!   recreates its content-addressed blob, in which case `verify` must
+//!   independently re-prove the content before the generation is live.
+//! - **Every failure is typed.** Interrupted publishes surface
+//!   [`DrcshapError`] values, never panics; a panic anywhere fails the
+//!   soak.
+//!
+//! Periodic `gc` keeps the journal short and exercises compaction under
+//! the same kill-and-recover regime.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use drcshap_core::SavedModel;
+use drcshap_ml::DrcshapError;
+use drcshap_store::{FaultBackend, FaultKind, FaultPlan, Registry, StorageBackend};
+
+use crate::scenario::{self, SizeLevel};
+
+/// Storage operations one registry publish performs (write tmp, sync tmp,
+/// rename, sync blob dir, append journal, sync journal). Kill point `N`
+/// crashes instead of executing op `N`; kill point [`PUBLISH_OPS`] is the
+/// clean-publish control.
+pub const PUBLISH_OPS: u64 = 6;
+
+/// Knobs for one crash soak run.
+#[derive(Debug, Clone)]
+pub struct CrashSoakConfig {
+    /// Kill-point iterations (the CI drill runs at least 500).
+    pub iterations: u64,
+    /// Every Nth iteration injects a one-shot `ENOSPC`/`EIO` instead of a
+    /// crash (0 disables).
+    pub enospc_every: u64,
+    /// Every Nth iteration flips one durable bit in the newest committed
+    /// blob before recovery (0 disables).
+    pub bit_flip_every: u64,
+    /// Every Nth iteration runs `gc` keeping [`CrashSoakConfig::gc_keep`]
+    /// generations (0 disables).
+    pub gc_every: u64,
+    /// Generations `gc` keeps.
+    pub gc_keep: usize,
+}
+
+impl Default for CrashSoakConfig {
+    fn default() -> Self {
+        Self { iterations: 200, enospc_every: 13, bit_flip_every: 17, gc_every: 29, gc_keep: 4 }
+    }
+}
+
+/// What a completed crash soak observed.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSoakReport {
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Publishes that returned `Ok` (committed).
+    pub committed: u64,
+    /// Publishes interrupted by a scheduled crash.
+    pub crashed: u64,
+    /// Publishes failed by injected `ENOSPC`/`EIO`.
+    pub storage_failures: u64,
+    /// Interrupted publishes whose generation nevertheless survived
+    /// recovery intact (the journal record landed before the kill).
+    pub salvaged: u64,
+    /// Recoveries that truncated a torn journal tail.
+    pub torn_tails: u64,
+    /// Stray temp files swept during recoveries.
+    pub tmp_sweeps: u64,
+    /// Durable bit flips injected.
+    pub bit_flips: u64,
+    /// Generations quarantined across all verifies.
+    pub quarantined: u64,
+    /// `gc` compactions performed.
+    pub gcs: u64,
+    /// Newest generation committed by the end of the soak.
+    pub last_generation: u64,
+}
+
+impl std::fmt::Display for CrashSoakReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} iterations: {} committed, {} crashed ({} salvaged), {} storage failures; \
+             {} torn tails truncated, {} tmp sweeps, {} bit flips -> {} quarantined; \
+             {} gcs; latest generation {}",
+            self.iterations,
+            self.committed,
+            self.crashed,
+            self.salvaged,
+            self.storage_failures,
+            self.torn_tails,
+            self.tmp_sweeps,
+            self.bit_flips,
+            self.quarantined,
+            self.gcs,
+            self.last_generation
+        )
+    }
+}
+
+/// A committed generation the soak still expects to be recoverable.
+#[derive(Debug, Clone)]
+struct Expected {
+    generation: u64,
+    hash: u64,
+    model: SavedModel,
+}
+
+/// Runs the crash soak. See the module docs for the invariants; any
+/// violation returns `Err` with a replayable diagnostic (`seed`
+/// regenerates the entire run).
+pub fn crash_soak(seed: u64, config: &CrashSoakConfig) -> Result<CrashSoakReport, String> {
+    let fingerprint = seed ^ 0xC0A5_7A11;
+    // A small pool of distinct models; reuse makes content-addressed blob
+    // sharing (and its interaction with gc and quarantine) part of the
+    // soak instead of a untested corner.
+    let pool: Vec<SavedModel> = (0..4u64)
+        .map(|v| SavedModel::Rf(scenario::forest(seed ^ (v << 8), SizeLevel(0))))
+        .collect();
+    let backend = Arc::new(FaultBackend::new());
+    let mut registry = Registry::open(backend.clone() as Arc<dyn StorageBackend>)
+        .map_err(|e| format!("initial open: {e}"))?;
+    let mut report = CrashSoakReport::default();
+    let mut expected: Vec<Expected> = Vec::new();
+    // Generations deliberately destroyed by bit flips. Serving one is a
+    // violation — unless a later publish of bit-identical content
+    // legitimately recreated the content-addressed blob, which `verify`
+    // detects and moves the generation back into `expected`.
+    let mut destroyed: BTreeMap<u64, Expected> = BTreeMap::new();
+
+    for i in 0..config.iterations {
+        report.iterations = i + 1;
+        let iteration = (|| -> Result<(), String> {
+            let model = &pool[(i % pool.len() as u64) as usize];
+            // The fault for this iteration: ENOSPC/EIO on a cycle, a
+            // crash at each publish boundary on a cycle (the extra slot
+            // is a clean publish), bit flips handled after the publish.
+            let enospc = config.enospc_every != 0 && i % config.enospc_every == 0 && i > 0;
+            let kill_op = i % (PUBLISH_OPS + 1);
+            if enospc {
+                let kind = if i % 2 == 0 { FaultKind::Enospc } else { FaultKind::Eio };
+                backend.arm(FaultPlan {
+                    fail_at_op: Some((i % PUBLISH_OPS, kind)),
+                    ..Default::default()
+                });
+            } else if kill_op < PUBLISH_OPS {
+                backend.arm(FaultPlan { crash_at_op: Some(kill_op), ..Default::default() });
+            } else {
+                backend.arm(FaultPlan::default());
+            }
+
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                registry.publish_model(model, fingerprint)
+            }))
+            .map_err(|_| format!("iteration {i}: publish panicked (kill op {kill_op})"))?;
+
+            match result {
+                Ok(published) => {
+                    report.committed += 1;
+                    report.last_generation = published.generation;
+                    expected.push(Expected {
+                        generation: published.generation,
+                        hash: published.hash,
+                        model: model.clone(),
+                    });
+                }
+                Err(DrcshapError::Io { .. }) if enospc && !backend.is_crashed() => {
+                    report.storage_failures += 1;
+                }
+                Err(e) if backend.is_crashed() => {
+                    report.crashed += 1;
+                    let _ = e; // typed; the crash itself is the point
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "iteration {i}: publish failed with unexpected class {e} \
+                         (kill op {kill_op}, enospc {enospc})"
+                    ))
+                }
+            }
+            if backend.is_crashed() {
+                backend.power_cycle(seed ^ (i << 17) ^ 0x5EED);
+            } else {
+                backend.arm(FaultPlan::default());
+            }
+
+            // Optional durable bit rot in the newest committed blob.
+            if config.bit_flip_every != 0 && i % config.bit_flip_every == 0 && i > 0 {
+                if let Some(newest) = expected.last().cloned() {
+                    let blob = format!("blobs/{:016x}.blob", newest.hash);
+                    if backend.mem().len(&blob).is_some() {
+                        let offset = 32 + (i as usize % 64);
+                        backend
+                            .mem()
+                            .corrupt(&blob, offset, (i % 8) as u8)
+                            .map_err(|e| format!("iteration {i}: corrupt injection: {e}"))?;
+                        report.bit_flips += 1;
+                        // Every generation sharing that blob is now dead;
+                        // serving any of them would be serving garbage.
+                        for e in expected.iter().filter(|e| e.hash == newest.hash) {
+                            destroyed.insert(e.generation, e.clone());
+                        }
+                        expected.retain(|e| e.hash != newest.hash);
+                    }
+                }
+            }
+
+            // Recovery: re-open, then verify the whole registry.
+            let reopened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Registry::open(backend.clone() as Arc<dyn StorageBackend>)
+            }))
+            .map_err(|_| format!("iteration {i}: recovery panicked (kill op {kill_op})"))?
+            .map_err(|e| format!("iteration {i}: recovery failed: {e}"))?;
+            registry = reopened;
+            let recovery = registry.recovery_report().clone();
+            if recovery.truncated_bytes > 0 {
+                report.torn_tails += 1;
+            }
+            report.tmp_sweeps += recovery.swept_tmp_files as u64;
+            let verify =
+                registry.verify().map_err(|e| format!("iteration {i}: verify failed: {e}"))?;
+            report.quarantined += verify.quarantined() as u64;
+            // A destroyed generation comes back from the dead only when a
+            // later publish of bit-identical content recreated its
+            // content-addressed blob; `verify` independently re-proves
+            // hash, checksum, and decode, so `Verified` means the content
+            // is exactly what was originally published.
+            for (generation, status) in &verify.generations {
+                if matches!(status, drcshap_store::GenerationStatus::Verified) {
+                    if let Some(revived) = destroyed.remove(generation) {
+                        expected.push(revived);
+                        expected.sort_by_key(|e| e.generation);
+                    }
+                }
+            }
+
+            // The committed-history invariants.
+            match registry.open_latest() {
+                Ok(loaded) => {
+                    if destroyed.contains_key(&loaded.generation) {
+                        return Err(format!(
+                            "iteration {i}: open_latest served generation {} whose blob was \
+                             quarantined after a bit flip",
+                            loaded.generation
+                        ));
+                    }
+                    match expected.last() {
+                        Some(newest) if loaded.generation == newest.generation => {
+                            if loaded.model != newest.model {
+                                return Err(format!(
+                                    "iteration {i}: generation {} recovered but its model is \
+                                     not bit-identical to what was published",
+                                    loaded.generation
+                                ));
+                            }
+                            if loaded.fingerprint != fingerprint {
+                                return Err(format!(
+                                    "iteration {i}: generation {} lost its fingerprint",
+                                    loaded.generation
+                                ));
+                            }
+                        }
+                        Some(newest) if loaded.generation > newest.generation => {
+                            // An interrupted publish whose journal record
+                            // landed before the kill: allowed, but it must
+                            // be the exact model that publish attempted.
+                            if loaded.model != pool[(i % pool.len() as u64) as usize] {
+                                return Err(format!(
+                                    "iteration {i}: salvaged generation {} holds a model that \
+                                     was never published",
+                                    loaded.generation
+                                ));
+                            }
+                            report.salvaged += 1;
+                            // From here on it is committed history like
+                            // any other generation.
+                            expected.push(Expected {
+                                generation: loaded.generation,
+                                hash: loaded.hash,
+                                model: loaded.model.clone(),
+                            });
+                        }
+                        Some(newest) => {
+                            return Err(format!(
+                                "iteration {i}: committed generation {} was lost — recovery \
+                                 landed on {}",
+                                newest.generation, loaded.generation
+                            ));
+                        }
+                        None => {
+                            // Everything committed was destroyed or
+                            // collected; a salvaged interrupted publish is
+                            // still acceptable if it is the attempted model.
+                            if !pool.contains(&loaded.model) {
+                                return Err(format!(
+                                    "iteration {i}: generation {} holds a model that was never \
+                                     published",
+                                    loaded.generation
+                                ));
+                            }
+                            expected.push(Expected {
+                                generation: loaded.generation,
+                                hash: loaded.hash,
+                                model: loaded.model.clone(),
+                            });
+                        }
+                    }
+                }
+                Err(DrcshapError::Store(_)) if expected.is_empty() => {}
+                Err(e) => {
+                    return Err(match expected.last() {
+                        Some(newest) => format!(
+                            "iteration {i}: committed generation {} unrecoverable: {e} \
+                             (verify saw: {:?})",
+                            newest.generation, verify.generations
+                        ),
+                        None => format!("iteration {i}: open_latest failed untypedly: {e}"),
+                    })
+                }
+            }
+
+            // Periodic compaction under the same regime.
+            if config.gc_every != 0 && i % config.gc_every == 0 && i > 0 {
+                registry
+                    .gc(config.gc_keep.max(1))
+                    .map_err(|e| format!("iteration {i}: gc failed: {e}"))?;
+                report.gcs += 1;
+                let kept = registry
+                    .verify()
+                    .map_err(|e| format!("iteration {i}: post-gc verify failed: {e}"))?;
+                let live: BTreeSet<u64> = kept.generations.iter().map(|(g, _)| *g).collect();
+                expected.retain(|e| live.contains(&e.generation));
+            }
+            Ok(())
+        })();
+        iteration?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_crash_soak_holds_invariants() {
+        let config = CrashSoakConfig { iterations: 60, ..Default::default() };
+        let report = crash_soak(3, &config).expect("crash soak must hold its invariants");
+        assert_eq!(report.iterations, 60);
+        assert!(report.committed > 0, "{report}");
+        assert!(report.crashed > 0, "{report}");
+        assert!(report.torn_tails + report.tmp_sweeps > 0, "no torn state seen: {report}");
+        assert!(report.bit_flips > 0 && report.quarantined > 0, "{report}");
+        assert!(report.gcs > 0, "{report}");
+    }
+
+    #[test]
+    fn crash_soak_is_deterministic_per_seed() {
+        let config = CrashSoakConfig { iterations: 25, ..Default::default() };
+        let a = crash_soak(9, &config).expect("soak a");
+        let b = crash_soak(9, &config).expect("soak b");
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+}

@@ -17,7 +17,11 @@
 //!   swaps, overload bursts, and a shutdown drain, with bitwise
 //!   epoch-consistency validation of every response. [`chaos::gateway`]
 //!   lifts the same invariants to the multi-shard gateway: killed and
-//!   slowed shards, quota overload, and a staged rollout mid-load.
+//!   slowed shards, quota overload, and a staged rollout mid-load —
+//!   published through (and pulled back out of) the crash-safe model
+//!   registry. [`crash`] soaks the registry itself: seeded kills at
+//!   every publish syscall boundary, each followed by recovery and
+//!   verification.
 //!
 //! The CLI front end is `drcshap testkit run | replay | list`; a failing
 //! check prints a `drcshap testkit replay --check NAME --seed S --level L`
@@ -28,12 +32,14 @@
 //! actually catches a drifted explainer. Never enable it in a real build.
 
 pub mod chaos;
+pub mod crash;
 pub mod oracle;
 pub mod reference;
 pub mod scenario;
 
 pub use chaos::gateway::{gateway_chaos_soak, GatewayChaosConfig, GatewayChaosReport};
 pub use chaos::{chaos_soak, ChaosConfig, ChaosReport};
+pub use crash::{crash_soak, CrashSoakConfig, CrashSoakReport};
 pub use oracle::{registry, Check, Failure};
 pub use scenario::SizeLevel;
 

@@ -6,7 +6,14 @@
 //! drcshap explain <design> [scale]         train (grouped) and explain 3 hotspots
 //! drcshap triage <design> [scale] [p]      archetype triage of predicted hotspots
 //! drcshap export <design> <dir> [scale]    write CSV dataset + DEF
-//! drcshap train <design> <out.model> [scale]   fit RF, save a versioned artifact
+//! drcshap train <design> <out.model> [scale] [--registry <dir>]
+//!     fit RF, save a versioned artifact; `--registry` also publishes it
+//!     as the next generation of the crash-safe model registry at <dir>
+//! drcshap registry <dir> <ls | verify | gc --keep <n>>
+//!     inspect and maintain a model registry: `ls` lists journaled
+//!     generations read-only, `verify` re-proves every blob (hash,
+//!     checksum, fingerprint, decode) and quarantines failures, `gc`
+//!     keeps the newest n generations and deletes unreferenced blobs
 //! drcshap predict <model> <design> [scale]     load artifact, score the design
 //! drcshap run <dir> [scale] [--deadline <secs>] [--design <name>]
 //!     supervised suite build with checkpoints into <dir>; `--design`
@@ -33,12 +40,15 @@
 //!     the same protocol per connection (`--max-conns` bounds how many
 //!     before exiting); `--stats` dumps gateway metrics as JSON on stderr
 //! drcshap testkit run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>]
-//!                     [--gateway-soak-secs <t>]
+//!                     [--gateway-soak-secs <t>] [--crash-soak-iters <n>]
 //!     sweep every conformance check over n consecutive seeds, then
-//!     chaos-soak the serve engine for t seconds and the multi-shard
-//!     gateway (slow shard, killed shard, quota overload, staged rollout
-//!     mid-load) for the gateway soak duration; each failure prints a
-//!     replay line with the minimized seed/level
+//!     chaos-soak the serve engine for t seconds, the multi-shard
+//!     gateway (slow shard, killed shard, quota overload, registry-driven
+//!     staged rollout mid-load) for the gateway soak duration, and the
+//!     model registry for n kill-point iterations (crash at every publish
+//!     syscall boundary, ENOSPC/EIO, bit rot, gc — each followed by
+//!     recovery and verification); each failure prints a replay line with
+//!     the minimized seed/level
 //! drcshap testkit replay --check <name> --seed <s> [--level <l>]
 //!     re-run one check on the exact scenario a failure reported
 //! drcshap testkit list                     the conformance check registry
@@ -68,17 +78,22 @@ use drcshap::features::{FeatureMatrix, FeatureSchema};
 use drcshap::forest::RandomForestTrainer;
 use drcshap::gateway::{Gateway, GatewayConfig, Priority, QuotaConfig, Request};
 use drcshap::geom::CancelToken;
-use drcshap::ml::{Classifier, DrcshapError, InputError, NanPolicy, PipelineError, Trainer};
+use drcshap::ml::{
+    Classifier, DrcshapError, InputError, NanPolicy, PipelineError, StoreError, Trainer,
+};
 use drcshap::netlist::{suite, write_def, DesignSpec};
 use drcshap::route::{render_heatmap, HeatSource};
 use drcshap::serve::{ServeConfig, ServeEngine, Ticket};
 use drcshap::shap::ForceOptions;
+use drcshap::store::{FsBackend, GenerationStatus, Registry, StorageBackend};
 use drcshap::telemetry;
-use drcshap::testkit::{self, ChaosConfig, GatewayChaosConfig, SizeLevel};
+use drcshap::testkit::{self, ChaosConfig, CrashSoakConfig, GatewayChaosConfig, SizeLevel};
 
 const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
                      triage <design> [scale] [threshold] | export <design> <dir> [scale] | \
-                     train <design> <out.model> [scale] | predict <model> <design> [scale] | \
+                     train <design> <out.model> [scale] [--registry <dir>] | \
+                     predict <model> <design> [scale] | \
+                     registry <dir> <ls | verify | gc --keep <n>> | \
                      run <dir> [scale] [--deadline <secs>] [--design <name>] | \
                      resume <dir> [--deadline <secs>] | \
                      serve <model> [--design <name>] [--scale <s>] [--batch <n>] \
@@ -88,7 +103,7 @@ const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <de
                      [--hedge-ms <ms>] [--retries <n>] [--quota-burst <b>] \
                      [--quota-refill <r>] [--listen <addr>] [--max-conns <n>] [--stats] | \
                      testkit <run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>] \
-                     [--gateway-soak-secs <t>] | \
+                     [--gateway-soak-secs <t>] [--crash-soak-iters <n>] | \
                      replay --check <name> --seed <s> [--level <l>] | list>> \
                      -- every verb also accepts --trace <out.json> and --stats";
 
@@ -155,6 +170,7 @@ fn run_cli(args: &mut Vec<String>) -> Result<(), DrcshapError> {
         Some("export") => cmd_export(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("registry") => cmd_registry(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("serve") => cmd_serve(&args[1..], telem.stats),
@@ -321,6 +337,9 @@ fn cmd_export(args: &[String]) -> Result<(), DrcshapError> {
 }
 
 fn cmd_train(args: &[String]) -> Result<(), DrcshapError> {
+    let mut args = args.to_vec();
+    let registry_dir = take_value(&mut args, "--registry")?;
+    let args = &args[..];
     let spec = spec_arg(args, 0)?;
     let out = args
         .get(1)
@@ -341,7 +360,110 @@ fn cmd_train(args: &[String]) -> Result<(), DrcshapError> {
     let (_, digest) = stream_scores(model.as_classifier(), matrix_rows(&bundle.features), 0)?;
     println!("saved {} model to {out}", model.kind());
     println!("score digest: {digest}");
+    if let Some(dir) = registry_dir {
+        let registry = open_registry(&dir)?;
+        let published = registry.publish(&model, &schema)?;
+        println!(
+            "published generation {} ({} bytes, blob {:016x}) to registry {dir}",
+            published.generation, published.len, published.hash
+        );
+    }
     Ok(())
+}
+
+/// Opens (and recovers) the on-disk registry at `dir`, reporting any
+/// repairs recovery made on stderr.
+fn open_registry(dir: &str) -> Result<Registry, DrcshapError> {
+    let backend = FsBackend::new(dir).map_err(|e| DrcshapError::io(dir.to_string(), e))?;
+    let registry = Registry::open(backend as std::sync::Arc<dyn StorageBackend>)?;
+    let recovery = registry.recovery_report();
+    if recovery.truncated_bytes > 0 {
+        eprintln!(
+            "recovery: truncated {} torn journal byte(s) ({})",
+            recovery.truncated_bytes,
+            recovery.torn_detail.as_deref().unwrap_or("torn tail")
+        );
+    }
+    if recovery.swept_tmp_files > 0 {
+        eprintln!("recovery: swept {} stray temp file(s)", recovery.swept_tmp_files);
+    }
+    Ok(registry)
+}
+
+/// `drcshap registry <dir> <ls | verify | gc --keep <n>>` — inspect and
+/// maintain an on-disk model registry. Opening always runs recovery
+/// (torn-tail truncation, temp-file sweep); repairs are reported on
+/// stderr.
+fn cmd_registry(args: &[String]) -> Result<(), DrcshapError> {
+    const USAGE: &str = "usage: drcshap registry <dir> <ls | verify | gc --keep <n>>";
+    let mut args = args.to_vec();
+    let keep: usize = parse_flag(&mut args, "--keep", 0)?;
+    let dir = args.first().ok_or_else(|| DrcshapError::usage(USAGE))?.clone();
+    let registry = open_registry(&dir)?;
+    match args.get(1).map(String::as_str) {
+        Some("ls") => {
+            let generations = registry.list()?;
+            if generations.is_empty() {
+                println!("registry {dir} is empty");
+                return Ok(());
+            }
+            println!(
+                "{:>10} {:<8} {:>10} {:>18} {:>18} {:>8}",
+                "generation", "kind", "bytes", "blob hash", "fingerprint", "blob"
+            );
+            for g in &generations {
+                println!(
+                    "{:>10} {:<8} {:>10} {:>18} {:>18} {:>8}",
+                    g.generation,
+                    drcshap::store::kind_name(g.kind),
+                    g.len,
+                    format!("{:016x}", g.hash),
+                    format!("{:#018x}", g.fingerprint),
+                    if g.blob_present { "present" } else { "missing" }
+                );
+            }
+            Ok(())
+        }
+        Some("verify") => {
+            let report = registry.verify()?;
+            for (generation, status) in &report.generations {
+                match status {
+                    GenerationStatus::Verified => println!("generation {generation}: verified"),
+                    GenerationStatus::Missing => {
+                        println!("generation {generation}: blob missing (collected or quarantined)")
+                    }
+                    GenerationStatus::Quarantined { detail } => {
+                        println!("generation {generation}: QUARANTINED — {detail}")
+                    }
+                }
+            }
+            println!(
+                "{} verified, {} quarantined, {} missing",
+                report.verified(),
+                report.quarantined(),
+                report.missing()
+            );
+            match report.latest_verified {
+                Some(generation) => {
+                    println!("latest verified generation: {generation}");
+                    Ok(())
+                }
+                None => Err(StoreError::Empty.into()),
+            }
+        }
+        Some("gc") => {
+            if keep == 0 {
+                return Err(DrcshapError::usage("gc needs --keep <n> with n >= 1"));
+            }
+            let report = registry.gc(keep)?;
+            println!(
+                "kept {} generation(s), dropped {} journal record(s), removed {} blob(s)",
+                report.kept, report.dropped, report.removed_blobs
+            );
+            Ok(())
+        }
+        _ => Err(DrcshapError::usage(USAGE)),
+    }
 }
 
 /// Extracts an optional `--deadline <secs>` flag, removing it from `args`.
@@ -763,6 +885,8 @@ fn cmd_testkit(args: &[String]) -> Result<(), DrcshapError> {
                     "bad value {gateway_soak_secs} for --gateway-soak-secs"
                 )));
             }
+            let crash_soak_iters: u64 =
+                parse_flag(&mut args, "--crash-soak-iters", CrashSoakConfig::default().iterations)?;
             if let Some(extra) = args.first() {
                 return Err(DrcshapError::usage(format!("unexpected argument {extra:?}")));
             }
@@ -809,6 +933,24 @@ fn cmd_testkit(args: &[String]) -> Result<(), DrcshapError> {
                             "FAIL gateway chaos soak ({gateway_soak_secs}s, seed {base_seed}): \
                              {detail}\n  replay: drcshap testkit run --base-seed {base_seed} \
                              --seeds 1 --soak-secs 0 --gateway-soak-secs {gateway_soak_secs}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            if crash_soak_iters > 0 {
+                let config =
+                    CrashSoakConfig { iterations: crash_soak_iters, ..CrashSoakConfig::default() };
+                match testkit::crash_soak(base_seed, &config) {
+                    Ok(soak) => {
+                        println!("registry crash soak ({crash_soak_iters} kill-points): {soak}")
+                    }
+                    Err(detail) => {
+                        eprintln!(
+                            "FAIL registry crash soak ({crash_soak_iters} kill-points, seed \
+                             {base_seed}): {detail}\n  replay: drcshap testkit run --base-seed \
+                             {base_seed} --seeds 1 --soak-secs 0 --gateway-soak-secs 0 \
+                             --crash-soak-iters {crash_soak_iters}"
                         );
                         std::process::exit(1);
                     }

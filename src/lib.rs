@@ -27,6 +27,12 @@
 //!   with priority shedding, deadline propagation, shard health with
 //!   circuit breaking and failover, hedged requests, and staged
 //!   (canary-verified) fleet rollouts with automatic rollback;
+//! - [`store`] — the crash-safe model registry: pluggable storage
+//!   backends with an atomic-publish discipline, an append-only
+//!   CRC-framed generation journal over content-hash-addressed immutable
+//!   blobs, recovery (torn-tail truncation, temp-file sweep, blob
+//!   quarantine), verification, garbage collection, and a watch API the
+//!   gateway's staged rollouts pull new generations from;
 //! - [`telemetry`] — workspace-wide spans and counters with JSON-summary
 //!   and Chrome-trace export (`--trace` / `--stats` on the CLI);
 //! - [`testkit`] — the deterministic conformance engine: seeded scenario
@@ -70,6 +76,7 @@ pub use drcshap_place as place;
 pub use drcshap_route as route;
 pub use drcshap_serve as serve;
 pub use drcshap_shap as shap;
+pub use drcshap_store as store;
 pub use drcshap_svm as svm;
 pub use drcshap_telemetry as telemetry;
 pub use drcshap_testkit as testkit;

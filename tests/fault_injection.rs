@@ -15,7 +15,8 @@ use drcshap::features::FeatureSchema;
 use drcshap::forest::{RandomForest, RandomForestTrainer};
 use drcshap::geom::CancelToken;
 use drcshap::ml::{
-    ArtifactError, Classifier, Dataset, DrcshapError, InputError, NanPolicy, SchemaError, Trainer,
+    ArtifactError, Classifier, Dataset, DrcshapError, InputError, NanPolicy, PipelineError,
+    SchemaError, Trainer,
 };
 use drcshap::netlist::{suite, DesignSpec};
 
@@ -313,6 +314,54 @@ fn corrupt_route_checkpoint_is_recomputed_not_panicked() {
     // synth + place resumed; route, drc, extract recomputed.
     assert_eq!(fft_1.stages_resumed, 2, "{fft_1:?}");
     assert_eq!(fft_1.stages_run, 3, "{fft_1:?}");
+    let direct = try_build_suite(&sup_specs(), &sup.pipeline).expect("direct build");
+    assert_matches_direct(&resumed, &direct);
+    cleanup(&sup);
+}
+
+#[test]
+fn torn_manifest_is_a_typed_error_never_a_panic() {
+    use drcshap::core::read_manifest;
+
+    let sup = sup_config("torn-manifest");
+    let first = run_supervised(&sup_specs(), &sup, &CancelToken::new()).expect("run");
+    assert_eq!(first.completed(), 2);
+
+    // A manifest torn mid-write (pre-atomic-rename crash semantics, or a
+    // sector-level tear): truncate it in the middle of the JSON body.
+    let path = sup.run_dir.join("manifest.json");
+    let bytes = std::fs::read(&path).expect("manifest exists");
+    assert!(bytes.len() > 20);
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let e = read_manifest(&sup.run_dir).expect_err("torn manifest must not parse");
+    assert!(
+        matches!(e, DrcshapError::Pipeline(PipelineError::ManifestMismatch { .. })),
+        "unexpected error class: {e}"
+    );
+    let e = run_supervised(&sup_specs(), &sup, &CancelToken::new())
+        .expect_err("resume over a torn manifest must fail typed");
+    assert!(
+        matches!(e, DrcshapError::Pipeline(PipelineError::ManifestMismatch { .. })),
+        "unexpected error class: {e}"
+    );
+    cleanup(&sup);
+}
+
+#[test]
+fn stray_manifest_tmp_from_a_crashed_write_does_not_block_resume() {
+    let sup = sup_config("stray-tmp");
+    let first = run_supervised(&sup_specs(), &sup, &CancelToken::new()).expect("run");
+    assert_eq!(first.completed(), 2);
+
+    // The atomic-write discipline (write *.tmp, fsync, rename) can leave a
+    // stray temp file if the process dies before the rename. The real
+    // manifest is intact; the leftover must be ignored.
+    let tmp = sup.run_dir.join("manifest.json.tmp");
+    std::fs::write(&tmp, b"{ torn garbage from a crashed writer").unwrap();
+
+    let resumed = run_supervised(&sup_specs(), &sup, &CancelToken::new()).expect("resume");
+    assert_eq!(resumed.completed(), 2, "{}", resumed.render());
     let direct = try_build_suite(&sup_specs(), &sup.pipeline).expect("direct build");
     assert_matches_direct(&resumed, &direct);
     cleanup(&sup);
