@@ -56,6 +56,7 @@ use drcshap_ml::DrcshapError;
 use drcshap_serve::{ScoredResponse, ServeConfig, ServeEngine, ServeMetrics, Ticket};
 use drcshap_shap::Explanation;
 use drcshap_telemetry as telemetry;
+use drcshap_xsat::{AbductiveExplanation, XsatBudget};
 
 pub use admission::{Priority, QuotaConfig};
 pub use health::HealthConfig;
@@ -133,6 +134,31 @@ impl GatewayConfig {
         }
         self.health.validate()
     }
+}
+
+/// Result of [`Gateway::explain_both`]: SHAP attributions always, the
+/// abductive explanation when its budget allowed, and the degradation
+/// record when it did not.
+#[derive(Debug)]
+pub struct BothExplanations {
+    /// SHAP attributions (cache-shared within the shard's epoch).
+    pub shap: Arc<Explanation>,
+    /// The abductive explanation, `None` when the budget expired.
+    pub abductive: Option<AbductiveExplanation>,
+    /// Timeout detail when the abductive side degraded to SHAP-only.
+    pub degraded: Option<AbductiveDegradation>,
+    /// The shard that served both views.
+    pub shard: usize,
+}
+
+/// Detail of an abductive budget expiry, mirroring
+/// [`DrcshapError::ExplanationTimeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbductiveDegradation {
+    /// Solver conflicts spent before giving up.
+    pub conflicts: u64,
+    /// SAT calls completed before giving up.
+    pub sat_calls: u32,
 }
 
 /// One gateway request: the feature vector plus routing and shedding
@@ -593,6 +619,62 @@ impl Gateway {
             .ok_or(DrcshapError::Overloaded { capacity: order.len() })?;
         let explanation = self.shards[shard].engine.explain(&request.x)?;
         Ok((explanation, shard))
+    }
+
+    /// Serves *both* explanation views of one request: SHAP attributions
+    /// plus a SAT-based abductive explanation, computed on the same shard
+    /// so the two views describe the same model epoch.
+    ///
+    /// The abductive side runs under `budget` (tightened to the request's
+    /// deadline when one is set). If the budget runs out the response
+    /// **degrades to SHAP-only** instead of failing: the request is never
+    /// dropped, the shard is never stalled, and the typed
+    /// [`DrcshapError::ExplanationTimeout`] detail is carried in
+    /// [`BothExplanations::degraded`]. Timeouts are deliberately not
+    /// retryable, so no failover cascade amplifies a hard instance across
+    /// the fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcshapError::Overloaded`] when no shard is available, the
+    /// engine's input-validation errors, and [`DrcshapError::Xsat`] for
+    /// encoding invariant violations. A timeout is *not* an error here.
+    pub fn explain_both(
+        &self,
+        request: &Request,
+        budget: &XsatBudget,
+    ) -> Result<BothExplanations, DrcshapError> {
+        let _span = telemetry::span("gateway/explain_both");
+        let tenant = request.tenant.as_deref().unwrap_or("default");
+        let key = request.key.unwrap_or_else(|| derive_key(tenant, &request.x));
+        let order = self.ring.route(key);
+        let now_ns = self.now_ns();
+        let shard = order
+            .iter()
+            .copied()
+            .find(|&s| self.shards[s].health.available(now_ns))
+            .ok_or(DrcshapError::Overloaded { capacity: order.len() })?;
+        let engine = &self.shards[shard].engine;
+        let shap = engine.explain(&request.x)?;
+        let mut capped = *budget;
+        if let Some(deadline) = request.deadline {
+            capped.deadline = Some(capped.deadline.map_or(deadline, |d| d.min(deadline)));
+        }
+        match engine.explain_abductive(&request.x, &capped) {
+            Ok(abductive) => {
+                Ok(BothExplanations { shap, abductive: Some(abductive), degraded: None, shard })
+            }
+            Err(DrcshapError::ExplanationTimeout { conflicts, sat_calls }) => {
+                telemetry::counter("gateway/abductive_degraded", 1);
+                Ok(BothExplanations {
+                    shap,
+                    abductive: None,
+                    degraded: Some(AbductiveDegradation { conflicts, sat_calls }),
+                    shard,
+                })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Kills a shard: removes it from routing permanently and drains its

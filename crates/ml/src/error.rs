@@ -62,6 +62,20 @@ pub enum DrcshapError {
     /// The crash-safe model registry rejected an operation (empty registry,
     /// corrupt journal, missing or quarantined blob).
     Store(StoreError),
+    /// Computing a SAT-based abductive explanation exhausted its per-request
+    /// budget (conflicts and/or wall clock). The prediction itself is fine —
+    /// callers degrade to SHAP-only rather than stalling a shard, and
+    /// retrying the same deterministic computation reproduces the timeout.
+    ExplanationTimeout {
+        /// Solver conflicts spent before the budget expired.
+        conflicts: u64,
+        /// SAT calls completed before giving up.
+        sat_calls: u32,
+    },
+    /// The SAT-based abductive explanation engine violated an internal
+    /// invariant — always a bug in the encoder or solver, never a caller
+    /// mistake, and surfaced as a typed error instead of a panic.
+    Xsat(XsatError),
 }
 
 impl DrcshapError {
@@ -85,9 +99,17 @@ impl DrcshapError {
     /// malformed inputs, I/O failures, an expired deadline, an aborted
     /// rollout) is not: retrying reproduces the same failure.
     ///
+    /// [`ExplanationTimeout`] is deliberately *not* retryable: the abductive
+    /// computation is deterministic, so resubmitting the same request with
+    /// the same budget burns the budget again on another shard and times out
+    /// the same way. The gateway's failover loop consults this method, which
+    /// is what keeps a timed-out explanation from cascading across the fleet
+    /// — the caller degrades to SHAP-only instead.
+    ///
     /// [`Overloaded`]: DrcshapError::Overloaded
     /// [`ShuttingDown`]: DrcshapError::ShuttingDown
     /// [`Interrupted`]: DrcshapError::Interrupted
+    /// [`ExplanationTimeout`]: DrcshapError::ExplanationTimeout
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -124,6 +146,12 @@ impl fmt::Display for DrcshapError {
                 write!(f, "rollout aborted at shard {shard}: {detail}")
             }
             DrcshapError::Store(e) => write!(f, "store error: {e}"),
+            DrcshapError::ExplanationTimeout { conflicts, sat_calls } => write!(
+                f,
+                "explanation timeout: abductive budget exhausted after {conflicts} solver \
+                 conflicts across {sat_calls} SAT calls (prediction served with SHAP only)"
+            ),
+            DrcshapError::Xsat(e) => write!(f, "xsat error: {e}"),
         }
     }
 }
@@ -166,6 +194,52 @@ impl From<StoreError> for DrcshapError {
         DrcshapError::Store(e)
     }
 }
+
+impl From<XsatError> for DrcshapError {
+    fn from(e: XsatError) -> Self {
+        DrcshapError::Xsat(e)
+    }
+}
+
+/// Why the SAT-based abductive explanation engine gave up.
+///
+/// Both variants are internal invariant violations: the CNF encoding of a
+/// fitted forest is constructed so that fixing *every* feature of an
+/// instance to its observed interval makes a prediction flip unsatisfiable
+/// (the instance routes to exactly one leaf per tree). A violation means
+/// the encoder or solver is wrong — so it surfaces as a typed error the
+/// caller can log and alert on, never as a panic in the serving path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XsatError {
+    /// The encoding claims the prediction can flip (or the instance is
+    /// infeasible) even with every feature fixed — the CNF disagrees with
+    /// the forest it was built from.
+    EncodingInvariant {
+        /// What the consistency check found.
+        detail: String,
+    },
+    /// The forest cannot be encoded (no trees, or a non-finite split
+    /// threshold that no real input could be compared against).
+    UnsupportedModel {
+        /// Why the model was rejected.
+        detail: String,
+    },
+}
+
+impl fmt::Display for XsatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsatError::EncodingInvariant { detail } => {
+                write!(f, "encoding invariant violated: {detail}")
+            }
+            XsatError::UnsupportedModel { detail } => {
+                write!(f, "model cannot be SAT-encoded: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XsatError {}
 
 /// Why the crash-safe model registry refused an operation.
 ///
@@ -536,6 +610,19 @@ mod tests {
         assert!(s.contains("generation 7") && s.contains("missing"), "{s}");
         let s = StoreError::Journal { offset: 12, detail: "unreadable".into() }.to_string();
         assert!(s.contains("offset 12") && s.contains("unreadable"), "{s}");
+
+        let s = DrcshapError::ExplanationTimeout { conflicts: 4096, sat_calls: 17 }.to_string();
+        assert!(s.contains("explanation timeout"), "{s}");
+        assert!(s.contains("4096") && s.contains("17 SAT calls"), "{s}");
+        assert!(s.contains("SHAP only"), "{s}");
+
+        let s = DrcshapError::from(XsatError::EncodingInvariant {
+            detail: "full fix still flips".into(),
+        })
+        .to_string();
+        assert!(s.contains("xsat error") && s.contains("full fix still flips"), "{s}");
+        let s = XsatError::UnsupportedModel { detail: "forest has no trees".into() }.to_string();
+        assert!(s.contains("cannot be SAT-encoded") && s.contains("no trees"), "{s}");
     }
 
     #[test]
@@ -560,6 +647,12 @@ mod tests {
         .is_retryable());
         assert!(!DrcshapError::RolloutAborted { shard: 0, detail: String::new() }.is_retryable());
         assert!(!DrcshapError::from(StoreError::Empty).is_retryable());
+        // A timed-out abductive explanation is deterministic: retrying on
+        // another shard reproduces it. The gateway degrades to SHAP-only
+        // instead of failing over.
+        assert!(!DrcshapError::ExplanationTimeout { conflicts: 1, sat_calls: 1 }.is_retryable());
+        assert!(!DrcshapError::from(XsatError::EncodingInvariant { detail: String::new() })
+            .is_retryable());
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub use calibrate::IsotonicCalibrator;
 pub use classifier::{Classifier, ModelComplexity, NanPolicy, Trainer};
 pub use confusion::{brier_score, calibration_curve, ConfusionMatrix};
 pub use dataset::Dataset;
-pub use error::{ArtifactError, DrcshapError, InputError, PipelineError, SchemaError, StoreError};
+pub use error::{
+    ArtifactError, DrcshapError, InputError, PipelineError, SchemaError, StoreError, XsatError,
+};
 pub use metrics::{
     average_precision, lift_curve, pr_curve, precision_at_k, roc_auc, roc_curve, tpr_prec_at_fpr,
     OperatingPoint, PAPER_FPR,

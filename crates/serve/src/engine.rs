@@ -37,6 +37,7 @@ use drcshap_geom::{BudgetState, StageBudget};
 use drcshap_ml::{DrcshapError, InputError, NanPolicy};
 use drcshap_shap::{explain_forest, Explanation};
 use drcshap_telemetry as telemetry;
+use drcshap_xsat::{AbductiveEngine, AbductiveExplanation, XsatBudget};
 
 use crate::cache::ExplanationCache;
 use crate::metrics::{MetricsRegistry, ServeMetrics};
@@ -164,6 +165,10 @@ struct Shared {
     cell: EpochCell,
     cache: ExplanationCache,
     metrics: MetricsRegistry,
+    /// Lazily built SAT engine for abductive explanations, tagged with the
+    /// epoch it was encoded from; rebuilt after a swap. Held by abductive
+    /// callers only — the scoring workers never touch this lock.
+    abductive: Mutex<Option<(u64, AbductiveEngine)>>,
 }
 
 /// The in-process batched inference engine. Cheap to share: all methods
@@ -203,6 +208,7 @@ impl ServeEngine {
             cell: EpochCell::new(forest, fingerprint),
             cache: ExplanationCache::new(cache_capacity),
             metrics: MetricsRegistry::default(),
+            abductive: Mutex::new(None),
             config,
         });
         let mut workers = Vec::with_capacity(shared.config.workers);
@@ -381,6 +387,67 @@ impl ServeEngine {
         let explanation = Arc::new(explain_forest(&model.forest, key));
         self.shared.cache.insert(key, Arc::clone(&explanation));
         Ok(explanation)
+    }
+
+    /// Computes a SAT-based abductive explanation (subset-minimal
+    /// sufficient reason plus contrastive dual) for one sample, within a
+    /// per-request `budget`. The underlying CNF encoding is built lazily on
+    /// first use and cached per model epoch; a hot swap invalidates it.
+    ///
+    /// This runs on the *caller's* thread behind its own lock — the
+    /// scoring worker pool and the batching queue are never involved, so
+    /// an expensive (or timed-out) explanation can never stall a shard.
+    /// Non-finite inputs follow the same policy as [`ServeEngine::explain`]
+    /// (reject or zero-impute), keeping the SHAP and abductive views of a
+    /// request consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`InputError::LengthMismatch`] / [`InputError::NonFinite`] from
+    /// validation; [`DrcshapError::ExplanationTimeout`] when `budget` is
+    /// exhausted (callers degrade to SHAP-only — see
+    /// `drcshap-gateway`'s `explain_both`); [`DrcshapError::Xsat`] for
+    /// encoding invariant violations.
+    pub fn explain_abductive(
+        &self,
+        x: &[f32],
+        budget: &XsatBudget,
+    ) -> Result<AbductiveExplanation, DrcshapError> {
+        let _span = telemetry::span("serve/explain_abductive");
+        let model = self.shared.cell.load();
+        let expected = model.compiled.n_features();
+        if x.len() != expected {
+            return Err(InputError::LengthMismatch { expected, found: x.len() }.into());
+        }
+        let needs_clean = x.iter().any(|v| !v.is_finite());
+        let cleaned: Vec<f32>;
+        let key: &[f32] = if needs_clean {
+            if self.shared.config.nan_policy == NanPolicy::Reject {
+                let (index, value) = x
+                    .iter()
+                    .enumerate()
+                    .find(|(_, v)| !v.is_finite())
+                    .map(|(i, v)| (i, *v))
+                    .expect("non-finite value present");
+                return Err(InputError::NonFinite { index, value }.into());
+            }
+            cleaned = x.iter().map(|&v| if v.is_finite() { v } else { 0.0 }).collect();
+            &cleaned
+        } else {
+            x
+        };
+        self.shared.metrics.abductive.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.shared.abductive.lock().expect("abductive lock poisoned");
+        match slot.as_ref() {
+            Some((epoch, _)) if *epoch == model.epoch => {}
+            _ => *slot = Some((model.epoch, AbductiveEngine::new(&model.forest)?)),
+        }
+        let (_, engine) = slot.as_mut().expect("engine just ensured");
+        let result = engine.explain(key, budget);
+        if matches!(result, Err(DrcshapError::ExplanationTimeout { .. })) {
+            self.shared.metrics.abductive_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     /// Hot-swaps the serving model (see [`EpochCell::swap`]) and clears
@@ -588,6 +655,45 @@ mod tests {
         assert_eq!(metrics.requests_total, 3);
         assert_eq!(metrics.samples_scored, 3);
         assert!(metrics.batches_total >= 1);
+    }
+
+    #[test]
+    fn abductive_explanations_serve_and_cache_per_epoch() {
+        let rf = forest(4);
+        let engine = ServeEngine::start(quick_config(), rf.clone(), 7).expect("start");
+        let x = [0.8f32, 0.3];
+        let ex = engine.explain_abductive(&x, &XsatBudget::default()).expect("explains");
+        assert_eq!(ex.predicted_hotspot, drcshap_xsat::forest_vote(&rf, &x));
+        assert!(!ex.sufficient.is_empty() || ex.contrastive.is_empty());
+        // A second call reuses the cached encoding (same epoch).
+        let again = engine.explain_abductive(&x, &XsatBudget::default()).expect("explains");
+        assert_eq!(again.sufficient, ex.sufficient);
+        let metrics = engine.metrics();
+        assert_eq!(metrics.abductive_total, 2);
+        assert_eq!(metrics.abductive_timeout_total, 0);
+        // A hot swap invalidates the SAT engine; the next call re-encodes
+        // and explains the *new* model.
+        let rf2 = forest(40);
+        engine.swap(rf2.clone(), 7).expect("swap");
+        let ex2 = engine.explain_abductive(&x, &XsatBudget::default()).expect("explains");
+        assert_eq!(ex2.predicted_hotspot, drcshap_xsat::forest_vote(&rf2, &x));
+    }
+
+    #[test]
+    fn abductive_timeout_is_typed_and_never_stalls() {
+        let engine = ServeEngine::start(quick_config(), forest(5), 7).expect("start");
+        let zero = XsatBudget::conflicts(0);
+        let e = engine.explain_abductive(&[0.5, 0.5], &zero).unwrap_err();
+        assert!(matches!(e, DrcshapError::ExplanationTimeout { .. }), "{e}");
+        assert!(!e.is_retryable(), "timeouts must not trigger failover retries");
+        // The engine keeps serving: scoring and SHAP still answer, and a
+        // roomier budget succeeds on the same (cached) encoding.
+        engine.score(vec![0.5, 0.5]).expect("scoring unaffected");
+        engine.explain(&[0.5, 0.5]).expect("shap unaffected");
+        engine.explain_abductive(&[0.5, 0.5], &XsatBudget::default()).expect("recovers");
+        let metrics = engine.metrics();
+        assert_eq!(metrics.abductive_timeout_total, 1);
+        assert_eq!(metrics.abductive_total, 2);
     }
 
     #[test]

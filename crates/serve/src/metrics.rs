@@ -90,6 +90,11 @@ pub struct MetricsRegistry {
     pub swaps: AtomicU64,
     /// Explanation requests served (cache hits and misses combined).
     pub explains: AtomicU64,
+    /// Abductive (SAT-based) explanation requests attempted.
+    pub abductive: AtomicU64,
+    /// Abductive requests that exhausted their budget and degraded to
+    /// SHAP-only.
+    pub abductive_timeouts: AtomicU64,
     /// Enqueue-to-response latency per request.
     pub latency: LatencyHistogram,
 }
@@ -112,6 +117,8 @@ impl MetricsRegistry {
             swaps_total: self.swaps.load(Ordering::Relaxed),
             model_epoch,
             explains_total: self.explains.load(Ordering::Relaxed),
+            abductive_total: self.abductive.load(Ordering::Relaxed),
+            abductive_timeout_total: self.abductive_timeouts.load(Ordering::Relaxed),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_len: cache.len,
@@ -148,6 +155,10 @@ pub struct ServeMetrics {
     pub model_epoch: u64,
     /// Explanation requests served.
     pub explains_total: u64,
+    /// Abductive (SAT-based) explanation attempts.
+    pub abductive_total: u64,
+    /// Abductive attempts that timed out and degraded to SHAP-only.
+    pub abductive_timeout_total: u64,
     /// Explanation-cache hits.
     pub cache_hits: u64,
     /// Explanation-cache misses.

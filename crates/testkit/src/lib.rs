@@ -21,7 +21,10 @@
 //!   published through (and pulled back out of) the crash-safe model
 //!   registry. [`crash`] soaks the registry itself: seeded kills at
 //!   every publish syscall boundary, each followed by recovery and
-//!   verification.
+//!   verification. [`xsat`] adds consistency oracles for the SAT-based
+//!   abductive explainer: brute-force sufficiency/minimality checks and
+//!   a SHAP-vs-abductive cross-view, opted in with
+//!   `testkit run --xsat-checks`.
 //!
 //! The CLI front end is `drcshap testkit run | replay | list`; a failing
 //! check prints a `drcshap testkit replay --check NAME --seed S --level L`
@@ -36,12 +39,14 @@ pub mod crash;
 pub mod oracle;
 pub mod reference;
 pub mod scenario;
+pub mod xsat;
 
 pub use chaos::gateway::{gateway_chaos_soak, GatewayChaosConfig, GatewayChaosReport};
 pub use chaos::{chaos_soak, ChaosConfig, ChaosReport};
 pub use crash::{crash_soak, CrashSoakConfig, CrashSoakReport};
 pub use oracle::{registry, Check, Failure};
 pub use scenario::SizeLevel;
+pub use xsat::checks as xsat_checks;
 
 /// Outcome of a conformance sweep: per-check pass counts plus every
 /// (minimized) failure.
@@ -64,8 +69,14 @@ impl RunReport {
 /// `base_seed`, minimizing each failure to the smallest [`SizeLevel`]
 /// that still reproduces it.
 pub fn run_all(base_seed: u64, seeds: u64) -> RunReport {
+    run_checks(registry(), base_seed, seeds)
+}
+
+/// [`run_all`] over an explicit check list — how the CLI appends the
+/// [`xsat`] consistency oracles with `testkit run --xsat-checks`.
+pub fn run_checks(checks: Vec<Check>, base_seed: u64, seeds: u64) -> RunReport {
     let mut report = RunReport::default();
-    for check in registry() {
+    for check in checks {
         let mut passed = 0u64;
         for offset in 0..seeds {
             let seed = base_seed.wrapping_add(offset);
@@ -87,14 +98,16 @@ pub fn run_all(base_seed: u64, seeds: u64) -> RunReport {
 }
 
 /// Replays one named check at `(seed, level)`, exactly as a failure
-/// report prescribes.
+/// report prescribes. Searches the default registry and the [`xsat`]
+/// checks, so `--xsat-checks` failures replay by name like any other.
 ///
 /// # Errors
 ///
 /// `Err` with the check's divergence detail when it fails, or a
 /// description of the unknown check name.
 pub fn replay(check_name: &str, seed: u64, level: SizeLevel) -> Result<(), String> {
-    let registry = registry();
+    let mut registry = registry();
+    registry.extend(xsat::checks());
     let check = registry
         .iter()
         .find(|c| c.name == check_name)
@@ -110,6 +123,11 @@ mod tests {
     fn replay_rejects_unknown_checks() {
         let err = replay("no-such-check", 0, SizeLevel(0)).unwrap_err();
         assert!(err.contains("unknown check"));
+    }
+
+    #[test]
+    fn replay_reaches_the_xsat_checks() {
+        replay("xsat-abductive-sound-minimal", 0, SizeLevel(0)).expect("xsat check replayable");
     }
 
     #[cfg(not(feature = "inject-shap-fault"))]

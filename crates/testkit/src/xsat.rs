@@ -1,0 +1,375 @@
+//! Consistency oracles for the SAT-based abductive explainer.
+//!
+//! Two checks, both pure functions of `(seed, SizeLevel)` like every other
+//! registry entry:
+//!
+//! - `xsat-abductive-sound-minimal`: brute-force-verifies that every
+//!   abductive explanation really is a *sufficient reason* (fixing its
+//!   features forces the class for every completion over the threshold
+//!   grid) and *subset-minimal* (dropping any single feature breaks
+//!   sufficiency).
+//! - `shap-vs-abductive`: pits the two explanation views against each
+//!   other on what they must agree on — support. TreeSHAP and the CNF
+//!   encoder walk the same trees independently, so a feature has nonzero
+//!   SHAP only if the encoder saw a split on it and vice versa (unused
+//!   features carry exactly-zero SHAP and never enter an abductive set).
+//!   The contrastive set passes exhaustive feature-flip verification (a
+//!   flip witness exists and no proper subset admits one), every core
+//!   feature is flip-relevant to the vote, and explanations are
+//!   bit-stable across engine rebuilds. Attribution *magnitudes* are
+//!   deliberately not compared: SHAP explains the probability, the core
+//!   explains the vote, and the two can legitimately rank features
+//!   differently.
+//!
+//! The brute-force side enumerates one representative per threshold-grid
+//! cell, which is exponential in feature count — so these checks clamp
+//! their scenarios to `MAX_LEVEL` (internally) and cap tree depth, keeping the grid
+//! a few thousand cells.
+
+use drcshap_forest::{RandomForest, RandomForestTrainer};
+use drcshap_ml::Trainer;
+use drcshap_shap::tree_shap;
+use drcshap_xsat::{forest_vote, AbductiveEngine, ForestEncoding, XsatBudget};
+
+use crate::oracle::Check;
+use crate::scenario::{self, SizeLevel};
+
+/// Largest scenario level the brute-force verifier can afford: 3 features
+/// and 5 trees. Higher requested levels clamp down to this.
+const MAX_LEVEL: SizeLevel = SizeLevel(1);
+
+/// Probes explained per scenario. Each probe costs a full grid sweep per
+/// sufficiency/minimality question, so this stays small.
+const N_PROBES: usize = 4;
+
+/// A depth-capped forest for the xsat oracles. The cap keeps the
+/// per-feature threshold grid small enough that exhaustive enumeration
+/// over cells stays in the low thousands.
+fn xsat_forest(seed: u64, level: SizeLevel) -> RandomForest {
+    let data = scenario::dataset(seed, level);
+    let trainer =
+        RandomForestTrainer { n_trees: level.n_trees(), max_depth: Some(3), ..Default::default() };
+    trainer.fit(&data, seed ^ 0x5A7)
+}
+
+/// One representative value per grid cell of feature `j`: the thresholds
+/// themselves (cells are half-open `(lo, hi]`, so each threshold is the
+/// top of its cell) plus one point above the last threshold for the open
+/// cell `(t_max, +inf)`.
+fn cell_reps(enc: &ForestEncoding, j: usize) -> Vec<f32> {
+    let ts = enc.thresholds(j);
+    let mut reps = ts.to_vec();
+    reps.push(ts.last().copied().unwrap_or(0.0) + 1.0);
+    reps
+}
+
+/// Exhaustive check that fixing `fixed` to `x`'s values forces the vote
+/// `want`: walks every completion of the remaining features (one
+/// representative per grid cell) and returns `false` on the first
+/// completion the forest classifies differently.
+fn forces_class(
+    forest: &RandomForest,
+    enc: &ForestEncoding,
+    x: &[f32],
+    fixed: &[usize],
+    want: bool,
+) -> bool {
+    let m = x.len();
+    let reps: Vec<Vec<f32>> =
+        (0..m).map(|j| if fixed.contains(&j) { vec![x[j]] } else { cell_reps(enc, j) }).collect();
+    let mut probe = x.to_vec();
+    let mut idx = vec![0usize; m];
+    loop {
+        for j in 0..m {
+            probe[j] = reps[j][idx[j]];
+        }
+        if forest_vote(forest, &probe) != want {
+            return false;
+        }
+        // Odometer increment over the per-feature representative lists.
+        let mut j = 0;
+        loop {
+            if j == m {
+                return true;
+            }
+            idx[j] += 1;
+            if idx[j] < reps[j].len() {
+                break;
+            }
+            idx[j] = 0;
+            j += 1;
+        }
+    }
+}
+
+/// Exhaustive search for a witness that the vote depends on feature `j`:
+/// two grid points differing *only* in `j` with different forest votes.
+/// Returns `false` when the vote is independent of `j` everywhere on the
+/// grid.
+fn flip_relevant(forest: &RandomForest, enc: &ForestEncoding, j: usize, m: usize) -> bool {
+    let reps: Vec<Vec<f32>> = (0..m).map(|f| cell_reps(enc, f)).collect();
+    let mut probe = vec![0.0f32; m];
+    let mut idx = vec![0usize; m];
+    loop {
+        // One assignment of every feature except `j`; scan `j`'s cells.
+        for f in 0..m {
+            probe[f] = reps[f][idx[f]];
+        }
+        let first = forest_vote(forest, &probe);
+        for v in &reps[j][1..] {
+            probe[j] = *v;
+            if forest_vote(forest, &probe) != first {
+                return true;
+            }
+        }
+        let mut f = 0;
+        loop {
+            if f == m {
+                return false;
+            }
+            if f == j {
+                f += 1;
+                continue;
+            }
+            idx[f] += 1;
+            if idx[f] < reps[f].len() {
+                break;
+            }
+            idx[f] = 0;
+            f += 1;
+        }
+    }
+}
+
+/// Deterministic probe set for the xsat checks (no NaN: the encoder's NaN
+/// cell is covered by the crate's own unit tests; here the grid sweep
+/// must agree with plain `forest_vote`).
+fn xsat_probes(seed: u64, m: usize) -> Vec<Vec<f32>> {
+    let mut rng = scenario::rng_for(seed ^ 0xABD0);
+    scenario::probes(&mut rng, m, N_PROBES, false)
+}
+
+fn check_abductive_sound_minimal(seed: u64, level: SizeLevel) -> Result<(), String> {
+    let level = SizeLevel(level.0.min(MAX_LEVEL.0));
+    let forest = xsat_forest(seed, level);
+    let mut engine = AbductiveEngine::new(&forest).map_err(|e| format!("encoding failed: {e}"))?;
+    for (p, x) in xsat_probes(seed, forest.n_features()).iter().enumerate() {
+        let ex = engine
+            .explain(x, &XsatBudget::default())
+            .map_err(|e| format!("probe {p}: explain failed: {e}"))?;
+        let want = forest_vote(&forest, x);
+        if ex.predicted_hotspot != want {
+            return Err(format!(
+                "probe {p}: explanation claims class {} but the forest votes {}",
+                ex.predicted_hotspot, want
+            ));
+        }
+        if !forces_class(&forest, engine.encoding(), x, &ex.sufficient, want) {
+            return Err(format!(
+                "probe {p}: sufficient set {:?} does not force the class — a grid \
+                 completion flips the vote",
+                ex.sufficient
+            ));
+        }
+        for drop in 0..ex.sufficient.len() {
+            let mut reduced = ex.sufficient.clone();
+            let dropped = reduced.remove(drop);
+            if forces_class(&forest, engine.encoding(), x, &reduced, want) {
+                return Err(format!(
+                    "probe {p}: sufficient set {:?} is not subset-minimal — feature \
+                     {dropped} can be dropped",
+                    ex.sufficient
+                ));
+            }
+        }
+        // Hitting-set duality: every contrastive set intersects every
+        // sufficient reason (when both are non-empty).
+        if !ex.contrastive.is_empty()
+            && !ex.sufficient.is_empty()
+            && !ex.contrastive.iter().any(|j| ex.sufficient.contains(j))
+        {
+            return Err(format!(
+                "probe {p}: contrastive {:?} misses sufficient {:?} — hitting-set \
+                 duality violated",
+                ex.contrastive, ex.sufficient
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_shap_vs_abductive(seed: u64, level: SizeLevel) -> Result<(), String> {
+    let level = SizeLevel(level.0.min(MAX_LEVEL.0));
+    let forest = xsat_forest(seed, level);
+    let m = forest.n_features();
+    let mut engine = AbductiveEngine::new(&forest).map_err(|e| format!("encoding failed: {e}"))?;
+    let used = engine.encoding().used_features();
+    for (p, x) in xsat_probes(seed ^ 0x5AB, m).iter().enumerate() {
+        let ex = engine
+            .explain(x, &XsatBudget::default())
+            .map_err(|e| format!("probe {p}: explain failed: {e}"))?;
+        let want = ex.predicted_hotspot;
+
+        // Forest SHAP, summed per tree in a fixed order so the view is
+        // deterministic (the parallel `explain_forest` path is not
+        // bit-stable and is checked elsewhere).
+        let mut phi = vec![0.0f64; m];
+        for tree in forest.trees() {
+            for (j, v) in tree_shap(tree, x).iter().enumerate() {
+                phi[j] += v / forest.trees().len() as f64;
+            }
+        }
+
+        // A feature no split uses must be invisible to both views: its
+        // SHAP attribution is exactly zero and the abductive engine never
+        // mentions it.
+        for j in (0..m).filter(|j| !used.contains(j)) {
+            if phi[j] != 0.0 {
+                return Err(format!(
+                    "probe {p}: unused feature {j} has SHAP {} (must be exactly 0)",
+                    phi[j]
+                ));
+            }
+            if ex.sufficient.contains(&j) || ex.contrastive.contains(&j) {
+                return Err(format!("probe {p}: unused feature {j} appears in an abductive set"));
+            }
+        }
+
+        // Exhaustive feature-flip verification of the contrastive set:
+        // freeing exactly the contrastive features must admit a flip
+        // witness, and no proper subset may (minimality). An empty
+        // contrastive set claims the forest is constant over the grid.
+        let fixed_except =
+            |free: &[usize]| -> Vec<usize> { (0..m).filter(|j| !free.contains(j)).collect() };
+        if ex.contrastive.is_empty() {
+            if !forces_class(&forest, engine.encoding(), x, &[], want) {
+                return Err(format!(
+                    "probe {p}: empty contrastive set, but a grid completion flips \
+                     the vote"
+                ));
+            }
+        } else {
+            if forces_class(&forest, engine.encoding(), x, &fixed_except(&ex.contrastive), want) {
+                return Err(format!(
+                    "probe {p}: contrastive {:?} has no flip witness — freeing it \
+                     cannot change the vote",
+                    ex.contrastive
+                ));
+            }
+            for drop in 0..ex.contrastive.len() {
+                let mut reduced = ex.contrastive.clone();
+                let dropped = reduced.remove(drop);
+                if !forces_class(&forest, engine.encoding(), x, &fixed_except(&reduced), want) {
+                    return Err(format!(
+                        "probe {p}: contrastive {:?} is not minimal — it flips \
+                         without touching feature {dropped}",
+                        ex.contrastive
+                    ));
+                }
+            }
+        }
+
+        // SHAP support vs encoder support, the other direction: a feature
+        // with any attribution at all must be one the encoder saw a split
+        // on. TreeSHAP walking the trees and the CNF encoder walking the
+        // trees are independent implementations, so disagreement here
+        // means one of them dropped or invented a split. Note ranking
+        // *magnitudes* are deliberately not compared: SHAP attributes the
+        // probability while the core explains the vote, and the two
+        // legitimately disagree on which feature matters most (a feature
+        // can force the majority vote while barely moving the mean leaf
+        // value).
+        for j in (0..m).filter(|&j| phi[j] != 0.0) {
+            if !used.contains(&j) {
+                return Err(format!(
+                    "probe {p}: feature {j} has SHAP {} but the encoder found no \
+                     split on it",
+                    phi[j]
+                ));
+            }
+        }
+
+        // Exhaustive feature-flip relevance of the abductive core: a
+        // feature in a subset-minimal sufficient (or contrastive) set
+        // must actually matter to the vote — some pair of grid points
+        // differing only in that feature flips the class. (If the vote
+        // were independent of it, the deletion loop could have dropped
+        // it, contradicting minimality.)
+        for &j in ex.sufficient.iter().chain(ex.contrastive.iter()) {
+            if !flip_relevant(&forest, engine.encoding(), j, m) {
+                return Err(format!(
+                    "probe {p}: feature {j} is in an abductive set but no grid pair \
+                     differing only in it flips the vote"
+                ));
+            }
+        }
+    }
+
+    // Bit-stability: a fresh engine over the same forest must reproduce
+    // every explanation exactly, solver accounting included.
+    let mut rebuilt =
+        AbductiveEngine::new(&forest).map_err(|e| format!("re-encoding failed: {e}"))?;
+    let mut replay =
+        AbductiveEngine::new(&forest).map_err(|e| format!("re-encoding failed: {e}"))?;
+    for (p, x) in xsat_probes(seed ^ 0x5AB, m).iter().enumerate() {
+        let a = rebuilt
+            .explain(x, &XsatBudget::default())
+            .map_err(|e| format!("probe {p}: explain failed: {e}"))?;
+        let b = replay
+            .explain(x, &XsatBudget::default())
+            .map_err(|e| format!("probe {p}: explain failed: {e}"))?;
+        if (a.sufficient, a.contrastive, a.sat_calls, a.conflicts)
+            != (b.sufficient, b.contrastive, b.sat_calls, b.conflicts)
+        {
+            return Err(format!("probe {p}: explanation is not bit-stable across rebuilds"));
+        }
+    }
+    Ok(())
+}
+
+/// The xsat consistency checks, run by `testkit run --xsat-checks` and
+/// replayable by name like every registry entry.
+pub fn checks() -> Vec<Check> {
+    vec![
+        Check { name: "xsat-abductive-sound-minimal", run: check_abductive_sound_minimal },
+        Check { name: "shap-vs-abductive", run: check_shap_vs_abductive },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xsat_checks_pass_a_seed_sweep() {
+        for check in checks() {
+            for seed in 0..4 {
+                if let Err(detail) = (check.run)(seed, SizeLevel::DEFAULT) {
+                    panic!("{} failed at seed {seed}: {detail}", check.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_above_the_clamp_are_tractable() {
+        // Requesting level 2 must silently clamp to MAX_LEVEL instead of
+        // exploding the brute-force grid.
+        for check in checks() {
+            (check.run)(1, SizeLevel(2)).expect("clamped run passes");
+        }
+    }
+
+    #[test]
+    fn forces_class_detects_flips() {
+        let forest = xsat_forest(0, SizeLevel(1));
+        let engine = AbductiveEngine::new(&forest).expect("encodable");
+        let x = vec![0.5f32; forest.n_features()];
+        let want = forest_vote(&forest, &x);
+        let all: Vec<usize> = (0..forest.n_features()).collect();
+        // Fixing everything always forces the class...
+        assert!(forces_class(&forest, engine.encoding(), &x, &all, want));
+        // ...and claiming the opposite class must fail immediately.
+        assert!(!forces_class(&forest, engine.encoding(), &x, &all, !want));
+    }
+}

@@ -1,0 +1,289 @@
+//! Propositional literals, clauses, and a CNF builder.
+//!
+//! Variables are dense `u32` indices starting at 0; a [`Lit`] packs the
+//! variable and its sign into one word (`var << 1 | negated`), the layout
+//! every CDCL solver uses so a literal doubles as an index into per-literal
+//! watch lists.
+//!
+//! [`Cnf`] is the formula under construction: the encoder appends clauses
+//! and allocates fresh variables, the solver consumes the finished formula.
+//! Cardinality constraints (`at_most_k` / `at_least_k`) use the Sinz
+//! sequential-counter encoding, optionally *guarded* by a selector literal
+//! so two mutually exclusive constraints (flip-to-hotspot vs
+//! flip-to-non-hotspot) can share one formula and be switched per SAT call
+//! through assumptions.
+
+use std::fmt;
+
+/// A propositional literal: variable `var()` with sign `is_neg()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: u32) -> Lit {
+        Lit(var << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: u32) -> Lit {
+        Lit((var << 1) | 1)
+    }
+
+    /// A literal of `var` with the given polarity (`true` = positive).
+    pub fn with_sign(var: u32, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// True when this is the negated literal.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index for watch lists (`2 * var + sign`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether `assignment[var]` satisfies this literal.
+    pub fn eval(self, value: bool) -> bool {
+        value != self.is_neg()
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "-{}", self.var() + 1)
+        } else {
+            write!(f, "{}", self.var() + 1)
+        }
+    }
+}
+
+/// A CNF formula under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    n_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula with no variables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.n_vars;
+        self.n_vars += 1;
+        v
+    }
+
+    /// Variables allocated so far.
+    pub fn n_vars(&self) -> u32 {
+        self.n_vars
+    }
+
+    /// The clauses added so far.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Appends one clause (a disjunction of literals). An empty clause makes
+    /// the formula trivially unsatisfiable — allowed, the solver handles it.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        debug_assert!(lits.iter().all(|l| l.var() < self.n_vars), "literal out of range");
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Encodes "at most `k` of `lits` are true" with the Sinz sequential
+    /// counter (O(n·k) auxiliary variables and clauses). When `guard` is
+    /// given, every clause is weakened with `¬guard`, so the constraint is
+    /// only active under the assumption `guard = true`.
+    pub fn add_at_most_k(&mut self, lits: &[Lit], k: usize, guard: Option<Lit>) {
+        let n = lits.len();
+        if k >= n {
+            return; // vacuously true
+        }
+        if k == 0 {
+            for &l in lits {
+                let mut clause = vec![l.negate()];
+                if let Some(g) = guard {
+                    clause.push(g.negate());
+                }
+                self.clauses.push(clause);
+            }
+            return;
+        }
+        // reg[i][j] (0-based i over the first n-1 inputs, 0-based j < k):
+        // "at least j+1 of lits[..=i] are true".
+        let mut reg: Vec<Vec<u32>> = Vec::with_capacity(n - 1);
+        for _ in 0..n - 1 {
+            reg.push((0..k).map(|_| self.new_var()).collect());
+        }
+        let mut emit = |mut clause: Vec<Lit>| {
+            if let Some(g) = guard {
+                clause.push(g.negate());
+            }
+            self.clauses.push(clause);
+        };
+        emit(vec![lits[0].negate(), Lit::pos(reg[0][0])]);
+        for &v in reg[0].iter().skip(1) {
+            emit(vec![Lit::neg(v)]);
+        }
+        for i in 1..n - 1 {
+            emit(vec![lits[i].negate(), Lit::pos(reg[i][0])]);
+            emit(vec![Lit::neg(reg[i - 1][0]), Lit::pos(reg[i][0])]);
+            for j in 1..k {
+                emit(vec![lits[i].negate(), Lit::neg(reg[i - 1][j - 1]), Lit::pos(reg[i][j])]);
+                emit(vec![Lit::neg(reg[i - 1][j]), Lit::pos(reg[i][j])]);
+            }
+            emit(vec![lits[i].negate(), Lit::neg(reg[i - 1][k - 1])]);
+        }
+        emit(vec![lits[n - 1].negate(), Lit::neg(reg[n - 2][k - 1])]);
+    }
+
+    /// Encodes "at least `k` of `lits` are true" as at-most-`n-k` of the
+    /// negations, with the same optional selector guard.
+    pub fn add_at_least_k(&mut self, lits: &[Lit], k: usize, guard: Option<Lit>) {
+        if k == 0 {
+            return;
+        }
+        if k > lits.len() {
+            // Unsatisfiable demand: under the guard, the formula must fail.
+            match guard {
+                Some(g) => self.clauses.push(vec![g.negate()]),
+                None => self.clauses.push(Vec::new()),
+            }
+            return;
+        }
+        let negated: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+        self.add_at_most_k(&negated, lits.len() - k, guard);
+    }
+}
+
+/// Brute-force satisfiability by full enumeration — the reference oracle
+/// the CDCL solver is differential-tested against. Only feasible for small
+/// variable counts (the proptests stay ≤ 20). Returns a satisfying
+/// assignment (indexed by variable) or `None` when unsatisfiable under
+/// `assumptions`.
+pub fn brute_force(cnf: &Cnf, assumptions: &[Lit]) -> Option<Vec<bool>> {
+    let n = cnf.n_vars() as usize;
+    assert!(n <= 24, "brute_force is exponential; got {n} variables");
+    'outer: for bits in 0u64..(1u64 << n) {
+        let value = |v: u32| bits >> v & 1 == 1;
+        for &a in assumptions {
+            if !a.eval(value(a.var())) {
+                continue 'outer;
+            }
+        }
+        for clause in cnf.clauses() {
+            if !clause.iter().any(|l| l.eval(value(l.var()))) {
+                continue 'outer;
+            }
+        }
+        return Some((0..n as u32).map(value).collect());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_models(cnf: &Cnf) -> usize {
+        let n = cnf.n_vars() as usize;
+        (0u64..1 << n)
+            .filter(|bits| {
+                cnf.clauses().iter().all(|c| c.iter().any(|l| l.eval(bits >> l.var() & 1 == 1)))
+            })
+            .count()
+    }
+
+    #[test]
+    fn literal_packing_round_trips() {
+        let l = Lit::neg(7);
+        assert_eq!(l.var(), 7);
+        assert!(l.is_neg());
+        assert_eq!(l.negate(), Lit::pos(7));
+        assert_eq!(l.index(), 15);
+        assert!(l.eval(false) && !l.eval(true));
+        assert_eq!(l.to_string(), "-8");
+        assert_eq!(Lit::with_sign(3, true), Lit::pos(3));
+        assert_eq!(Lit::with_sign(3, false), Lit::neg(3));
+    }
+
+    #[test]
+    fn at_most_k_counts_exactly() {
+        // Over 4 free variables, at-most-2 has C(4,0)+C(4,1)+C(4,2) = 11
+        // models when projected onto the inputs. Count by enumerating input
+        // assignments and checking the auxiliary variables can be extended.
+        let mut cnf = Cnf::new();
+        let xs: Vec<Lit> = (0..4).map(|_| Lit::pos(cnf.new_var())).collect();
+        cnf.add_at_most_k(&xs, 2, None);
+        for bits in 0u32..16 {
+            let want = bits.count_ones() <= 2;
+            let assumptions: Vec<Lit> =
+                (0..4).map(|v| Lit::with_sign(v, bits >> v & 1 == 1)).collect();
+            assert_eq!(brute_force(&cnf, &assumptions).is_some(), want, "bits {bits:04b}");
+        }
+    }
+
+    #[test]
+    fn at_least_k_counts_exactly() {
+        let mut cnf = Cnf::new();
+        let xs: Vec<Lit> = (0..5).map(|_| Lit::pos(cnf.new_var())).collect();
+        cnf.add_at_least_k(&xs, 3, None);
+        for bits in 0u32..32 {
+            let want = bits.count_ones() >= 3;
+            let assumptions: Vec<Lit> =
+                (0..5).map(|v| Lit::with_sign(v, bits >> v & 1 == 1)).collect();
+            assert_eq!(brute_force(&cnf, &assumptions).is_some(), want, "bits {bits:05b}");
+        }
+    }
+
+    #[test]
+    fn guarded_cardinality_only_bites_under_its_selector() {
+        let mut cnf = Cnf::new();
+        let xs: Vec<Lit> = (0..3).map(|_| Lit::pos(cnf.new_var())).collect();
+        let guard = Lit::pos(cnf.new_var());
+        cnf.add_at_most_k(&xs, 0, Some(guard));
+        // All three true violates at-most-0, but only when the guard holds.
+        let all_true: Vec<Lit> = (0..3).map(Lit::pos).collect();
+        let mut with_guard = all_true.clone();
+        with_guard.push(guard);
+        assert!(brute_force(&cnf, &all_true).is_some());
+        assert!(brute_force(&cnf, &with_guard).is_none());
+    }
+
+    #[test]
+    fn degenerate_cardinalities() {
+        let mut cnf = Cnf::new();
+        let xs: Vec<Lit> = (0..2).map(|_| Lit::pos(cnf.new_var())).collect();
+        cnf.add_at_most_k(&xs, 5, None); // vacuous
+        cnf.add_at_least_k(&xs, 0, None); // vacuous
+        assert_eq!(cnf.clauses().len(), 0);
+        assert_eq!(count_models(&cnf), 4);
+        // Demanding more trues than literals is unsatisfiable.
+        let mut cnf = Cnf::new();
+        let xs: Vec<Lit> = (0..2).map(|_| Lit::pos(cnf.new_var())).collect();
+        cnf.add_at_least_k(&xs, 3, None);
+        assert!(brute_force(&cnf, &[]).is_none());
+    }
+}

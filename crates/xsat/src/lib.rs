@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! SAT-based abductive explanations for `drcshap` Random Forests.
+//!
+//! SHAP (the paper's explainer) answers "how much did each feature
+//! contribute" with an *attribution* — useful, but heuristic in the sense
+//! that it carries no guarantee. This crate computes explanations with a
+//! formal guarantee: a **subset-minimal sufficient reason** (abductive
+//! explanation / PI-explanation) is a set of features such that fixing them
+//! to the instance's values *provably* forces the prediction, for every
+//! possible completion of the remaining features — and no proper subset
+//! does. The dual **contrastive explanation** is a minimal set of features
+//! whose change alone could flip the prediction.
+//!
+//! Three layers, reusable separately:
+//!
+//! - [`cnf`] — literals, clauses, Sinz cardinality encodings with selector
+//!   guards, and a brute-force enumeration oracle for differential tests;
+//! - [`solver`] — a small, deterministic CDCL SAT solver (two-watched
+//!   literals, 1UIP learning, VSIDS, Luby restarts, assumptions, conflict
+//!   budgets) with no external dependencies;
+//! - [`encode`] + [`abduct`] — the interval-grid CNF encoding of a
+//!   forest's majority vote and the deletion-based minimization engine.
+//!
+//! # Example
+//!
+//! ```
+//! use drcshap_forest::{MaxFeatures, RandomForestTrainer};
+//! use drcshap_ml::{Dataset, Trainer};
+//! use drcshap_xsat::{forest_vote, AbductiveEngine, XsatBudget};
+//!
+//! // A toy forest: hotspot iff feature 0 is large (feature 1 is constant).
+//! let xs: Vec<f32> = (0..40).flat_map(|i| [i as f32 / 40.0, 0.5]).collect();
+//! let ys: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+//! let groups: Vec<u32> = (0..40).map(|i| i % 4).collect();
+//! let data = Dataset::from_parts(xs, ys, groups, 2);
+//! let trainer =
+//!     RandomForestTrainer { n_trees: 3, max_features: MaxFeatures::All, ..Default::default() };
+//! let forest = trainer.fit(&data, 7);
+//!
+//! let mut engine = AbductiveEngine::new(&forest).unwrap();
+//! let x = [0.9f32, 0.5];
+//! let ex = engine.explain(&x, &XsatBudget::default()).unwrap();
+//! assert_eq!(ex.predicted_hotspot, forest_vote(&forest, &x));
+//! // The sufficient reason provably forces the prediction; feature 1
+//! // cannot be required — the label never depended on it.
+//! assert!(ex.sufficient.contains(&0));
+//! ```
+
+pub mod abduct;
+pub mod cnf;
+pub mod encode;
+pub mod solver;
+
+pub use abduct::{AbductiveEngine, AbductiveExplanation, ExplainedFeature, XsatBudget};
+pub use cnf::{brute_force, Cnf, Lit};
+pub use encode::{forest_vote, forest_vote_count, tree_vote, FeatureInterval, ForestEncoding};
+pub use solver::{SolveBudget, SolveOutcome, Solver, SolverStats};

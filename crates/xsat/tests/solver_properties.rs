@@ -1,0 +1,151 @@
+//! Differential property tests: the CDCL solver against the brute-force
+//! enumeration oracle on random CNF instances of up to 20 variables — plain
+//! satisfiability, satisfiability under assumptions, and the Sinz
+//! cardinality encodings. Whenever the solver answers SAT, the model it
+//! produced is checked against every clause; whenever it answers UNSAT, the
+//! enumerator must agree that no model exists.
+
+use drcshap_xsat::{brute_force, Cnf, Lit, SolveBudget, SolveOutcome, Solver};
+use proptest::prelude::*;
+
+const MAX_VARS: usize = 20;
+
+/// Builds a CNF over `n_vars` variables from raw `(var, negated)` pairs,
+/// mapping variable indices into range. Empty clauses are legal input.
+fn build_cnf(n_vars: usize, raw_clauses: &[Vec<(u32, bool)>]) -> Cnf {
+    let mut cnf = Cnf::new();
+    for _ in 0..n_vars {
+        cnf.new_var();
+    }
+    for raw in raw_clauses {
+        let lits: Vec<Lit> =
+            raw.iter().map(|&(v, neg)| Lit::with_sign(v % n_vars as u32, !neg)).collect();
+        cnf.add_clause(&lits);
+    }
+    cnf
+}
+
+fn check_against_oracle(cnf: &Cnf, assumptions: &[Lit]) -> Result<(), TestCaseError> {
+    let mut solver = Solver::from_cnf(cnf);
+    let verdict = solver.solve(assumptions, &SolveBudget::unlimited());
+    let oracle = brute_force(cnf, assumptions);
+    match verdict {
+        SolveOutcome::Sat => {
+            prop_assert!(oracle.is_some(), "solver says SAT, enumerator finds no model");
+            for &a in assumptions {
+                prop_assert!(a.eval(solver.value(a.var())), "assumption {a} violated in model");
+            }
+            for clause in cnf.clauses() {
+                prop_assert!(
+                    clause.iter().any(|l| l.eval(solver.value(l.var()))),
+                    "model does not satisfy clause"
+                );
+            }
+        }
+        SolveOutcome::Unsat => {
+            prop_assert!(oracle.is_none(), "solver says UNSAT, enumerator found a model");
+        }
+        SolveOutcome::BudgetExhausted => {
+            prop_assert!(false, "unlimited budget cannot exhaust");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random CNF, no assumptions: verdicts agree with full enumeration and
+    /// SAT models actually satisfy the formula.
+    #[test]
+    fn solver_matches_brute_force(
+        n_vars in 1usize..=MAX_VARS,
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..MAX_VARS as u32, any::<bool>()), 1..4),
+            0..40,
+        ),
+    ) {
+        let cnf = build_cnf(n_vars, &raw);
+        check_against_oracle(&cnf, &[])?;
+    }
+
+    /// Random CNF under random assumptions — the mode the abductive
+    /// deletion loop exercises hundreds of times per explanation.
+    #[test]
+    fn solver_matches_brute_force_under_assumptions(
+        n_vars in 1usize..=12,
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..12u32, any::<bool>()), 1..4),
+            0..32,
+        ),
+        raw_assumptions in prop::collection::vec((0u32..12u32, any::<bool>()), 0..6),
+    ) {
+        let cnf = build_cnf(n_vars, &raw);
+        // Assumptions may repeat or contradict each other — both are legal.
+        let assumptions: Vec<Lit> = raw_assumptions
+            .iter()
+            .map(|&(v, neg)| Lit::with_sign(v % n_vars as u32, !neg))
+            .collect();
+        check_against_oracle(&cnf, &assumptions)?;
+    }
+
+    /// Learned clauses from earlier calls must never change later verdicts:
+    /// solve the same instance twice under the same assumptions, and
+    /// interleave with an assumption-free call.
+    #[test]
+    fn incremental_calls_are_verdict_stable(
+        n_vars in 1usize..=10,
+        raw in prop::collection::vec(
+            prop::collection::vec((0u32..10u32, any::<bool>()), 1..4),
+            0..24,
+        ),
+        raw_assumptions in prop::collection::vec((0u32..10u32, any::<bool>()), 0..4),
+    ) {
+        let cnf = build_cnf(n_vars, &raw);
+        let assumptions: Vec<Lit> = raw_assumptions
+            .iter()
+            .map(|&(v, neg)| Lit::with_sign(v % n_vars as u32, !neg))
+            .collect();
+        let mut solver = Solver::from_cnf(&cnf);
+        let first = solver.solve(&assumptions, &SolveBudget::unlimited());
+        let free = solver.solve(&[], &SolveBudget::unlimited());
+        let second = solver.solve(&assumptions, &SolveBudget::unlimited());
+        prop_assert_eq!(first, second, "verdict drifted across incremental calls");
+        if first == SolveOutcome::Sat {
+            prop_assert_eq!(free, SolveOutcome::Sat, "relaxing assumptions cannot lose SAT");
+        }
+    }
+
+    /// The Sinz cardinality encodings count correctly: with all inputs
+    /// fixed by assumptions, at-most-k is satisfiable iff the popcount
+    /// obeys the bound (auxiliary variables are free for the solver).
+    #[test]
+    fn cardinality_encodings_count(
+        n in 1usize..=8,
+        k in 0usize..=9,
+        bits in 0u32..256,
+        guarded in any::<bool>(),
+    ) {
+        let mut cnf = Cnf::new();
+        let xs: Vec<Lit> = (0..n).map(|_| Lit::pos(cnf.new_var())).collect();
+        let guard = if guarded { Some(Lit::pos(cnf.new_var())) } else { None };
+        cnf.add_at_most_k(&xs, k, guard);
+        let count = (0..n).filter(|&i| bits >> i & 1 == 1).count();
+        let mut assumptions: Vec<Lit> =
+            (0..n).map(|i| Lit::with_sign(xs[i].var(), bits >> i & 1 == 1)).collect();
+        if let Some(g) = guard {
+            // Unguarded by assumption: any popcount is fine.
+            let mut solver = Solver::from_cnf(&cnf);
+            prop_assert_eq!(
+                solver.solve(&assumptions, &SolveBudget::unlimited()),
+                SolveOutcome::Sat,
+                "inactive guard must not constrain"
+            );
+            assumptions.push(g);
+        }
+        let mut solver = Solver::from_cnf(&cnf);
+        let verdict = solver.solve(&assumptions, &SolveBudget::unlimited());
+        let want = if count <= k { SolveOutcome::Sat } else { SolveOutcome::Unsat };
+        prop_assert_eq!(verdict, want, "n={} k={} count={}", n, k, count);
+    }
+}

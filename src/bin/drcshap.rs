@@ -4,6 +4,15 @@
 //! drcshap list                             the 14-design suite with Table I stats
 //! drcshap build <design> [scale]           run the pipeline, print summaries + heatmap
 //! drcshap explain <design> [scale]         train (grouped) and explain 3 hotspots
+//! drcshap explain --model <artifact> [--method shap|abductive|both]
+//!                 [--cases <file.jsonl> | --design <name> [--scale <s>]]
+//!                 [--limit <n>] [--top <k>] [--budget-conflicts <n>]
+//!     explain a saved RF artifact's predictions as one bit-stable JSON
+//!     document: SHAP attributions, SAT-based abductive explanations
+//!     (subset-minimal sufficient reasons + contrastive duals), or both,
+//!     with provenance (artifact CRC, schema fingerprint, epoch); an
+//!     exhausted conflict budget is reported per case as
+//!     `abductive_timeout`, never a crash
 //! drcshap triage <design> [scale] [p]      archetype triage of predicted hotspots
 //! drcshap export <design> <dir> [scale]    write CSV dataset + DEF
 //! drcshap train <design> <out.model> [scale] [--registry <dir>]
@@ -41,7 +50,9 @@
 //!     before exiting); `--stats` dumps gateway metrics as JSON on stderr
 //! drcshap testkit run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>]
 //!                     [--gateway-soak-secs <t>] [--crash-soak-iters <n>]
-//!     sweep every conformance check over n consecutive seeds, then
+//!                     [--xsat-checks]
+//!     sweep every conformance check (with `--xsat-checks`, also the
+//!     SAT-explainer consistency oracles) over n consecutive seeds, then
 //!     chaos-soak the serve engine for t seconds, the multi-shard
 //!     gateway (slow shard, killed shard, quota overload, registry-driven
 //!     staged rollout mid-load) for the gateway soak duration, and the
@@ -90,6 +101,9 @@ use drcshap::telemetry;
 use drcshap::testkit::{self, ChaosConfig, CrashSoakConfig, GatewayChaosConfig, SizeLevel};
 
 const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
+                     explain --model <artifact> [--method shap|abductive|both] \
+                     [--cases <file.jsonl> | --design <name> [--scale <s>]] [--limit <n>] \
+                     [--top <k>] [--budget-conflicts <n>] | \
                      triage <design> [scale] [threshold] | export <design> <dir> [scale] | \
                      train <design> <out.model> [scale] [--registry <dir>] | \
                      predict <model> <design> [scale] | \
@@ -103,7 +117,7 @@ const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <de
                      [--hedge-ms <ms>] [--retries <n>] [--quota-burst <b>] \
                      [--quota-refill <r>] [--listen <addr>] [--max-conns <n>] [--stats] | \
                      testkit <run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>] \
-                     [--gateway-soak-secs <t>] [--crash-soak-iters <n>] | \
+                     [--gateway-soak-secs <t>] [--crash-soak-iters <n>] [--xsat-checks] | \
                      replay --check <name> --seed <s> [--level <l>] | list>> \
                      -- every verb also accepts --trace <out.json> and --stats";
 
@@ -288,6 +302,11 @@ fn trained_explainer(
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), DrcshapError> {
+    // `--model` switches to the artifact-based dual-explanation mode; the
+    // bare positional form keeps the original force-plot walkthrough.
+    if args.iter().any(|a| a == "--model") {
+        return cmd_explain_model(args);
+    }
     let spec = spec_arg(args, 0)?;
     let config = PipelineConfig { scale: parse_scale(args, 1)?, ..Default::default() };
     let (explainer, bundle) = trained_explainer(&spec, &config)?;
@@ -303,6 +322,271 @@ fn cmd_explain(args: &[String]) -> Result<(), DrcshapError> {
         );
     }
     Ok(())
+}
+
+/// Which explanation views `explain --model` computes.
+#[derive(Clone, Copy, PartialEq)]
+enum ExplainMethod {
+    Shap,
+    Abductive,
+    Both,
+}
+
+impl ExplainMethod {
+    fn parse(s: &str) -> Result<Self, DrcshapError> {
+        match s {
+            "shap" => Ok(Self::Shap),
+            "abductive" => Ok(Self::Abductive),
+            "both" => Ok(Self::Both),
+            other => Err(DrcshapError::usage(format!(
+                "bad value {other:?} for --method (expected shap | abductive | both)"
+            ))),
+        }
+    }
+
+    fn wants_shap(self) -> bool {
+        matches!(self, Self::Shap | Self::Both)
+    }
+
+    fn wants_abductive(self) -> bool {
+        matches!(self, Self::Abductive | Self::Both)
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::Shap => "shap",
+            Self::Abductive => "abductive",
+            Self::Both => "both",
+        }
+    }
+}
+
+/// Provenance block of the `explain --model` JSON: enough to tie an
+/// explanation document back to the exact artifact that produced it.
+#[derive(serde::Serialize)]
+struct ExplainProvenance {
+    /// CRC32 of the raw artifact bytes on disk.
+    artifact_crc: u32,
+    /// The feature schema the artifact is bound to.
+    schema_fingerprint: u64,
+    /// Model family (always "RF" today — the only encodable family).
+    model_kind: String,
+    /// Serve-convention epoch: 1 = the initial (file-loaded) model. The
+    /// serve path stamps later epochs on hot swaps.
+    model_epoch: u64,
+    /// Feature count.
+    n_features: usize,
+}
+
+#[derive(serde::Serialize)]
+struct ShapView {
+    base_value: f64,
+    contributions: Vec<f64>,
+    top: Vec<ShapTopFeature>,
+}
+
+#[derive(serde::Serialize)]
+struct ShapTopFeature {
+    feature: usize,
+    name: String,
+    phi: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ExplainedCase {
+    case: usize,
+    proba: f64,
+    hotspot: bool,
+    votes_for: usize,
+    n_trees: usize,
+    shap: Option<ShapView>,
+    abductive: Option<drcshap::xsat::AbductiveExplanation>,
+    abductive_timeout: Option<AbductiveTimeout>,
+}
+
+#[derive(serde::Serialize)]
+struct AbductiveTimeout {
+    conflicts: u64,
+    sat_calls: u32,
+}
+
+#[derive(serde::Serialize)]
+struct ExplainDocument {
+    method: &'static str,
+    provenance: ExplainProvenance,
+    budget_conflicts_per_call: u64,
+    budget_conflicts_total: u64,
+    cases: Vec<ExplainedCase>,
+}
+
+/// `drcshap explain --model <artifact> [--method shap|abductive|both]
+/// [--cases <file.jsonl> | --design <name> [--scale <s>]] [--limit <n>]
+/// [--top <k>] [--budget-conflicts <n>]` — explain individual predictions
+/// of a saved RF artifact with SHAP attributions, SAT-based abductive
+/// explanations (subset-minimal sufficient reasons + contrastive duals),
+/// or both, as one JSON document on stdout.
+///
+/// The output is bit-stable: SHAP is summed per tree in a fixed order, the
+/// abductive engine is deterministic under conflict-only budgets, and the
+/// provenance block pins the artifact CRC — two runs over the same
+/// artifact and cases produce byte-identical JSON.
+fn cmd_explain_model(args: &[String]) -> Result<(), DrcshapError> {
+    let mut args = args.to_vec();
+    let model_path = take_value(&mut args, "--model")?.expect("--model checked by dispatch");
+    let method = match take_value(&mut args, "--method")? {
+        None => ExplainMethod::Both,
+        Some(s) => ExplainMethod::parse(&s)?,
+    };
+    let cases_path = take_value(&mut args, "--cases")?;
+    let design = take_value(&mut args, "--design")?;
+    let scale: f64 = parse_flag(&mut args, "--scale", 0.25)?;
+    let limit: usize = parse_flag(&mut args, "--limit", 3)?;
+    let top: usize = parse_flag(&mut args, "--top", 5)?;
+    let budget =
+        match take_value(&mut args, "--budget-conflicts")? {
+            None => drcshap::xsat::XsatBudget::default(),
+            Some(s) => drcshap::xsat::XsatBudget::conflicts(s.parse().map_err(|_| {
+                DrcshapError::usage(format!("bad value {s:?} for --budget-conflicts"))
+            })?),
+        };
+    if let Some(extra) = args.first() {
+        return Err(DrcshapError::usage(format!("unexpected argument {extra:?}")));
+    }
+
+    let schema = FeatureSchema::paper_387();
+    let bytes = std::fs::read(&model_path).map_err(|e| DrcshapError::io(model_path.clone(), e))?;
+    let artifact_crc = crc32(&bytes);
+    let model = drcshap::core::artifact::decode_model(&bytes, schema.fingerprint())?;
+    let SavedModel::Rf(forest) = &model else {
+        return Err(DrcshapError::usage(format!(
+            "explain --model requires an RF artifact (found {})",
+            model.kind()
+        )));
+    };
+
+    // Case rows: an explicit JSONL file of feature vectors, or the
+    // top-`limit` predicted hotspots of a built design.
+    let rows: Vec<(usize, Vec<f32>)> = match (&cases_path, &design) {
+        (Some(path), None) => read_case_rows(path, forest.n_features())?,
+        (None, Some(name)) => {
+            let spec = suite::spec(name).ok_or_else(|| {
+                DrcshapError::usage(format!("unknown design {name:?} (try `drcshap list`)"))
+            })?;
+            let config = PipelineConfig { scale, ..Default::default() };
+            eprintln!("building {} at scale {}...", spec.name, config.scale);
+            let bundle = try_build_design(&spec, &config)?;
+            let (ranked, _) =
+                stream_scores(model.as_classifier(), matrix_rows(&bundle.features), limit)?;
+            ranked.iter().map(|&(i, _)| (i, bundle.features.row(i).to_vec())).collect()
+        }
+        _ => {
+            return Err(DrcshapError::usage(
+                "explain --model needs exactly one case source: --cases <file.jsonl> or \
+                 --design <name>",
+            ))
+        }
+    };
+
+    let mut engine = if method.wants_abductive() {
+        Some(drcshap::xsat::AbductiveEngine::new(forest).map_err(DrcshapError::from)?)
+    } else {
+        None
+    };
+    let names = schema.names().to_vec();
+    let n_trees = forest.trees().len();
+    let mut cases = Vec::with_capacity(rows.len());
+    for (case, x) in &rows {
+        let proba = forest.predict_proba(x);
+        let votes_for = drcshap::xsat::forest_vote_count(forest, x);
+        let shap = method.wants_shap().then(|| {
+            // Summed per tree in a fixed order: the parallel explain path
+            // is faster but not bit-stable across runs.
+            let mut contributions = vec![0.0f64; x.len()];
+            for tree in forest.trees() {
+                for (j, phi) in drcshap::shap::tree_shap(tree, x).iter().enumerate() {
+                    contributions[j] += phi / n_trees as f64;
+                }
+            }
+            let base_value = proba - contributions.iter().sum::<f64>();
+            let mut ranked: Vec<usize> = (0..contributions.len()).collect();
+            ranked.sort_by(|&a, &b| {
+                contributions[b].abs().total_cmp(&contributions[a].abs()).then(a.cmp(&b))
+            });
+            let top = ranked
+                .iter()
+                .take(top)
+                .map(|&j| ShapTopFeature {
+                    feature: j,
+                    name: names[j].to_string(),
+                    phi: contributions[j],
+                })
+                .collect();
+            ShapView { base_value, contributions, top }
+        });
+        let (abductive, abductive_timeout) = match engine.as_mut() {
+            None => (None, None),
+            Some(engine) => match engine.explain(x, &budget) {
+                Ok(ex) => (Some(ex), None),
+                Err(DrcshapError::ExplanationTimeout { conflicts, sat_calls }) => {
+                    (None, Some(AbductiveTimeout { conflicts, sat_calls }))
+                }
+                Err(e) => return Err(e),
+            },
+        };
+        cases.push(ExplainedCase {
+            case: *case,
+            proba,
+            hotspot: 2 * votes_for > n_trees,
+            votes_for,
+            n_trees,
+            shap,
+            abductive,
+            abductive_timeout,
+        });
+    }
+
+    let document = ExplainDocument {
+        method: method.name(),
+        provenance: ExplainProvenance {
+            artifact_crc,
+            schema_fingerprint: schema.fingerprint(),
+            model_kind: model.kind().to_string(),
+            model_epoch: 1,
+            n_features: forest.n_features(),
+        },
+        budget_conflicts_per_call: budget.max_conflicts_per_call,
+        budget_conflicts_total: budget.max_total_conflicts,
+        cases,
+    };
+    println!("{}", serde_json::to_string(&document).expect("document serializes"));
+    Ok(())
+}
+
+/// Reads case rows from a JSONL file: each line a JSON array of `expected`
+/// feature values.
+fn read_case_rows(path: &str, expected: usize) -> Result<Vec<(usize, Vec<f32>)>, DrcshapError> {
+    let text = std::fs::read_to_string(path).map_err(|e| DrcshapError::io(path.to_string(), e))?;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let x: Vec<f32> = serde_json::from_str(line).map_err(|e| {
+            DrcshapError::usage(format!("{path}:{}: not a JSON feature array: {e}", i + 1))
+        })?;
+        if x.len() != expected {
+            return Err(DrcshapError::usage(format!(
+                "{path}:{}: expected {expected} features, found {}",
+                i + 1,
+                x.len()
+            )));
+        }
+        rows.push((i, x));
+    }
+    if rows.is_empty() {
+        return Err(DrcshapError::usage(format!("{path}: no case rows")));
+    }
+    Ok(rows)
 }
 
 fn cmd_triage(args: &[String]) -> Result<(), DrcshapError> {
@@ -869,10 +1153,14 @@ fn cmd_testkit(args: &[String]) -> Result<(), DrcshapError> {
             for check in testkit::registry() {
                 println!("{}", check.name);
             }
+            for check in testkit::xsat_checks() {
+                println!("{} (run with --xsat-checks)", check.name);
+            }
             Ok(())
         }
         Some("run") => {
             let mut args = args[1..].to_vec();
+            let xsat = take_switch(&mut args, "--xsat-checks");
             let seeds: u64 = parse_flag(&mut args, "--seeds", 16)?;
             let base_seed: u64 = parse_flag(&mut args, "--base-seed", 0)?;
             let soak_secs: f64 = parse_flag(&mut args, "--soak-secs", 2.0)?;
@@ -893,7 +1181,11 @@ fn cmd_testkit(args: &[String]) -> Result<(), DrcshapError> {
             if seeds == 0 {
                 return Err(DrcshapError::usage("--seeds must be at least 1"));
             }
-            let report = testkit::run_all(base_seed, seeds);
+            let mut checks = testkit::registry();
+            if xsat {
+                checks.extend(testkit::xsat_checks());
+            }
+            let report = testkit::run_checks(checks, base_seed, seeds);
             for (name, passed) in &report.passes {
                 println!("conformance {name}: {passed}/{seeds} seeds ok");
             }

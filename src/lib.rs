@@ -33,6 +33,11 @@
 //!   blobs, recovery (torn-tail truncation, temp-file sweep, blob
 //!   quarantine), verification, garbage collection, and a watch API the
 //!   gateway's staged rollouts pull new generations from;
+//! - [`xsat`] — SAT-based abductive explanations served next to SHAP: a
+//!   self-contained CDCL solver, a CNF encoding of a trained forest's
+//!   decision paths and majority vote, and an engine computing
+//!   subset-minimal sufficient reasons (with their contrastive duals)
+//!   under explicit conflict/deadline budgets;
 //! - [`telemetry`] — workspace-wide spans and counters with JSON-summary
 //!   and Chrome-trace export (`--trace` / `--stats` on the CLI);
 //! - [`testkit`] — the deterministic conformance engine: seeded scenario
@@ -80,3 +85,4 @@ pub use drcshap_store as store;
 pub use drcshap_svm as svm;
 pub use drcshap_telemetry as telemetry;
 pub use drcshap_testkit as testkit;
+pub use drcshap_xsat as xsat;
