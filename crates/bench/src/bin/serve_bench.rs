@@ -1,35 +1,47 @@
 //! Serving-path throughput bench: per-sample `RandomForest::predict_proba`
-//! vs the serve engine's `CompiledForest::score_batch`, plus the NaN-aware
-//! batch path and the full micro-batching engine, reported as JSON.
+//! vs the serve engine's `CompiledForest::score_batch`, the NaN-aware
+//! batch path, the full micro-batching engine, and a per-kernel sweep of
+//! every [`ForestKernel`] (reference, compiled, bitvector,
+//! bitvector-quantized), reported as JSON.
 //!
-//! The compiled path must be *bit-identical* to the reference model — this
-//! bench verifies that on every row before timing anything and refuses to
-//! report numbers for a divergent build.
+//! Every timed path must be *bit-identical* to the reference model — this
+//! bench verifies that on every row (and for every kernel) before timing
+//! anything and refuses to report numbers for a divergent build.
 //!
 //! ```text
 //! cargo run --release -p drcshap-bench --bin serve_bench [-- --out BENCH_serve.json]
 //! # CI regression gate against a committed baseline
 //! cargo run --release -p drcshap-bench --bin serve_bench -- --gate BENCH_serve.json
-//! # record the engine's flush spans as a Chrome trace
+//! # record the engine's flush + per-kernel spans as a Chrome trace
 //! cargo run --release -p drcshap-bench --bin serve_bench -- --trace serve.json --stats
 //! ```
 //!
+//! `--out <path>` merges the serve fields into an existing JSON baseline
+//! (preserving the `gateway`, `registry`, and `xsat` sections other
+//! benches maintain) or creates the file fresh.
+//!
 //! `--gate <baseline.json>` compares the fresh run against a committed
-//! baseline: it fails (exit 1) when the baseline was not bit-identical,
-//! when the baseline's `compiled_batch_per_s` is null or non-positive
-//! (a placeholder that never got regenerated), or when fresh compiled
-//! throughput regresses more than `DRCSHAP_BENCH_TOLERANCE` (default
-//! 0.25, i.e. 25%) below the baseline.
+//! baseline: it fails (exit 1) when the baseline's recorded knobs (trees,
+//! features, batch) differ from this run's environment knobs — comparing
+//! runs at different knobs is meaningless — when the baseline was not
+//! bit-identical, when the baseline's `compiled_batch_per_s` is null or
+//! non-positive (a placeholder that never got regenerated), when the
+//! baseline's `kernels` section is missing, non-bit-identical, or holds a
+//! null/placeholder best throughput, or when fresh compiled (or fresh
+//! best-kernel) throughput regresses more than `DRCSHAP_BENCH_TOLERANCE`
+//! (default 0.25, i.e. 25%) below the baseline.
 //!
 //! Environment knobs: `DRCSHAP_SERVE_TREES` (default 100),
 //! `DRCSHAP_SERVE_FEATURES` (default 64), `DRCSHAP_SERVE_SAMPLES`
-//! (default 4096, also the batch size; the acceptance floor is 256).
+//! (default 4096, also the batch size; the acceptance floor is 256), and
+//! `DRCSHAP_SERVE_DEPTH` (max tree depth; default 0 = unpruned — small
+//! depths are the shape the bitvector kernels favor).
 
 use std::time::{Duration, Instant};
 
 use drcshap_forest::{RandomForest, RandomForestTrainer};
 use drcshap_ml::{Dataset, NanPolicy, Trainer};
-use drcshap_serve::{CompiledForest, ServeConfig, ServeEngine};
+use drcshap_serve::{CompiledForest, ForestKernel, KernelDispatch, ServeConfig, ServeEngine};
 use drcshap_telemetry as telemetry;
 use rand::Rng;
 use rand::SeedableRng;
@@ -69,7 +81,13 @@ fn throughput(per_call: usize, mut body: impl FnMut()) -> f64 {
     (calls * per_call as u64) as f64 / start.elapsed().as_secs_f64()
 }
 
-fn train_forest(n_trees: usize, m: usize, rows: usize, seed: u64) -> RandomForest {
+fn train_forest(
+    n_trees: usize,
+    m: usize,
+    rows: usize,
+    max_depth: Option<usize>,
+    seed: u64,
+) -> RandomForest {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut x = Vec::with_capacity(rows * m);
     let mut y = Vec::with_capacity(rows);
@@ -85,7 +103,7 @@ fn train_forest(n_trees: usize, m: usize, rows: usize, seed: u64) -> RandomFores
         y.push(acc > 0.5 * (m as f32 / 7.0));
     }
     let data = Dataset::from_parts(x, y, vec![0; rows], m);
-    RandomForestTrainer { n_trees, ..Default::default() }.fit(&data, seed)
+    RandomForestTrainer { n_trees, max_depth, ..Default::default() }.fit(&data, seed)
 }
 
 /// Extracts `--flag <value>` from `args`, removing both tokens.
@@ -106,10 +124,32 @@ fn baseline_throughput(report: &serde_json::Value, field: &str) -> Option<f64> {
     report.get(field)?.as_f64().filter(|v| v.is_finite() && *v > 0.0)
 }
 
-/// The CI regression gate: fresh vs committed baseline. Exits non-zero on
-/// a null/placeholder baseline, a non-bit-identical baseline, or a fresh
-/// compiled throughput more than `tolerance` below the baseline.
-fn run_gate(baseline_path: &str, fresh_compiled: f64, tolerance: f64) {
+/// One throughput comparison inside the gate: fails (exit 1) when `fresh`
+/// drops more than `tolerance` below `base`.
+fn gate_compare(what: &str, fresh: f64, base: f64, tolerance: f64) {
+    let floor = base * (1.0 - tolerance);
+    eprintln!(
+        "gate: fresh {what} {fresh:.3e}/s vs baseline {base:.3e}/s ({:.1}% of baseline, \
+         floor {:.0}%)",
+        fresh / base * 100.0,
+        (1.0 - tolerance) * 100.0
+    );
+    if fresh < floor {
+        eprintln!(
+            "gate: FAIL — {what} throughput regressed more than {:.0}% below the baseline",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The CI regression gate: fresh vs committed baseline. Refuses (exit 1)
+/// a baseline recorded at different knobs than this run — the two are not
+/// comparable — then fails on a null/placeholder baseline, a
+/// non-bit-identical baseline (top-level or any kernel entry), a missing
+/// or placeholder `kernels` section, or a fresh compiled / best-kernel
+/// throughput more than `tolerance` below the baseline.
+fn run_gate(baseline_path: &str, fresh: &serde_json::Value, tolerance: f64) {
     let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
         eprintln!("gate: cannot read baseline {baseline_path}: {e}");
         std::process::exit(1);
@@ -118,6 +158,23 @@ fn run_gate(baseline_path: &str, fresh_compiled: f64, tolerance: f64) {
         eprintln!("gate: baseline {baseline_path} is not valid JSON: {e}");
         std::process::exit(1);
     });
+    // Knob guard: a baseline committed at different TREES/FEATURES/SAMPLES
+    // knobs would make every comparison below meaningless — refuse rather
+    // than pass or fail on noise.
+    for knob in ["trees", "features", "batch", "depth"] {
+        let base_knob = baseline.get(knob).and_then(serde_json::Value::as_u64);
+        let fresh_knob = fresh.get(knob).and_then(serde_json::Value::as_u64);
+        if base_knob != fresh_knob {
+            eprintln!(
+                "gate: REFUSED — baseline {baseline_path} was recorded with {knob}={}, but \
+                 this run uses {knob}={}; rerun with the baseline's DRCSHAP_SERVE_* knobs or \
+                 regenerate the baseline",
+                base_knob.map_or("null".to_string(), |v| v.to_string()),
+                fresh_knob.map_or("null".to_string(), |v| v.to_string()),
+            );
+            std::process::exit(1);
+        }
+    }
     if baseline.get("bit_identical").and_then(serde_json::Value::as_bool) != Some(true) {
         eprintln!("gate: baseline {baseline_path} was not bit-identical — rejecting it");
         std::process::exit(1);
@@ -129,21 +186,49 @@ fn run_gate(baseline_path: &str, fresh_compiled: f64, tolerance: f64) {
         );
         std::process::exit(1);
     };
-    let floor = base_compiled * (1.0 - tolerance);
-    let ratio = fresh_compiled / base_compiled;
-    eprintln!(
-        "gate: fresh compiled {fresh_compiled:.3e}/s vs baseline {base_compiled:.3e}/s \
-         ({:.1}% of baseline, floor {:.0}%)",
-        ratio * 100.0,
-        (1.0 - tolerance) * 100.0
-    );
-    if fresh_compiled < floor {
+    let fresh_compiled = fresh["compiled_batch_per_s"].as_f64().expect("fresh report is complete");
+    gate_compare("compiled", fresh_compiled, base_compiled, tolerance);
+    // The kernels section: every kernel entry must have been bit-identical
+    // when the baseline was recorded, and the best kernel must not regress.
+    let Some(base_kernels) = baseline.get("kernels").and_then(serde_json::Value::as_object) else {
         eprintln!(
-            "gate: FAIL — compiled throughput regressed more than {:.0}% below the baseline",
-            tolerance * 100.0
+            "gate: baseline {baseline_path} has no kernels section — regenerate it with \
+             `serve_bench --out {baseline_path}`"
         );
         std::process::exit(1);
+    };
+    for kernel in ForestKernel::ALL {
+        let entry = base_kernels.get(kernel.name());
+        let identical = entry
+            .and_then(|e| e.get("bit_identical"))
+            .and_then(serde_json::Value::as_bool)
+            .unwrap_or(false);
+        let per_s = entry
+            .and_then(|e| e.get("per_s"))
+            .and_then(serde_json::Value::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0);
+        if !identical || per_s.is_none() {
+            eprintln!(
+                "gate: baseline {baseline_path} kernels.{} is missing, not bit-identical, or \
+                 a null/placeholder entry — regenerate the baseline",
+                kernel.name()
+            );
+            std::process::exit(1);
+        }
     }
+    let base_best = base_kernels
+        .get("best_per_s")
+        .and_then(serde_json::Value::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "gate: baseline {baseline_path} kernels.best_per_s is null or non-positive — \
+                 regenerate the baseline"
+            );
+            std::process::exit(1);
+        });
+    let fresh_best = fresh["kernels"]["best_per_s"].as_f64().expect("fresh report is complete");
+    gate_compare("best-kernel", fresh_best, base_best, tolerance);
     eprintln!("gate: PASS");
 }
 
@@ -170,14 +255,21 @@ fn main() {
     let n_trees = env_usize("DRCSHAP_SERVE_TREES", 100);
     let m = env_usize("DRCSHAP_SERVE_FEATURES", 64);
     let batch = env_usize("DRCSHAP_SERVE_SAMPLES", 4096);
+    // 0 = unpruned (the paper's setting). Depth-limited forests are the
+    // shape the bitvector kernels are built for (see DESIGN.md §16).
+    let depth = env_usize("DRCSHAP_SERVE_DEPTH", 0);
+    let max_depth = if depth == 0 { None } else { Some(depth) };
     let tolerance = env_f64("DRCSHAP_BENCH_TOLERANCE", 0.25);
     if !(0.0..1.0).contains(&tolerance) {
         eprintln!("error: DRCSHAP_BENCH_TOLERANCE must be in [0, 1), got {tolerance}");
         std::process::exit(2);
     }
 
-    eprintln!("training {n_trees}-tree forest on {m} features...");
-    let rf = train_forest(n_trees, m, 2000, 42);
+    eprintln!("training {n_trees}-tree forest on {m} features (depth {depth}; 0 = unpruned)...");
+    let rf = train_forest(n_trees, m, 2000, max_depth, 42);
+    let mean_leaves =
+        rf.trees().iter().map(|t| t.num_leaves()).sum::<usize>() as f64 / rf.trees().len() as f64;
+    eprintln!("mean leaves per tree: {mean_leaves:.1}");
     let compiled = CompiledForest::compile(&rf);
 
     // The probe batch: random rows, plus a NaN-laced copy for the NaN path.
@@ -223,6 +315,65 @@ fn main() {
         std::hint::black_box(compiled.score_batch_nan_aware(&flat_nan));
     });
 
+    // Per-kernel sweep: build every kernel, verify it bit-identical on the
+    // probe batch (plain and NaN-aware), then time both paths. Each timed
+    // region runs under the kernel's telemetry span so `--trace` yields a
+    // per-kernel Chrome trace.
+    let mut kernels = serde_json::Map::new();
+    let mut best: Option<(ForestKernel, f64)> = None;
+    for kernel in ForestKernel::ALL {
+        let dispatch = KernelDispatch::build(&rf, kernel).unwrap_or_else(|e| {
+            eprintln!("error: building kernel {kernel}: {e}");
+            std::process::exit(1);
+        });
+        let plain = dispatch.score_batch(&rf, &compiled, &flat, false);
+        let nan = dispatch.score_batch(&rf, &compiled, &flat_nan, true);
+        for i in 0..batch {
+            assert_eq!(
+                plain[i].to_bits(),
+                batch_scores[i].to_bits(),
+                "kernel {kernel} diverges from predict_proba at row {i}"
+            );
+            assert_eq!(
+                nan[i].to_bits(),
+                nan_scores[i].to_bits(),
+                "kernel {kernel} NaN-aware diverges at row {i}"
+            );
+        }
+        let per_s = throughput(batch, || {
+            let _span = telemetry::span(kernel.span_name());
+            std::hint::black_box(dispatch.score_batch(&rf, &compiled, &flat, false));
+        });
+        let nan_per_s = throughput(batch, || {
+            let _span = telemetry::span(kernel.span_name());
+            std::hint::black_box(dispatch.score_batch(&rf, &compiled, &flat_nan, true));
+        });
+        eprintln!("kernel {kernel}: {per_s:.3e}/s plain, {nan_per_s:.3e}/s NaN-aware");
+        kernels.insert(
+            kernel.name().to_string(),
+            serde_json::json!({
+                "per_s": per_s,
+                "nan_aware_per_s": nan_per_s,
+                "bit_identical": true,
+            }),
+        );
+        if best.is_none_or(|(_, b)| per_s > b) {
+            best = Some((kernel, per_s));
+        }
+    }
+    let (best_kernel, best_per_s) = best.expect("at least one kernel ran");
+    let bitvector_per_s = kernels["bitvector"]["per_s"].as_f64().expect("bitvector timed");
+    kernels.insert("best".to_string(), serde_json::json!(best_kernel.name()));
+    kernels.insert("best_per_s".to_string(), serde_json::json!(best_per_s));
+    kernels.insert(
+        "bitvector_speedup_vs_compiled".to_string(),
+        serde_json::json!(bitvector_per_s / compiled_tp),
+    );
+    eprintln!(
+        "best kernel: {best_kernel} at {best_per_s:.3e}/s (bitvector {:.2}x compiled-batch)",
+        bitvector_per_s / compiled_tp
+    );
+
     // The whole engine, queueing included: submit the batch as individual
     // requests through a sliding window and wait them all out.
     let config = ServeConfig {
@@ -250,6 +401,8 @@ fn main() {
         "trees": n_trees,
         "features": m,
         "batch": batch,
+        "depth": depth,
+        "mean_leaves": mean_leaves,
         "threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "single_sample_per_s": single,
         "compiled_batch_per_s": compiled_tp,
@@ -258,25 +411,51 @@ fn main() {
         "speedup_compiled_vs_single": speedup,
         "engine_mean_batch": metrics.mean_batch,
         "engine_latency_p99_us": metrics.latency_p99_us,
+        "kernels": serde_json::Value::Object(kernels),
         "bit_identical": true,
     });
     let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
     println!("{pretty}");
     if let Some(path) = out_path {
         // Never overwrite a baseline with numbers the gate would reject.
-        for (field, value) in
-            [("single", single), ("compiled", compiled_tp), ("nan", nan_tp), ("engine", engine_tp)]
-        {
+        for (field, value) in [
+            ("single", single),
+            ("compiled", compiled_tp),
+            ("nan", nan_tp),
+            ("engine", engine_tp),
+            ("best-kernel", best_per_s),
+        ] {
             if !value.is_finite() || value <= 0.0 {
                 eprintln!("error: refusing to write {path}: {field} throughput is {value}");
                 std::process::exit(1);
             }
         }
-        std::fs::write(&path, format!("{pretty}\n")).unwrap_or_else(|e| {
+        // Merge into the existing baseline so the `gateway`, `registry`,
+        // and `xsat` sections other benches maintain survive.
+        let mut doc: serde_json::Value = match std::fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("error: {path} is not valid JSON: {e}");
+                std::process::exit(1);
+            }),
+            Err(_) => serde_json::json!({}),
+        };
+        match (doc.as_object_mut(), report.as_object()) {
+            (Some(obj), Some(fresh)) => {
+                for (key, value) in fresh {
+                    obj.insert(key.clone(), value.clone());
+                }
+            }
+            _ => {
+                eprintln!("error: {path} is not a JSON object; cannot merge the serve fields");
+                std::process::exit(1);
+            }
+        }
+        let merged = serde_json::to_string_pretty(&doc).expect("merged report serializes");
+        std::fs::write(&path, format!("{merged}\n")).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
         });
-        eprintln!("wrote {path}");
+        eprintln!("merged serve fields into {path}");
     }
     eprintln!("speedup compiled-batch vs single-sample: {speedup:.1}x");
     if let Some(path) = trace_path {
@@ -291,6 +470,6 @@ fn main() {
         eprintln!("{}", serde_json::to_string_pretty(&summary).expect("summary serialize"));
     }
     if let Some(path) = gate_path {
-        run_gate(&path, compiled_tp, tolerance);
+        run_gate(&path, &report, tolerance);
     }
 }

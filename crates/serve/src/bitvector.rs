@@ -1,0 +1,597 @@
+//! The QuickScorer-class branchless forest kernel.
+//!
+//! Instead of walking each tree root-to-leaf per sample (the
+//! [`crate::compiled`] layout — data-dependent branches and pointer
+//! chasing at every level), this kernel inverts the traversal: it
+//! enumerates the *tests that fail* and intersects precomputed leaf
+//! bitmasks (Lucchese et al., "QuickScorer: A Fast Algorithm to Rank
+//! Documents with Additive Ensembles of Regression Trees", SIGIR'15).
+//!
+//! # How it works
+//!
+//! Leaves of each tree are numbered in order (left-to-right). A key CART
+//! property: the left subtree of any internal node covers a *contiguous*
+//! leaf interval `[lo, hi)`. Scoring a sample starts from an all-ones
+//! "every leaf reachable" bitvector per tree; every node whose test
+//! `x[feature] <= threshold` is FALSE clears its left-subtree interval.
+//! The exit leaf — the one the branching traversal would reach — is the
+//! lowest surviving bit:
+//!
+//! - it is never cleared (each ancestor that has it in its left interval
+//!   tested true), and
+//! - every leaf to its left is cleared by its deepest common ancestor
+//!   with the exit path (a false node).
+//!
+//! The false-node enumeration is branchless over the node structure: all
+//! split tests of a tree block are bucketed per feature and sorted by
+//! threshold, so the failing set for feature value `v` is exactly the
+//! prefix with `threshold < v` — one binary search, then straight-line
+//! mask clears. `NaN` never satisfies `v <= t`, so a NaN feature fails
+//! *every* test on that feature — exactly how the reference `predict`
+//! routes NaN (always right) — which the prefix rule encodes by treating
+//! NaN as "past every threshold".
+//!
+//! # Blocking
+//!
+//! Trees are packed into blocks of at most `MAX_BLOCK_WORDS` mask words
+//! so the per-sample mask working set stays in L1, and batches are scored
+//! in sample blocks of `DOC_BLOCK` rows (rayon-parallel), amortizing
+//! each sorted threshold run over all rows of the block.
+//!
+//! # Bit-identity
+//!
+//! Per sample, surviving-leaf values are accumulated in tree order into
+//! an `f64` and divided by the tree count — the exact floating-point
+//! operation sequence of [`RandomForest::predict_proba`], so scores are
+//! bit-identical by construction (asserted by `tests/kernel_equivalence.rs`
+//! and the testkit `kernel-differential` oracle).
+
+use drcshap_forest::{RandomForest, TreeNode};
+use rayon::prelude::*;
+
+use crate::lanes;
+
+/// Mask words allowed per tree block (soft cap — a single tree wider than
+/// this still gets its own block). 64 words = 4096 leaves = 512 bytes of
+/// mask per sample per block.
+const MAX_BLOCK_WORDS: usize = 64;
+
+/// Samples scored together per rayon work unit. Every sorted threshold
+/// run fetched from memory serves this many rows.
+const DOC_BLOCK: usize = 32;
+
+/// A per-block-and-feature run of split entries, sorted by threshold.
+#[derive(Debug, Clone, PartialEq)]
+struct FeatureRun {
+    /// Feature index the run's tests read.
+    feature: u32,
+    /// `start..end` range into the block's entry arrays.
+    start: u32,
+    /// Exclusive end of the run.
+    end: u32,
+}
+
+/// Per-tree bookkeeping within a block.
+#[derive(Debug, Clone, PartialEq)]
+struct BlockTree {
+    /// First mask word of this tree within the block.
+    word_offset: u32,
+    /// Mask words this tree occupies.
+    word_count: u32,
+    /// Offset of this tree's in-order leaf values in `leaf_values`.
+    leaf_offset: u32,
+}
+
+/// One block of trees sharing a mask buffer.
+#[derive(Debug, Clone, PartialEq)]
+struct TreeBlock<K> {
+    /// Mask words per sample for this block.
+    words: usize,
+    /// All-leaves-alive initial masks; tail bits past each tree's last
+    /// leaf are zero so they can never win the exit-leaf scan.
+    template: Vec<u64>,
+    /// Trees of the block, in ensemble order.
+    trees: Vec<BlockTree>,
+    /// Non-empty per-feature entry runs, ascending by feature.
+    runs: Vec<FeatureRun>,
+    /// Entry sort keys (raw `f32` thresholds, or bin ids for the
+    /// quantized kernel), ascending within each run.
+    keys: Vec<K>,
+    /// Per entry: block-absolute index of the first mask word its
+    /// precomputed AND-mask touches.
+    entry_word: Vec<u32>,
+    /// Per entry: number of mask words the AND-mask spans (1 for any tree
+    /// with at most 64 leaves — the single-AND hot path).
+    entry_len: Vec<u32>,
+    /// Per entry: offset of its AND-mask words in `entry_masks`.
+    entry_mask_off: Vec<u32>,
+    /// Precomputed AND-masks, concatenated: the QuickScorer trick. A
+    /// failed test is `mask[word + j] &= entry_masks[off + j]` — no shift
+    /// arithmetic or interval branching on the scoring path.
+    entry_masks: Vec<u64>,
+    /// In-order leaf values of the block's trees, concatenated.
+    leaf_values: Vec<f64>,
+}
+
+/// The threshold-comparison abstraction shared by the raw-`f32` and
+/// quantized kernels: given a run of ascending keys, how many leading
+/// entries does feature value `v` FAIL (`v <= key` false)?
+pub(crate) trait SplitKey: Copy + Send + Sync {
+    /// Number of leading entries of `keys` (ascending) whose test fails
+    /// for `v`. The prefix property holds because `v <= k` is monotone in
+    /// `k` for any fixed `v` — including NaN, which fails every test.
+    fn failing_prefix(keys: &[Self], v: Self) -> usize;
+}
+
+impl SplitKey for f32 {
+    #[inline]
+    fn failing_prefix(keys: &[Self], v: Self) -> usize {
+        if v.is_nan() {
+            // NaN <= t is false for every t: all tests fail, matching the
+            // reference `predict`, which routes NaN right at every split.
+            keys.len()
+        } else {
+            // `t < v` ⟺ the test `v <= t` fails; thresholds are finite.
+            keys.partition_point(|t| *t < v)
+        }
+    }
+}
+
+impl SplitKey for u8 {
+    #[inline]
+    fn failing_prefix(keys: &[Self], v: Self) -> usize {
+        keys.partition_point(|t| *t < v)
+    }
+}
+
+impl SplitKey for u16 {
+    #[inline]
+    fn failing_prefix(keys: &[Self], v: Self) -> usize {
+        keys.partition_point(|t| *t < v)
+    }
+}
+
+/// The shared bitvector scoring machine, generic over the key type. The
+/// public kernels ([`BitVectorForest`], [`crate::quantize::QuantizedForest`])
+/// wrap this with their own row representations.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct QsLayout<K> {
+    n_features: usize,
+    n_trees: usize,
+    blocks: Vec<TreeBlock<K>>,
+}
+
+/// One internal node's contribution to the layout, before sorting.
+struct RawEntry {
+    feature: u32,
+    threshold: f32,
+    /// Tree-local in-order leaf interval of the left subtree.
+    lo: u32,
+    hi: u32,
+}
+
+/// In-order leaf numbering of one tree: leaf values in left-to-right
+/// order plus one [`RawEntry`] per internal node. Iterative traversal —
+/// unpruned CART trees can be deep.
+fn tree_entries(nodes: &[TreeNode]) -> (Vec<f64>, Vec<RawEntry>) {
+    let mut leaves = Vec::new();
+    let mut entries = Vec::new();
+    // Enter(i): start the subtree at node i. AfterLeft(i, lo): the left
+    // subtree of node i is done; record its entry, then enter the right.
+    enum Frame {
+        Enter(usize),
+        AfterLeft(usize, u32),
+    }
+    let mut stack = vec![Frame::Enter(0)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(i) => {
+                let n = &nodes[i];
+                if n.is_leaf() {
+                    leaves.push(n.value);
+                } else {
+                    stack.push(Frame::AfterLeft(i, leaves.len() as u32));
+                    stack.push(Frame::Enter(n.left as usize));
+                }
+            }
+            Frame::AfterLeft(i, lo) => {
+                let n = &nodes[i];
+                entries.push(RawEntry {
+                    feature: n.feature,
+                    threshold: n.threshold,
+                    lo,
+                    hi: leaves.len() as u32,
+                });
+                stack.push(Frame::Enter(n.right as usize));
+            }
+        }
+    }
+    (leaves, entries)
+}
+
+impl<K: SplitKey> QsLayout<K> {
+    /// Builds the layout from `forest`, mapping each `(feature, threshold)`
+    /// through `key_of` (identity for the raw kernel, bin lookup for the
+    /// quantized one). `key_of` must be strictly monotone in the threshold
+    /// per feature so the pre-sorted `f32` order carries over to the keys.
+    pub(crate) fn build(forest: &RandomForest, key_of: impl Fn(usize, f32) -> K) -> Self {
+        let n_features = forest.n_features();
+        let mut per_tree = Vec::with_capacity(forest.trees().len());
+        for tree in forest.trees() {
+            per_tree.push(tree_entries(tree.nodes()));
+        }
+
+        // Greedy block partition: close a block when adding the next tree
+        // would exceed the word cap (oversized trees get their own block).
+        let mut blocks = Vec::new();
+        let mut start = 0usize;
+        while start < per_tree.len() {
+            let mut end = start;
+            let mut words = 0usize;
+            while end < per_tree.len() {
+                let tree_words = per_tree[end].0.len().div_ceil(64).max(1);
+                if end > start && words + tree_words > MAX_BLOCK_WORDS {
+                    break;
+                }
+                words += tree_words;
+                end += 1;
+            }
+            blocks.push(Self::build_block(&per_tree[start..end], &key_of));
+            start = end;
+        }
+        Self { n_features, n_trees: per_tree.len(), blocks }
+    }
+
+    fn build_block(
+        trees: &[(Vec<f64>, Vec<RawEntry>)],
+        key_of: &impl Fn(usize, f32) -> K,
+    ) -> TreeBlock<K> {
+        let mut block_trees = Vec::with_capacity(trees.len());
+        let mut leaf_values = Vec::new();
+        let mut words = 0usize;
+        // (feature, threshold, abs_lo, abs_hi) across all trees of the block.
+        let mut raw: Vec<(u32, f32, u32, u32)> = Vec::new();
+        for (leaves, entries) in trees {
+            let word_offset = words as u32;
+            let word_count = leaves.len().div_ceil(64).max(1) as u32;
+            words += word_count as usize;
+            let bit_base = word_offset * 64;
+            for e in entries {
+                raw.push((e.feature, e.threshold, bit_base + e.lo, bit_base + e.hi));
+            }
+            block_trees.push(BlockTree {
+                word_offset,
+                word_count,
+                leaf_offset: leaf_values.len() as u32,
+            });
+            leaf_values.extend_from_slice(leaves);
+        }
+
+        // Template: every leaf alive, tail bits past each tree's last leaf
+        // cleared (a stray tail bit would fake an exit leaf).
+        let mut template = vec![!0u64; words];
+        for (tree, (leaves, _)) in block_trees.iter().zip(trees) {
+            let first_dead = tree.word_offset as usize * 64 + leaves.len();
+            let end = (tree.word_offset + tree.word_count) as usize * 64;
+            if first_dead < end {
+                lanes::clear_range(&mut template, first_dead, end);
+            }
+        }
+
+        // Feature-major, threshold-ascending entry order. Thresholds are
+        // finite (CART midpoints), `total_cmp` for a total order anyway.
+        raw.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut runs = Vec::new();
+        let mut keys = Vec::with_capacity(raw.len());
+        let mut entry_word = Vec::with_capacity(raw.len());
+        let mut entry_len = Vec::with_capacity(raw.len());
+        let mut entry_mask_off = Vec::with_capacity(raw.len());
+        let mut entry_masks = Vec::new();
+        for (feature, threshold, lo, hi) in raw {
+            match runs.last_mut() {
+                Some(FeatureRun { feature: f, end, .. }) if *f == feature => *end += 1,
+                _ => runs.push(FeatureRun {
+                    feature,
+                    start: keys.len() as u32,
+                    end: keys.len() as u32 + 1,
+                }),
+            }
+            keys.push(key_of(feature as usize, threshold));
+            // Precompute the AND-mask over the words the [lo, hi) interval
+            // touches — the scoring loop then just ANDs these words in.
+            let (lo, hi) = (lo as usize, hi as usize);
+            let wl = lo / 64;
+            let wh = (hi - 1) / 64;
+            entry_word.push(wl as u32);
+            entry_len.push((wh - wl + 1) as u32);
+            entry_mask_off.push(entry_masks.len() as u32);
+            let start = entry_masks.len();
+            entry_masks.resize(start + (wh - wl + 1), !0u64);
+            lanes::clear_range(&mut entry_masks[start..], lo - wl * 64, hi - wl * 64);
+        }
+        TreeBlock {
+            words,
+            template,
+            trees: block_trees,
+            runs,
+            keys,
+            entry_word,
+            entry_len,
+            entry_mask_off,
+            entry_masks,
+            leaf_values,
+        }
+    }
+
+    pub(crate) fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    pub(crate) fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Largest per-sample mask buffer any block needs, in words.
+    pub(crate) fn max_block_words(&self) -> usize {
+        self.blocks.iter().map(|b| b.words).max().unwrap_or(0)
+    }
+
+    /// Scores `rows` samples given row-major `keys` (already mapped to the
+    /// key domain), writing the per-sample leaf-value sums *divided by the
+    /// tree count* into `scores`. `masks` is caller-provided scratch.
+    ///
+    /// Accumulation per sample runs in global tree order (blocks are in
+    /// tree order, trees within a block too), so the f64 operation
+    /// sequence matches `RandomForest::predict_proba` exactly.
+    pub(crate) fn score_rows(
+        &self,
+        keys: &[K],
+        rows: usize,
+        scores: &mut [f64],
+        masks: &mut Vec<u64>,
+    ) {
+        debug_assert_eq!(keys.len(), rows * self.n_features);
+        debug_assert_eq!(scores.len(), rows);
+        scores.fill(0.0);
+        // One mask buffer for the current sample: at most MAX_BLOCK_WORDS
+        // words (512 bytes), so the whole working set of the inner loops —
+        // mask, sorted keys, precomputed AND-masks — stays in L1.
+        masks.resize(self.max_block_words(), 0);
+        for block in &self.blocks {
+            let mask = &mut masks[..block.words];
+            for (d, score) in scores.iter_mut().enumerate() {
+                lanes::reset_from_template(mask, &block.template);
+                let row = &keys[d * self.n_features..(d + 1) * self.n_features];
+                for run in &block.runs {
+                    let range = run.start as usize..run.end as usize;
+                    let run_keys = &block.keys[range.clone()];
+                    let failing = K::failing_prefix(run_keys, row[run.feature as usize]);
+                    let words = &block.entry_word[range.clone()][..failing];
+                    let lens = &block.entry_len[range.clone()][..failing];
+                    let offs = &block.entry_mask_off[range][..failing];
+                    for e in 0..failing {
+                        let w = words[e] as usize;
+                        let off = offs[e] as usize;
+                        // Single-word trees (≤ 64 leaves) take one AND.
+                        if lens[e] == 1 {
+                            mask[w] &= block.entry_masks[off];
+                        } else {
+                            for j in 0..lens[e] as usize {
+                                mask[w + j] &= block.entry_masks[off + j];
+                            }
+                        }
+                    }
+                }
+                for tree in &block.trees {
+                    let wo = tree.word_offset as usize;
+                    let wc = tree.word_count as usize;
+                    let leaf = lanes::first_set_bit(&mask[wo..wo + wc])
+                        .expect("bitvector invariant: the exit leaf always survives");
+                    *score += block.leaf_values[tree.leaf_offset as usize + leaf];
+                }
+            }
+        }
+        let n_trees = self.n_trees as f64;
+        for score in scores.iter_mut() {
+            *score /= n_trees;
+        }
+    }
+}
+
+/// The raw-`f32` QuickScorer kernel: branchless bitvector traversal over
+/// the original thresholds. Scores are bit-identical to
+/// [`RandomForest::predict_proba`] (NaN/±∞ rows included — a NaN feature
+/// fails every test, exactly like the reference comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitVectorForest {
+    layout: QsLayout<f32>,
+}
+
+impl BitVectorForest {
+    /// Builds the bitvector layout from `forest` (one in-order pass over
+    /// the nodes plus a per-feature sort).
+    pub fn compile(forest: &RandomForest) -> Self {
+        Self { layout: QsLayout::build(forest, |_, t| t) }
+    }
+
+    /// Number of features the source forest was trained on.
+    pub fn n_features(&self) -> usize {
+        self.layout.n_features()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.layout.n_trees()
+    }
+
+    /// Scores one sample — bit-identical to [`RandomForest::predict_proba`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the feature count.
+    pub fn score_one(&self, x: &[f32]) -> f64 {
+        assert_eq!(x.len(), self.n_features(), "feature count mismatch");
+        let mut score = [0.0f64];
+        let mut masks = Vec::new();
+        self.layout.score_rows(x, 1, &mut score, &mut masks);
+        score[0]
+    }
+
+    /// Scores a row-major batch in parallel — each row bit-identical to
+    /// [`RandomForest::predict_proba`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` is not a multiple of the feature count.
+    pub fn score_batch(&self, flat: &[f32]) -> Vec<f64> {
+        let m = self.n_features();
+        assert_eq!(
+            flat.len() % m,
+            0,
+            "flat batch length {} is not a multiple of the feature count {m}",
+            flat.len()
+        );
+        let rows = flat.len() / m;
+        let mut out = vec![0.0f64; rows];
+        out.par_chunks_mut(DOC_BLOCK).zip(flat.par_chunks(DOC_BLOCK * m)).for_each(
+            |(scores, xs)| {
+                let mut masks = Vec::new();
+                self.layout.score_rows(xs, scores.len(), scores, &mut masks);
+            },
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcshap_forest::RandomForestTrainer;
+    use drcshap_ml::{Dataset, Trainer};
+
+    fn noisy(n: usize, m: usize, seed: u64) -> Dataset {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let row: Vec<f32> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
+            y.push(row[0] > 0.6 || (row[1 % m] > 0.8));
+            x.extend(row);
+        }
+        Dataset::from_parts(x, y, vec![0; n], m)
+    }
+
+    fn train(n_trees: usize, m: usize, seed: u64) -> RandomForest {
+        let data = noisy(220, m, seed);
+        RandomForestTrainer { n_trees, ..Default::default() }.fit(&data, seed)
+    }
+
+    #[test]
+    fn score_one_is_bit_identical() {
+        let rf = train(13, 3, 1);
+        let bv = BitVectorForest::compile(&rf);
+        assert_eq!(bv.n_trees(), 13);
+        assert_eq!(bv.n_features(), 3);
+        for probe in [[0.1f32, 0.9, 0.5], [0.7, 0.2, 0.8], [0.5, 0.5, 0.5], [0.0, 1.0, 0.3]] {
+            assert_eq!(bv.score_one(&probe).to_bits(), rf.predict_proba(&probe).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_identical_across_doc_block_boundaries() {
+        let rf = train(9, 3, 2);
+        let bv = BitVectorForest::compile(&rf);
+        let rows = DOC_BLOCK * 2 + 7;
+        let mut flat = Vec::with_capacity(rows * 3);
+        for i in 0..rows {
+            let t = i as f32 / rows as f32;
+            flat.extend_from_slice(&[t, 1.0 - t, (i % 5) as f32 / 5.0]);
+        }
+        let batch = bv.score_batch(&flat);
+        for (i, s) in batch.iter().enumerate() {
+            let reference = rf.predict_proba(&flat[i * 3..(i + 1) * 3]);
+            assert_eq!(s.to_bits(), reference.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn nan_and_infinities_match_the_plain_reference() {
+        // `predict_proba` sends NaN right at every split (NaN <= t is
+        // false); the bitvector kernel must reproduce that bit-for-bit.
+        let rf = train(7, 3, 3);
+        let bv = BitVectorForest::compile(&rf);
+        let probes: &[[f32; 3]] = &[
+            [f32::NAN, 0.5, 0.5],
+            [0.5, f32::NAN, f32::NAN],
+            [f32::NAN, f32::NAN, f32::NAN],
+            [f32::INFINITY, f32::NEG_INFINITY, 0.5],
+            [-0.0, 0.0, 0.5],
+        ];
+        for p in probes {
+            assert_eq!(bv.score_one(p).to_bits(), rf.predict_proba(p).to_bits(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_equal_values_take_the_left_branch() {
+        // `v == threshold` must survive the test (v <= t), i.e. NOT clear
+        // the left interval — the classic off-by-one of the prefix rule.
+        let rf = train(11, 2, 4);
+        let bv = BitVectorForest::compile(&rf);
+        for tree in rf.trees() {
+            for node in tree.nodes().iter().filter(|n| !n.is_leaf()).take(8) {
+                let mut probe = vec![0.5f32; 2];
+                probe[node.feature as usize] = node.threshold;
+                assert_eq!(
+                    bv.score_one(&probe).to_bits(),
+                    rf.predict_proba(&probe).to_bits(),
+                    "threshold-equal probe {probe:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_trees_score_their_root_value() {
+        // A pure dataset trains root-only trees: no entries, one leaf.
+        let n = 40;
+        let x: Vec<f32> = (0..n * 2).map(|i| (i % 7) as f32).collect();
+        let data = Dataset::from_parts(x, vec![true; n], vec![0; n], 2);
+        let rf = RandomForestTrainer { n_trees: 4, ..Default::default() }.fit(&data, 0);
+        let bv = BitVectorForest::compile(&rf);
+        let probe = [3.0f32, 4.0];
+        assert_eq!(bv.score_one(&probe).to_bits(), rf.predict_proba(&probe).to_bits());
+        assert_eq!(bv.score_one(&probe), 1.0);
+    }
+
+    #[test]
+    fn blocking_splits_many_trees_and_stays_identical() {
+        // Enough trees to force several tree blocks.
+        let rf = train(90, 4, 5);
+        let bv = BitVectorForest::compile(&rf);
+        assert!(bv.layout.blocks.len() > 1, "expected multiple tree blocks");
+        let flat: Vec<f32> = (0..40 * 4).map(|i| (i % 11) as f32 / 11.0).collect();
+        let batch = bv.score_batch(&flat);
+        for (i, s) in batch.iter().enumerate() {
+            let reference = rf.predict_proba(&flat[i * 4..(i + 1) * 4]);
+            assert_eq!(s.to_bits(), reference.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let rf = train(3, 2, 6);
+        let bv = BitVectorForest::compile(&rf);
+        assert!(bv.score_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_batch_panics() {
+        let rf = train(3, 2, 7);
+        let bv = BitVectorForest::compile(&rf);
+        let _ = bv.score_batch(&[0.0, 1.0, 0.5]);
+    }
+}

@@ -40,6 +40,7 @@ use drcshap_telemetry as telemetry;
 use drcshap_xsat::{AbductiveEngine, AbductiveExplanation, XsatBudget};
 
 use crate::cache::ExplanationCache;
+use crate::kernel::ForestKernel;
 use crate::metrics::{MetricsRegistry, ServeMetrics};
 use crate::swap::{EpochCell, ModelEpoch};
 
@@ -56,10 +57,14 @@ pub struct ServeConfig {
     /// Worker threads draining the queue.
     pub workers: usize,
     /// How non-finite feature values are treated at admission
-    /// ([`NanPolicy::NanAware`] batches take the NaN-aware compiled path).
+    /// ([`NanPolicy::NanAware`] batches take the NaN-aware scoring path).
     pub nan_policy: NanPolicy,
     /// Explanation-cache capacity (0 disables caching).
     pub cache_capacity: usize,
+    /// Scoring kernel override (the CLI's `--kernel`). `None` defers to
+    /// the `DRCSHAP_KERNEL` environment variable, then to
+    /// [`ForestKernel::auto`] on the forest shape.
+    pub kernel: Option<ForestKernel>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +76,7 @@ impl Default for ServeConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8),
             nan_policy: NanPolicy::default(),
             cache_capacity: 1024,
+            kernel: None,
         }
     }
 }
@@ -193,8 +199,10 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// A usage error from [`ServeConfig::validate`], or an I/O error if a
-    /// worker thread cannot be spawned.
+    /// A usage error from [`ServeConfig::validate`], a kernel-resolution
+    /// or kernel-build usage error (unknown `DRCSHAP_KERNEL`, or an
+    /// explicitly requested kernel the forest is ineligible for), or an
+    /// I/O error if a worker thread cannot be spawned.
     pub fn start(
         config: ServeConfig,
         forest: RandomForest,
@@ -202,10 +210,11 @@ impl ServeEngine {
     ) -> Result<Self, DrcshapError> {
         config.validate()?;
         let cache_capacity = config.cache_capacity;
+        let kernel = ForestKernel::resolve(config.kernel, &forest)?;
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
             flush: Condvar::new(),
-            cell: EpochCell::new(forest, fingerprint),
+            cell: EpochCell::with_kernel(forest, fingerprint, kernel)?,
             cache: ExplanationCache::new(cache_capacity),
             metrics: MetricsRegistry::default(),
             abductive: Mutex::new(None),
@@ -253,6 +262,11 @@ impl ServeEngine {
     /// The currently serving model epoch.
     pub fn model(&self) -> Arc<ModelEpoch> {
         self.shared.cell.load()
+    }
+
+    /// The scoring kernel every batch of this engine runs through.
+    pub fn kernel(&self) -> ForestKernel {
+        self.shared.cell.kernel()
     }
 
     /// Validates `x` under the configured [`NanPolicy`] and enqueues it,
@@ -483,7 +497,11 @@ impl ServeEngine {
 
     /// Snapshots the serving metrics.
     pub fn metrics(&self) -> ServeMetrics {
-        self.shared.metrics.snapshot(self.shared.cache.stats(), self.shared.cell.epoch())
+        self.shared.metrics.snapshot(
+            self.shared.cache.stats(),
+            self.shared.cell.epoch(),
+            self.shared.cell.kernel().name(),
+        )
     }
 
     /// Stops admissions, drains every queued request through the workers,
@@ -593,10 +611,7 @@ fn worker_loop(shared: &Shared) {
         let scores = {
             let _flush_span =
                 telemetry::span_with("serve/flush", || format!("{} samples", accepted.len()));
-            match shared.config.nan_policy {
-                NanPolicy::NanAware => model.compiled.score_batch_nan_aware(&flat),
-                _ => model.compiled.score_batch(&flat),
-            }
+            model.score_batch(&flat, shared.config.nan_policy == NanPolicy::NanAware)
         };
         let batch_size = accepted.len();
         shared.metrics.batches.fetch_add(1, Ordering::Relaxed);

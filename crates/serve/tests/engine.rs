@@ -41,6 +41,7 @@ fn frozen_config(queue_capacity: usize) -> ServeConfig {
         workers: 1,
         nan_policy: NanPolicy::Reject,
         cache_capacity: 16,
+        kernel: None,
     }
 }
 
@@ -105,6 +106,7 @@ fn hot_swap_under_load_never_drops_or_mixes_requests() {
         workers: 2,
         nan_policy: NanPolicy::Reject,
         cache_capacity: 0,
+        kernel: None,
     };
     let engine = Arc::new(ServeEngine::start(config, model_a.clone(), 7).expect("start"));
 
@@ -183,6 +185,7 @@ fn submit_racing_shutdown_is_answered_or_typed_never_dropped() {
             workers: 2,
             nan_policy: NanPolicy::Reject,
             cache_capacity: 0,
+            kernel: None,
         };
         let engine = Arc::new(ServeEngine::start(config, rf, 7).expect("start"));
         let barrier = Arc::new(std::sync::Barrier::new(4));

@@ -1,0 +1,158 @@
+//! Cross-kernel conformance: every [`ForestKernel`] variant, built
+//! through the production [`KernelDispatch`], must score bit-identically
+//! to `RandomForest::predict_proba` (plain) and
+//! `predict_proba_nan_aware` (NaN-aware) — on random forests, on
+//! threshold-equal probes drawn from the forest's own split set, and on
+//! degenerate shapes (stumps, a single tree). This is the same contract
+//! the testkit `kernel-differential` check sweeps in CI; here it runs as
+//! plain `cargo test` with proptest shrinking.
+
+use drcshap_forest::{RandomForest, RandomForestTrainer};
+use drcshap_ml::{Dataset, Trainer};
+use drcshap_serve::{CompiledForest, ForestKernel, KernelDispatch};
+use proptest::prelude::*;
+
+const N_FEATURES: usize = 4;
+
+fn forest(seed: u64, n_trees: usize, max_depth: Option<usize>) -> RandomForest {
+    let n = 120;
+    let mut x = Vec::with_capacity(n * N_FEATURES);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        for j in 0..N_FEATURES {
+            x.push((((i * 193 + j * 29 + seed as usize * 11) % 89) as f32) / 89.0);
+        }
+        let (a, b) = (x[i * N_FEATURES], x[i * N_FEATURES + 2]);
+        y.push(a > 0.4 || b > 0.85);
+    }
+    let data = Dataset::from_parts(x, y, vec![0; n], N_FEATURES);
+    RandomForestTrainer { n_trees, max_depth, ..Default::default() }.fit(&data, seed)
+}
+
+/// Scores `rows` through every kernel and asserts bit-equality against
+/// the reference forest on both the plain and the NaN-aware path.
+fn assert_all_kernels_bit_identical(rf: &RandomForest, rows: &[Vec<f32>]) {
+    let compiled = CompiledForest::compile(rf);
+    let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+    for kernel in ForestKernel::ALL {
+        let dispatch = KernelDispatch::build(rf, kernel).expect("kernel builds");
+        assert_eq!(dispatch.choice(), kernel);
+        let plain = dispatch.score_batch(rf, &compiled, &flat, false);
+        let nan_aware = dispatch.score_batch(rf, &compiled, &flat, true);
+        for (i, row) in rows.iter().enumerate() {
+            if row.iter().all(|v| !v.is_nan()) {
+                assert_eq!(
+                    plain[i].to_bits(),
+                    rf.predict_proba(row).to_bits(),
+                    "kernel {} plain row {i} diverged",
+                    kernel.name()
+                );
+            }
+            assert_eq!(
+                nan_aware[i].to_bits(),
+                rf.predict_proba_nan_aware(row).to_bits(),
+                "kernel {} NaN-aware row {i} diverged",
+                kernel.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Random finite batches score bit-identically through all four
+    /// kernels.
+    #[test]
+    fn all_kernels_agree_on_finite_batches(
+        seed in 0u64..4,
+        n_trees in 1usize..8,
+        rows in prop::collection::vec(
+            prop::collection::vec(-0.5f32..1.5, N_FEATURES),
+            1..70,
+        ),
+    ) {
+        assert_all_kernels_bit_identical(&forest(seed, n_trees, None), &rows);
+    }
+
+    /// NaN-poisoned batches exercise each kernel's NaN routing (bitvector
+    /// kernels rescore poisoned rows through the compiled default-
+    /// direction walk) without disturbing clean rows.
+    #[test]
+    fn all_kernels_agree_on_nan_laced_batches(
+        seed in 0u64..4,
+        n_trees in 1usize..6,
+        rows in prop::collection::vec(
+            prop::collection::vec(-0.5f32..1.5, N_FEATURES),
+            1..40,
+        ),
+        masks in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), N_FEATURES),
+            40,
+        ),
+    ) {
+        let dirty: Vec<Vec<f32>> = rows
+            .iter()
+            .zip(&masks)
+            .map(|(row, mask)| {
+                row.iter()
+                    .zip(mask)
+                    .map(|(&v, &poison)| if poison { f32::NAN } else { v })
+                    .collect()
+            })
+            .collect();
+        assert_all_kernels_bit_identical(&forest(seed, n_trees, None), &dirty);
+    }
+}
+
+/// Probes sitting exactly on the forest's own split thresholds (and one
+/// ulp to either side) are where a `<`/`<=` slip in any kernel's layout
+/// shows up first.
+#[test]
+fn threshold_equal_probes_agree_across_kernels() {
+    for seed in 0..3u64 {
+        let rf = forest(seed, 6, None);
+        let mut rows = Vec::new();
+        for tree in rf.trees() {
+            for node in tree.nodes().iter().filter(|n| !n.is_leaf()).take(8) {
+                for v in [node.threshold, node.threshold.next_up(), node.threshold.next_down()] {
+                    let mut row = vec![0.5f32; N_FEATURES];
+                    row[node.feature as usize] = v;
+                    rows.push(row);
+                }
+            }
+        }
+        assert_all_kernels_bit_identical(&rf, &rows);
+    }
+}
+
+/// Degenerate shapes: depth-1 stumps (one false-node per tree), a single
+/// tree (no averaging), and deep unpruned trees (multi-word bitvector
+/// masks) must all stay bit-identical.
+#[test]
+fn degenerate_and_deep_shapes_agree_across_kernels() {
+    let probes: Vec<Vec<f32>> = (0..48)
+        .map(|i| (0..N_FEATURES).map(|j| ((i * 31 + j * 7) % 53) as f32 / 53.0).collect())
+        .collect();
+    for (label, rf) in [
+        ("stumps", forest(7, 5, Some(1))),
+        ("single-tree", forest(8, 1, None)),
+        ("deep", forest(9, 3, Some(10))),
+    ] {
+        assert!(rf.n_features() == N_FEATURES, "{label}: unexpected shape");
+        assert_all_kernels_bit_identical(&rf, &probes);
+    }
+}
+
+/// The infinities are not NaN: they take their natural comparison branch
+/// and must not trigger any kernel's NaN-rescue path.
+#[test]
+fn infinities_take_the_plain_path_in_every_kernel() {
+    let rf = forest(11, 4, None);
+    let rows: Vec<Vec<f32>> = vec![
+        vec![f32::INFINITY; N_FEATURES],
+        vec![f32::NEG_INFINITY; N_FEATURES],
+        vec![f32::INFINITY, 0.5, f32::NEG_INFINITY, 0.5],
+    ];
+    assert_all_kernels_bit_identical(&rf, &rows);
+}

@@ -1,0 +1,109 @@
+//! Property tests pinning the quantized kernel's binning to exactness on
+//! the only comparisons a forest performs: `v <= t` for `t` in the
+//! threshold set. The dangerous probes are the thresholds *themselves*
+//! and their ±1-ulp neighbors — an off-by-one between `<` and `<=` in
+//! `FeatureBins::bin` flips precisely those — plus `-0.0` (which must
+//! land in `0.0`'s bin) and NaN (which must fail every test, like the
+//! reference's `NaN <= t == false`).
+
+use drcshap_serve::FeatureBins;
+use proptest::prelude::*;
+
+/// Every probe worth throwing at a threshold set `ts`: the thresholds
+/// themselves, their ±1-ulp neighbors, midpoints, signed zeros, the
+/// infinities, and NaN.
+fn adversarial_probes(ts: &[f32]) -> Vec<f32> {
+    let mut probes = vec![0.0f32, -0.0, f32::INFINITY, f32::NEG_INFINITY, f32::NAN];
+    for (i, &t) in ts.iter().enumerate() {
+        probes.extend([t, t.next_up(), t.next_down()]);
+        if let Some(&u) = ts.get(i + 1) {
+            probes.push((t + u) / 2.0);
+        }
+    }
+    probes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The binning contract `v <= t  ⟺  bin(v) <= bin(t)` holds for every
+    /// (probe, threshold) pair over arbitrary threshold columns —
+    /// including duplicate and signed-zero thresholds, which must dedup
+    /// to a single bin boundary.
+    #[test]
+    fn binning_is_exact_on_every_forest_comparison(
+        columns in prop::collection::vec(
+            prop::collection::vec(
+                // Snapping half the draws to a quarter-step grid makes
+                // duplicate and exactly-zero thresholds common instead
+                // of measure-zero.
+                (any::<bool>(), -2.0f32..2.0)
+                    .prop_map(|(grid, v)| if grid { (v * 4.0).round() / 4.0 } else { v }),
+                0..12,
+            ),
+            1..4,
+        ),
+    ) {
+        let mut columns = columns;
+        // Signed zeros must share a bin — force both spellings in.
+        columns[0].extend([0.0f32, -0.0]);
+        let bins = FeatureBins::from_columns(columns.clone());
+        prop_assert_eq!(bins.n_features(), columns.len());
+        for (f, column) in columns.iter().enumerate() {
+            for &t in column {
+                let bt = bins.bin(f, t);
+                for v in adversarial_probes(column) {
+                    // NaN <= t is false; bin(NaN) is past every
+                    // threshold so bin(NaN) <= bin(t) is false too.
+                    prop_assert_eq!(
+                        v <= t,
+                        bins.bin(f, v) <= bt,
+                        "feature {} probe {:?} threshold {:?}: raw and binned \
+                         comparisons disagree", f, v, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bin ids are monotone in the probe and bounded by the distinct
+    /// threshold count, so the id-width selection (`u8`/`u16`) can trust
+    /// `max_thresholds()` as the exact bin ceiling.
+    #[test]
+    fn bin_ids_are_monotone_and_bounded(
+        column in prop::collection::vec(-3.0f32..3.0, 1..24),
+        probes in prop::collection::vec(-4.0f32..4.0, 0..16),
+    ) {
+        let bins = FeatureBins::from_columns(vec![column.clone()]);
+        let ceiling = bins.n_thresholds(0);
+        prop_assert!(ceiling <= column.len());
+        let mut all = adversarial_probes(&column);
+        all.extend(probes);
+        all.sort_by(|a, b| a.total_cmp(b));
+        let ids: Vec<usize> = all.iter().map(|&v| bins.bin(0, v)).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            prop_assert!(id <= ceiling, "bin {} exceeds ceiling {}", id, ceiling);
+            if i > 0 {
+                prop_assert!(ids[i - 1] <= id, "binning not monotone at {:?}", all[i]);
+            }
+        }
+        prop_assert_eq!(bins.bin(0, f32::NAN), ceiling, "NaN must take the maximal bin");
+    }
+}
+
+/// The exact boundary cases called out in the kernel docs, spelled out
+/// un-randomized so a regression names the precise probe that broke.
+#[test]
+fn threshold_equal_ulp_and_signed_zero_probes() {
+    let bins = FeatureBins::from_columns(vec![vec![-1.0, -0.0, 0.0, 1.0, 1.0]]);
+    assert_eq!(bins.n_thresholds(0), 3, "duplicates and -0.0/0.0 dedup");
+    for t in [-1.0f32, 0.0, 1.0] {
+        let bt = bins.bin(0, t);
+        for v in
+            [t, t.next_up(), t.next_down(), -0.0, 0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY]
+        {
+            assert_eq!(v <= t, bins.bin(0, v) <= bt, "probe {v:?} vs threshold {t:?}");
+        }
+    }
+    assert_eq!(bins.bin(0, -0.0), bins.bin(0, 0.0), "signed zeros share a bin");
+}

@@ -177,6 +177,7 @@ pub fn chaos_soak(seed: u64, config: &ChaosConfig) -> Result<ChaosReport, String
         workers: 2,
         nan_policy: NanPolicy::NanAware,
         cache_capacity: 64,
+        kernel: None,
     };
     let engine = ServeEngine::start(serve_config, variants[0].clone(), fingerprint)
         .map_err(|e| format!("engine start: {e}"))?;

@@ -269,6 +269,7 @@ pub fn gateway_chaos_soak(
             workers: 2,
             nan_policy: NanPolicy::NanAware,
             cache_capacity: 64,
+            kernel: None,
         },
         // Tight quotas make sustained client pressure trip the typed
         // admission shed path — the overload burst, by construction.

@@ -113,6 +113,35 @@ pub fn forest(seed: u64, level: SizeLevel) -> RandomForest {
     trainer.fit(&data, seed ^ 0xF0E5)
 }
 
+/// Degenerate forest shapes the scoring kernels must survive: trees with
+/// the fewest leaves a layout can hold. Returns `(shape-name, forest)`
+/// pairs, all trained over [`dataset`]-derived data:
+///
+/// * `stumps` — every tree is depth 1 (one split, two leaves), the
+///   smallest non-trivial leaf interval.
+/// * `single-tree` — a one-tree forest (one block, no cross-tree layout).
+/// * `pure-single-leaf` — constant labels, so every tree is a root leaf
+///   with no split at all (empty entry lists, one-bit masks).
+pub fn degenerate_forests(seed: u64, level: SizeLevel) -> Vec<(&'static str, RandomForest)> {
+    let data = dataset(seed, level);
+    let stumps =
+        RandomForestTrainer { n_trees: level.n_trees(), max_depth: Some(1), ..Default::default() }
+            .fit(&data, seed ^ 0xDE01);
+    let single_tree =
+        RandomForestTrainer { n_trees: 1, ..Default::default() }.fit(&data, seed ^ 0xDE02);
+    let pure = {
+        let constant = Dataset::from_parts(
+            data.as_slice().to_vec(),
+            vec![true; data.n_samples()],
+            data.groups().to_vec(),
+            data.n_features(),
+        );
+        RandomForestTrainer { n_trees: level.n_trees(), ..Default::default() }
+            .fit(&constant, seed ^ 0xDE03)
+    };
+    vec![("stumps", stumps), ("single-tree", single_tree), ("pure-single-leaf", pure)]
+}
+
 /// `count` probe vectors of `m` features in `[0, 1]`. With `with_nan`,
 /// roughly a quarter of the entries are replaced by NaN / ±∞ (the NaN-aware
 /// scoring paths must handle all three).
@@ -212,6 +241,32 @@ mod tests {
         let m = data.n_features();
         for i in 0..data.n_samples() {
             assert_eq!(data.row(i)[m - 1], 0.25);
+        }
+    }
+
+    #[test]
+    fn degenerate_forests_have_the_advertised_shapes() {
+        for seed in 0..4 {
+            for (name, forest) in degenerate_forests(seed, SizeLevel(1)) {
+                match name {
+                    "stumps" => {
+                        for tree in forest.trees() {
+                            assert!(
+                                tree.nodes().len() <= 3,
+                                "{name}: {} nodes",
+                                tree.nodes().len()
+                            );
+                        }
+                    }
+                    "single-tree" => assert_eq!(forest.trees().len(), 1),
+                    "pure-single-leaf" => {
+                        for tree in forest.trees() {
+                            assert_eq!(tree.num_leaves(), 1, "{name}: tree grew a split");
+                        }
+                    }
+                    other => panic!("unknown degenerate shape {other}"),
+                }
+            }
         }
     }
 

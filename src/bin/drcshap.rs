@@ -30,11 +30,13 @@
 //! drcshap resume <dir> [--deadline <secs>]         resume a run from its manifest
 //! drcshap serve <model> [--design <name>] [--scale <s>] [--batch <n>]
 //!               [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware]
-//!               [--stats]
+//!               [--kernel <name>] [--stats]
 //!     batched inference through the serve engine: scores JSONL feature rows
 //!     from stdin (one JSON array per line) to JSONL on stdout, or a whole
-//!     built design with `--design`; `--stats` dumps serving metrics as JSON
-//!     on stderr at the end
+//!     built design with `--design`; `--kernel` pins the scoring kernel
+//!     (reference | compiled | bitvector | bitvector-quantized; default:
+//!     `DRCSHAP_KERNEL`, then auto-selection on the forest shape);
+//!     `--stats` dumps serving metrics as JSON on stderr at the end
 //! drcshap gateway <model> [--shards <n>] [--batch <n>] [--wait-ms <ms>]
 //!                 [--workers <n>] [--queue <n>] [--nan-aware]
 //!                 [--deadline-ms <ms>] [--hedge-ms <ms>] [--retries <n>]
@@ -48,11 +50,13 @@
 //!     failures. `--listen <addr>` starts a minimal TCP front end serving
 //!     the same protocol per connection (`--max-conns` bounds how many
 //!     before exiting); `--stats` dumps gateway metrics as JSON on stderr
-//! drcshap testkit run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>]
-//!                     [--gateway-soak-secs <t>] [--crash-soak-iters <n>]
-//!                     [--xsat-checks]
+//! drcshap testkit run [--seeds <n>] [--base-seed <s>] [--check <name>]...
+//!                     [--soak-secs <t>] [--gateway-soak-secs <t>]
+//!                     [--crash-soak-iters <n>] [--xsat-checks]
 //!     sweep every conformance check (with `--xsat-checks`, also the
-//!     SAT-explainer consistency oracles) over n consecutive seeds, then
+//!     SAT-explainer consistency oracles; repeatable `--check` narrows the
+//!     sweep to the named checks and skips the soaks unless they are
+//!     requested explicitly) over n consecutive seeds, then
 //!     chaos-soak the serve engine for t seconds, the multi-shard
 //!     gateway (slow shard, killed shard, quota overload, registry-driven
 //!     staged rollout mid-load) for the gateway soak duration, and the
@@ -94,7 +98,7 @@ use drcshap::ml::{
 };
 use drcshap::netlist::{suite, write_def, DesignSpec};
 use drcshap::route::{render_heatmap, HeatSource};
-use drcshap::serve::{ServeConfig, ServeEngine, Ticket};
+use drcshap::serve::{ForestKernel, ServeConfig, ServeEngine, Ticket};
 use drcshap::shap::ForceOptions;
 use drcshap::store::{FsBackend, GenerationStatus, Registry, StorageBackend};
 use drcshap::telemetry;
@@ -111,13 +115,15 @@ const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <de
                      run <dir> [scale] [--deadline <secs>] [--design <name>] | \
                      resume <dir> [--deadline <secs>] | \
                      serve <model> [--design <name>] [--scale <s>] [--batch <n>] \
-                     [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware] [--stats] | \
+                     [--wait-ms <ms>] [--workers <n>] [--queue <n>] [--nan-aware] \
+                     [--kernel <reference|compiled|bitvector|bitvector-quantized>] [--stats] | \
                      gateway <model> [--shards <n>] [--batch <n>] [--wait-ms <ms>] \
                      [--workers <n>] [--queue <n>] [--nan-aware] [--deadline-ms <ms>] \
                      [--hedge-ms <ms>] [--retries <n>] [--quota-burst <b>] \
                      [--quota-refill <r>] [--listen <addr>] [--max-conns <n>] [--stats] | \
-                     testkit <run [--seeds <n>] [--base-seed <s>] [--soak-secs <t>] \
-                     [--gateway-soak-secs <t>] [--crash-soak-iters <n>] [--xsat-checks] | \
+                     testkit <run [--seeds <n>] [--base-seed <s>] [--check <name>]... \
+                     [--soak-secs <t>] [--gateway-soak-secs <t>] [--crash-soak-iters <n>] \
+                     [--xsat-checks] | \
                      replay --check <name> --seed <s> [--level <l>] | list>> \
                      -- every verb also accepts --trace <out.json> and --stats";
 
@@ -911,6 +917,10 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), DrcshapError> {
     let nan_aware = take_switch(&mut args, "--nan-aware");
     let design = take_value(&mut args, "--design")?;
     let scale: f64 = parse_flag(&mut args, "--scale", 0.25)?;
+    let kernel = match take_value(&mut args, "--kernel")? {
+        None => None,
+        Some(s) => Some(s.parse::<ForestKernel>().map_err(DrcshapError::usage)?),
+    };
     let defaults = ServeConfig::default();
     let wait_ms: f64 = parse_flag(&mut args, "--wait-ms", defaults.max_wait.as_secs_f64() * 1e3)?;
     if !wait_ms.is_finite() || wait_ms < 0.0 {
@@ -922,6 +932,7 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), DrcshapError> {
         queue_capacity: parse_flag(&mut args, "--queue", defaults.queue_capacity)?,
         workers: parse_flag(&mut args, "--workers", defaults.workers)?,
         nan_policy: if nan_aware { NanPolicy::NanAware } else { NanPolicy::Reject },
+        kernel,
         ..defaults
     };
     let path = args.first().cloned().ok_or_else(|| DrcshapError::usage("missing model path"))?;
@@ -935,6 +946,7 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), DrcshapError> {
     // at most `window` unresolved tickets, so `Overloaded` cannot fire.
     let window = config.queue_capacity;
     let engine = ServeEngine::start_saved(config, model, schema.fingerprint())?;
+    eprintln!("scoring kernel: {}", engine.kernel());
     match design {
         Some(name) => {
             let spec = suite::spec(&name).ok_or_else(|| {
@@ -1161,20 +1173,30 @@ fn cmd_testkit(args: &[String]) -> Result<(), DrcshapError> {
         Some("run") => {
             let mut args = args[1..].to_vec();
             let xsat = take_switch(&mut args, "--xsat-checks");
+            // Repeatable `--check <name>` narrows the sweep to the named
+            // checks (the CI conformance matrix runs one cell per job);
+            // a filtered run skips the soaks unless asked for explicitly.
+            let mut only: Vec<String> = Vec::new();
+            while let Some(name) = take_value(&mut args, "--check")? {
+                only.push(name);
+            }
+            let soak_default = if only.is_empty() { 2.0 } else { 0.0 };
             let seeds: u64 = parse_flag(&mut args, "--seeds", 16)?;
             let base_seed: u64 = parse_flag(&mut args, "--base-seed", 0)?;
-            let soak_secs: f64 = parse_flag(&mut args, "--soak-secs", 2.0)?;
+            let soak_secs: f64 = parse_flag(&mut args, "--soak-secs", soak_default)?;
             if !soak_secs.is_finite() || soak_secs < 0.0 {
                 return Err(DrcshapError::usage(format!("bad value {soak_secs} for --soak-secs")));
             }
-            let gateway_soak_secs: f64 = parse_flag(&mut args, "--gateway-soak-secs", 2.0)?;
+            let gateway_soak_secs: f64 =
+                parse_flag(&mut args, "--gateway-soak-secs", soak_default)?;
             if !gateway_soak_secs.is_finite() || gateway_soak_secs < 0.0 {
                 return Err(DrcshapError::usage(format!(
                     "bad value {gateway_soak_secs} for --gateway-soak-secs"
                 )));
             }
-            let crash_soak_iters: u64 =
-                parse_flag(&mut args, "--crash-soak-iters", CrashSoakConfig::default().iterations)?;
+            let crash_default =
+                if only.is_empty() { CrashSoakConfig::default().iterations } else { 0 };
+            let crash_soak_iters: u64 = parse_flag(&mut args, "--crash-soak-iters", crash_default)?;
             if let Some(extra) = args.first() {
                 return Err(DrcshapError::usage(format!("unexpected argument {extra:?}")));
             }
@@ -1184,6 +1206,16 @@ fn cmd_testkit(args: &[String]) -> Result<(), DrcshapError> {
             let mut checks = testkit::registry();
             if xsat {
                 checks.extend(testkit::xsat_checks());
+            }
+            if !only.is_empty() {
+                for name in &only {
+                    if !checks.iter().any(|c| c.name == name) {
+                        return Err(DrcshapError::usage(format!(
+                            "unknown check {name:?} — see `drcshap testkit list`"
+                        )));
+                    }
+                }
+                checks.retain(|c| only.iter().any(|n| n == c.name));
             }
             let report = testkit::run_checks(checks, base_seed, seeds);
             for (name, passed) in &report.passes {
