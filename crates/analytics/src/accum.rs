@@ -1,0 +1,166 @@
+//! Order-independent numeric accumulators.
+//!
+//! The crate's bit-identity guarantee (same multiset of folds ⇒ same
+//! snapshot bytes, whatever the fold/merge topology) rules out plain
+//! `f64` running sums: float addition is not associative, so two merge
+//! orders can disagree in the last ulp and break the digest. Sums are
+//! therefore carried in **fixed point**: each φ value is quantized to an
+//! `i64` with [`QFIX_BITS`] fractional bits and accumulated in an
+//! `i128`. Integer addition is exact and associative, so every fold
+//! topology produces the same accumulator bits; the lossy step (one
+//! rounding per inserted value) happens *before* accumulation and is
+//! identical on every path.
+//!
+//! Headroom: values clamp to ±2^[`QFIX_CLAMP_BITS`], so one term needs
+//! ≤ 61 bits; an i128 holds > 2^66 such terms — far past the 10⁶-vector
+//! acceptance scale and any realistic stream.
+
+use serde::{Deserialize, Serialize};
+
+/// Fractional bits of the fixed-point quantization (resolution 2^-40
+/// ≈ 9.1e-13 — far below any SHAP tolerance used in this workspace).
+pub const QFIX_BITS: u32 = 40;
+
+/// Magnitude clamp exponent: quantized inputs saturate at ±2^20.
+pub const QFIX_CLAMP_BITS: i32 = 20;
+
+/// Quantizes `v` onto the fixed-point grid. NaN maps to 0 (callers skip
+/// NaN before accumulating; this keeps the function total).
+pub fn quantize(v: f64) -> i64 {
+    if v.is_nan() {
+        return 0;
+    }
+    let limit = (2.0f64).powi(QFIX_CLAMP_BITS);
+    let clamped = v.clamp(-limit, limit);
+    (clamped * (2.0f64).powi(QFIX_BITS as i32)).round() as i64
+}
+
+/// An exact fixed-point sum, serialized as a `{hi, lo}` split because
+/// the vendored serde has no native i128 support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FixedSum {
+    /// High 64 bits of the i128 accumulator (sign-carrying).
+    pub hi: i64,
+    /// Low 64 bits of the i128 accumulator.
+    pub lo: u64,
+}
+
+impl FixedSum {
+    /// The zero sum.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// The raw i128 accumulator value.
+    pub fn raw(&self) -> i128 {
+        ((self.hi as i128) << 64) | self.lo as i128
+    }
+
+    /// Rebuilds from a raw i128 accumulator.
+    pub fn from_raw(raw: i128) -> Self {
+        Self { hi: (raw >> 64) as i64, lo: raw as u64 }
+    }
+
+    /// Adds one quantized term (exact).
+    pub fn add_quantized(&mut self, q: i64) {
+        *self = Self::from_raw(self.raw() + q as i128);
+    }
+
+    /// Quantizes `v` and adds it (the one lossy step, identical on every
+    /// fold path).
+    pub fn add(&mut self, v: f64) {
+        self.add_quantized(quantize(v));
+    }
+
+    /// Merges another sum (exact integer addition).
+    pub fn merge(&mut self, other: &FixedSum) {
+        *self = Self::from_raw(self.raw() + other.raw());
+    }
+
+    /// The sum as an f64 (single conversion at read time).
+    pub fn value(&self) -> f64 {
+        self.raw() as f64 / (2.0f64).powi(QFIX_BITS as i32)
+    }
+
+    /// The mean over `count` terms (None when `count` is 0).
+    pub fn mean(&self, count: u64) -> Option<f64> {
+        (count > 0).then(|| self.value() / count as f64)
+    }
+
+    /// Appends canonical bytes for digesting.
+    pub fn canonical_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.hi.to_le_bytes());
+        out.extend_from_slice(&self.lo.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn quantize_resolution_and_clamp() {
+        assert_eq!(quantize(0.0), 0);
+        assert_eq!(quantize(1.0), 1i64 << QFIX_BITS);
+        assert_eq!(quantize(-1.0), -(1i64 << QFIX_BITS));
+        let limit = (2.0f64).powi(QFIX_CLAMP_BITS);
+        assert_eq!(quantize(limit * 8.0), quantize(limit));
+        assert_eq!(quantize(f64::INFINITY), quantize(limit));
+        assert_eq!(quantize(f64::NAN), 0);
+        // Round-trip error within half a grid step.
+        let v = 0.123456789;
+        let back = quantize(v) as f64 / (2.0f64).powi(QFIX_BITS as i32);
+        assert!((back - v).abs() <= (0.5f64).powi(QFIX_BITS as i32));
+    }
+
+    #[test]
+    fn sums_are_order_independent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.gen_range(-5.0f64..5.0)).collect();
+        let mut forward = FixedSum::zero();
+        for &x in &xs {
+            forward.add(x);
+        }
+        let mut backward = FixedSum::zero();
+        for &x in xs.iter().rev() {
+            backward.add(x);
+        }
+        assert_eq!(forward, backward);
+        // Split three ways and merge in scrambled order.
+        let mut parts = [FixedSum::zero(); 3];
+        for (i, &x) in xs.iter().enumerate() {
+            parts[i % 3].add(x);
+        }
+        let mut merged = FixedSum::zero();
+        for k in [2usize, 0, 1] {
+            merged.merge(&parts[k]);
+        }
+        assert_eq!(forward, merged);
+    }
+
+    #[test]
+    fn value_tracks_float_sum() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+        let mut s = FixedSum::zero();
+        let mut f = 0.0f64;
+        for &x in &xs {
+            s.add(x);
+            f += x;
+        }
+        // Each term contributes at most half a grid step of error.
+        let bound = xs.len() as f64 * (0.5f64).powi(QFIX_BITS as i32);
+        assert!((s.value() - f).abs() <= bound + 1e-12);
+        assert!((s.mean(xs.len() as u64).unwrap() - f / xs.len() as f64).abs() <= bound);
+    }
+
+    #[test]
+    fn raw_roundtrip_covers_negative_values() {
+        for raw in [-1i128, 0, 1, i64::MAX as i128 + 12345, -(1i128 << 90), (1i128 << 100) + 7] {
+            assert_eq!(FixedSum::from_raw(raw).raw(), raw);
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! The streaming fold: per-request SHAP vectors → global aggregates.
+//!
+//! [`AnalyticsSink`] is the single-owner aggregator: it folds one φ
+//! vector (plus the matching input vector for dependence curves, and
+//! optionally an interaction matrix) at a time, in bounded memory, and
+//! emits provenance-stamped [`AnalyticsSnapshot`]s. Every per-feature
+//! statistic is either an exact integer, an exact-merge fixed-point sum,
+//! or a multiset-pure sketch — so folding a stream in any partition and
+//! merging yields bit-identical snapshots.
+//!
+//! [`ShardedAnalytics`] is the concurrent wrapper the serve engine
+//! mounts: N mutex-guarded shards picked by thread-id hash (so worker
+//! threads rarely contend), each tagged with the model epoch it is
+//! collecting for. Reads lock each shard in turn and merge — exactness
+//! of the merge means the shard count is invisible in the output.
+//! On hot swap, [`ShardedAnalytics::rotate`] freezes the old epoch into
+//! a retained snapshot and resets every shard for the new epoch; a fold
+//! that races the swap (its epoch tag no longer matches the shard's) is
+//! dropped and counted in `stale_folds` rather than blended across
+//! models.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use drcshap_ml::DrcshapError;
+use drcshap_shap::interactions::InteractionValues;
+
+use crate::accum::FixedSum;
+use crate::sketch::{QuantileSketch, SketchParams};
+use crate::snapshot::{
+    AnalyticsSnapshot, DependenceCell, FeatureSnapshot, PairSnapshot, Provenance, SnapshotParams,
+    SNAPSHOT_SCHEMA_VERSION,
+};
+
+/// Analytics knobs. `Default` is the served configuration: ε ≈ 0.78%
+/// sketches, quarter-octave dependence bins, interactions off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyticsConfig {
+    /// φ-sketch resolution: ε = 2^-(accuracy_bits+1). Default 6.
+    pub accuracy_bits: u32,
+    /// Feature-value bucketing for dependence curves. Default 2
+    /// (quarter-octave cells — coarse on purpose; curves are for shape).
+    pub dependence_bits: u32,
+    /// Aggregate SHAP interaction pairs (costs an O(m²) explain per
+    /// request on the serve path — off by default).
+    pub interactions: bool,
+    /// Only the first `max_interaction_features` features participate in
+    /// pair aggregation, bounding pair memory at K·(K−1)/2 cells.
+    pub max_interaction_features: u32,
+    /// Old-epoch snapshots retained after hot swaps. Default 4.
+    pub retained_epochs: usize,
+    /// Concurrent shards in [`ShardedAnalytics`]. Default 8.
+    pub shards: usize,
+}
+
+impl Default for AnalyticsConfig {
+    fn default() -> Self {
+        Self {
+            accuracy_bits: 6,
+            dependence_bits: 2,
+            interactions: false,
+            max_interaction_features: 16,
+            retained_epochs: 4,
+            shards: 8,
+        }
+    }
+}
+
+impl AnalyticsConfig {
+    /// Checks the knobs are in range.
+    ///
+    /// # Errors
+    ///
+    /// A usage [`DrcshapError`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), DrcshapError> {
+        if !(1..=10).contains(&self.accuracy_bits) {
+            return Err(DrcshapError::usage("analytics config: accuracy_bits must be 1..=10"));
+        }
+        if !(1..=10).contains(&self.dependence_bits) {
+            return Err(DrcshapError::usage("analytics config: dependence_bits must be 1..=10"));
+        }
+        if self.shards == 0 {
+            return Err(DrcshapError::usage("analytics config: shards must be at least 1"));
+        }
+        if self.retained_epochs == 0 {
+            return Err(DrcshapError::usage(
+                "analytics config: retained_epochs must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The φ-sketch params.
+    pub fn sketch_params(&self) -> SketchParams {
+        SketchParams { accuracy_bits: self.accuracy_bits }
+    }
+
+    /// The dependence-curve bucketing params.
+    pub fn dependence_params(&self) -> SketchParams {
+        SketchParams { accuracy_bits: self.dependence_bits }
+    }
+
+    fn snapshot_params(&self) -> SnapshotParams {
+        SnapshotParams {
+            accuracy_bits: self.accuracy_bits,
+            dependence_bits: self.dependence_bits,
+            interactions: self.interactions,
+            max_interaction_features: self.max_interaction_features,
+        }
+    }
+}
+
+/// Live per-feature state (the snapshot's [`FeatureSnapshot`] with the
+/// sketch and dependence map in queryable form).
+#[derive(Debug, Clone)]
+struct FeatureAggregate {
+    count: u64,
+    nan_skipped: u64,
+    positive: u64,
+    sum_phi: FixedSum,
+    sum_abs_phi: FixedSum,
+    min_phi: f64,
+    max_phi: f64,
+    sketch: QuantileSketch,
+    dependence: BTreeMap<i32, (u64, FixedSum)>,
+}
+
+impl FeatureAggregate {
+    fn new(params: SketchParams) -> Self {
+        Self {
+            count: 0,
+            nan_skipped: 0,
+            positive: 0,
+            sum_phi: FixedSum::zero(),
+            sum_abs_phi: FixedSum::zero(),
+            min_phi: f64::INFINITY,
+            max_phi: f64::NEG_INFINITY,
+            sketch: QuantileSketch::new(params),
+            dependence: BTreeMap::new(),
+        }
+    }
+}
+
+/// The single-owner streaming aggregator.
+#[derive(Debug, Clone)]
+pub struct AnalyticsSink {
+    config: AnalyticsConfig,
+    n_features: usize,
+    n_vectors: u64,
+    n_interaction_folds: u64,
+    features: Vec<FeatureAggregate>,
+    pairs: BTreeMap<(u32, u32), PairSnapshot>,
+}
+
+impl AnalyticsSink {
+    /// An empty sink. The feature width latches on the first fold.
+    pub fn new(config: AnalyticsConfig) -> Self {
+        Self {
+            config,
+            n_features: 0,
+            n_vectors: 0,
+            n_interaction_folds: 0,
+            features: Vec::new(),
+            pairs: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration this sink folds under.
+    pub fn config(&self) -> &AnalyticsConfig {
+        &self.config
+    }
+
+    /// SHAP vectors folded so far.
+    pub fn n_vectors(&self) -> u64 {
+        self.n_vectors
+    }
+
+    /// Total occupied sketch/dependence/pair cells — the live memory
+    /// footprint, bounded by `n_features · (max_buckets(φ) +
+    /// max_buckets(dep)) + K(K−1)/2` independent of stream length.
+    pub fn occupied_cells(&self) -> usize {
+        self.features
+            .iter()
+            .map(|f| f.sketch.occupied_buckets() + f.dependence.len())
+            .sum::<usize>()
+            + self.pairs.len()
+    }
+
+    /// Folds one explained request: the input vector `x` and its SHAP
+    /// vector `phi` (index-aligned). NaN φ entries are skipped and
+    /// counted; NaN feature values skip only the dependence cell.
+    ///
+    /// # Errors
+    ///
+    /// A usage error when `x`/`phi` lengths disagree with each other or
+    /// with the latched feature width.
+    pub fn fold(&mut self, x: &[f32], phi: &[f64]) -> Result<(), DrcshapError> {
+        if x.len() != phi.len() {
+            return Err(DrcshapError::usage(format!(
+                "analytics fold: x has {} features but phi has {}",
+                x.len(),
+                phi.len()
+            )));
+        }
+        if self.n_features == 0 {
+            self.n_features = phi.len();
+            let params = self.config.sketch_params();
+            self.features = (0..phi.len()).map(|_| FeatureAggregate::new(params)).collect();
+        } else if phi.len() != self.n_features {
+            return Err(DrcshapError::usage(format!(
+                "analytics fold: expected {} features, got {}",
+                self.n_features,
+                phi.len()
+            )));
+        }
+        let dep_params = self.config.dependence_params();
+        for (j, agg) in self.features.iter_mut().enumerate() {
+            let p = phi[j];
+            if p.is_nan() {
+                agg.nan_skipped += 1;
+                continue;
+            }
+            agg.count += 1;
+            if p > 0.0 {
+                agg.positive += 1;
+            }
+            agg.sum_phi.add(p);
+            agg.sum_abs_phi.add(p.abs());
+            if p < agg.min_phi {
+                agg.min_phi = p;
+            }
+            if p > agg.max_phi {
+                agg.max_phi = p;
+            }
+            agg.sketch.insert(p);
+            let v = x[j] as f64;
+            if !v.is_nan() {
+                let cell = agg.dependence.entry(dep_params.bucket_of(v)).or_default();
+                cell.0 += 1;
+                cell.1.add(p);
+            }
+        }
+        self.n_vectors += 1;
+        Ok(())
+    }
+
+    /// Folds one interaction matrix: every pair `(i, j)` with
+    /// `i < j < max_interaction_features` accumulates `Φᵢⱼ` (NaN pairs
+    /// skipped). No-op unless `config.interactions` is set.
+    pub fn fold_interactions(&mut self, iv: &InteractionValues) {
+        if !self.config.interactions {
+            return;
+        }
+        let k = (self.config.max_interaction_features as usize).min(iv.n_features());
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let v = iv.get(i, j);
+                if v.is_nan() {
+                    continue;
+                }
+                let slot = self.pairs.entry((i as u32, j as u32)).or_insert(PairSnapshot {
+                    i: i as u32,
+                    j: j as u32,
+                    n: 0,
+                    sum_abs: FixedSum::zero(),
+                    sum: FixedSum::zero(),
+                });
+                slot.n += 1;
+                slot.sum_abs.add(v.abs());
+                slot.sum.add(v);
+            }
+        }
+        self.n_interaction_folds += 1;
+    }
+
+    /// Merges another sink folded under the same config (pointwise
+    /// exact, so the merge topology is invisible in the result).
+    ///
+    /// # Errors
+    ///
+    /// Usage errors on config or feature-width mismatch.
+    pub fn merge(&mut self, other: &AnalyticsSink) -> Result<(), DrcshapError> {
+        if self.config != other.config {
+            return Err(DrcshapError::usage("analytics merge: sink configs differ"));
+        }
+        if other.n_features == 0 {
+            return Ok(());
+        }
+        if self.n_features == 0 {
+            *self = other.clone();
+            return Ok(());
+        }
+        if self.n_features != other.n_features {
+            return Err(DrcshapError::usage(format!(
+                "analytics merge: feature width {} vs {}",
+                self.n_features, other.n_features
+            )));
+        }
+        for (mine, theirs) in self.features.iter_mut().zip(&other.features) {
+            mine.count += theirs.count;
+            mine.nan_skipped += theirs.nan_skipped;
+            mine.positive += theirs.positive;
+            mine.sum_phi.merge(&theirs.sum_phi);
+            mine.sum_abs_phi.merge(&theirs.sum_abs_phi);
+            mine.min_phi = mine.min_phi.min(theirs.min_phi);
+            mine.max_phi = mine.max_phi.max(theirs.max_phi);
+            mine.sketch.merge(&theirs.sketch).map_err(DrcshapError::usage)?;
+            for (&bucket, &(n, sum)) in &theirs.dependence {
+                let cell = mine.dependence.entry(bucket).or_default();
+                cell.0 += n;
+                cell.1.merge(&sum);
+            }
+        }
+        for (key, p) in &other.pairs {
+            let slot = self.pairs.entry(*key).or_insert(PairSnapshot {
+                i: p.i,
+                j: p.j,
+                n: 0,
+                sum_abs: FixedSum::zero(),
+                sum: FixedSum::zero(),
+            });
+            slot.n += p.n;
+            slot.sum_abs.merge(&p.sum_abs);
+            slot.sum.merge(&p.sum);
+        }
+        self.n_vectors += other.n_vectors;
+        self.n_interaction_folds += other.n_interaction_folds;
+        Ok(())
+    }
+
+    /// Freezes the current state into a provenance-stamped snapshot.
+    pub fn snapshot(&self, provenance: Provenance) -> AnalyticsSnapshot {
+        let features = self
+            .features
+            .iter()
+            .map(|f| FeatureSnapshot {
+                count: f.count,
+                nan_skipped: f.nan_skipped,
+                positive: f.positive,
+                sum_phi: f.sum_phi,
+                sum_abs_phi: f.sum_abs_phi,
+                min_phi_bits: f.min_phi.to_bits(),
+                max_phi_bits: f.max_phi.to_bits(),
+                sketch: f.sketch.to_entries(),
+                dependence: f
+                    .dependence
+                    .iter()
+                    .map(|(&bucket, &(n, sum_phi))| DependenceCell { bucket, n, sum_phi })
+                    .collect(),
+            })
+            .collect();
+        AnalyticsSnapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            provenance,
+            params: self.config.snapshot_params(),
+            n_features: self.n_features as u32,
+            n_vectors: self.n_vectors,
+            n_interaction_folds: self.n_interaction_folds,
+            stale_folds: 0,
+            features,
+            pairs: self.pairs.values().copied().collect(),
+        }
+    }
+}
+
+struct EpochShard {
+    epoch: u64,
+    sink: AnalyticsSink,
+}
+
+/// The concurrent, epoch-aware analytics front the serve engine mounts.
+pub struct ShardedAnalytics {
+    config: AnalyticsConfig,
+    shards: Vec<Mutex<EpochShard>>,
+    retained: Mutex<VecDeque<AnalyticsSnapshot>>,
+    stale_folds: AtomicU64,
+    folds: AtomicU64,
+}
+
+impl ShardedAnalytics {
+    /// Builds the sharded front, collecting for `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Usage errors from [`AnalyticsConfig::validate`].
+    pub fn new(config: AnalyticsConfig, epoch: u64) -> Result<Self, DrcshapError> {
+        config.validate()?;
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new(EpochShard { epoch, sink: AnalyticsSink::new(config.clone()) }))
+            .collect();
+        Ok(Self {
+            config,
+            shards,
+            retained: Mutex::new(VecDeque::new()),
+            stale_folds: AtomicU64::new(0),
+            folds: AtomicU64::new(0),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AnalyticsConfig {
+        &self.config
+    }
+
+    /// Total successful folds (all epochs).
+    pub fn folds(&self) -> u64 {
+        self.folds.load(Ordering::Relaxed)
+    }
+
+    /// Folds dropped because they raced a hot swap.
+    pub fn stale_folds(&self) -> u64 {
+        self.stale_folds.load(Ordering::Relaxed)
+    }
+
+    fn shard_index(&self) -> usize {
+        let mut h = DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Folds one explained request computed under `epoch`. Returns
+    /// `false` (and counts a stale fold) when `epoch` no longer matches
+    /// the shard — the fold raced a hot swap and is dropped rather than
+    /// blended across models.
+    ///
+    /// # Errors
+    ///
+    /// Usage errors from [`AnalyticsSink::fold`] (shape mismatch).
+    pub fn fold(
+        &self,
+        epoch: u64,
+        x: &[f32],
+        phi: &[f64],
+        interactions: Option<&InteractionValues>,
+    ) -> Result<bool, DrcshapError> {
+        let mut shard = self.shards[self.shard_index()].lock().unwrap();
+        if shard.epoch != epoch {
+            drop(shard);
+            self.stale_folds.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        shard.sink.fold(x, phi)?;
+        if let Some(iv) = interactions {
+            shard.sink.fold_interactions(iv);
+        }
+        self.folds.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Merges every shard matching the current epoch into one snapshot
+    /// (shards are locked one at a time; the shard count is invisible in
+    /// the result because the merge is exact).
+    pub fn snapshot(&self, provenance: Provenance) -> AnalyticsSnapshot {
+        let mut acc = AnalyticsSink::new(self.config.clone());
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            if shard.epoch == provenance.model_epoch {
+                // Merge of same-config sinks cannot fail.
+                acc.merge(&shard.sink).expect("same-config shard merge");
+            }
+        }
+        let mut snap = acc.snapshot(provenance);
+        snap.stale_folds = self.stale_folds();
+        snap
+    }
+
+    /// Hot-swap hook: freezes the old epoch into a retained snapshot
+    /// (stamped with `old_provenance`), resets every shard empty, and
+    /// starts collecting for `new_epoch`. Returns the frozen snapshot.
+    pub fn rotate(&self, old_provenance: Provenance, new_epoch: u64) -> AnalyticsSnapshot {
+        // Lock all shards for the duration so the freeze is atomic:
+        // no fold can land in a half-rotated state.
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
+        let mut acc = AnalyticsSink::new(self.config.clone());
+        for g in guards.iter() {
+            if g.epoch == old_provenance.model_epoch {
+                acc.merge(&g.sink).expect("same-config shard merge");
+            }
+        }
+        let mut frozen = acc.snapshot(old_provenance);
+        frozen.stale_folds = self.stale_folds();
+        for g in guards.iter_mut() {
+            g.epoch = new_epoch;
+            g.sink = AnalyticsSink::new(self.config.clone());
+        }
+        drop(guards);
+        let mut retained = self.retained.lock().unwrap();
+        retained.push_back(frozen.clone());
+        while retained.len() > self.config.retained_epochs {
+            retained.pop_front();
+        }
+        frozen
+    }
+
+    /// Retained old-epoch snapshots, oldest first (the drift window).
+    pub fn history(&self) -> Vec<AnalyticsSnapshot> {
+        self.retained.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+impl std::fmt::Debug for ShardedAnalytics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedAnalytics")
+            .field("config", &self.config)
+            .field("shards", &self.shards.len())
+            .field("folds", &self.folds())
+            .field("stale_folds", &self.stale_folds())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn prov(epoch: u64) -> Provenance {
+        Provenance { artifact_crc: 0xBEEF, schema_fingerprint: 42, model_epoch: epoch }
+    }
+
+    fn random_case(rng: &mut ChaCha8Rng, m: usize) -> (Vec<f32>, Vec<f64>) {
+        let x: Vec<f32> = (0..m).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let phi: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.5f64..0.5)).collect();
+        (x, phi)
+    }
+
+    #[test]
+    fn fold_shapes_are_validated() {
+        let mut sink = AnalyticsSink::new(AnalyticsConfig::default());
+        assert!(sink.fold(&[1.0, 2.0], &[0.1]).is_err());
+        sink.fold(&[1.0, 2.0], &[0.1, 0.2]).unwrap();
+        assert!(sink.fold(&[1.0], &[0.1]).is_err());
+        assert_eq!(sink.n_vectors(), 1);
+    }
+
+    #[test]
+    fn split_fold_merge_is_bit_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let cases: Vec<_> = (0..500).map(|_| random_case(&mut rng, 6)).collect();
+        let mut single = AnalyticsSink::new(AnalyticsConfig::default());
+        for (x, phi) in &cases {
+            single.fold(x, phi).unwrap();
+        }
+        let mut parts: Vec<AnalyticsSink> =
+            (0..5).map(|_| AnalyticsSink::new(AnalyticsConfig::default())).collect();
+        for (i, (x, phi)) in cases.iter().enumerate() {
+            parts[i % 5].fold(x, phi).unwrap();
+        }
+        let mut merged = AnalyticsSink::new(AnalyticsConfig::default());
+        for k in [4usize, 1, 3, 0, 2] {
+            merged.merge(&parts[k]).unwrap();
+        }
+        let (a, b) = (single.snapshot(prov(1)), merged.snapshot(prov(1)));
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn snapshot_merge_matches_sink_merge() {
+        let mut rng = ChaCha8Rng::seed_from_u64(37);
+        let mut a = AnalyticsSink::new(AnalyticsConfig::default());
+        let mut b = AnalyticsSink::new(AnalyticsConfig::default());
+        for _ in 0..200 {
+            let (x, phi) = random_case(&mut rng, 4);
+            a.fold(&x, &phi).unwrap();
+            let (x, phi) = random_case(&mut rng, 4);
+            b.fold(&x, &phi).unwrap();
+        }
+        let mut via_snapshots = a.snapshot(prov(1));
+        via_snapshots.merge(&b.snapshot(prov(1))).unwrap();
+        let mut via_sinks = a.clone();
+        via_sinks.merge(&b).unwrap();
+        assert_eq!(via_snapshots, via_sinks.snapshot(prov(1)));
+    }
+
+    #[test]
+    fn nan_phi_is_skipped_and_counted() {
+        let mut sink = AnalyticsSink::new(AnalyticsConfig::default());
+        sink.fold(&[1.0, 2.0], &[f64::NAN, 0.5]).unwrap();
+        let snap = sink.snapshot(prov(1));
+        assert_eq!(snap.features[0].count, 0);
+        assert_eq!(snap.features[0].nan_skipped, 1);
+        assert_eq!(snap.features[1].count, 1);
+        assert!(snap.features[0].dependence.is_empty(), "NaN φ must not fold a dependence cell");
+    }
+
+    #[test]
+    fn interactions_respect_feature_cap() {
+        let config = AnalyticsConfig {
+            interactions: true,
+            max_interaction_features: 3,
+            ..Default::default()
+        };
+        let mut sink = AnalyticsSink::new(config);
+        // A 5-feature symmetric matrix with distinct entries.
+        let m = 5;
+        let mut values = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                values[i * m + j] = (i * m + j) as f64 * 0.01;
+            }
+        }
+        let iv = InteractionValues::from_values(values, m);
+        sink.fold_interactions(&iv);
+        let snap = sink.snapshot(prov(1));
+        // Only pairs within the first 3 features: (0,1), (0,2), (1,2).
+        assert_eq!(snap.pairs.len(), 3);
+        assert!(snap.pairs.iter().all(|p| p.i < 3 && p.j < 3 && p.i < p.j));
+        assert_eq!(snap.n_interaction_folds, 1);
+    }
+
+    #[test]
+    fn sharded_fold_is_invisible_in_snapshot() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let cases: Vec<_> = (0..300).map(|_| random_case(&mut rng, 5)).collect();
+        let mut single = AnalyticsSink::new(AnalyticsConfig::default());
+        for (x, phi) in &cases {
+            single.fold(x, phi).unwrap();
+        }
+        for shard_count in [1usize, 2, 7] {
+            let config = AnalyticsConfig { shards: shard_count, ..Default::default() };
+            let sharded = ShardedAnalytics::new(config, 1).unwrap();
+            let sharded_ref = &sharded;
+            std::thread::scope(|scope| {
+                for chunk in cases.chunks(cases.len() / 3 + 1) {
+                    scope.spawn(move || {
+                        for (x, phi) in chunk {
+                            assert!(sharded_ref.fold(1, x, phi, None).unwrap());
+                        }
+                    });
+                }
+            });
+            let mut want = single.snapshot(prov(1));
+            want.params = sharded.snapshot(prov(1)).params;
+            // Configs differ only in shard count, which is not stamped
+            // into snapshots — digests must match exactly.
+            assert_eq!(sharded.snapshot(prov(1)).digest(), want.digest());
+        }
+    }
+
+    #[test]
+    fn rotate_freezes_old_epoch_and_starts_empty() {
+        let sharded = ShardedAnalytics::new(AnalyticsConfig::default(), 1).unwrap();
+        sharded.fold(1, &[1.0, 2.0], &[0.1, -0.2], None).unwrap();
+        let frozen = sharded.rotate(prov(1), 2);
+        assert_eq!(frozen.n_vectors, 1);
+        assert_eq!(frozen.provenance.model_epoch, 1);
+        // Old-epoch folds now race-dropped.
+        assert!(!sharded.fold(1, &[1.0, 2.0], &[0.1, -0.2], None).unwrap());
+        assert_eq!(sharded.stale_folds(), 1);
+        // New epoch starts empty.
+        let now = sharded.snapshot(prov(2));
+        assert_eq!(now.n_vectors, 0);
+        // History holds the frozen snapshot, capped at retained_epochs.
+        assert_eq!(sharded.history(), vec![frozen]);
+        for e in 2..20u64 {
+            sharded.rotate(prov(e), e + 1);
+        }
+        assert_eq!(sharded.history().len(), AnalyticsConfig::default().retained_epochs);
+    }
+}

@@ -49,6 +49,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use drcshap_analytics::{merge_fleet, AnalyticsSnapshot, Provenance};
 use drcshap_core::SavedModel;
 use drcshap_forest::RandomForest;
 use drcshap_geom::StageBudget;
@@ -731,6 +732,35 @@ impl Gateway {
             })
             .collect();
         self.metrics.snapshot(shards)
+    }
+
+    /// Merges every shard's analytics snapshot into a fleet view, one
+    /// merged snapshot per distinct provenance (artifact CRC + schema
+    /// fingerprint + model epoch), ordered by ascending epoch. During a
+    /// staged rollout shards legitimately serve different models, so a
+    /// single forced merge would be wrong — callers get one bit-stable
+    /// aggregate per model identity instead. Empty when analytics is
+    /// disabled in the shard engines.
+    #[must_use]
+    pub fn fleet_analytics(&self) -> Vec<AnalyticsSnapshot> {
+        let mut groups: Vec<(Provenance, Vec<AnalyticsSnapshot>)> = Vec::new();
+        for shard in &self.shards {
+            let Some(snapshot) = shard.engine.analytics_snapshot() else { continue };
+            match groups.iter_mut().find(|(p, _)| *p == snapshot.provenance) {
+                Some((_, members)) => members.push(snapshot),
+                None => groups.push((snapshot.provenance, vec![snapshot])),
+            }
+        }
+        groups.sort_by_key(|(p, _)| p.model_epoch);
+        groups
+            .into_iter()
+            .map(|(_, members)| {
+                // Same provenance implies same params (the engines were
+                // built from one ServeConfig), so the merge cannot fail on
+                // anything but a bug — surface that loudly.
+                merge_fleet(&members).expect("same-provenance snapshots must merge")
+            })
+            .collect()
     }
 
     /// One shard's engine metrics (bounds-checked convenience).

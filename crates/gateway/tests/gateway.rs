@@ -37,6 +37,7 @@ fn quick_config(shards: usize) -> GatewayConfig {
             workers: 1,
             nan_policy: NanPolicy::Reject,
             cache_capacity: 16,
+            ..Default::default()
         },
         ..Default::default()
     }
@@ -185,6 +186,53 @@ fn shutdown_is_typed_and_sticky() {
     // All engines drain; the fleet answers with a retryable typed error
     // (ShuttingDown from the engines, surfaced after bounded retries).
     assert!(matches!(e, DrcshapError::ShuttingDown | DrcshapError::Overloaded { .. }), "{e}");
+}
+
+#[test]
+fn fleet_analytics_merges_shard_snapshots_bit_stably() {
+    use drcshap_analytics::{AnalyticsConfig, AnalyticsSink};
+
+    let rf = forest(1);
+    let mut config = quick_config(3);
+    config.serve.analytics = Some(AnalyticsConfig::default());
+    let gateway = Gateway::start(config, rf.clone(), FINGERPRINT).expect("start");
+
+    // Spread explanations over the fleet via distinct tenants/probes.
+    let cases: Vec<Vec<f32>> = (0..48).map(probe).collect();
+    let mut reference = AnalyticsSink::new(AnalyticsConfig::default());
+    for (i, x) in cases.iter().enumerate() {
+        let request = Request::new(x.clone()).tenant(format!("t{i}"));
+        gateway.explain(&request).expect("explained");
+        let explanation = drcshap_shap::explain_forest(&rf, x);
+        reference.fold(x, &explanation.contributions).expect("fold");
+    }
+
+    // All shards serve epoch 1 of one artifact: exactly one fleet group,
+    // holding every explained vector, and its digest is bit-identical to
+    // a direct single-threaded fold of the same cases.
+    let fleet = gateway.fleet_analytics();
+    assert_eq!(fleet.len(), 1, "one model identity => one merged snapshot");
+    assert_eq!(fleet[0].n_vectors, 48);
+    assert_eq!(fleet[0].provenance.model_epoch, 1);
+    let want = reference.snapshot(fleet[0].provenance).digest();
+    assert_eq!(fleet[0].digest(), want, "fleet merge differs from direct fold");
+
+    // A rollout moves the fleet to epoch 2; the fleet view resets with
+    // the new provenance (old epochs live in per-engine history).
+    gateway.staged_rollout(forest(2), FINGERPRINT).expect("rollout");
+    let request = Request::new(probe(0)).tenant("t0");
+    gateway.explain(&request).expect("explained post-rollout");
+    let fleet = gateway.fleet_analytics();
+    assert_eq!(fleet.len(), 1);
+    assert_eq!(fleet[0].provenance.model_epoch, 2);
+    assert_eq!(fleet[0].n_vectors, 1, "new epoch starts empty");
+}
+
+#[test]
+fn fleet_analytics_is_empty_when_disabled() {
+    let gateway = Gateway::start(quick_config(2), forest(1), FINGERPRINT).expect("start");
+    gateway.explain(&Request::new(probe(0))).expect("explained");
+    assert!(gateway.fleet_analytics().is_empty());
 }
 
 #[test]

@@ -31,11 +31,12 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use drcshap_analytics::{AnalyticsConfig, AnalyticsSnapshot, Provenance, ShardedAnalytics};
 use drcshap_core::SavedModel;
 use drcshap_forest::RandomForest;
 use drcshap_geom::{BudgetState, StageBudget};
 use drcshap_ml::{DrcshapError, InputError, NanPolicy};
-use drcshap_shap::{explain_forest, Explanation};
+use drcshap_shap::{explain_forest, forest_shap_interactions, Explanation, InteractionValues};
 use drcshap_telemetry as telemetry;
 use drcshap_xsat::{AbductiveEngine, AbductiveExplanation, XsatBudget};
 
@@ -65,6 +66,10 @@ pub struct ServeConfig {
     /// the `DRCSHAP_KERNEL` environment variable, then to
     /// [`ForestKernel::auto`] on the forest shape.
     pub kernel: Option<ForestKernel>,
+    /// Streaming explanation analytics. `None` (the default) disables the
+    /// sink entirely — the explain path then pays a single branch, no
+    /// locks, no allocation.
+    pub analytics: Option<AnalyticsConfig>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +82,7 @@ impl Default for ServeConfig {
             nan_policy: NanPolicy::default(),
             cache_capacity: 1024,
             kernel: None,
+            analytics: None,
         }
     }
 }
@@ -96,6 +102,9 @@ impl ServeConfig {
         }
         if self.workers == 0 {
             return Err(DrcshapError::usage("serve config: workers must be at least 1"));
+        }
+        if let Some(analytics) = &self.analytics {
+            analytics.validate()?;
         }
         Ok(())
     }
@@ -175,6 +184,25 @@ struct Shared {
     /// epoch it was encoded from; rebuilt after a swap. Held by abductive
     /// callers only — the scoring workers never touch this lock.
     abductive: Mutex<Option<(u64, AbductiveEngine)>>,
+    /// Streaming explanation analytics (None when disabled: the explain
+    /// path then pays exactly one branch).
+    analytics: Option<AnalyticsState>,
+}
+
+/// The mounted analytics sink plus the artifact CRC of the serving model
+/// (updated on swap; part of every snapshot's provenance).
+struct AnalyticsState {
+    sharded: ShardedAnalytics,
+    artifact_crc: std::sync::atomic::AtomicU32,
+}
+
+/// CRC32 of the canonical artifact encoding of `forest` — the same bytes
+/// `core::artifact::save_model` would write, so analytics provenance
+/// matches the on-disk artifact identity.
+fn artifact_crc_of(forest: &RandomForest, fingerprint: u64) -> u32 {
+    drcshap_core::encode_model(&SavedModel::Rf(forest.clone()), fingerprint)
+        .map(|bytes| drcshap_core::artifact::crc32(&bytes))
+        .unwrap_or(0)
 }
 
 /// The in-process batched inference engine. Cheap to share: all methods
@@ -211,6 +239,16 @@ impl ServeEngine {
         config.validate()?;
         let cache_capacity = config.cache_capacity;
         let kernel = ForestKernel::resolve(config.kernel, &forest)?;
+        let analytics = match &config.analytics {
+            Some(cfg) => Some(AnalyticsState {
+                sharded: ShardedAnalytics::new(cfg.clone(), 1)?,
+                artifact_crc: std::sync::atomic::AtomicU32::new(artifact_crc_of(
+                    &forest,
+                    fingerprint,
+                )),
+            }),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
             flush: Condvar::new(),
@@ -218,6 +256,7 @@ impl ServeEngine {
             cache: ExplanationCache::new(cache_capacity),
             metrics: MetricsRegistry::default(),
             abductive: Mutex::new(None),
+            analytics,
             config,
         });
         let mut workers = Vec::with_capacity(shared.config.workers);
@@ -395,12 +434,120 @@ impl ServeEngine {
             x
         };
         self.shared.metrics.explains.fetch_add(1, Ordering::Relaxed);
-        if let Some(hit) = self.shared.cache.get(key) {
-            return Ok(hit);
-        }
-        let explanation = Arc::new(explain_forest(&model.forest, key));
-        self.shared.cache.insert(key, Arc::clone(&explanation));
+        let explanation = match self.shared.cache.get(key) {
+            Some(hit) => hit,
+            None => {
+                let fresh = Arc::new(explain_forest(&model.forest, key));
+                self.shared.cache.insert(key, Arc::clone(&fresh));
+                fresh
+            }
+        };
+        // Cache hits fold too: analytics weights features by *traffic*,
+        // and a repeated request is real traffic.
+        self.fold_analytics(&model, key, &explanation.contributions);
         Ok(explanation)
+    }
+
+    /// Folds one explained request into the analytics sink (single branch
+    /// and out when analytics is disabled). When interaction aggregation
+    /// is configured, the O(m²) interaction matrix is computed here, on
+    /// the explaining caller's thread — never on the scoring workers.
+    fn fold_analytics(&self, model: &ModelEpoch, x: &[f32], phi: &[f64]) {
+        let Some(state) = &self.shared.analytics else { return };
+        let interactions = if state.sharded.config().interactions {
+            Some(forest_shap_interactions(&model.forest, x))
+        } else {
+            None
+        };
+        // `x` was validated against this model, so the only fold outcome
+        // besides success is an epoch race (dropped + counted).
+        match state.sharded.fold(model.epoch, x, phi, interactions.as_ref()) {
+            Ok(true) => {
+                self.shared.metrics.analytics_folds.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(false) | Err(_) => {
+                self.shared.metrics.analytics_stale_folds.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// SHAP interaction values for one sample (the dense symmetric matrix
+    /// of Lundberg, Erion & Lee 2018 §4), validated and NaN-handled
+    /// exactly like [`ServeEngine::explain`]. Costs `O(features²)` tree
+    /// walks — orders of magnitude above a plain explain — and runs on
+    /// the caller's thread, so the scoring workers are never involved.
+    /// When analytics interaction aggregation is enabled, the matrix is
+    /// folded into the sink as well.
+    ///
+    /// # Errors
+    ///
+    /// [`InputError::LengthMismatch`], or [`InputError::NonFinite`] under
+    /// the reject policy.
+    pub fn explain_interactions(&self, x: &[f32]) -> Result<InteractionValues, DrcshapError> {
+        let _span = telemetry::span("serve/explain_interactions");
+        let model = self.shared.cell.load();
+        let expected = model.compiled.n_features();
+        if x.len() != expected {
+            return Err(InputError::LengthMismatch { expected, found: x.len() }.into());
+        }
+        let needs_clean = x.iter().any(|v| !v.is_finite());
+        let cleaned: Vec<f32>;
+        let key: &[f32] = if needs_clean {
+            if self.shared.config.nan_policy == NanPolicy::Reject {
+                let (index, value) = x
+                    .iter()
+                    .enumerate()
+                    .find(|(_, v)| !v.is_finite())
+                    .map(|(i, v)| (i, *v))
+                    .expect("non-finite value present");
+                return Err(InputError::NonFinite { index, value }.into());
+            }
+            cleaned = x.iter().map(|&v| if v.is_finite() { v } else { 0.0 }).collect();
+            &cleaned
+        } else {
+            x
+        };
+        let iv = forest_shap_interactions(&model.forest, key);
+        if let Some(state) = &self.shared.analytics {
+            if state.sharded.config().interactions {
+                let phi: Vec<f64> = (0..iv.n_features()).map(|i| iv.row(i).iter().sum()).collect();
+                match state.sharded.fold(model.epoch, key, &phi, Some(&iv)) {
+                    Ok(true) => {
+                        self.shared.metrics.analytics_folds.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(false) | Err(_) => {
+                        self.shared.metrics.analytics_stale_folds.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Ok(iv)
+    }
+
+    /// The analytics provenance of the given model epoch.
+    fn provenance_for(&self, state: &AnalyticsState, epoch: u64, fingerprint: u64) -> Provenance {
+        Provenance {
+            artifact_crc: state.artifact_crc.load(Ordering::Acquire),
+            schema_fingerprint: fingerprint,
+            model_epoch: epoch,
+        }
+    }
+
+    /// Snapshots the analytics sink for the currently serving epoch:
+    /// per-worker shards merged on read, provenance-stamped, digest
+    /// bit-identical for the same folded multiset regardless of worker
+    /// or shard counts. `None` when analytics is disabled.
+    pub fn analytics_snapshot(&self) -> Option<AnalyticsSnapshot> {
+        let state = self.shared.analytics.as_ref()?;
+        let model = self.shared.cell.load();
+        Some(state.sharded.snapshot(self.provenance_for(state, model.epoch, model.fingerprint)))
+    }
+
+    /// Retained old-epoch analytics snapshots (frozen at each hot swap),
+    /// oldest first — the drift window. Empty when analytics is disabled
+    /// or no swap has happened.
+    pub fn analytics_history(&self) -> Vec<AnalyticsSnapshot> {
+        self.shared.analytics.as_ref().map(|s| s.sharded.history()).unwrap_or_default()
     }
 
     /// Computes a SAT-based abductive explanation (subset-minimal
@@ -465,16 +612,27 @@ impl ServeEngine {
     }
 
     /// Hot-swaps the serving model (see [`EpochCell::swap`]) and clears
-    /// the explanation cache, which is only valid within one epoch.
+    /// the explanation cache, which is only valid within one epoch. When
+    /// analytics is mounted, the old epoch's aggregates are frozen into a
+    /// retained snapshot (stamped with the old provenance) and the sink
+    /// restarts empty for the new epoch; an explain racing the swap is
+    /// dropped from analytics and counted, never blended across models.
     ///
     /// # Errors
     ///
     /// The [`EpochCell::swap`] schema-validation errors; on error the
-    /// serving model and cache are untouched.
+    /// serving model, cache, and analytics are untouched.
     pub fn swap(&self, forest: RandomForest, fingerprint: u64) -> Result<u64, DrcshapError> {
+        let new_crc = self.shared.analytics.as_ref().map(|_| artifact_crc_of(&forest, fingerprint));
+        let old = self.shared.cell.load();
         let epoch = self.shared.cell.swap(forest, fingerprint)?;
         self.shared.cache.clear();
         self.shared.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        if let (Some(state), Some(new_crc)) = (&self.shared.analytics, new_crc) {
+            let old_provenance = self.provenance_for(state, old.epoch, old.fingerprint);
+            state.sharded.rotate(old_provenance, epoch);
+            state.artifact_crc.store(new_crc, Ordering::Release);
+        }
         Ok(epoch)
     }
 

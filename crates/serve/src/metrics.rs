@@ -95,6 +95,10 @@ pub struct MetricsRegistry {
     /// Abductive requests that exhausted their budget and degraded to
     /// SHAP-only.
     pub abductive_timeouts: AtomicU64,
+    /// Explained requests folded into the analytics sink.
+    pub analytics_folds: AtomicU64,
+    /// Analytics folds dropped because they raced a hot swap.
+    pub analytics_stale_folds: AtomicU64,
     /// Enqueue-to-response latency per request.
     pub latency: LatencyHistogram,
 }
@@ -126,6 +130,8 @@ impl MetricsRegistry {
             explains_total: self.explains.load(Ordering::Relaxed),
             abductive_total: self.abductive.load(Ordering::Relaxed),
             abductive_timeout_total: self.abductive_timeouts.load(Ordering::Relaxed),
+            analytics_folds_total: self.analytics_folds.load(Ordering::Relaxed),
+            analytics_stale_folds_total: self.analytics_stale_folds.load(Ordering::Relaxed),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_len: cache.len,
@@ -169,6 +175,11 @@ pub struct ServeMetrics {
     pub abductive_total: u64,
     /// Abductive attempts that timed out and degraded to SHAP-only.
     pub abductive_timeout_total: u64,
+    /// Explained requests folded into the analytics sink (0 when
+    /// analytics is disabled).
+    pub analytics_folds_total: u64,
+    /// Analytics folds dropped because they raced a hot swap.
+    pub analytics_stale_folds_total: u64,
     /// Explanation-cache hits.
     pub cache_hits: u64,
     /// Explanation-cache misses.

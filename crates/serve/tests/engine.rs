@@ -42,6 +42,7 @@ fn frozen_config(queue_capacity: usize) -> ServeConfig {
         nan_policy: NanPolicy::Reject,
         cache_capacity: 16,
         kernel: None,
+        analytics: None,
     }
 }
 
@@ -107,6 +108,7 @@ fn hot_swap_under_load_never_drops_or_mixes_requests() {
         nan_policy: NanPolicy::Reject,
         cache_capacity: 0,
         kernel: None,
+        analytics: None,
     };
     let engine = Arc::new(ServeEngine::start(config, model_a.clone(), 7).expect("start"));
 
@@ -186,6 +188,7 @@ fn submit_racing_shutdown_is_answered_or_typed_never_dropped() {
             nan_policy: NanPolicy::Reject,
             cache_capacity: 0,
             kernel: None,
+            analytics: None,
         };
         let engine = Arc::new(ServeEngine::start(config, rf, 7).expect("start"));
         let barrier = Arc::new(std::sync::Barrier::new(4));

@@ -22,6 +22,16 @@ pub struct InteractionValues {
 }
 
 impl InteractionValues {
+    /// Wraps a row-major `n_features × n_features` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n_features²`.
+    pub fn from_values(values: Vec<f64>, n_features: usize) -> Self {
+        assert_eq!(values.len(), n_features * n_features, "matrix shape mismatch");
+        Self { values, n_features }
+    }
+
     /// The interaction value `Φᵢⱼ`.
     ///
     /// # Panics

@@ -178,6 +178,7 @@ pub fn chaos_soak(seed: u64, config: &ChaosConfig) -> Result<ChaosReport, String
         nan_policy: NanPolicy::NanAware,
         cache_capacity: 64,
         kernel: None,
+        analytics: None,
     };
     let engine = ServeEngine::start(serve_config, variants[0].clone(), fingerprint)
         .map_err(|e| format!("engine start: {e}"))?;

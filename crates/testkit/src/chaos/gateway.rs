@@ -270,6 +270,7 @@ pub fn gateway_chaos_soak(
             nan_policy: NanPolicy::NanAware,
             cache_capacity: 64,
             kernel: None,
+            analytics: None,
         },
         // Tight quotas make sustained client pressure trip the typed
         // admission shed path — the overload burst, by construction.

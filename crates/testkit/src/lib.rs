@@ -34,6 +34,7 @@
 //! sign inside the oracle path so CI can drill that the conformance run
 //! actually catches a drifted explainer. Never enable it in a real build.
 
+pub mod analytics;
 pub mod chaos;
 pub mod crash;
 pub mod oracle;

@@ -487,6 +487,8 @@ pub fn registry() -> Vec<Check> {
         Check { name: "ap-monotone-invariance", run: check_ap_monotone_invariance },
         Check { name: "pair-permutation-invariance", run: check_pair_permutation_invariance },
         Check { name: "degenerate-groups-train", run: check_degenerate_groups_train },
+        Check { name: "sketch-differential", run: crate::analytics::check_sketch_differential },
+        Check { name: "analytics-consistency", run: crate::analytics::check_analytics_consistency },
     ]
 }
 

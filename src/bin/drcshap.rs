@@ -6,13 +6,25 @@
 //! drcshap explain <design> [scale]         train (grouped) and explain 3 hotspots
 //! drcshap explain --model <artifact> [--method shap|abductive|both]
 //!                 [--cases <file.jsonl> | --design <name> [--scale <s>]]
-//!                 [--limit <n>] [--top <k>] [--budget-conflicts <n>]
+//!                 [--interactions] [--limit <n>] [--top <k>]
+//!                 [--budget-conflicts <n>]
 //!     explain a saved RF artifact's predictions as one bit-stable JSON
 //!     document: SHAP attributions, SAT-based abductive explanations
 //!     (subset-minimal sufficient reasons + contrastive duals), or both,
-//!     with provenance (artifact CRC, schema fingerprint, epoch); an
-//!     exhausted conflict budget is reported per case as
+//!     with provenance (artifact CRC, schema fingerprint, epoch);
+//!     `--interactions` adds each case's top-k SHAP interaction pairs;
+//!     an exhausted conflict budget is reported per case as
 //!     `abductive_timeout`, never a crash
+//! drcshap analytics <--model <artifact> [--cases <file.jsonl> |
+//!                    --design <name> [--scale <s>]] [--interactions]
+//!                    [--limit <n>] | --snapshot <file>...>
+//!                   [--top <k>] [--out <snapshot.json>]
+//!     streaming explanation analytics: live mode explains every case
+//!     through a serve engine with the analytics sink mounted and prints
+//!     the rendered report (per-feature quantiles, beeswarm bins,
+//!     dependence curves, top-k ranking) as one JSON line; snapshot mode
+//!     merges saved snapshot files (bit-stable in any order) into the
+//!     same report; `--out` writes the raw mergeable snapshot
 //! drcshap triage <design> [scale] [p]      archetype triage of predicted hotspots
 //! drcshap export <design> <dir> [scale]    write CSV dataset + DEF
 //! drcshap train <design> <out.model> [scale] [--registry <dir>]
@@ -106,8 +118,11 @@ use drcshap::testkit::{self, ChaosConfig, CrashSoakConfig, GatewayChaosConfig, S
 
 const USAGE: &str = "usage: drcshap <list | build <design> [scale] | explain <design> [scale] | \
                      explain --model <artifact> [--method shap|abductive|both] \
-                     [--cases <file.jsonl> | --design <name> [--scale <s>]] [--limit <n>] \
-                     [--top <k>] [--budget-conflicts <n>] | \
+                     [--cases <file.jsonl> | --design <name> [--scale <s>]] [--interactions] \
+                     [--limit <n>] [--top <k>] [--budget-conflicts <n>] | \
+                     analytics <--model <artifact> [--cases <file.jsonl> | --design <name> \
+                     [--scale <s>]] [--interactions] [--limit <n>] | --snapshot <file>...> \
+                     [--top <k>] [--out <snapshot.json>] | \
                      triage <design> [scale] [threshold] | export <design> <dir> [scale] | \
                      train <design> <out.model> [scale] [--registry <dir>] | \
                      predict <model> <design> [scale] | \
@@ -193,6 +208,7 @@ fn run_cli(args: &mut Vec<String>) -> Result<(), DrcshapError> {
         Some("registry") => cmd_registry(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("analytics") => cmd_analytics(&args[1..]),
         Some("serve") => cmd_serve(&args[1..], telem.stats),
         Some("gateway") => cmd_gateway(&args[1..], telem.stats),
         Some("testkit") => cmd_testkit(&args[1..]),
@@ -398,6 +414,19 @@ struct ShapTopFeature {
     phi: f64,
 }
 
+/// One SHAP interaction pair `(i, j)` of the `--interactions` view, with
+/// `i < j` and `phi` the upper-triangle interaction value `Φᵢⱼ` — the
+/// same single-sided convention the analytics pair aggregates use (the
+/// matrix is symmetric, so the full pair mass is `2·Φᵢⱼ`).
+#[derive(serde::Serialize)]
+struct InteractionPair {
+    i: usize,
+    j: usize,
+    name_i: String,
+    name_j: String,
+    phi: f64,
+}
+
 #[derive(serde::Serialize)]
 struct ExplainedCase {
     case: usize,
@@ -406,6 +435,7 @@ struct ExplainedCase {
     votes_for: usize,
     n_trees: usize,
     shap: Option<ShapView>,
+    interactions: Option<Vec<InteractionPair>>,
     abductive: Option<drcshap::xsat::AbductiveExplanation>,
     abductive_timeout: Option<AbductiveTimeout>,
 }
@@ -445,6 +475,7 @@ fn cmd_explain_model(args: &[String]) -> Result<(), DrcshapError> {
     };
     let cases_path = take_value(&mut args, "--cases")?;
     let design = take_value(&mut args, "--design")?;
+    let interactions = take_switch(&mut args, "--interactions");
     let scale: f64 = parse_flag(&mut args, "--scale", 0.25)?;
     let limit: usize = parse_flag(&mut args, "--limit", 3)?;
     let top: usize = parse_flag(&mut args, "--top", 5)?;
@@ -529,6 +560,31 @@ fn cmd_explain_model(args: &[String]) -> Result<(), DrcshapError> {
                 .collect();
             ShapView { base_value, contributions, top }
         });
+        let interaction_pairs = interactions.then(|| {
+            // Same fixed per-tree order as the SHAP block: the rayon-based
+            // forest path is faster but not bit-stable across runs.
+            let m = x.len();
+            let mut matrix = vec![0.0f64; m * m];
+            for tree in forest.trees() {
+                let iv = drcshap::shap::tree_shap_interactions(tree, x);
+                for i in 0..m {
+                    for (j, cell) in iv.row(i).iter().enumerate() {
+                        matrix[i * m + j] += cell / n_trees as f64;
+                    }
+                }
+            }
+            drcshap::shap::InteractionValues::from_values(matrix, m)
+                .top_pairs(top)
+                .into_iter()
+                .map(|(i, j, phi)| InteractionPair {
+                    i,
+                    j,
+                    name_i: names[i].to_string(),
+                    name_j: names[j].to_string(),
+                    phi,
+                })
+                .collect::<Vec<_>>()
+        });
         let (abductive, abductive_timeout) = match engine.as_mut() {
             None => (None, None),
             Some(engine) => match engine.explain(x, &budget) {
@@ -546,6 +602,7 @@ fn cmd_explain_model(args: &[String]) -> Result<(), DrcshapError> {
             votes_for,
             n_trees,
             shap,
+            interactions: interaction_pairs,
             abductive,
             abductive_timeout,
         });
@@ -593,6 +650,122 @@ fn read_case_rows(path: &str, expected: usize) -> Result<Vec<(usize, Vec<f32>)>,
         return Err(DrcshapError::usage(format!("{path}: no case rows")));
     }
     Ok(rows)
+}
+
+/// `drcshap analytics` — explanation-analytics summaries from a live
+/// explain run or saved snapshot files.
+///
+/// Live mode — `--model <artifact> [--cases <file.jsonl> | --design
+/// <name> [--scale <s>]] [--interactions] [--limit <n>] [--top <k>]
+/// [--out <snapshot.json>]` — streams every case through a serve engine
+/// with the analytics sink mounted, then prints the rendered
+/// [`drcshap::analytics::AnalyticsReport`] as one JSON line on stdout.
+/// `--out` additionally writes the raw [`AnalyticsSnapshot`] (the exact
+/// mergeable wire form, digest included) for later offline use.
+///
+/// Snapshot mode — `--snapshot <file>` (repeatable) `[--top <k>] [--out
+/// <merged.json>]` — loads saved snapshots, merges them (bit-stable:
+/// any merge order yields the same digest; snapshots from different
+/// models or sketch params are a usage error), and renders the same
+/// report. This is how per-shard or per-host snapshots become a fleet
+/// view offline.
+fn cmd_analytics(args: &[String]) -> Result<(), DrcshapError> {
+    use drcshap::analytics::{build_report, merge_fleet, AnalyticsConfig, AnalyticsSnapshot};
+
+    let mut args = args.to_vec();
+    let mut snapshot_paths: Vec<String> = Vec::new();
+    while let Some(path) = take_value(&mut args, "--snapshot")? {
+        snapshot_paths.push(path);
+    }
+    let model_path = take_value(&mut args, "--model")?;
+    let cases_path = take_value(&mut args, "--cases")?;
+    let design = take_value(&mut args, "--design")?;
+    let interactions = take_switch(&mut args, "--interactions");
+    let scale: f64 = parse_flag(&mut args, "--scale", 0.25)?;
+    let limit: usize = parse_flag(&mut args, "--limit", 0)?;
+    let top: usize = parse_flag(&mut args, "--top", 10)?;
+    let out = take_value(&mut args, "--out")?;
+    if let Some(extra) = args.first() {
+        return Err(DrcshapError::usage(format!("unexpected argument {extra:?}")));
+    }
+    let schema = FeatureSchema::paper_387();
+    let names = schema.names().iter().map(|n| n.to_string()).collect::<Vec<_>>();
+
+    let snapshot: AnalyticsSnapshot = match (&model_path, snapshot_paths.is_empty()) {
+        (Some(_), false) | (None, true) => {
+            return Err(DrcshapError::usage(
+                "analytics needs exactly one source: --model <artifact> (live) or \
+                 --snapshot <file>... (offline)",
+            ))
+        }
+        (None, false) => {
+            let mut snapshots = Vec::with_capacity(snapshot_paths.len());
+            for path in &snapshot_paths {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| DrcshapError::io(path.clone(), e))?;
+                let snapshot: AnalyticsSnapshot = serde_json::from_str(&text).map_err(|e| {
+                    DrcshapError::usage(format!("{path}: not an analytics snapshot: {e}"))
+                })?;
+                snapshots.push(snapshot);
+            }
+            merge_fleet(&snapshots)?
+        }
+        (Some(path), true) => {
+            let model = load_model(path, &schema)?;
+            eprintln!("loaded {} model from {path}", model.kind());
+            let rows: Vec<(usize, Vec<f32>)> = match (&cases_path, &design) {
+                (Some(cases), None) => read_case_rows(cases, names.len())?,
+                (None, Some(name)) => {
+                    let spec = suite::spec(name).ok_or_else(|| {
+                        DrcshapError::usage(format!("unknown design {name:?} (try `drcshap list`)"))
+                    })?;
+                    let config = PipelineConfig { scale, ..Default::default() };
+                    eprintln!("building {} at scale {}...", spec.name, config.scale);
+                    let bundle = try_build_design(&spec, &config)?;
+                    matrix_rows(&bundle.features)
+                        .enumerate()
+                        .map(|(i, r)| (i, r.to_vec()))
+                        .collect()
+                }
+                _ => {
+                    return Err(DrcshapError::usage(
+                        "analytics --model needs exactly one case source: --cases <file.jsonl> \
+                         or --design <name>",
+                    ))
+                }
+            };
+            let rows = match limit {
+                0 => rows,
+                n => rows.into_iter().take(n).collect(),
+            };
+            let config = ServeConfig {
+                analytics: Some(AnalyticsConfig { interactions, ..Default::default() }),
+                ..Default::default()
+            };
+            let engine = ServeEngine::start_saved(config, model, schema.fingerprint())?;
+            for (_, x) in &rows {
+                if interactions {
+                    engine.explain_interactions(x)?;
+                } else {
+                    engine.explain(x)?;
+                }
+            }
+            eprintln!("folded {} explained case(s)", rows.len());
+            let snapshot = engine.analytics_snapshot().expect("analytics is mounted");
+            engine.shutdown();
+            snapshot
+        }
+    };
+
+    let report_names = (snapshot.n_features as usize == names.len()).then_some(names.as_slice());
+    let report = build_report(&snapshot, &[], top, report_names)?;
+    println!("{}", serde_json::to_string(&report).expect("report serializes"));
+    if let Some(path) = out {
+        let text = serde_json::to_string(&snapshot).expect("snapshot serializes");
+        std::fs::write(&path, text).map_err(|e| DrcshapError::io(path.clone(), e))?;
+        eprintln!("wrote analytics snapshot to {path}");
+    }
+    Ok(())
 }
 
 fn cmd_triage(args: &[String]) -> Result<(), DrcshapError> {

@@ -33,6 +33,12 @@
 //!   blobs, recovery (torn-tail truncation, temp-file sweep, blob
 //!   quarantine), verification, garbage collection, and a watch API the
 //!   gateway's staged rollouts pull new generations from;
+//! - [`analytics`] — streaming explanation analytics: deterministic
+//!   mergeable per-feature quantile sketches (fixed error bound ε,
+//!   bit-stable digests under any fold/merge topology), signed-importance
+//!   accumulators, beeswarm payload bins, binned dependence curves,
+//!   interaction-pair aggregation and top-k drift across model epochs,
+//!   every snapshot stamped with provenance;
 //! - [`xsat`] — SAT-based abductive explanations served next to SHAP: a
 //!   self-contained CDCL solver, a CNF encoding of a trained forest's
 //!   decision paths and majority vote, and an engine computing
@@ -68,6 +74,7 @@
 //! system inventory and per-experiment index, and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
 
+pub use drcshap_analytics as analytics;
 pub use drcshap_core as core;
 pub use drcshap_drc as drc;
 pub use drcshap_features as features;
